@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact in quick mode (small
+workloads, same code paths) and asserts the *shape* claims of the paper —
+who wins, roughly by how much, where crossovers fall — not absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+# scipy's kmeans warns about empty clusters on tiny synthetic key sets;
+# ClusterKV handles the fallback, so the warning is benign noise here.
+warnings.filterwarnings("ignore", message="One of the clusters is empty")
+
+
+@pytest.fixture(scope="session")
+def quick():
+    """All benchmarks run experiments in quick mode."""
+    return True
+
+
+def cell(result, row_matcher, header):
+    """Fetch one cell from an ExperimentResult by row predicate + header."""
+    idx = result.headers.index(header)
+    for row in result.rows:
+        if row_matcher(row):
+            return row[idx]
+    raise KeyError(f"no row matching {row_matcher} in {result.experiment_id}")

@@ -1,0 +1,22 @@
+"""Bench: extension ablation — distillation quality drives retrieval accuracy."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_distill import run
+
+
+def test_ablation_distill(benchmark):
+    result = benchmark(run, quick=True)
+    noises = [row[0] for row in result.rows]
+    assert noises == sorted(noises)
+
+    # At every budget, the best-distilled head is at least as accurate as
+    # the worst-distilled one (the Sec. 3 monotonicity, coarse-grained).
+    for col in range(1, len(result.headers) - 1):
+        best = result.rows[0][col]
+        worst = result.rows[-1][col]
+        assert best >= worst - 1e-9
+
+    # Full attention is noise-invariant (the head is not in its path).
+    full_scores = {row[-1] for row in result.rows}
+    assert len(full_scores) == 1

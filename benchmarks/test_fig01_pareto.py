@@ -1,0 +1,31 @@
+"""Bench: Figure 1's Pareto frontiers — SpeContext pushes both panels."""
+
+from __future__ import annotations
+
+from repro.experiments.fig01_pareto import run
+
+
+def test_fig01(benchmark):
+    result = benchmark(run, quick=True)
+    by_engine: dict[str, list[dict]] = {}
+    for row in result.rows:
+        cells = dict(zip(result.headers, row))
+        by_engine.setdefault(cells["Engine"], []).append(cells)
+
+    ours = max(by_engine["Ours"], key=lambda c: c["Budget (~paper)"])
+    # Ours dominates throughput in both scenarios at the larger budget...
+    for other, rows in by_engine.items():
+        if other == "Ours":
+            continue
+        for cells in rows:
+            assert ours["thpt(input)"] >= cells["thpt(input)"]
+            assert ours["thpt(reasoning)"] >= cells["thpt(reasoning)"]
+    # ...while matching full-attention accuracy (Pareto-dominant point).
+    assert ours["acc(input)"] >= 0.95
+    assert ours["acc(reasoning)"] >= 0.95
+
+    # The reasoning panel is where sparsity baselines collapse to
+    # full-attention behaviour: their reasoning accuracy is budget-flat.
+    for name in ("Quest", "ClusterKV", "ShadowKV"):
+        accs = {c["acc(reasoning)"] for c in by_engine[name]}
+        assert len(accs) == 1

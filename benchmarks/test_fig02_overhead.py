@@ -1,0 +1,24 @@
+"""Bench: Figure 2(a)'s motivating overheads."""
+
+from __future__ import annotations
+
+from repro.experiments.fig02_overhead import run
+
+
+def test_fig02(benchmark):
+    result = benchmark(run, quick=True)
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+
+    # Layer-wise retrieval + synchronous loading eats a large share of the
+    # decode step (paper: up to 60%).
+    worst = rows[("retrieval-overhead", "worst observed")]
+    assert float(worst.split("%")[0]) >= 25.0
+
+    # The offload cliff: a small length increase across the memory
+    # boundary degrades throughput by more than 80%.
+    cliff_rows = [v for (part, _), v in rows.items() if part == "offload-cliff"]
+    degradation = next(v for v in cliff_rows if "paper" in v)
+    assert float(degradation.split("%")[0]) >= 80.0
+
+    below, above = (v for v in cliff_rows if v.endswith("tok/s"))
+    assert float(below.split(" ")[0]) > 4 * float(above.split(" ")[0])

@@ -1,0 +1,27 @@
+"""Bench: Figure 5(a) — head-level selection beats batch-level."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig05_similarity import run
+
+
+def test_fig05(benchmark):
+    result = benchmark(run, quick=True)
+    series: dict[tuple[str, str], list[float]] = {}
+    for row in result.rows:
+        series[(row[0], row[1])] = [float(v) for v in row[2:]]
+
+    for metric in ("attention-accumulation", "hit-rate"):
+        head = np.array(series[(metric, "head")])
+        batch = np.array(series[(metric, "batch")])
+        # Head-level dominates batch-level on average across budgets
+        # (Sec. 4.2's finding).
+        assert head.mean() >= batch.mean()
+
+    # Accumulation grows with budget (more mass covered by larger top-k).
+    acc = series[("attention-accumulation", "head")]
+    assert acc[-1] >= acc[0]
+    # Hit rate of head-level selection is high.
+    assert np.mean(series[("hit-rate", "head")]) >= 0.7

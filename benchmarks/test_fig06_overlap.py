@@ -1,0 +1,32 @@
+"""Bench: Figure 6 — prefetch imbalance and adjacent-step overlap."""
+
+from __future__ import annotations
+
+from repro.experiments.fig06_overlap import run
+
+
+def test_fig06(benchmark):
+    result = benchmark(run, quick=True)
+    prefetch_ms = []
+    overlaps = {}
+    layer_ms = None
+    for part, budget, value in result.rows:
+        if part == "prefetch-latency":
+            prefetch_ms.append((budget, float(value.split(" ")[0])))
+        elif part == "layer-inference":
+            layer_ms = float(value.split(" ")[0])
+        elif part == "selection-overlap" and not value.startswith("budget"):
+            overlaps[budget] = float(value.split(" ")[0])
+
+    # (a) transfer latency grows with budget and overtakes a single layer's
+    # compute at large budgets (Sec. 5.2's imbalance).
+    latencies = [ms for _, ms in prefetch_ms]
+    assert latencies == sorted(latencies)
+    assert layer_ms is not None
+    assert latencies[-1] > latencies[0]
+
+    # (b) adjacent-step selection overlap rises with budget and reaches
+    # the paper's >80% regime.
+    budgets = sorted(overlaps)
+    assert overlaps[budgets[-1]] >= 0.8
+    assert overlaps[budgets[-1]] >= overlaps[budgets[0]]

@@ -1,0 +1,31 @@
+"""Bench: Figure 11 — each contribution adds speedup monotonically."""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_ablation import run
+
+
+def _value(cell) -> float:
+    return 0.0 if cell == "OOM" else float(cell)
+
+
+def test_fig11(benchmark):
+    result = benchmark(run, quick=True)
+    for row in result.rows:
+        cells = dict(zip(result.headers, row))
+        c1 = _value(cells["HF+C1"])
+        c2 = _value(cells["HF+C1+C2"])
+        c3 = _value(cells["HF+C1+C2+C3"])
+        base = _value(cells["HF"])
+        # Monotone ablation: every contribution helps.
+        assert c3 > c2 > c1 > 0
+        if base:
+            assert c1 > base
+            # End-to-end gain in the paper's 14-25x class; assert >= 8x.
+            assert c3 / base >= 8.0
+
+    # The elastic-loading note quantifies C2's transfer reduction
+    # (paper: up to 90%; assert a substantial cut).
+    note = next(n for n in result.notes if "elastic" in n)
+    reduction = int(note.split("(")[1].split("%")[0])
+    assert reduction >= 60

@@ -1,0 +1,23 @@
+"""Bench: Sec. 7.4 — retrieval-head memory overhead and pruning ratio."""
+
+from __future__ import annotations
+
+from repro.experiments.overhead import run
+
+
+def test_overhead(benchmark):
+    result = benchmark(run, quick=True)
+    rows = {r[0]: dict(zip(result.headers, r)) for r in result.rows}
+
+    for teacher in ("llama3.1-8b-like", "qwen3-8b-like"):
+        cells = rows[teacher]
+        reduction = float(cells["Reduction"].rstrip("%"))
+        # >90% parameter reduction vs the full DLM (Sec. 4's claim).
+        assert reduction > 90.0
+        # Head weights in the tens of MB (paper: "only about 60MB").
+        head_mb = float(cells["Head FP16"].rstrip("MB"))
+        assert 10.0 <= head_mb <= 150.0
+
+    # The functional (constructed) head reports the same >90% reduction.
+    functional = rows["tiny-gqa"]
+    assert float(functional["Reduction"].rstrip("%")) > 90.0

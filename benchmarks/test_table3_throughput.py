@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 3 and assert its headline shape claims."""
+
+from __future__ import annotations
+
+from repro.experiments.table3_throughput import run
+
+
+def _tps(cell: str) -> float:
+    if cell in ("OOM", "-"):
+        return 0.0
+    return float(cell.split(" ")[0])
+
+
+def test_table3(benchmark):
+    result = benchmark(run, quick=True)
+    assert len(result.rows) == 8  # 2 models x 4 mixes
+
+    for row in result.rows:
+        by = dict(zip(result.headers, row))
+        ours = _tps(by["Ours"])
+        flashinfer = _tps(by["Full Attn(FlashInfer)"])
+        flash = _tps(by["Full Attn(Flash Attn)"])
+        eager = _tps(by["Full Attn(Eager)"])
+
+        # Ours wins every cell; FlashInfer beats HF FlashAttention beats
+        # eager (when eager runs at all).
+        assert ours > flashinfer > flash
+        if eager:
+            assert flash > eager
+            # Headline: order-of-magnitude class speedups vs eager in the
+            # reasoning mixes (paper: up to 24.89x; shape: >= 8x).
+            assert ours / eager >= 8.0
+
+    # Eager OOMs on the long-input mixes at batch 4 (the paper's OOM cells).
+    long_input_rows = [r for r in result.rows if r[1] in ("[16k, 2k]", "[32k, 2k]")]
+    assert all(r[2] == "OOM" for r in long_input_rows)
+
+    # ShadowKV unsupported on the Qwen-like model (the paper's '-').
+    qwen_rows = [r for r in result.rows if "qwen" in r[0]]
+    shadow_idx = result.headers.index("ShadowKV")
+    assert all(r[shadow_idx] == "-" for r in qwen_rows)

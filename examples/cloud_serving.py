@@ -1,0 +1,73 @@
+"""Cloud serving walk-through: batched long-reasoning requests on an A800.
+
+Feeds a queue of mixed-shape requests to the memory-aware batch scheduler
+under three engines and compares aggregate throughput and request latency,
+plus the batch sizes each engine's memory footprint admits — the serving
+view behind Table 3.
+
+Run:  python examples/cloud_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.spec import CLOUD_A800
+from repro.models.config import DEEPSEEK_DISTILL_LIKE_8B
+from repro.perf.capacity import max_fitting_batch
+from repro.perf.engines import FLASHINFER, HF_FLASH_ATTENTION, SPECONTEXT
+from repro.perf.simulate import PerfSimulator, Workload
+from repro.serving.request import Request
+from repro.serving.scheduler import StaticBatchScheduler
+from repro.utils.tables import format_table
+
+ENGINES = (HF_FLASH_ATTENTION, FLASHINFER, SPECONTEXT)
+
+
+def build_queue(n: int, seed: int = 0) -> list[Request]:
+    """Reasoning-heavy request mix: short prompts, long generations."""
+    rng = np.random.default_rng(seed)
+    shapes = [(2048, 16384), (2048, 32768), (4096, 16384)]
+    return [
+        Request(request_id=i, in_len=shapes[int(k)][0], out_len=shapes[int(k)][1])
+        for i, k in enumerate(rng.integers(0, len(shapes), size=n))
+    ]
+
+
+def main() -> None:
+    sim = PerfSimulator(DEEPSEEK_DISTILL_LIKE_8B, CLOUD_A800, budget=2048)
+    print(f"model: {DEEPSEEK_DISTILL_LIKE_8B.name}  |  GPU: {CLOUD_A800.name}")
+
+    print("\nmemory-admitted batch sizes at [2k, 32k]:")
+    for engine in ENGINES:
+        cap = max_fitting_batch(sim, engine, 2048, 32768)
+        print(f"  {engine.name:24s} {cap}")
+
+    rows = []
+    for engine in ENGINES:
+        queue = build_queue(24)
+        meter = StaticBatchScheduler(sim, engine).execute(queue)
+        rows.append([
+            engine.name,
+            round(meter.tokens_per_second, 1),
+            round(meter.mean_latency_s, 1),
+            round(meter.latency_percentile(95), 1),
+            len(meter.finished),
+            len(meter.rejected),
+        ])
+    print()
+    print(format_table(
+        ["Engine", "tokens/s", "mean latency (s)", "p95 latency (s)",
+         "finished", "rejected"],
+        rows,
+        title="24 mixed reasoning requests, static FIFO batching",
+    ))
+    print(
+        "\nSpeContext packs larger batches (its KV footprint is budget-"
+        "bounded) and decodes faster per step, compounding into the "
+        "throughput gap of Table 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

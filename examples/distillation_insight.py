@@ -1,0 +1,76 @@
+"""The Sec. 3 insight, run end to end: distillation aligns information focus.
+
+Trains a one-layer student against a constructed teacher with a KL
+objective (the knowledge-distillation setup of Sec. 2.3) and tracks two
+quantities per epoch: the KL divergence of the output distributions and
+the top-k overlap between student and teacher *attention* — the
+"information focus" the paper argues must align for distillation to
+succeed. Watching the second rise as the first falls is the empirical
+backbone of using a DLM as the retrieval algorithm.
+
+Run:  python examples/distillation_insight.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distill.dataset import DistillationDataset
+from repro.distill.dlm import pruning_report
+from repro.distill.trainer import DistillationTrainer
+from repro.models.builder import build_recall_model
+from repro.models.config import LLAMA_LIKE_8B, tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    tokenizer = SyntheticTokenizer(512)
+    config = tiny_test_config(n_layers=2, vocab_size=512)
+    teacher = TransformerLM(build_recall_model(config, tokenizer, rng))
+
+    dataset = DistillationDataset(tokenizer, seq_len=96, seed=7)
+    trainer = DistillationTrainer(
+        teacher, dataset, seed=1, lr=2e-2, init_noise=1.0
+    )
+    eval_examples = dataset.batch(12)
+
+    def mean_kl() -> float:
+        return float(
+            np.mean([trainer.loss_and_grads(e)[0] for e in eval_examples])
+        )
+
+    def evidence_mass() -> float:
+        """Student attention mass on the planted evidence token — the
+        position the teacher's induction head focuses on."""
+        return float(np.mean([
+            trainer.student_attention(e)[e.value_position]
+            for e in eval_examples
+        ]))
+
+    print("epoch   KL(P_T||P_S)   student mass on teacher's focus token")
+    print(f"{'init':>5}   {mean_kl():12.4f}   {evidence_mass():.4f}")
+    for round_idx in range(4):
+        trainer.train(epochs=10, batch_size=8, eval_examples=eval_examples)
+        print(f"{(round_idx + 1) * 10:>5}   {mean_kl():12.4f}   "
+              f"{evidence_mass():.4f}")
+
+    print(
+        "\nKL falls and the student's attention increasingly lands on the "
+        "teacher's focus tokens —\nthe premise behind using a distilled "
+        "model as the retrieval algorithm."
+    )
+    report = pruning_report(LLAMA_LIKE_8B)
+    print(
+        f"\nand after pruning that DLM to its retrieval head "
+        f"(Llama3-8B-scale teacher):\n"
+        f"  {report.dlm_params / 1e9:.2f}B DLM params -> "
+        f"{report.retained_params / 1e6:.1f}M retained "
+        f"({report.reduction:.1%} reduction, "
+        f"{report.retained_bytes_fp16 / 1e6:.0f}MB at FP16)"
+    )
+
+
+if __name__ == "__main__":
+    main()

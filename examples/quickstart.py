@@ -1,0 +1,68 @@
+"""Quickstart: generate with SpeContext sparsity on a functional model.
+
+Builds a small associative-recall transformer, plants facts in a long
+filler context, and generates with the SpeContext engine — the lightweight
+retrieval head selects a KV budget before every decode step, and the
+engine reports the system-side accounting (bytes over PCIe, selection
+overlap, adaptive offload events).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import SpeContextEngine
+from repro.core.retrieval_head import RetrievalHeadConfig
+from repro.hardware.spec import EDGE_RTX4060_4GB
+from repro.models.builder import build_recall_model
+from repro.models.config import tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.utils.units import human_bytes
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    tokenizer = SyntheticTokenizer(vocab_size=512)
+    config = tiny_test_config(n_layers=4, vocab_size=512)
+    model = TransformerLM(build_recall_model(config, tokenizer, rng))
+
+    # Plant "key -> v1 v2 v3" fact chains inside 400 tokens of prose, then
+    # ask for one of them; the model recalls the chain across decode steps.
+    n_facts, chain_len = 6, 3
+    entities = tokenizer.random_content_ids(rng, n_facts * (1 + chain_len))
+    facts = entities.reshape(n_facts, 1 + chain_len)
+    prose = list(tokenizer.random_filler_ids(rng, 400))
+    prompt = [tokenizer.bos_id]
+    for i in range(n_facts):
+        prompt += prose[i * 60 : (i + 1) * 60] + [int(t) for t in facts[i]]
+    asked = 2
+    prompt += [tokenizer.question_id, int(facts[asked][0])]
+
+    engine = SpeContextEngine(
+        model,
+        tokenizer.bos_id,
+        budget=96,
+        spec=EDGE_RTX4060_4GB,
+        head_config=RetrievalHeadConfig(noise=0.1),
+        rng=np.random.default_rng(1),
+    )
+    stats = engine.generate(np.array(prompt), max_new_tokens=chain_len)
+
+    answer = tokenizer.decode(stats.text_token_ids)
+    expected = tokenizer.decode(facts[asked][1:])
+    print(f"question: what follows {tokenizer.word(int(facts[asked][0]))!r}?")
+    print(f"answer:   {answer!r} (expected {expected!r})")
+    print()
+    print(f"KV budget:            {stats.budget} of {len(prompt)} tokens")
+    print(f"bytes transferred:    {human_bytes(stats.bytes_transferred)}")
+    print(f"selection overlap:    {stats.mean_selection_overlap:.0%}")
+    print(f"transfer saved (C2):  {stats.transfer_reduction:.0%}")
+    print(f"offload events (C3):  {len(stats.offload_events)}")
+    assert answer == expected, "sparse generation should still solve recall"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no `wheel` package and no
+network access, so PEP-517 editable installs fail; this shim lets
+``pip install -e .`` take the legacy `setup.py develop` path. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

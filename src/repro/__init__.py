@@ -1,0 +1,56 @@
+"""SpeContext reproduction: speculative context sparsity for long-context
+LLM reasoning (ASPLOS 2026).
+
+The package is organized bottom-up:
+
+- :mod:`repro.tensor`, :mod:`repro.models`, :mod:`repro.kvcache` — the
+  functional transformer substrate (pure numpy) with KV caches and
+  constructed associative-recall circuits;
+- :mod:`repro.retrieval` — the layer-wise KV-selection baselines (Quest,
+  ClusterKV, ShadowKV, StreamingLLM, H2O, sliding window);
+- :mod:`repro.distill` — knowledge-distillation substrate (the Sec. 3
+  insight, verified by actually running KD);
+- :mod:`repro.core` — SpeContext itself: the lightweight retrieval head
+  (C1), elastic asynchronous prefetch (C2), the theoretical memory model
+  and adaptive memory management (C3), and the end-to-end engine;
+- :mod:`repro.hardware`, :mod:`repro.perf`, :mod:`repro.serving` — the
+  timing/memory simulators and serving layer behind the performance
+  experiments;
+- :mod:`repro.workloads` — synthetic LongBench/LongWriter tasks, metrics
+  and the six-dimension judge;
+- :mod:`repro.experiments` — one module per paper table/figure plus the
+  ``specontext-experiments`` CLI.
+
+Quick start::
+
+    from repro import SpeContextEngine, TransformerLM
+    from repro.models import SyntheticTokenizer, build_recall_model, tiny_test_config
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from repro.core.engine import GenerationStats, SpeContextEngine
+from repro.core.retrieval_head import (
+    LightweightRetrievalHead,
+    RetrievalHeadConfig,
+    SpeContextPolicy,
+)
+from repro.models.config import AttentionKind, ModelConfig, tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttentionKind",
+    "GenerationStats",
+    "LightweightRetrievalHead",
+    "ModelConfig",
+    "RetrievalHeadConfig",
+    "SpeContextEngine",
+    "SpeContextPolicy",
+    "SyntheticTokenizer",
+    "TransformerLM",
+    "tiny_test_config",
+    "__version__",
+]

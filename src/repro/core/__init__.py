@@ -1,0 +1,43 @@
+"""SpeContext: the paper's contribution (Secs. 4-6).
+
+- :mod:`repro.core.retrieval_head` — C1, the lightweight retrieval head: a
+  pruned DLM (embedding + QK projections) that selects globally important
+  tokens *before* the LLM forward pass, at head level, for MHA/GQA/MQA/MLA.
+- :mod:`repro.core.elastic` — C2a, elastic loading: transfer only the
+  selection set difference between adjacent steps.
+- :mod:`repro.core.prefetch` — C2b, the asynchronous two-stream prefetch
+  dataflow that overlaps KV transfer with LLM compute.
+- :mod:`repro.core.memory_model` — C3a, the theoretical memory model
+  (Eq. 6-8) and Algorithm 1 threshold computation.
+- :mod:`repro.core.adaptive` — C3b, Algorithm 2's runtime layer offloading.
+- :mod:`repro.core.engine` — the end-to-end SpeContext engine combining all
+  three contributions over the functional model + hardware simulator.
+"""
+
+from repro.core.retrieval_head import (
+    LightweightRetrievalHead,
+    RetrievalHeadConfig,
+    SpeContextPolicy,
+)
+from repro.core.elastic import ElasticTransferTracker, ElasticKVLoader
+from repro.core.prefetch import AsyncPrefetcher, StepTimings, DataflowKind
+from repro.core.memory_model import MemoryModel, MemoryBreakdown
+from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
+from repro.core.engine import SpeContextEngine, GenerationStats
+
+__all__ = [
+    "LightweightRetrievalHead",
+    "RetrievalHeadConfig",
+    "SpeContextPolicy",
+    "ElasticTransferTracker",
+    "ElasticKVLoader",
+    "AsyncPrefetcher",
+    "StepTimings",
+    "DataflowKind",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "AdaptiveMemoryManager",
+    "OffloadEvent",
+    "SpeContextEngine",
+    "GenerationStats",
+]

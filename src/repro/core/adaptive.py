@@ -1,0 +1,105 @@
+"""Adaptive memory management at runtime — Algorithm 2 (paper Sec. 6.2.1).
+
+As the sequence grows during reasoning, the manager consults the
+precomputed thresholds (Algorithm 1) and progressively offloads the KV
+cache of trailing layers (last layer first: layer L-1, then L-2, ...) to
+CPU DRAM, keeping as many layers GPU-resident as the memory model allows.
+
+The manager is pure control logic: callers give it the current sequence
+length and it returns which layers to offload; an optional
+:class:`MemoryLedger` and per-layer :class:`TieredKVStore`s are updated
+when attached, so the functional engine and the timing simulator share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memory_model import MemoryModel
+from repro.hardware.memory import MemoryLedger, MemoryTier
+from repro.kvcache.tiered import TieredKVStore
+
+
+@dataclass(frozen=True)
+class OffloadEvent:
+    """One layer's KV cache moving to the CPU at a specific length."""
+
+    layer: int
+    seq_len: int
+    bytes_freed: int
+
+
+@dataclass
+class AdaptiveMemoryManager:
+    """Tracks L_CPU/L_GPU against the threshold list during decoding."""
+
+    memory_model: MemoryModel
+    ledger: MemoryLedger | None = None
+    stores: list[TieredKVStore] | None = None
+    layers_on_cpu: int = 0
+    events: list[OffloadEvent] = field(default_factory=list)
+    _thresholds: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._thresholds = self.memory_model.sequence_thresholds()
+
+    @property
+    def n_layers(self) -> int:
+        return self.memory_model.model.n_layers
+
+    @property
+    def layers_on_gpu(self) -> int:
+        return self.n_layers - self.layers_on_cpu
+
+    def thresholds(self) -> list[int]:
+        """The Algorithm 1 threshold list S_T[0..L]."""
+        return list(self._thresholds)
+
+    def required_offloads(self, seq_len: int) -> int:
+        """Smallest L_CPU whose threshold accommodates ``seq_len``."""
+        for i in range(self.n_layers + 1):
+            if seq_len < self._thresholds[i]:
+                return i
+        return self.n_layers
+
+    def advance(self, seq_len: int) -> list[OffloadEvent]:
+        """Algorithm 2's inner while-loop for the current sequence length.
+
+        Offloads additional trailing layers until ``seq_len < S_T[L_CPU]``
+        (or all layers are offloaded). Returns the offload events triggered.
+        """
+        new_events: list[OffloadEvent] = []
+        while (
+            self.layers_on_cpu < self.n_layers
+            and seq_len >= self._thresholds[self.layers_on_cpu]
+        ):
+            layer = self.n_layers - self.layers_on_cpu - 1  # offload last first
+            freed = self._offload_layer(layer, seq_len)
+            event = OffloadEvent(layer=layer, seq_len=seq_len, bytes_freed=freed)
+            new_events.append(event)
+            self.events.append(event)
+            self.layers_on_cpu += 1
+        return new_events
+
+    def layer_tier(self, layer: int) -> MemoryTier:
+        """Where a layer's KV cache currently lives."""
+        if layer >= self.n_layers - self.layers_on_cpu:
+            return MemoryTier.CPU
+        return MemoryTier.GPU
+
+    def _offload_layer(self, layer: int, seq_len: int) -> int:
+        freed = 0
+        if self.stores is not None:
+            freed = self.stores[layer].evict_all()
+        else:
+            freed = (
+                self.memory_model.model.kv_bytes_per_token_layer()
+                * seq_len
+                * self.memory_model.requests
+            )
+        if self.ledger is not None:
+            name = f"kv-layer{layer}"
+            if name in self.ledger:
+                self.ledger.migrate(name, MemoryTier.CPU)
+        return freed

@@ -1,0 +1,126 @@
+"""Theoretical memory model and Algorithm 1 (paper Sec. 6.2, Eq. 6-8).
+
+Symbols (Table 1): M_O / M_D model sizes, L layers, D head dim, H KV heads,
+S sequence length, B retrieval budget, R requests, alpha head groups.
+
+- Eq. 6: all KV on GPU:   M_all  = 1.3 (M_O + M_D) + 4 R (L+1+alpha) S H D
+- Eq. 7: split placement: M_part = 1.3 (M_O + M_D)
+                                   + 4 R [ (L_GPU+1+alpha) S + L_CPU B ] H D
+- Eq. 8: maximize L_GPU subject to M_part <= Mem_GPU.
+
+The ``1.3`` factor is the paper's 30% runtime-buffer overhead; the ``4`` is
+K+V at FP16 (2 tensors x 2 bytes); ``+1`` is the DLM's single decoder layer
+and ``+alpha`` the repeat_kv buffer of GQA/MQA.
+
+Note: Algorithm 1's printed numerator term ``(i x B) x R x H x D`` omits
+the factor 4 that Eq. 7 applies to the budget buffers; we follow Eq. 7
+(the self-consistent form) and record the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.models.config import ModelConfig
+
+RUNTIME_OVERHEAD = 1.3  # model weights + ~30% runtime buffer (Sec. 6.2)
+KV_COEFF = 4  # K and V at FP16: 2 tensors x 2 bytes per value
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """One placement's memory accounting, all in bytes."""
+
+    weights: float
+    kv_gpu: float
+    budget_buffers: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.kv_gpu + self.budget_buffers
+
+
+class MemoryModel:
+    """Eq. 6-8 for a given (model, DLM, hardware, workload)."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        dlm_bytes: int,
+        spec: HardwareSpec,
+        requests: int = 1,
+        budget: int = 2048,
+    ):
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self.model = model
+        self.dlm_bytes = dlm_bytes
+        self.spec = spec
+        self.requests = requests
+        self.budget = budget
+
+    @property
+    def _weights_term(self) -> float:
+        return RUNTIME_OVERHEAD * (self.model.parameter_bytes() + self.dlm_bytes)
+
+    @property
+    def _hd(self) -> int:
+        return self.model.n_kv_heads * self.model.head_dim
+
+    @property
+    def _alpha(self) -> int:
+        return self.model.group_size
+
+    def m_all(self, seq_len: int) -> MemoryBreakdown:
+        """Eq. 6: everything on the GPU at sequence length ``seq_len``."""
+        layers_eff = self.model.n_layers + 1 + self._alpha
+        kv = KV_COEFF * self.requests * layers_eff * seq_len * self._hd
+        return MemoryBreakdown(weights=self._weights_term, kv_gpu=kv, budget_buffers=0.0)
+
+    def m_part(self, seq_len: int, layers_on_gpu: int) -> MemoryBreakdown:
+        """Eq. 7: ``layers_on_gpu`` KV-resident layers, the rest offloaded."""
+        if not 0 <= layers_on_gpu <= self.model.n_layers:
+            raise ValueError(
+                f"layers_on_gpu {layers_on_gpu} outside [0, {self.model.n_layers}]"
+            )
+        layers_cpu = self.model.n_layers - layers_on_gpu
+        kv = KV_COEFF * self.requests * (layers_on_gpu + 1 + self._alpha) * seq_len * self._hd
+        buffers = KV_COEFF * self.requests * layers_cpu * self.budget * self._hd
+        return MemoryBreakdown(
+            weights=self._weights_term, kv_gpu=kv, budget_buffers=buffers
+        )
+
+    def max_layers_on_gpu(self, seq_len: int) -> int:
+        """Eq. 8: the largest L_GPU whose M_part fits in GPU memory.
+
+        Returns -1 when not even L_GPU = 0 fits (true OOM).
+        """
+        for layers_on_gpu in range(self.model.n_layers, -1, -1):
+            if self.m_part(seq_len, layers_on_gpu).total <= self.spec.gpu_memory_bytes:
+                return layers_on_gpu
+        return -1
+
+    def sequence_thresholds(self) -> list[int]:
+        """Algorithm 1: thresholds S_T[0..L].
+
+        ``S_T[i]`` is the largest sequence length at which the KV cache of
+        ``L - i`` layers still fits on the GPU (i layers offloaded). The
+        list is what the adaptive manager consults at runtime; entries can
+        reach 0 when even the weights barely fit.
+        """
+        mem = self.spec.gpu_memory_bytes
+        hd = self._hd
+        r = self.requests
+        alpha = self._alpha
+        layers = self.model.n_layers
+        thresholds = []
+        for i in range(0, layers + 1):
+            numerator = mem - self._weights_term - KV_COEFF * i * self.budget * r * hd
+            denominator = KV_COEFF * (layers + 1 + alpha - i) * r * hd
+            thresholds.append(max(int(numerator // denominator), 0))
+        return thresholds
+
+    def fits_all_on_gpu(self, seq_len: int) -> bool:
+        """Whether Eq. 6 fits (no offloading needed)."""
+        return self.m_all(seq_len).total <= self.spec.gpu_memory_bytes

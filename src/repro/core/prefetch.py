@@ -1,0 +1,171 @@
+"""Asynchronous prefetch dataflow (paper Sec. 5, Fig. 7).
+
+Builds per-decode-step stream schedules for the five dataflow shapes of
+Figure 7 and resolves their wall-clock time on the two-stream simulator:
+
+(a) ``FULL_PREFETCH``      prefetch the entire KV cache, then compute.
+(b) ``SYNC_FETCH``         per-layer retrieve -> fetch -> attend (Quest /
+                           ClusterKV with offloading): transfer sits on the
+                           critical path of every layer, plus a retrieval op
+                           and a synchronization per layer (Challenge 1).
+(c) ``ASYNC_PREFETCH``     per-layer sparse prefetch overlapped one layer
+                           ahead (InfiniGen-style).
+(d) ``VALUE_PREFETCH``     ShadowKV: K reconstructed on GPU, V fetched
+                           after per-layer retrieval.
+(e) ``ELASTIC_PREFETCH``   SpeContext: selection known before the forward
+                           pass, so each layer's (elastic, tiny) transfer is
+                           issued while earlier layers compute.
+
+The builder takes per-layer compute seconds and per-layer transfer bytes —
+whatever the caller's engine model decided — so the same machinery serves
+Fig. 2(a), Fig. 6(a), Fig. 10/11 and Table 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.streams import StreamOp, StreamSimulator
+from repro.hardware.timing import LatencyModel
+
+
+class DataflowKind(enum.Enum):
+    """The five decode-step dataflow shapes of Figure 7."""
+
+    FULL_PREFETCH = "full_prefetch"
+    SYNC_FETCH = "sync_fetch"
+    ASYNC_PREFETCH = "async_prefetch"
+    VALUE_PREFETCH = "value_prefetch"
+    ELASTIC_PREFETCH = "elastic_prefetch"
+
+
+@dataclass(frozen=True)
+class StepTimings:
+    """Resolved timings of one decode step."""
+
+    total_s: float
+    compute_s: float
+    transfer_s: float
+    retrieval_s: float
+    sync_s: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of the step not spent computing (Fig. 2a's 'up to 60%')."""
+        if self.total_s == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.compute_s / self.total_s)
+
+
+class AsyncPrefetcher:
+    """Builds and times decode-step dataflows on the stream simulator."""
+
+    COMPUTE = "compute"
+    TRANSFER = "transfer"
+
+    def __init__(self, spec: HardwareSpec):
+        self.spec = spec
+        self.latency = LatencyModel(spec)
+
+    def step_timings(
+        self,
+        kind: DataflowKind,
+        layer_compute_s: list[float],
+        layer_transfer_bytes: list[float],
+        retrieval_s_per_layer: float = 0.0,
+        pre_retrieval_s: float = 0.0,
+    ) -> StepTimings:
+        """Time one decode step under the given dataflow.
+
+        ``layer_compute_s``: attention+FFN seconds per layer.
+        ``layer_transfer_bytes``: KV bytes each layer must receive this step.
+        ``retrieval_s_per_layer``: per-layer retrieval op time (baselines).
+        ``pre_retrieval_s``: one-shot retrieval before the pass (SpeContext's
+        retrieval head forward).
+        """
+        n_layers = len(layer_compute_s)
+        if len(layer_transfer_bytes) != n_layers:
+            raise ValueError("layer lists must have equal length")
+        sim = StreamSimulator()
+        transfer_s = [self.latency.transfer_seconds(b) for b in layer_transfer_bytes]
+        sync = self.spec.sync_overhead_s
+        total_retrieval = 0.0
+        total_sync = 0.0
+
+        if kind is DataflowKind.SYNC_FETCH:
+            # retrieve -> fetch -> attend, serialized per layer, one sync each.
+            for i in range(n_layers):
+                total_retrieval += retrieval_s_per_layer
+                total_sync += sync
+                sim.enqueue(StreamOp(
+                    self.COMPUTE, retrieval_s_per_layer, f"retrieve{i}",
+                    signals=(f"ret{i}",),
+                ))
+                sim.enqueue(StreamOp(
+                    self.TRANSFER, transfer_s[i] + sync, f"fetch{i}",
+                    waits_for=(f"ret{i}",), signals=(f"kv{i}",),
+                ))
+                sim.enqueue(StreamOp(
+                    self.COMPUTE, layer_compute_s[i], f"layer{i}",
+                    waits_for=(f"kv{i}",),
+                ))
+
+        elif kind is DataflowKind.FULL_PREFETCH:
+            sim.enqueue(StreamOp(
+                self.TRANSFER, sum(transfer_s), "prefetch-all", signals=("kv",),
+            ))
+            sim.enqueue(StreamOp(
+                self.COMPUTE, layer_compute_s[0], "layer0", waits_for=("kv",),
+            ))
+            for i in range(1, n_layers):
+                sim.enqueue(StreamOp(self.COMPUTE, layer_compute_s[i], f"layer{i}"))
+
+        elif kind in (DataflowKind.ASYNC_PREFETCH, DataflowKind.VALUE_PREFETCH):
+            # Per-layer retrieval result becomes available one layer early
+            # (speculative, InfiniGen) or after a cheap on-GPU score
+            # (ShadowKV); transfer for layer i overlaps compute of i-1.
+            for i in range(n_layers):
+                total_retrieval += retrieval_s_per_layer
+                waits = (f"prev{i - 1}",) if i > 0 else ()
+                sim.enqueue(StreamOp(
+                    self.TRANSFER, transfer_s[i], f"fetch{i}", waits_for=waits,
+                    signals=(f"kv{i}",),
+                ))
+            for i in range(n_layers):
+                sim.enqueue(StreamOp(
+                    self.COMPUTE,
+                    layer_compute_s[i] + retrieval_s_per_layer,
+                    f"layer{i}",
+                    waits_for=(f"kv{i}",),
+                    signals=(f"prev{i}",),
+                ))
+
+        elif kind is DataflowKind.ELASTIC_PREFETCH:
+            # Selection known before the pass: all transfers enqueue
+            # immediately and drain while compute proceeds layer by layer.
+            sim.enqueue(StreamOp(self.COMPUTE, pre_retrieval_s, "retrieval-head",
+                                 signals=("sel",)))
+            total_retrieval += pre_retrieval_s
+            for i in range(n_layers):
+                sim.enqueue(StreamOp(
+                    self.TRANSFER, transfer_s[i], f"fetch{i}",
+                    waits_for=("sel",), signals=(f"kv{i}",),
+                ))
+            for i in range(n_layers):
+                sim.enqueue(StreamOp(
+                    self.COMPUTE, layer_compute_s[i], f"layer{i}",
+                    waits_for=(f"kv{i}",),
+                ))
+        else:
+            raise ValueError(f"unknown dataflow {kind}")
+
+        total = sim.makespan()
+        return StepTimings(
+            total_s=total,
+            compute_s=sum(layer_compute_s),
+            transfer_s=sum(transfer_s),
+            retrieval_s=total_retrieval,
+            sync_s=total_sync,
+        )

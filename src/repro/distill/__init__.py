@@ -1,0 +1,30 @@
+"""Knowledge-distillation substrate (paper Secs. 2.3 and 3).
+
+The paper's key insight is that a distilled student shares the teacher's
+*information focus* — argued through mutual information and the data
+processing inequality. This package makes the claim testable:
+
+- :mod:`repro.distill.dlm` — the full one-layer DLM (EAGLE-3 analog) with
+  complete LM architecture, and the pruning arithmetic behind the >90%
+  parameter-reduction claim (Sec. 4.3 / 7.4).
+- :mod:`repro.distill.dataset` — synthetic KD corpora with the same
+  key/value pair structure the teacher's circuits operate on.
+- :mod:`repro.distill.trainer` — a numpy Adam trainer minimizing
+  KL(P_T || P_S) (Eq. 2). Training measurably increases the overlap
+  between the student's attention focus and the teacher's — the empirical
+  face of the Sec. 3.2 DPI argument.
+"""
+
+from repro.distill.dlm import DistilledLM, full_dlm_analog, pruning_report
+from repro.distill.dataset import DistillationDataset, DistillationExample
+from repro.distill.trainer import DistillationTrainer, TrainingCurve
+
+__all__ = [
+    "DistilledLM",
+    "full_dlm_analog",
+    "pruning_report",
+    "DistillationDataset",
+    "DistillationExample",
+    "DistillationTrainer",
+    "TrainingCurve",
+]

@@ -1,0 +1,77 @@
+"""Synthetic corpora for knowledge distillation.
+
+Each example is a short sequence containing key/value pairs scattered in
+filler prose, ending with a query key — the structure the teacher's recall
+circuit processes. Distillation teaches the student *where to look*, so the
+corpus must exercise exactly that lookup behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.tokenizer import SyntheticTokenizer
+
+
+@dataclass(frozen=True)
+class DistillationExample:
+    """One training sequence plus its ground-truth recall target."""
+
+    token_ids: np.ndarray  # full sequence, query key last
+    answer_id: int  # the value paired with the queried key
+    value_position: int  # index of the value token in the sequence
+
+
+class DistillationDataset:
+    """Generates batches of recall sequences."""
+
+    def __init__(
+        self,
+        tokenizer: SyntheticTokenizer,
+        seq_len: int = 48,
+        n_pairs: int = 3,
+        seed: int = 0,
+    ):
+        if seq_len < 4 * n_pairs + 4:
+            raise ValueError(
+                f"seq_len {seq_len} too short for {n_pairs} pairs plus query"
+            )
+        self.tokenizer = tokenizer
+        self.seq_len = seq_len
+        self.n_pairs = n_pairs
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> DistillationExample:
+        """One random example."""
+        tok = self.tokenizer
+        rng = self._rng
+        ents = tok.random_content_ids(rng, 2 * self.n_pairs)
+        keys = [int(t) for t in ents[: self.n_pairs]]
+        vals = [int(t) for t in ents[self.n_pairs :]]
+        n_filler = self.seq_len - 2 * self.n_pairs - 3  # bos, <q>, query key
+        filler = [int(t) for t in tok.random_filler_ids(rng, n_filler)]
+        insert_at = sorted(
+            rng.choice(max(n_filler, self.n_pairs), size=self.n_pairs, replace=False).tolist()
+        )
+
+        ids = [tok.bos_id]
+        value_pos: dict[int, int] = {}
+        for p in range(n_filler):
+            ids.append(filler[p])
+            if p in insert_at:
+                i = insert_at.index(p)
+                ids.extend([keys[i], vals[i]])
+                value_pos[i] = len(ids) - 1
+        query = int(rng.integers(0, self.n_pairs))
+        ids.extend([tok.question_id, keys[query]])
+        return DistillationExample(
+            token_ids=np.array(ids),
+            answer_id=vals[query],
+            value_position=value_pos[query],
+        )
+
+    def batch(self, n: int) -> list[DistillationExample]:
+        """``n`` fresh examples."""
+        return [self.sample() for _ in range(n)]

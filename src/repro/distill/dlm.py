@@ -1,0 +1,118 @@
+"""The full distilled language model and the retrieval-head pruning math.
+
+EAGLE-3's DLM is a complete LM — tokenizer, embedding, a single transformer
+decoder layer, and an LM head (Sec. 4.1). Running it wholesale costs ~20%
+extra inference, dominated by the LM head over a >1.2e5-token vocabulary.
+The retrieval head keeps only the embedding (shared with the target model,
+so zero marginal memory) and the QK projections; everything else is pruned
+(Sec. 4.3). ``pruning_report`` reproduces the >90% reduction claim for any
+teacher configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+
+
+@dataclass
+class DistilledLM:
+    """A one-layer student LM's parameter inventory.
+
+    Arrays are optional: experiments that only need parameter counts (the
+    overhead evaluation) construct the inventory without materializing
+    weights, while the trainer materializes the QK projections it learns.
+    """
+
+    vocab_size: int
+    d_model: int
+    n_heads: int
+    head_dim: int
+    d_ff: int
+    # Learned projections (content space), populated by the trainer:
+    wq: np.ndarray | None = None
+    wk: np.ndarray | None = None
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.d_model
+
+    @property
+    def qk_params(self) -> int:
+        return 2 * self.d_model * self.n_heads * self.head_dim
+
+    @property
+    def vo_params(self) -> int:
+        return 2 * self.d_model * self.n_heads * self.head_dim
+
+    @property
+    def ffn_params(self) -> int:
+        return 3 * self.d_model * self.d_ff
+
+    @property
+    def lm_head_params(self) -> int:
+        return self.vocab_size * self.d_model
+
+    def total_params(self) -> int:
+        """Complete DLM: embedding + decoder layer + LM head."""
+        return (
+            self.embedding_params
+            + self.qk_params
+            + self.vo_params
+            + self.ffn_params
+            + self.lm_head_params
+        )
+
+    def retained_params(self, embedding_shared: bool = True) -> int:
+        """What the retrieval head keeps: QK (+ embedding if not shared)."""
+        kept = self.qk_params
+        if not embedding_shared:
+            kept += self.embedding_params
+        return kept
+
+
+def full_dlm_analog(teacher: ModelConfig) -> DistilledLM:
+    """The EAGLE-3-style DLM sized for a given teacher.
+
+    One decoder layer with the teacher's hidden geometry and vocabulary,
+    as the paper's DLM shares the target model's tokenizer/embedding space.
+    """
+    return DistilledLM(
+        vocab_size=teacher.vocab_size,
+        d_model=teacher.d_model,
+        n_heads=teacher.n_q_heads,
+        head_dim=teacher.head_dim,
+        d_ff=teacher.d_ff,
+    )
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Parameter accounting for the DLM -> retrieval-head pruning."""
+
+    dlm_params: int
+    retained_params: int
+
+    @property
+    def reduction(self) -> float:
+        return 1.0 - self.retained_params / self.dlm_params
+
+    @property
+    def retained_bytes_fp16(self) -> int:
+        return self.retained_params * 2
+
+
+def pruning_report(teacher: ModelConfig, embedding_shared: bool = True) -> PruningReport:
+    """The Sec. 7.4 overhead numbers for a teacher config.
+
+    For Llama3-8B-scale teachers this lands at ~40-60MB of retrieval-head
+    weights and >90% reduction, matching the paper's "only about 60MB".
+    """
+    dlm = full_dlm_analog(teacher)
+    return PruningReport(
+        dlm_params=dlm.total_params(),
+        retained_params=dlm.retained_params(embedding_shared=embedding_shared),
+    )

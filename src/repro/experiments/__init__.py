@@ -1,0 +1,22 @@
+"""Experiment modules: one per paper table/figure, plus the CLI runner.
+
+Each module registers a ``run(quick=False, seed=0) -> ExperimentResult``
+under its experiment id; ``repro.experiments.common.registry()`` resolves
+the full map, and the ``specontext-experiments`` console script drives it.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    FunctionalSetup,
+    make_functional_setup,
+    register,
+    registry,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FunctionalSetup",
+    "make_functional_setup",
+    "register",
+    "registry",
+]

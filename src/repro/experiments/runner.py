@@ -1,0 +1,63 @@
+"""CLI entry point: regenerate any paper table or figure.
+
+Usage::
+
+    specontext-experiments --list
+    specontext-experiments fig08 table3
+    specontext-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="specontext-experiments",
+        description="Regenerate the SpeContext paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig08 table3), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment ids"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workload sizes (seconds instead of minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    runners = registry()
+    if args.list or not args.experiments:
+        for experiment_id in sorted(runners):
+            print(experiment_id)
+        return 0
+
+    requested = (
+        sorted(runners) if args.experiments == ["all"] else args.experiments
+    )
+    unknown = [e for e in requested if e not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    for experiment_id in requested:
+        start = time.time()
+        result = runners[experiment_id](quick=args.quick, seed=args.seed)
+        print(result.format())
+        print(f"[{experiment_id} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Table 3: end-to-end decode throughput, high-end GPU, multiple requests.
+
+Reproduces the paper's cloud table: two 8B-class models, four
+[input, output] mixes, five engines, each at the paper's published request
+count (the grey numbers in Table 3). Cells report decode tokens/s with the
+request count and the speedup normalized to Full Attention (Eager) — or to
+the first non-OOM engine when eager OOMs, as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.spec import CLOUD_A800
+from repro.models.config import DEEPSEEK_DISTILL_LIKE_8B, QWEN_LIKE_8B, ModelConfig
+from repro.perf.engines import CLOUD_ENGINES, EngineSpec
+from repro.perf.simulate import PerfSimulator, Workload
+from repro.experiments.common import ExperimentResult, register
+
+WORKLOADS = (
+    (2048, 16384),
+    (2048, 32768),
+    (16384, 2048),
+    (32768, 2048),
+)
+
+# Request counts per cell, as published in Table 3 (DeepSeek rows; the Qwen
+# rows use the same counts where reported). ShadowKV's public kernels lack
+# Qwen3 support (the paper's '-') so those cells are skipped.
+PAPER_BATCHES: dict[str, tuple[int, int, int, int]] = {
+    "Full Attn(Eager)": (4, 4, 4, 4),
+    "Full Attn(Flash Attn)": (16, 8, 8, 6),
+    "Full Attn(FlashInfer)": (16, 8, 8, 8),
+    "ShadowKV": (16, 16, 32, 64),
+    "Ours": (32, 32, 16, 16),
+}
+
+SHADOWKV_UNSUPPORTED = ("qwen3-8b-like",)
+
+
+def _cell(
+    sim: PerfSimulator, engine: EngineSpec, workload: Workload, n_samples: int
+) -> tuple[str, float]:
+    timeline = sim.simulate(engine, workload, n_samples=n_samples)
+    if timeline.oom:
+        return "OOM", 0.0
+    tps = timeline.decode_tokens_per_second
+    return f"{tps:.1f} ({workload.batch})", tps
+
+
+@register("table3")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 3."""
+    models: tuple[ModelConfig, ...] = (DEEPSEEK_DISTILL_LIKE_8B, QWEN_LIKE_8B)
+    n_samples = 8 if quick else 32
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Table 3: decode throughput (tokens/s) on A800-80GB, multi-request",
+        headers=["Model", "[In, Out]"]
+        + [engine.name for engine in CLOUD_ENGINES]
+        + ["Ours vs Eager"],
+    )
+    for model in models:
+        sim = PerfSimulator(model, CLOUD_A800, budget=2048)
+        for idx, (in_len, out_len) in enumerate(WORKLOADS):
+            row: list = [model.name, Workload(in_len, out_len).label]
+            eager_tps = 0.0
+            baseline_tps = 0.0
+            ours_tps = 0.0
+            for engine in CLOUD_ENGINES:
+                if (
+                    engine.name == "ShadowKV"
+                    and model.name in SHADOWKV_UNSUPPORTED
+                ):
+                    row.append("-")
+                    continue
+                batch = PAPER_BATCHES[engine.name][idx]
+                text, tps = _cell(
+                    sim, engine, Workload(in_len, out_len, batch), n_samples
+                )
+                row.append(text)
+                if engine.name == "Full Attn(Eager)":
+                    eager_tps = tps
+                if baseline_tps == 0.0 and tps > 0.0:
+                    baseline_tps = tps
+                if engine.name == "Ours":
+                    ours_tps = tps
+            reference = eager_tps or baseline_tps
+            row.append(f"{ours_tps / reference:.2f}x" if reference else "-")
+            result.rows.append(row)
+    result.notes.append(
+        "request counts per cell follow the paper's Table 3; speedup is vs "
+        "Eager when it runs, else vs the first non-OOM engine"
+    )
+    return result

@@ -1,0 +1,28 @@
+"""Hardware substrate: specs, latency model, memory accounting, streams.
+
+The paper evaluates on two real machines (A800-80GB "cloud" and RTX 4060
+Laptop 8GB "edge", Table 2). This package substitutes an analytic timing
+model plus a discrete-event multi-stream simulator. The simulator is what
+makes the system-level claims reproducible: CUDA-stream overlap (Sec. 5),
+PCIe-bound KV transfer (Fig. 6a), and the HBM-capacity cliff (Fig. 2a) are
+all properties of the *schedule*, which the simulator models explicitly.
+"""
+
+from repro.hardware.spec import HardwareSpec, CLOUD_A800, EDGE_RTX4060, EDGE_RTX4060_4GB
+from repro.hardware.timing import LatencyModel, OpCost
+from repro.hardware.memory import MemoryLedger, MemoryTier, OutOfMemoryError
+from repro.hardware.streams import StreamSimulator, StreamOp
+
+__all__ = [
+    "HardwareSpec",
+    "CLOUD_A800",
+    "EDGE_RTX4060",
+    "EDGE_RTX4060_4GB",
+    "LatencyModel",
+    "OpCost",
+    "MemoryLedger",
+    "MemoryTier",
+    "OutOfMemoryError",
+    "StreamSimulator",
+    "StreamOp",
+]

@@ -1,0 +1,114 @@
+"""Tiered memory accounting: GPU HBM vs CPU DRAM ledgers.
+
+The adaptive memory manager (Sec. 6) reasons about where each layer's KV
+cache lives. ``MemoryLedger`` tracks named allocations per tier, enforces
+capacity, and records the peak footprint so experiments can report OOM the
+way the paper's Table 3 does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.spec import HardwareSpec
+from repro.utils.units import human_bytes
+
+
+class MemoryTier(enum.Enum):
+    """Where a buffer physically resides."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the tier's capacity (paper's 'OOM')."""
+
+
+@dataclass
+class _Allocation:
+    name: str
+    n_bytes: int
+    tier: MemoryTier
+
+
+@dataclass
+class MemoryLedger:
+    """Capacity-checked allocation table over the two memory tiers."""
+
+    spec: HardwareSpec
+    _allocations: dict[str, _Allocation] = field(default_factory=dict)
+    peak_gpu_bytes: int = 0
+
+    def allocate(self, name: str, n_bytes: int, tier: MemoryTier) -> None:
+        """Reserve ``n_bytes`` under ``name``; raises OutOfMemoryError if full."""
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if n_bytes < 0:
+            raise ValueError(f"negative allocation size {n_bytes}")
+        new_used = self.used(tier) + n_bytes
+        if new_used > self.capacity(tier):
+            raise OutOfMemoryError(
+                f"{tier.value} OOM allocating {name!r}: need {human_bytes(n_bytes)}, "
+                f"used {human_bytes(self.used(tier))} of {human_bytes(self.capacity(tier))}"
+            )
+        self._allocations[name] = _Allocation(name, int(n_bytes), tier)
+        self.peak_gpu_bytes = max(self.peak_gpu_bytes, self.used(MemoryTier.GPU))
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self._allocations[name]
+
+    def resize(self, name: str, n_bytes: int) -> None:
+        """Grow/shrink an allocation in place (e.g., KV cache append)."""
+        alloc = self._allocations.get(name)
+        if alloc is None:
+            raise KeyError(f"no allocation named {name!r}")
+        delta = n_bytes - alloc.n_bytes
+        if delta > 0 and self.used(alloc.tier) + delta > self.capacity(alloc.tier):
+            raise OutOfMemoryError(
+                f"{alloc.tier.value} OOM resizing {name!r} to {human_bytes(n_bytes)}"
+            )
+        alloc.n_bytes = int(n_bytes)
+        self.peak_gpu_bytes = max(self.peak_gpu_bytes, self.used(MemoryTier.GPU))
+
+    def migrate(self, name: str, tier: MemoryTier) -> int:
+        """Move an allocation across tiers; returns bytes moved."""
+        alloc = self._allocations.get(name)
+        if alloc is None:
+            raise KeyError(f"no allocation named {name!r}")
+        if alloc.tier is tier:
+            return 0
+        if self.used(tier) + alloc.n_bytes > self.capacity(tier):
+            raise OutOfMemoryError(f"{tier.value} OOM migrating {name!r}")
+        alloc.tier = tier
+        self.peak_gpu_bytes = max(self.peak_gpu_bytes, self.used(MemoryTier.GPU))
+        return alloc.n_bytes
+
+    def capacity(self, tier: MemoryTier) -> int:
+        """Byte capacity of a tier on this hardware."""
+        if tier is MemoryTier.GPU:
+            return self.spec.gpu_memory_bytes
+        return self.spec.cpu_memory_bytes
+
+    def used(self, tier: MemoryTier) -> int:
+        """Bytes currently allocated on ``tier``."""
+        return sum(a.n_bytes for a in self._allocations.values() if a.tier is tier)
+
+    def free_bytes(self, tier: MemoryTier) -> int:
+        """Remaining capacity on ``tier``."""
+        return self.capacity(tier) - self.used(tier)
+
+    def tier_of(self, name: str) -> MemoryTier:
+        """Tier currently holding the named allocation."""
+        return self._allocations[name].tier
+
+    def size_of(self, name: str) -> int:
+        """Current size of the named allocation."""
+        return self._allocations[name].n_bytes
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations

@@ -1,0 +1,94 @@
+"""Hardware specifications mirroring Table 2 of the paper.
+
+The numbers are the public datasheet figures for the two machines the paper
+uses; "effective" fractions account for achievable (not peak) utilization,
+which is what end-to-end latency tracks in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """A GPU + host pair with the parameters the timing/memory models need.
+
+    Attributes:
+        name: human-readable identifier.
+        gpu_memory_bytes: usable GPU global memory (HBM/GDDR).
+        cpu_memory_bytes: usable host DRAM for offloaded KV cache.
+        gpu_flops: effective FP16 throughput (FLOP/s) for dense GEMM.
+        gpu_bandwidth: effective GPU memory bandwidth (bytes/s).
+        pcie_bandwidth: effective host<->device bandwidth (bytes/s).
+        kernel_launch_overhead_s: fixed per-kernel launch latency.
+        sync_overhead_s: cost of a stream synchronization / event wait,
+            which is what makes layer-wise retrieval serialization expensive
+            (Challenge 1 in the paper).
+    """
+
+    name: str
+    gpu_memory_bytes: int
+    cpu_memory_bytes: int
+    gpu_flops: float
+    gpu_bandwidth: float
+    pcie_bandwidth: float
+    kernel_launch_overhead_s: float = 5e-6
+    sync_overhead_s: float = 2e-5
+
+    def scaled_memory(self, gpu_memory_bytes: int) -> "HardwareSpec":
+        """Return a copy with a capped GPU memory (paper Sec. 7.3.2 caps at 4GB)."""
+        return HardwareSpec(
+            name=f"{self.name}-{gpu_memory_bytes // GB}GB",
+            gpu_memory_bytes=gpu_memory_bytes,
+            cpu_memory_bytes=self.cpu_memory_bytes,
+            gpu_flops=self.gpu_flops,
+            gpu_bandwidth=self.gpu_bandwidth,
+            pcie_bandwidth=self.pcie_bandwidth,
+            kernel_launch_overhead_s=self.kernel_launch_overhead_s,
+            sync_overhead_s=self.sync_overhead_s,
+        )
+
+
+# Cloud: NVIDIA A800 80GB (A100-class). ~310 TFLOPS FP16 tensor peak; we use
+# ~45% effective for mixed GEMM/attention workloads. HBM2e ~2.0 TB/s peak,
+# ~75% effective. PCIe 4.0 x16 ~25 GB/s effective of 32 GB/s peak.
+CLOUD_A800 = HardwareSpec(
+    name="A800-80GB",
+    gpu_memory_bytes=80 * GB,
+    cpu_memory_bytes=1008 * GB,
+    gpu_flops=140e12,
+    gpu_bandwidth=1.5e12,
+    pcie_bandwidth=25e9,
+)
+
+# Edge: RTX 4060 Laptop 8GB. ~60 TFLOPS FP16 tensor peak at laptop power
+# limits -> ~20 TFLOPS effective. GDDR6 272 GB/s peak, ~70% effective.
+# PCIe 4.0 x8 is 16 GB/s peak, but laptop host copies from pageable DRAM
+# through a mobile memory controller sustain ~8 GB/s.
+EDGE_RTX4060 = HardwareSpec(
+    name="RTX4060-Laptop-8GB",
+    gpu_memory_bytes=8 * GB,
+    cpu_memory_bytes=24 * GB,
+    gpu_flops=20e12,
+    gpu_bandwidth=190e9,
+    pcie_bandwidth=8e9,
+)
+
+# The edge evaluation (Sec. 7.3.2) limits GPU memory usage to 4GB.
+EDGE_RTX4060_4GB = EDGE_RTX4060.scaled_memory(4 * GB)
+
+# Figure 1's motivating setup: an RTX 4090 (24GB) serving 4 requests at 16K
+# context, where "model > 24GB" forces KV pressure. ~82 TFLOPS FP16 tensor
+# peak -> ~35 TFLOPS effective; GDDR6X ~1.0 TB/s peak, ~75% effective;
+# PCIe 4.0 x16 ~25 GB/s effective.
+DESKTOP_RTX4090 = HardwareSpec(
+    name="RTX4090-24GB",
+    gpu_memory_bytes=24 * GB,
+    cpu_memory_bytes=128 * GB,
+    gpu_flops=35e12,
+    gpu_bandwidth=750e9,
+    pcie_bandwidth=25e9,
+)

@@ -1,0 +1,27 @@
+"""KV-cache substrate: dense per-layer caches, paging, tiering, slot buffers.
+
+The paper's three challenges are all KV-cache lifecycle problems, so the
+cache is a first-class subsystem here rather than an array inside the model:
+
+- ``LayerKVCache``: the dense append/gather cache every attention variant uses.
+- ``PagedKVCache``: fixed-size pages with min/max metadata (Quest's layout).
+- ``TieredKVStore``: CPU/DRAM-backed cache with an explicit transfer ledger,
+  so experiments can count bytes moved over PCIe.
+- ``GpuSlotBuffer``: the fixed-budget on-GPU staging buffer that elastic
+  loading updates in place (Sec. 5.4's ``Tensor.copy_()``).
+"""
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+from repro.kvcache.paged import PagedKVCache, PageMetadata
+from repro.kvcache.tiered import TieredKVStore, TransferLedger
+from repro.kvcache.slots import GpuSlotBuffer
+
+__all__ = [
+    "LayerKVCache",
+    "ModelKVCache",
+    "PagedKVCache",
+    "PageMetadata",
+    "TieredKVStore",
+    "TransferLedger",
+    "GpuSlotBuffer",
+]

@@ -1,0 +1,112 @@
+"""Paged KV cache with per-page min/max metadata (Quest's data layout).
+
+Quest (Tang et al., ICML'24) partitions the KV cache into fixed-size pages
+and keeps, per page, the element-wise min and max of its key vectors. At
+retrieval time an upper bound on any key's dot product with the query is
+computed from just the page metadata, and only the top-K pages are loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PageMetadata:
+    """Element-wise min/max over one page's keys, per KV head.
+
+    Shapes: (kv_heads, head_dim).
+    """
+
+    key_min: np.ndarray
+    key_max: np.ndarray
+    start: int  # first token index covered by this page
+    length: int  # number of valid tokens in the page
+
+
+class PagedKVCache:
+    """KV cache organized as fixed-size pages with Quest metadata.
+
+    Keys/values for a single batch element, shaped (kv_heads, seq, dim)
+    internally; pages are recomputed lazily as tokens are appended.
+    """
+
+    def __init__(self, n_kv_heads: int, head_dim: int, page_size: int = 16):
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.page_size = page_size
+        self._keys = np.zeros((n_kv_heads, 0, head_dim))
+        self._values = np.zeros((n_kv_heads, 0, head_dim))
+
+    def __len__(self) -> int:
+        return self._keys.shape[1]
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages covering the current sequence."""
+        length = len(self)
+        return (length + self.page_size - 1) // self.page_size
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Append tokens; ``keys``/``values`` shaped (kv_heads, new, dim)."""
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must have identical shapes")
+        if keys.shape[0] != self.n_kv_heads or keys.shape[2] != self.head_dim:
+            raise ValueError(
+                f"append shape {keys.shape} incompatible with "
+                f"(kv_heads={self.n_kv_heads}, dim={self.head_dim})"
+            )
+        self._keys = np.concatenate([self._keys, keys], axis=1)
+        self._values = np.concatenate([self._values, values], axis=1)
+
+    def page(self, index: int) -> PageMetadata:
+        """Metadata for page ``index``."""
+        if index < 0 or index >= self.n_pages:
+            raise IndexError(f"page {index} out of range [0, {self.n_pages})")
+        start = index * self.page_size
+        end = min(start + self.page_size, len(self))
+        chunk = self._keys[:, start:end, :]
+        return PageMetadata(
+            key_min=chunk.min(axis=1),
+            key_max=chunk.max(axis=1),
+            start=start,
+            length=end - start,
+        )
+
+    def page_upper_bounds(self, query: np.ndarray) -> np.ndarray:
+        """Quest's score: max over sign choices of q·k for keys in each page.
+
+        ``query`` shaped (kv_heads, dim) (one decode-step query per KV head,
+        group-reduced by the caller for GQA). Returns (kv_heads, n_pages).
+        For each coordinate the bound takes ``max(q_d * min_d, q_d * max_d)``
+        and sums — an upper bound on the true dot product of any key in the
+        page with the query.
+        """
+        if query.shape != (self.n_kv_heads, self.head_dim):
+            raise ValueError(
+                f"query shape {query.shape} != ({self.n_kv_heads}, {self.head_dim})"
+            )
+        bounds = np.empty((self.n_kv_heads, self.n_pages))
+        for p in range(self.n_pages):
+            meta = self.page(p)
+            per_dim = np.maximum(query * meta.key_min, query * meta.key_max)
+            bounds[:, p] = per_dim.sum(axis=-1)
+        return bounds
+
+    def tokens_of_pages(self, page_indices: np.ndarray) -> np.ndarray:
+        """Token indices contained in the given pages, sorted ascending."""
+        token_ids: list[int] = []
+        for p in np.asarray(page_indices).ravel():
+            start = int(p) * self.page_size
+            end = min(start + self.page_size, len(self))
+            token_ids.extend(range(start, end))
+        return np.array(sorted(set(token_ids)), dtype=np.int64)
+
+    def gather(self, token_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch (keys, values) for explicit token indices."""
+        token_indices = np.asarray(token_indices)
+        return self._keys[:, token_indices, :], self._values[:, token_indices, :]

@@ -1,0 +1,100 @@
+"""Fixed-budget GPU staging buffer updated in place by elastic loading.
+
+Section 5.4: SpeContext keeps a KV budget ``B`` of selected tokens on the
+GPU. Between adjacent decode steps the selected sets overlap >80%, so only
+the difference ``S_now − S_last`` is copied in, overwriting the slots held by
+``S_last − S_now`` (the paper implements this with ``Tensor.copy_()``).
+
+``GpuSlotBuffer`` models that buffer: a mapping from token index to physical
+slot plus the slot-resident K/V arrays. Its invariant — the set of resident
+tokens always equals the most recent selection — is property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GpuSlotBuffer:
+    """Slot-addressed KV buffer of fixed capacity ``budget``.
+
+    K/V payloads are stored per-slot with shape (kv_heads, dim); lookups by
+    token index go through the slot map.
+    """
+
+    def __init__(self, budget: int, n_kv_heads: int, head_dim: int):
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.budget = budget
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self._k = np.zeros((budget, n_kv_heads, head_dim))
+        self._v = np.zeros((budget, n_kv_heads, head_dim))
+        self._slot_of: dict[int, int] = {}
+        self._free_slots: list[int] = list(range(budget - 1, -1, -1))
+
+    @property
+    def resident_tokens(self) -> frozenset[int]:
+        """Token indices currently held in slots."""
+        return frozenset(self._slot_of)
+
+    def update(
+        self,
+        new_selection: np.ndarray,
+        fetch_kv: "callable",
+    ) -> tuple[int, int]:
+        """Make the buffer hold exactly ``new_selection``.
+
+        ``fetch_kv(token_index) -> (k, v)`` supplies payloads for tokens not
+        already resident (each shaped (kv_heads, dim)). Returns
+        ``(n_loaded, n_evicted)`` so callers can account transfer volume.
+
+        Slots of evicted tokens are recycled for the incoming ones, which is
+        the in-place ``copy_`` semantics of the paper.
+        """
+        wanted = {int(t) for t in np.asarray(new_selection).ravel()}
+        if len(wanted) > self.budget:
+            raise ValueError(
+                f"selection of {len(wanted)} tokens exceeds budget {self.budget}"
+            )
+        current = set(self._slot_of)
+        to_evict = sorted(current - wanted)
+        to_load = sorted(wanted - current)
+
+        for token in to_evict:
+            slot = self._slot_of.pop(token)
+            self._free_slots.append(slot)
+
+        for token in to_load:
+            if not self._free_slots:
+                raise RuntimeError("slot buffer exhausted; accounting bug")
+            slot = self._free_slots.pop()
+            k, v = fetch_kv(token)
+            k = np.asarray(k)
+            v = np.asarray(v)
+            if k.shape != (self.n_kv_heads, self.head_dim):
+                raise ValueError(
+                    f"fetched K shape {k.shape} != ({self.n_kv_heads}, {self.head_dim})"
+                )
+            self._k[slot] = k
+            self._v[slot] = v
+            self._slot_of[token] = slot
+
+        return len(to_load), len(to_evict)
+
+    def gather(self, token_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Read (K, V) for resident tokens, shaped (kv_heads, n, dim)."""
+        token_indices = np.asarray(token_indices).ravel()
+        slots = []
+        for t in token_indices:
+            slot = self._slot_of.get(int(t))
+            if slot is None:
+                raise KeyError(f"token {int(t)} not resident in slot buffer")
+            slots.append(slot)
+        k = self._k[slots].transpose(1, 0, 2)
+        v = self._v[slots].transpose(1, 0, 2)
+        return k, v
+
+    def nbytes(self, bytes_per_value: int = 2) -> int:
+        """GPU footprint of the buffer (allocated, not just used)."""
+        return 2 * self.budget * self.n_kv_heads * self.head_dim * bytes_per_value

@@ -1,0 +1,43 @@
+"""Transformer LLM substrate (numpy).
+
+Plays the role of PyTorch + HuggingFace models in the paper: a decoder-only
+transformer with KV cache, prefill/decode phases, greedy/temperature
+sampling, and all four attention families SpeContext supports (MHA, GQA,
+MQA, MLA — Sec. 4.3).
+
+Model weights come from :mod:`repro.models.builder`, which constructs
+induction-head / associative-recall circuits analytically so the models
+genuinely solve the synthetic long-context tasks — making accuracy-vs-budget
+experiments causal rather than cosmetic (see DESIGN.md substitutions).
+"""
+
+from repro.models.config import (
+    AttentionKind,
+    ModelConfig,
+    LLAMA_LIKE_8B,
+    QWEN_LIKE_8B,
+    DEEPSEEK_MLA_LIKE_8B,
+    EDGE_LIKE_1B,
+    tiny_test_config,
+)
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.models.weights import ModelWeights, LayerWeights
+from repro.models.llm import TransformerLM, DecodeResult
+from repro.models.builder import build_recall_model, CircuitPlan
+
+__all__ = [
+    "AttentionKind",
+    "ModelConfig",
+    "LLAMA_LIKE_8B",
+    "QWEN_LIKE_8B",
+    "DEEPSEEK_MLA_LIKE_8B",
+    "EDGE_LIKE_1B",
+    "tiny_test_config",
+    "SyntheticTokenizer",
+    "ModelWeights",
+    "LayerWeights",
+    "TransformerLM",
+    "DecodeResult",
+    "build_recall_model",
+    "CircuitPlan",
+]

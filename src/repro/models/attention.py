@@ -1,0 +1,275 @@
+"""Attention computation for MHA / GQA / MQA / MLA with KV cache and sparsity.
+
+Single-sequence (batch=1) functional implementation. Prefill uses chunked
+causal attention (flash-attention-style row blocks) so long contexts never
+materialize a full seq x seq weight matrix. Decode supports three selection
+modes, matching the paper's retrieval granularities:
+
+- ``selection=None``: full attention over the cache,
+- 1-D indices: one global set of tokens shared by all heads (batch-level),
+- 2-D ``(n_kv_heads, k)`` indices: head-level selection (Figure 5's gather).
+
+RoPE is applied per query head according to the layer's ``rope_mask``
+(constructed content-matching heads run NoPE), and keys may be pre-rotated by
+``rope_key_offset`` positions (how the builder realizes a previous-token
+head). MLA caches the latent vector and up-projects only the gathered
+entries, as in Figure 5(e).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.weights import LayerWeights
+from repro.tensor.ops import linear, softmax
+from repro.tensor.rope import RotaryEmbedding
+
+PREFILL_CHUNK = 256
+
+
+class AttentionModule:
+    """One layer's attention, bound to its weights and the shared RoPE table."""
+
+    def __init__(self, config: ModelConfig, layer: LayerWeights, rope: RotaryEmbedding):
+        self.config = config
+        self.layer = layer
+        self.rope = rope
+        self._scale = 1.0 / np.sqrt(config.head_dim)
+
+    # ---- projections --------------------------------------------------------
+
+    def _project_q(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Queries, shape (n_q_heads, seq, head_dim), RoPE applied per mask."""
+        cfg = self.config
+        q = linear(x, self.layer.wq, self.layer.bq)
+        q = q.reshape(x.shape[0], cfg.n_q_heads, cfg.head_dim).transpose(1, 0, 2)
+        return self._apply_rope_masked(q, positions, self._q_rope_mask())
+
+    def _q_rope_mask(self) -> np.ndarray:
+        if self.layer.rope_mask is not None:
+            return np.asarray(self.layer.rope_mask, dtype=bool)
+        return np.ones(self.config.n_q_heads, dtype=bool)
+
+    def _kv_rope_mask(self) -> np.ndarray:
+        """Per-KV-head RoPE mask: a KV head rotates iff its group's q heads do."""
+        qmask = self._q_rope_mask()
+        group = self.config.group_size
+        if self.config.attention is AttentionKind.MLA:
+            return qmask
+        return qmask.reshape(self.config.n_kv_heads, group).any(axis=1)
+
+    def _apply_rope_masked(
+        self, heads: np.ndarray, positions: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Rotate only the heads where ``mask`` is True."""
+        if not mask.any():
+            return heads
+        rotated = self.rope.apply(heads, positions)
+        out = heads.copy()
+        out[mask] = rotated[mask]
+        return out
+
+    def project_kv(self, x: np.ndarray, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """New cache entries for non-MLA attention.
+
+        Returns (k, v), each shaped (n_kv_heads, seq, head_dim); keys are
+        rotated at ``positions + rope_key_offset`` for masked heads.
+        """
+        cfg = self.config
+        if cfg.attention is AttentionKind.MLA:
+            raise RuntimeError("MLA caches latents; use project_latent")
+        k = linear(x, self.layer.wk, self.layer.bk)
+        v = linear(x, self.layer.wv)
+        k = k.reshape(x.shape[0], cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        v = v.reshape(x.shape[0], cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        key_positions = positions + self.layer.rope_key_offset
+        k = self._apply_rope_masked(k, key_positions, self._kv_rope_mask())
+        return k, v
+
+    def project_latent(self, x: np.ndarray) -> np.ndarray:
+        """MLA latent cache entries, shape (1, seq, latent)."""
+        c = x @ self.layer.w_dkv.T
+        return c[None, :, :]
+
+    def _mla_expand(
+        self, latents: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Up-project latents (n, latent) to per-head K and V (heads, n, dim)."""
+        cfg = self.config
+        n = latents.shape[0]
+        k = (latents @ self.layer.w_uk.T).reshape(n, cfg.n_q_heads, cfg.head_dim)
+        v = (latents @ self.layer.w_uv.T).reshape(n, cfg.n_q_heads, cfg.head_dim)
+        k = k.transpose(1, 0, 2)
+        v = v.transpose(1, 0, 2)
+        key_positions = positions + self.layer.rope_key_offset
+        k = self._apply_rope_masked(k, key_positions, self._kv_rope_mask())
+        return k, v
+
+    def selection_queries(self, x_token: np.ndarray, position: int) -> np.ndarray:
+        """Per-selection-head queries for retrieval scoring.
+
+        Returns (n_kv_heads, head_dim) — query heads group-averaged onto
+        their KV head, which is how Quest-style methods score a GQA cache.
+        For MLA (one latent cache, per-head selection) returns the raw
+        (n_q_heads, head_dim) queries.
+        """
+        q = self._project_q(x_token[None, :], np.array([position]))[:, 0, :]
+        cfg = self.config
+        if cfg.attention is AttentionKind.MLA:
+            return q
+        return q.reshape(cfg.n_kv_heads, cfg.group_size, cfg.head_dim).mean(axis=1)
+
+    # ---- prefill -------------------------------------------------------------
+
+    def prefill(self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+        """Full causal attention over the prompt; appends to ``cache``.
+
+        ``x`` is (seq, d_model); returns the attention output (seq, d_model).
+        """
+        cfg = self.config
+        q = self._project_q(x, positions)
+        if cfg.attention is AttentionKind.MLA:
+            latents = self.project_latent(x)
+            cache.append(latents[None, :, :, :], latents[None, :, :, :])
+            all_latents = cache.keys[0, 0]  # (total, latent)
+            k, v = self._mla_expand(all_latents, np.arange(all_latents.shape[0]))
+        else:
+            k, v = self.project_kv(x, positions)
+            cache.append(k[None], v[None])
+            k = cache.keys[0]
+            v = cache.values[0]
+
+        base = len(cache) - x.shape[0]  # cache offset of this prompt chunk
+        return self._chunked_causal(q, k, v, base)
+
+    def _chunked_causal(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, base: int
+    ) -> np.ndarray:
+        """Causal attention of q rows (at cache positions base..) over k/v."""
+        cfg = self.config
+        group = cfg.n_q_heads // k.shape[0]
+        if group > 1:
+            k = np.repeat(k, group, axis=0)
+            v = np.repeat(v, group, axis=0)
+        seq = q.shape[1]
+        out = np.empty((cfg.n_q_heads, seq, cfg.head_dim), dtype=q.dtype)
+        for start in range(0, seq, PREFILL_CHUNK):
+            end = min(start + PREFILL_CHUNK, seq)
+            limit = base + end  # keys visible to the last row of this chunk
+            scores = np.einsum("hqd,hkd->hqk", q[:, start:end], k[:, :limit]) * self._scale
+            rows = np.arange(base + start, base + end)[:, None]
+            cols = np.arange(limit)[None, :]
+            scores = np.where(cols <= rows, scores, -np.inf)
+            weights = softmax(scores, axis=-1)
+            out[:, start:end] = np.einsum("hqk,hkd->hqd", weights, v[:, :limit])
+        flat = out.transpose(1, 0, 2).reshape(seq, cfg.n_q_heads * cfg.head_dim)
+        return linear(flat, self.layer.wo)
+
+    # ---- decode ----------------------------------------------------------------
+
+    def append_token(self, x_token: np.ndarray, position: int, cache: LayerKVCache) -> None:
+        """Project and append one new token's KV (or latent) to the cache."""
+        cfg = self.config
+        x = x_token[None, :]
+        if cfg.attention is AttentionKind.MLA:
+            latents = self.project_latent(x)
+            cache.append(latents[None], latents[None])
+        else:
+            k, v = self.project_kv(x, np.array([position]))
+            cache.append(k[None], v[None])
+
+    def decode(
+        self,
+        x_token: np.ndarray,
+        position: int,
+        cache: LayerKVCache,
+        selection: np.ndarray | None = None,
+        capture_weights: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One decode step. The current token must already be appended.
+
+        Returns (attn_output (d_model,), weights or None). Captured weights
+        are (n_q_heads, kv) over the attended set; with selection they are
+        scattered back to full cache length so analyses can compare policies.
+        """
+        cfg = self.config
+        q = self._project_q(x_token[None, :], np.array([position]))[:, 0, :]  # (Hq, dim)
+
+        if selection is None:
+            token_indices = np.arange(len(cache))
+            per_head = False
+        else:
+            selection = np.asarray(selection)
+            per_head = selection.ndim == 2
+            token_indices = selection
+
+        if cfg.attention is AttentionKind.MLA:
+            out, weights = self._decode_mla(q, cache, token_indices, per_head)
+        else:
+            out, weights = self._decode_kv(q, cache, token_indices, per_head)
+
+        if not capture_weights:
+            return out, None
+        full = np.zeros((cfg.n_q_heads, len(cache)), dtype=q.dtype)
+        if per_head:
+            group = cfg.group_size
+            for kv_head in range(token_indices.shape[0]):
+                for g in range(group):
+                    qh = kv_head * group + g
+                    full[qh, token_indices[kv_head]] = weights[qh]
+        else:
+            full[:, token_indices] = weights
+        return out, full
+
+    def _decode_kv(
+        self,
+        q: np.ndarray,
+        cache: LayerKVCache,
+        token_indices: np.ndarray,
+        per_head: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        group = cfg.group_size
+        keys = cache.keys[0]  # (Hkv, len, dim)
+        values = cache.values[0]
+        out_heads = np.empty((cfg.n_q_heads, cfg.head_dim), dtype=q.dtype)
+        weights_list = []
+        for kv_head in range(cfg.n_kv_heads):
+            idx = token_indices[kv_head] if per_head else token_indices
+            k_sel = keys[kv_head, idx]  # (k, dim)
+            v_sel = values[kv_head, idx]
+            q_group = q[kv_head * group : (kv_head + 1) * group]  # (group, dim)
+            scores = (q_group @ k_sel.T) * self._scale
+            w = softmax(scores, axis=-1)
+            out_heads[kv_head * group : (kv_head + 1) * group] = w @ v_sel
+            weights_list.append(w)
+        weights = np.concatenate(weights_list, axis=0)
+        flat = out_heads.reshape(cfg.n_q_heads * cfg.head_dim)
+        return linear(flat, self.layer.wo), weights
+
+    def _decode_mla(
+        self,
+        q: np.ndarray,
+        cache: LayerKVCache,
+        token_indices: np.ndarray,
+        per_head: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        latents = cache.keys[0, 0]  # (len, latent)
+        out_heads = np.empty((cfg.n_q_heads, cfg.head_dim), dtype=q.dtype)
+        weights_rows = []
+        for head in range(cfg.n_q_heads):
+            idx = token_indices[head] if per_head else token_indices
+            c_sel = latents[idx]
+            k_all, v_all = self._mla_expand(c_sel, np.asarray(idx))
+            k_sel = k_all[head]
+            v_sel = v_all[head]
+            scores = (q[head] @ k_sel.T) * self._scale
+            w = softmax(scores, axis=-1)
+            out_heads[head] = w @ v_sel
+            weights_rows.append(w)
+        weights = np.stack(weights_rows, axis=0)
+        flat = out_heads.reshape(cfg.n_q_heads * cfg.head_dim)
+        return linear(flat, self.layer.wo), weights

@@ -1,0 +1,326 @@
+"""Analytic construction of associative-recall transformers.
+
+Why constructed weights: the paper's accuracy experiments (Fig. 8/9) measure
+how KV selection degrades a model that *genuinely uses* its long context. We
+cannot train an 8B model here, so we construct small transformers that
+implement the classic two-layer induction-head circuit exactly — they solve
+"A B ... A -> B" associative recall, multi-hop chains, and enumeration, and
+they fail in the correct causal way when selection drops the evidence tokens.
+
+Residual stream layout (d_model = 3 * head_dim + 1):
+
+    S0 = dims [0, dc)        current token's content vector
+    S1 = dims [dc, 2*dc)     previous token's content vector (written by L0)
+    S2 = dims [2*dc, 3*dc)   answer accumulation (written by induction heads)
+    CONST = dim 3*dc         constant 1.0 (lets projections synthesize biases)
+
+Head roles (assigned per KV-head group):
+
+- ``prev``      RoPE positional head with keys pre-rotated by +1 position;
+                attends to j = i-1 and copies S0(j) into S1(i).
+- ``induction`` NoPE content head: q reads S0, k reads S1; attends where
+                t_{j-1} == t_i and copies S0(j) into S2(i).
+- ``sink``      content head keyed on the <bos> content vector (an attention
+                sink, as in StreamingLLM); V = 0.
+- ``local``     RoPE head peaking at j = i (recency); V = 0.
+- ``noise``     small random projections; diffuse attention; V = 0.
+
+The sink/local/noise heads shape realistic attention statistics without
+perturbing the circuit (their value projections are zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.models.weights import DTYPE, LayerWeights, ModelWeights
+
+
+@dataclass(frozen=True)
+class CircuitPlan:
+    """Tunable gains of the constructed circuit.
+
+    ``content_correlation`` draws content vectors around shared cluster
+    centers, giving distractors partial key-match — the knob that makes
+    retrieval hard and accuracy-vs-budget curves graded instead of step
+    functions.
+    """
+
+    prev_sharpness: float = 200.0
+    induction_sharpness: float = 14.0
+    sink_sharpness: float = 10.0
+    local_sharpness: float = 30.0
+    noise_gain: float = 0.3
+    value_gain: float = 1.0
+    lm_head_gain: float = 8.0
+    filler_logit_damping: float = 0.35
+    content_correlation: float = 0.3
+    n_content_clusters: int = 16
+    ffn_gain: float = 0.0  # constructed models keep the FFN silent
+
+
+def content_dim(config: ModelConfig) -> int:
+    """The content-vector width implied by the residual layout."""
+    if config.d_model != 3 * config.head_dim + 1:
+        raise ValueError(
+            f"circuit construction requires d_model == 3*head_dim + 1; "
+            f"got d_model={config.d_model}, head_dim={config.head_dim}"
+        )
+    return config.head_dim
+
+
+def make_content_vectors(
+    vocab_size: int,
+    dim: int,
+    rng: np.random.Generator,
+    correlation: float = 0.3,
+    n_clusters: int = 16,
+) -> np.ndarray:
+    """Unit content vectors with cluster structure.
+
+    Each token's vector is ``normalize(sqrt(1-rho^2) * g + rho * center)``
+    where ``center`` is its cluster's direction — tokens in the same cluster
+    have expected cosine ~ rho^2, which is what makes distractor keys leak
+    attention mass.
+    """
+    centers = rng.standard_normal((n_clusters, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    assignment = rng.integers(0, n_clusters, size=vocab_size)
+    g = rng.standard_normal((vocab_size, dim))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    vectors = np.sqrt(max(1.0 - correlation**2, 0.0)) * g + correlation * centers[assignment]
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors.astype(DTYPE)
+
+
+def head_roles(config: ModelConfig, layer: int) -> list[str]:
+    """Role of each KV-head group in ``layer``.
+
+    Layer 0 carries the previous-token head; every later layer carries an
+    induction head; remaining groups cycle through sink/local/noise.
+    """
+    n_groups = config.n_kv_heads if config.attention is not AttentionKind.MLA else config.n_q_heads
+    primary = "prev" if layer == 0 else "induction"
+    filler_cycle = ["sink", "local", "noise"]
+    roles = [primary]
+    for g in range(1, n_groups):
+        roles.append(filler_cycle[(g - 1) % len(filler_cycle)])
+    return roles
+
+
+class _SubspaceMaps:
+    """Selector/injector matrices for the residual layout."""
+
+    def __init__(self, dc: int, d_model: int):
+        self.dc = dc
+        self.d_model = d_model
+        self.read_s0 = np.zeros((dc, d_model), dtype=DTYPE)
+        self.read_s0[:, 0:dc] = np.eye(dc, dtype=DTYPE)
+        self.read_s1 = np.zeros((dc, d_model), dtype=DTYPE)
+        self.read_s1[:, dc : 2 * dc] = np.eye(dc, dtype=DTYPE)
+        self.const_row = np.zeros((1, d_model), dtype=DTYPE)
+        self.const_row[0, 3 * dc] = 1.0
+
+    def const_key(self, vector: np.ndarray) -> np.ndarray:
+        """Projection emitting a constant ``vector`` (reads the CONST dim)."""
+        return np.outer(vector.astype(DTYPE), self.const_row[0])
+
+    def write_s1(self, dc: int) -> np.ndarray:
+        """(d_model, dc) injector into S1."""
+        w = np.zeros((self.d_model, dc), dtype=DTYPE)
+        w[dc : 2 * dc, :] = np.eye(dc, dtype=DTYPE)
+        return w
+
+    def write_s2(self, dc: int) -> np.ndarray:
+        """(d_model, dc) injector into S2."""
+        w = np.zeros((self.d_model, dc), dtype=DTYPE)
+        w[2 * dc : 3 * dc, :] = np.eye(dc, dtype=DTYPE)
+        return w
+
+
+def _role_projections(
+    role: str,
+    maps: _SubspaceMaps,
+    plan: CircuitPlan,
+    bos_content: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool, int]:
+    """Build (wq, wk, wv, wo_block, uses_rope, key_offset) for one head role.
+
+    All matrices are (dc, d_model) except ``wo_block`` which is
+    (d_model, dc). Attention logits are q.k / sqrt(dc), so gains are split
+    so that the matched logit equals the role's sharpness.
+    """
+    dc = maps.dc
+    sqrt_dc = np.sqrt(dc)
+    unit = np.ones(dc, dtype=DTYPE) / np.sqrt(dc)
+    zero_v = np.zeros((dc, maps.d_model), dtype=DTYPE)
+    zero_o = np.zeros((maps.d_model, dc), dtype=DTYPE)
+
+    if role == "prev":
+        gain = np.sqrt(plan.prev_sharpness * sqrt_dc)
+        wq = maps.const_key(gain * unit)
+        wk = maps.const_key(gain * unit)
+        wv = maps.read_s0.copy()
+        wo = maps.write_s1(dc)
+        return wq, wk, wv, wo, True, 1
+
+    if role == "induction":
+        gain = np.sqrt(plan.induction_sharpness * sqrt_dc)
+        wq = gain * maps.read_s0
+        wk = gain * maps.read_s1
+        wv = maps.read_s0.copy()
+        wo = plan.value_gain * maps.write_s2(dc)
+        return wq, wk, wv, wo, False, 0
+
+    if role == "sink":
+        gain = np.sqrt(plan.sink_sharpness * sqrt_dc)
+        wq = maps.const_key(gain * bos_content)
+        wk = gain * maps.read_s0
+        return wq, wk, zero_v, zero_o, False, 0
+
+    if role == "local":
+        gain = np.sqrt(plan.local_sharpness * sqrt_dc)
+        wq = maps.const_key(gain * unit)
+        wk = maps.const_key(gain * unit)
+        return wq, wk, zero_v, zero_o, True, 0
+
+    if role == "noise":
+        wq = (plan.noise_gain * rng.standard_normal((dc, maps.d_model))).astype(DTYPE)
+        wk = (plan.noise_gain * rng.standard_normal((dc, maps.d_model))).astype(DTYPE)
+        return wq, wk, zero_v, zero_o, False, 0
+
+    raise ValueError(f"unknown head role {role!r}")
+
+
+def build_recall_model(
+    config: ModelConfig,
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    plan: CircuitPlan | None = None,
+) -> ModelWeights:
+    """Construct a functional recall transformer for ``config``.
+
+    The returned weights solve chained associative recall over the synthetic
+    tokenizer's vocabulary: after "key value" pairs appear in the context,
+    prompting with the key makes the model emit the value (and follow chains
+    across decode steps).
+    """
+    plan = plan or CircuitPlan()
+    if tokenizer.vocab_size != config.vocab_size:
+        raise ValueError(
+            f"tokenizer vocab {tokenizer.vocab_size} != config vocab {config.vocab_size}"
+        )
+    dc = content_dim(config)
+    maps = _SubspaceMaps(dc, config.d_model)
+    content = make_content_vectors(
+        config.vocab_size, dc, rng,
+        correlation=plan.content_correlation,
+        n_clusters=plan.n_content_clusters,
+    )
+    bos_content = content[tokenizer.bos_id]
+
+    embedding = np.zeros((config.vocab_size, config.d_model), dtype=DTYPE)
+    embedding[:, 0:dc] = content
+    embedding[:, 3 * dc] = 1.0
+
+    lm_head = np.zeros((config.vocab_size, config.d_model), dtype=DTYPE)
+    lm_head[:, 2 * dc : 3 * dc] = plan.lm_head_gain * content
+    # Answer prior: filler (prose) tokens are damped relative to content and
+    # special tokens, the way a QA-tuned model prefers entities as answers.
+    # This disambiguates bridge entities in multi-hop chains, where the first
+    # occurrence of the bridge is followed by prose and the second by the
+    # next hop's value.
+    filler_ids = [tokenizer.filler_id(i) for i in range(tokenizer.n_filler)]
+    lm_head[filler_ids] *= plan.filler_logit_damping
+
+    layers: list[LayerWeights] = []
+    for layer_idx in range(config.n_layers):
+        roles = head_roles(config, layer_idx)
+        layers.append(
+            _build_layer(config, roles, maps, plan, bos_content, rng)
+        )
+
+    return ModelWeights(
+        config=config,
+        embedding=embedding,
+        layers=layers,
+        norm_final=np.ones(config.d_model, dtype=DTYPE),
+        lm_head=lm_head,
+    )
+
+
+def _build_layer(
+    config: ModelConfig,
+    roles: list[str],
+    maps: _SubspaceMaps,
+    plan: CircuitPlan,
+    bos_content: np.ndarray,
+    rng: np.random.Generator,
+) -> LayerWeights:
+    dc = maps.dc
+    d_model = config.d_model
+    group = config.group_size if config.attention is not AttentionKind.MLA else 1
+    n_q = config.n_q_heads
+    n_kv = len(roles)
+
+    wq = np.zeros((n_q * dc, d_model), dtype=DTYPE)
+    wo = np.zeros((d_model, n_q * dc), dtype=DTYPE)
+    rope_mask = np.zeros(n_q, dtype=bool)
+
+    kv_wk = np.zeros((n_kv * dc, d_model), dtype=DTYPE)
+    kv_wv = np.zeros((n_kv * dc, d_model), dtype=DTYPE)
+
+    key_offset = 0
+    for kv_head, role in enumerate(roles):
+        hq, hk, hv, ho, uses_rope, offset = _role_projections(
+            role, maps, plan, bos_content, rng
+        )
+        if offset:
+            key_offset = offset  # at most one offset role per layer (prev, L0)
+        kv_wk[kv_head * dc : (kv_head + 1) * dc] = hk
+        kv_wv[kv_head * dc : (kv_head + 1) * dc] = hv
+        for g in range(group):
+            q_head = kv_head * group + g
+            wq[q_head * dc : (q_head + 1) * dc] = hq
+            # Split the write across the group so GQA repetition is neutral.
+            wo[:, q_head * dc : (q_head + 1) * dc] = ho / group
+            rope_mask[q_head] = uses_rope
+
+    ffn_scale = plan.ffn_gain
+    w_gate = (ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)).astype(DTYPE)
+    w_up = (ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)).astype(DTYPE)
+    w_down = np.zeros((d_model, config.d_ff), dtype=DTYPE)
+
+    common = dict(
+        wq=wq,
+        wo=wo,
+        w_gate=w_gate,
+        w_up=w_up,
+        w_down=w_down,
+        norm_attn=np.ones(d_model, dtype=DTYPE),
+        norm_ffn=np.ones(d_model, dtype=DTYPE),
+        rope_mask=rope_mask,
+        rope_key_offset=key_offset,
+    )
+    if config.attention is AttentionKind.MLA:
+        # Identity down-projection: the latent is the residual stream itself;
+        # per-head up-projections carry the role circuits.
+        if config.mla_latent_dim != d_model:
+            raise ValueError(
+                "constructed MLA models require mla_latent_dim == d_model "
+                f"(got {config.mla_latent_dim} != {d_model})"
+            )
+        return LayerWeights(
+            wk=None,
+            wv=None,
+            w_dkv=np.eye(d_model, dtype=DTYPE),
+            w_uk=kv_wk,
+            w_uv=kv_wv,
+            **common,
+        )
+    return LayerWeights(wk=kv_wk, wv=kv_wv, **common)

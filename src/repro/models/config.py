@@ -1,0 +1,229 @@
+"""Model configuration and architecture presets.
+
+Two kinds of configs coexist:
+
+- *Functional* configs describe the small numpy models we actually run for
+  accuracy experiments (a few layers, d_model in the hundreds).
+- *Paper-scale* configs describe the 8B/1B architectures the paper times
+  (Llama3.1-8B, Qwen3-8B, DeepSeek-R1-Distill-Llama-8B, Reasoning-Llama-3.2-1B).
+  These are consumed only by the analytic timing/memory models, never
+  materialized as arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.utils.units import GB
+
+
+class AttentionKind(enum.Enum):
+    """The four attention families the retrieval head supports (Sec. 4.3)."""
+
+    MHA = "mha"
+    GQA = "gqa"
+    MQA = "mqa"
+    MLA = "mla"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer architecture description.
+
+    Attributes:
+        name: preset identifier.
+        vocab_size: tokenizer vocabulary size.
+        d_model: residual stream width.
+        n_layers: number of decoder layers.
+        n_q_heads: query heads per layer.
+        n_kv_heads: key/value heads per layer (== n_q_heads for MHA,
+            1 for MQA, n_q_heads/groups for GQA; for MLA it equals
+            n_q_heads but the cache holds the latent instead).
+        head_dim: per-head dimension.
+        d_ff: FFN inner width (SwiGLU).
+        attention: attention family.
+        mla_latent_dim: latent cache width for MLA (ignored otherwise).
+        max_position: RoPE table size / maximum context.
+        rope_base: RoPE theta.
+        use_norm: apply RMSNorm (constructed circuit models disable it so
+            the analytic circuits stay exact; trained models enable it).
+        tie_lm_head: reuse the embedding matrix as the output head.
+        param_bytes: explicit parameter-memory override for paper-scale
+            presets (bytes); 0 means "derive from dimensions".
+    """
+
+    name: str
+    vocab_size: int
+    d_model: int
+    n_layers: int
+    n_q_heads: int
+    n_kv_heads: int
+    head_dim: int
+    d_ff: int
+    attention: AttentionKind = AttentionKind.GQA
+    mla_latent_dim: int = 0
+    max_position: int = 131072
+    rope_base: float = 10000.0
+    use_norm: bool = True
+    tie_lm_head: bool = True
+    param_bytes: int = 0
+
+    def __post_init__(self):
+        if self.n_q_heads % max(self.n_kv_heads, 1) != 0:
+            raise ValueError(
+                f"n_q_heads={self.n_q_heads} not divisible by n_kv_heads={self.n_kv_heads}"
+            )
+        if self.attention is AttentionKind.MQA and self.n_kv_heads != 1:
+            raise ValueError("MQA requires n_kv_heads == 1")
+        if self.attention is AttentionKind.MHA and self.n_kv_heads != self.n_q_heads:
+            raise ValueError("MHA requires n_kv_heads == n_q_heads")
+        if self.attention is AttentionKind.MLA and self.mla_latent_dim < 1:
+            raise ValueError("MLA requires mla_latent_dim >= 1")
+
+    @property
+    def group_size(self) -> int:
+        """Query heads per KV head (the paper's alpha groups)."""
+        return self.n_q_heads // self.n_kv_heads
+
+    @property
+    def kv_cache_width(self) -> int:
+        """Per-token, per-layer cached values (K+V or MLA latent)."""
+        if self.attention is AttentionKind.MLA:
+            return self.mla_latent_dim
+        return 2 * self.n_kv_heads * self.head_dim
+
+    def kv_bytes_per_token_layer(self, bytes_per_value: int = 2) -> int:
+        """KV footprint of one token in one layer."""
+        return self.kv_cache_width * bytes_per_value
+
+    def kv_bytes(self, seq_len: int, batch: int = 1, bytes_per_value: int = 2) -> int:
+        """Full-model KV footprint at ``seq_len`` (paper's Sec. 6 M_KV)."""
+        return self.n_layers * batch * seq_len * self.kv_bytes_per_token_layer(bytes_per_value)
+
+    def parameter_count(self) -> int:
+        """Approximate parameter count derived from dimensions."""
+        embed = self.vocab_size * self.d_model
+        q = self.d_model * self.n_q_heads * self.head_dim
+        if self.attention is AttentionKind.MLA:
+            kv = self.d_model * self.mla_latent_dim + 2 * self.mla_latent_dim * self.n_q_heads * self.head_dim
+        else:
+            kv = 2 * self.d_model * self.n_kv_heads * self.head_dim
+        o = self.n_q_heads * self.head_dim * self.d_model
+        ffn = 3 * self.d_model * self.d_ff
+        per_layer = q + kv + o + ffn
+        head = 0 if self.tie_lm_head else self.vocab_size * self.d_model
+        return embed + self.n_layers * per_layer + head
+
+    def parameter_bytes(self, bytes_per_value: int = 2) -> int:
+        """Weight memory (paper's M_O / M_D), honoring explicit overrides."""
+        if self.param_bytes:
+            return self.param_bytes
+        return self.parameter_count() * bytes_per_value
+
+    def with_(self, **changes) -> "ModelConfig":
+        """Return a modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+
+# ---- Paper-scale presets (timing/memory only) ------------------------------
+
+# Llama3.1-8B: 32 layers, 32 q heads, 8 kv heads, head_dim 128, d_ff 14336.
+LLAMA_LIKE_8B = ModelConfig(
+    name="llama3.1-8b-like",
+    vocab_size=128256,
+    d_model=4096,
+    n_layers=32,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=128,
+    d_ff=14336,
+    attention=AttentionKind.GQA,
+    max_position=131072,
+    rope_base=500000.0,
+    param_bytes=16 * GB,
+)
+
+# DeepSeek-R1-Distill-Llama-8B shares the Llama3.1-8B architecture (the paper
+# notes this is why only one of the two is timed).
+DEEPSEEK_DISTILL_LIKE_8B = LLAMA_LIKE_8B.with_(name="deepseek-distill-llama-8b-like")
+
+# Qwen3-8B: 36 layers, 32 q heads, 8 kv heads, head_dim 128.
+QWEN_LIKE_8B = ModelConfig(
+    name="qwen3-8b-like",
+    vocab_size=151936,
+    d_model=4096,
+    n_layers=36,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=128,
+    d_ff=12288,
+    attention=AttentionKind.GQA,
+    max_position=131072,
+    rope_base=1000000.0,
+    param_bytes=16 * GB,
+)
+
+# A DeepSeek-style MLA variant at 8B scale, to exercise the MLA path.
+DEEPSEEK_MLA_LIKE_8B = ModelConfig(
+    name="deepseek-mla-8b-like",
+    vocab_size=129280,
+    d_model=4096,
+    n_layers=32,
+    n_q_heads=32,
+    n_kv_heads=32,
+    head_dim=128,
+    d_ff=12288,
+    attention=AttentionKind.MLA,
+    mla_latent_dim=512,
+    param_bytes=16 * GB,
+)
+
+# Reasoning-Llama-3.2-1B (edge model): 16 layers, 32 q heads, 8 kv heads.
+EDGE_LIKE_1B = ModelConfig(
+    name="reasoning-llama3.2-1b-like",
+    vocab_size=128256,
+    d_model=2048,
+    n_layers=16,
+    n_q_heads=32,
+    n_kv_heads=8,
+    head_dim=64,
+    d_ff=8192,
+    attention=AttentionKind.GQA,
+    param_bytes=int(2.5 * GB),
+)
+
+
+def tiny_test_config(
+    attention: AttentionKind = AttentionKind.GQA,
+    n_layers: int = 4,
+    vocab_size: int = 512,
+) -> ModelConfig:
+    """A small functional config for unit tests and quick examples."""
+    n_q_heads = 8
+    if attention is AttentionKind.MHA:
+        n_kv_heads = n_q_heads
+    elif attention is AttentionKind.MQA:
+        n_kv_heads = 1
+    elif attention is AttentionKind.MLA:
+        n_kv_heads = n_q_heads
+    else:
+        n_kv_heads = 4
+    # d_model = 3*head_dim + 1: the circuit builder's residual layout
+    # (content / previous-token / answer subspaces plus a constant dim).
+    head_dim = 64
+    d_model = 3 * head_dim + 1
+    return ModelConfig(
+        name=f"tiny-{attention.value}",
+        vocab_size=vocab_size,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_q_heads=n_q_heads,
+        n_kv_heads=n_kv_heads,
+        head_dim=head_dim,
+        d_ff=256,
+        attention=attention,
+        mla_latent_dim=d_model if attention is AttentionKind.MLA else 0,
+        max_position=16384,
+        use_norm=False,
+    )

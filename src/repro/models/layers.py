@@ -1,0 +1,61 @@
+"""Decoder layer: (norm ->) attention + residual, (norm ->) SwiGLU FFN + residual."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache
+from repro.models.attention import AttentionModule
+from repro.models.config import ModelConfig
+from repro.models.weights import LayerWeights
+from repro.tensor.ops import linear, rms_norm, silu
+from repro.tensor.rope import RotaryEmbedding
+
+
+class DecoderLayer:
+    """One transformer decoder block."""
+
+    def __init__(self, config: ModelConfig, weights: LayerWeights, rope: RotaryEmbedding):
+        self.config = config
+        self.weights = weights
+        self.attention = AttentionModule(config, weights, rope)
+
+    def _pre_attn(self, x: np.ndarray) -> np.ndarray:
+        if self.config.use_norm:
+            return rms_norm(x, self.weights.norm_attn)
+        return x
+
+    def _ffn(self, x: np.ndarray) -> np.ndarray:
+        h = x
+        if self.config.use_norm:
+            h = rms_norm(h, self.weights.norm_ffn)
+        gate = silu(linear(h, self.weights.w_gate))
+        up = linear(h, self.weights.w_up)
+        return linear(gate * up, self.weights.w_down)
+
+    def prefill(self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+        """Process a prompt chunk; ``x`` is (seq, d_model)."""
+        attn_out = self.attention.prefill(self._pre_attn(x), positions, cache)
+        x = x + attn_out
+        return x + self._ffn(x)
+
+    def decode(
+        self,
+        x: np.ndarray,
+        position: int,
+        cache: LayerKVCache,
+        selection: np.ndarray | None = None,
+        capture_weights: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Process one decode token; ``x`` is (d_model,).
+
+        The token's KV entry is appended before attention so the token can
+        attend to itself (and so selection indices cover it).
+        """
+        h = self._pre_attn(x)
+        self.attention.append_token(h, position, cache)
+        attn_out, weights = self.attention.decode(
+            h, position, cache, selection=selection, capture_weights=capture_weights
+        )
+        x = x + attn_out
+        return x + self._ffn(x), weights

@@ -1,0 +1,230 @@
+"""The decoder-only LM engine: prefill, decode, generation, selection hooks.
+
+``TransformerLM.generate`` accepts an optional *selection policy* — the
+object that decides which KV entries each decode step attends to. Policies
+come from :mod:`repro.retrieval` (layer-wise baselines: Quest, ClusterKV,
+ShadowKV, StreamingLLM, H2O) or :mod:`repro.core` (SpeContext's retrieval
+head, which selects once per step *before* the forward pass). A ``None``
+policy is full attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+from repro.models.config import AttentionKind, ModelConfig
+from repro.models.layers import DecoderLayer
+from repro.models.weights import ModelWeights
+from repro.tensor.ops import rms_norm, softmax
+from repro.tensor.rope import RotaryEmbedding, YarnConfig
+
+
+class SelectionPolicy(Protocol):
+    """Decides the attended KV subset at each decode step.
+
+    ``begin_generation`` is called once after prefill. ``pre_step`` runs
+    before the forward pass of each decode step (SpeContext does its global
+    retrieval here). ``select`` runs per layer and returns token indices
+    (1-D shared, or 2-D per-KV-head) or None for full attention.
+    """
+
+    def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None: ...
+
+    def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None: ...
+
+    def select(
+        self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
+    ) -> np.ndarray | None: ...
+
+
+@dataclass
+class DecodeResult:
+    """Output of one generation run."""
+
+    prompt_len: int
+    token_ids: list[int]
+    stopped_by_eos: bool
+    selections: list[dict[int, np.ndarray]] = field(default_factory=list)
+    attention_trace: list[list[np.ndarray]] = field(default_factory=list)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.token_ids)
+
+
+class TransformerLM:
+    """Functional numpy transformer with KV cache and sparse-decode hooks."""
+
+    def __init__(self, weights: ModelWeights, yarn: YarnConfig | None = None):
+        self.weights = weights
+        self.config = weights.config
+        rope_dim = self.config.head_dim
+        self.rope = RotaryEmbedding(
+            dim=rope_dim,
+            max_position=self.config.max_position,
+            base=self.config.rope_base,
+            yarn=yarn,
+        )
+        self.layers = [
+            DecoderLayer(self.config, lw, self.rope) for lw in weights.layers
+        ]
+
+    # ---- cache management ----------------------------------------------------
+
+    def new_cache(self) -> ModelKVCache:
+        """Empty KV cache matching this model's geometry."""
+        cfg = self.config
+        if cfg.attention is AttentionKind.MLA:
+            return ModelKVCache(cfg.n_layers, 1, 1, cfg.mla_latent_dim)
+        return ModelKVCache(cfg.n_layers, 1, cfg.n_kv_heads, cfg.head_dim)
+
+    # ---- forward passes --------------------------------------------------------
+
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        """Token embeddings, shape (seq, d_model)."""
+        return self.weights.embedding[np.asarray(token_ids)]
+
+    def logits_from_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Final norm + LM head."""
+        if self.config.use_norm:
+            hidden = rms_norm(hidden, self.weights.norm_final)
+        return hidden @ self.weights.head_matrix().T
+
+    def prefill(self, token_ids: np.ndarray, cache: ModelKVCache) -> np.ndarray:
+        """Run the prompt through all layers; returns last-token logits."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1 or token_ids.size == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        start = cache.seq_len
+        positions = np.arange(start, start + token_ids.size)
+        x = self.embed(token_ids)
+        for i, layer in enumerate(self.layers):
+            x = layer.prefill(x, positions, cache[i])
+        return self.logits_from_hidden(x[-1])
+
+    def decode_step(
+        self,
+        token_id: int,
+        cache: ModelKVCache,
+        policy: SelectionPolicy | None = None,
+        capture_attention: bool = False,
+    ) -> tuple[np.ndarray, dict[int, np.ndarray], list[np.ndarray]]:
+        """One autoregressive step.
+
+        Returns (logits, selections_used, attention_weights). The current
+        token's index is always unioned into 1-D selections (the paper keeps
+        the just-generated KV pair resident).
+        """
+        position = cache.seq_len  # index this token will occupy
+        x = self.embed(np.array([token_id]))[0]
+        selections: dict[int, np.ndarray] = {}
+        attn_weights: list[np.ndarray] = []
+        for i, layer in enumerate(self.layers):
+            selection = None
+            if policy is not None:
+                selection = policy.select(i, x, position, cache[i])
+            if selection is not None:
+                selection = self._ensure_current(selection, position)
+                selections[i] = selection
+            x, weights = layer.decode(
+                x, position, cache[i], selection=selection,
+                capture_weights=capture_attention,
+            )
+            if capture_attention:
+                attn_weights.append(weights)
+        return self.logits_from_hidden(x), selections, attn_weights
+
+    @staticmethod
+    def _ensure_current(selection: np.ndarray, position: int) -> np.ndarray:
+        """Union the current token's index into the selection."""
+        selection = np.asarray(selection)
+        if selection.ndim == 1:
+            if position not in selection:
+                selection = np.append(selection, position)
+            return selection
+        if np.all(np.any(selection == position, axis=1)):
+            return selection
+        extra = np.full((selection.shape[0], 1), position, dtype=selection.dtype)
+        return np.concatenate([selection, extra], axis=1)
+
+    # ---- generation -----------------------------------------------------------
+
+    def generate(
+        self,
+        prompt_ids: np.ndarray,
+        max_new_tokens: int,
+        policy: SelectionPolicy | None = None,
+        stop_ids: tuple[int, ...] = (),
+        temperature: float = 0.0,
+        rng: np.random.Generator | None = None,
+        capture_attention: bool = False,
+        cache: ModelKVCache | None = None,
+        sparse_from_first_token: bool = False,
+    ) -> DecodeResult:
+        """Prefill then autoregressively decode up to ``max_new_tokens``.
+
+        ``temperature == 0`` is greedy; otherwise softmax sampling with
+        ``rng`` (required). ``stop_ids`` terminate generation after being
+        emitted.
+
+        ``sparse_from_first_token``: prefill only ``prompt[:-1]`` and decode
+        the final prompt token as the first (policy-governed) decode step, so
+        KV selection affects every generated token. This mirrors SpeContext's
+        flow, where retrieval happens before the LLM forward pass; the
+        default (False) matches HuggingFace semantics where the first
+        generated token comes from full-attention prefill logits.
+        """
+        if temperature > 0 and rng is None:
+            raise ValueError("temperature sampling requires an rng")
+        prompt_ids = np.asarray(prompt_ids)
+        if prompt_ids.ndim != 1 or prompt_ids.size == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        if cache is None:
+            cache = self.new_cache()
+
+        result = DecodeResult(prompt_len=int(prompt_ids.size), token_ids=[], stopped_by_eos=False)
+        use_sparse_first = sparse_from_first_token and prompt_ids.size >= 2
+        if use_sparse_first:
+            self.prefill(prompt_ids[:-1], cache)
+            if policy is not None:
+                policy.begin_generation(prompt_ids[:-1], cache)
+            pending: int | None = int(prompt_ids[-1])
+            prefill_token: int | None = None
+        else:
+            logits = self.prefill(prompt_ids, cache)
+            if policy is not None:
+                policy.begin_generation(prompt_ids, cache)
+            pending = None
+            prefill_token = self._sample(logits, temperature, rng)
+
+        for step in range(max_new_tokens):
+            if step == 0 and prefill_token is not None:
+                token = prefill_token
+            else:
+                if policy is not None:
+                    policy.pre_step(step, int(pending), cache)
+                logits, selections, attn = self.decode_step(
+                    int(pending), cache, policy=policy,
+                    capture_attention=capture_attention,
+                )
+                result.selections.append(selections)
+                if capture_attention:
+                    result.attention_trace.append(attn)
+                token = self._sample(logits, temperature, rng)
+            result.token_ids.append(int(token))
+            if int(token) in stop_ids:
+                result.stopped_by_eos = True
+                break
+            pending = int(token)
+        return result
+
+    @staticmethod
+    def _sample(logits: np.ndarray, temperature: float, rng: np.random.Generator | None) -> int:
+        if temperature <= 0:
+            return int(np.argmax(logits))
+        probs = softmax(logits / temperature)
+        return int(rng.choice(probs.size, p=probs))

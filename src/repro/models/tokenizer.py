@@ -1,0 +1,126 @@
+"""Deterministic synthetic tokenizer.
+
+The workloads are synthetic, so the tokenizer defines its own closed
+vocabulary: special control tokens, a pool of *content* words (entity/value
+tokens the recall circuits operate on) and *filler* words (distractor prose).
+Encoding is whitespace word-level and fully reversible, which keeps metric
+computation (F1 over answer tokens) exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SPECIAL_TOKENS = ("<pad>", "<bos>", "<eos>", "<unk>", "<sep>", "<q>", "<a>", "<doc>")
+
+
+class SyntheticTokenizer:
+    """Closed-vocabulary word-level tokenizer.
+
+    The vocabulary layout is: special tokens, then ``n_content`` content
+    words (``ent0000``...), then filler words (``w0000``...) up to
+    ``vocab_size``.
+    """
+
+    def __init__(self, vocab_size: int = 512, n_content: int | None = None):
+        if vocab_size < len(SPECIAL_TOKENS) + 8:
+            raise ValueError(f"vocab_size {vocab_size} too small")
+        self.vocab_size = vocab_size
+        if n_content is None:
+            n_content = (vocab_size - len(SPECIAL_TOKENS)) // 2
+        self.n_content = n_content
+        n_filler = vocab_size - len(SPECIAL_TOKENS) - n_content
+        if n_filler < 1:
+            raise ValueError("no room for filler words; reduce n_content")
+        self.n_filler = n_filler
+
+        words = list(SPECIAL_TOKENS)
+        words.extend(f"ent{i:04d}" for i in range(n_content))
+        words.extend(f"w{i:04d}" for i in range(n_filler))
+        self._id_to_word = words
+        self._word_to_id = {w: i for i, w in enumerate(words)}
+
+    # ---- special token ids -------------------------------------------------
+
+    @property
+    def pad_id(self) -> int:
+        return self._word_to_id["<pad>"]
+
+    @property
+    def bos_id(self) -> int:
+        return self._word_to_id["<bos>"]
+
+    @property
+    def eos_id(self) -> int:
+        return self._word_to_id["<eos>"]
+
+    @property
+    def unk_id(self) -> int:
+        return self._word_to_id["<unk>"]
+
+    @property
+    def sep_id(self) -> int:
+        return self._word_to_id["<sep>"]
+
+    @property
+    def question_id(self) -> int:
+        return self._word_to_id["<q>"]
+
+    @property
+    def answer_id(self) -> int:
+        return self._word_to_id["<a>"]
+
+    @property
+    def doc_id(self) -> int:
+        return self._word_to_id["<doc>"]
+
+    # ---- word pools ---------------------------------------------------------
+
+    def content_id(self, index: int) -> int:
+        """Id of the ``index``-th content word."""
+        if index < 0 or index >= self.n_content:
+            raise IndexError(f"content index {index} out of range [0, {self.n_content})")
+        return len(SPECIAL_TOKENS) + index
+
+    def filler_id(self, index: int) -> int:
+        """Id of the ``index``-th filler word."""
+        if index < 0 or index >= self.n_filler:
+            raise IndexError(f"filler index {index} out of range [0, {self.n_filler})")
+        return len(SPECIAL_TOKENS) + self.n_content + index
+
+    def is_content(self, token_id: int) -> bool:
+        """True if the id belongs to the content-word pool."""
+        return len(SPECIAL_TOKENS) <= token_id < len(SPECIAL_TOKENS) + self.n_content
+
+    def random_content_ids(self, rng: np.random.Generator, n: int, replace: bool = False) -> np.ndarray:
+        """Sample content-word ids."""
+        picks = rng.choice(self.n_content, size=n, replace=replace)
+        return np.array([self.content_id(int(i)) for i in np.atleast_1d(picks)])
+
+    def random_filler_ids(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Sample filler-word ids (with replacement; prose repeats words)."""
+        picks = rng.integers(0, self.n_filler, size=n)
+        return np.array([self.filler_id(int(i)) for i in picks])
+
+    # ---- encode/decode ------------------------------------------------------
+
+    def encode(self, text: str) -> list[int]:
+        """Whitespace tokenize; unknown words map to <unk>."""
+        return [self._word_to_id.get(w, self.unk_id) for w in text.split()]
+
+    def decode(self, ids) -> str:
+        """Join token ids back into a whitespace-separated string."""
+        out = []
+        for i in ids:
+            i = int(i)
+            if i < 0 or i >= self.vocab_size:
+                raise ValueError(f"token id {i} outside vocabulary of {self.vocab_size}")
+            out.append(self._id_to_word[i])
+        return " ".join(out)
+
+    def word(self, token_id: int) -> str:
+        """Single-token decode."""
+        return self._id_to_word[int(token_id)]
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,194 @@
+"""Weight containers, random initialization and npz persistence.
+
+Weights are plain numpy arrays in float32, laid out in the torch.nn.Linear
+convention (out_features, in_features). ``LayerWeights`` carries two extra
+construction fields the analytic circuit builder needs: a per-query-head RoPE
+mask (content-matching heads run NoPE) and a RoPE key offset (a previous-token
+head pre-rotates keys by +1 position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.config import AttentionKind, ModelConfig
+
+DTYPE = np.float32
+
+
+@dataclass
+class LayerWeights:
+    """Parameters of one decoder layer."""
+
+    wq: np.ndarray  # (n_q_heads*head_dim, d_model)
+    wk: np.ndarray | None  # (n_kv_heads*head_dim, d_model); None for MLA
+    wv: np.ndarray | None  # like wk; None for MLA
+    wo: np.ndarray  # (d_model, n_q_heads*head_dim)
+    w_gate: np.ndarray  # (d_ff, d_model)
+    w_up: np.ndarray  # (d_ff, d_model)
+    w_down: np.ndarray  # (d_model, d_ff)
+    norm_attn: np.ndarray  # (d_model,)
+    norm_ffn: np.ndarray  # (d_model,)
+    bq: np.ndarray | None = None  # (n_q_heads*head_dim,)
+    bk: np.ndarray | None = None  # (n_kv_heads*head_dim,)
+    # MLA-only projections:
+    w_dkv: np.ndarray | None = None  # (latent, d_model)
+    w_uk: np.ndarray | None = None  # (n_q_heads*head_dim, latent)
+    w_uv: np.ndarray | None = None  # (n_q_heads*head_dim, latent)
+    # Circuit-construction extras:
+    rope_mask: np.ndarray | None = None  # (n_q_heads,) bool; None = all True
+    rope_key_offset: int = 0
+
+    def attention_parameters(self) -> int:
+        """Number of attention parameters in this layer."""
+        total = self.wq.size + self.wo.size
+        for w in (self.wk, self.wv, self.w_dkv, self.w_uk, self.w_uv, self.bq, self.bk):
+            if w is not None:
+                total += w.size
+        return total
+
+    def parameters(self) -> int:
+        """Total parameter count of the layer."""
+        return (
+            self.attention_parameters()
+            + self.w_gate.size
+            + self.w_up.size
+            + self.w_down.size
+            + self.norm_attn.size
+            + self.norm_ffn.size
+        )
+
+
+@dataclass
+class ModelWeights:
+    """Full model parameters: embedding, layers, final norm, LM head."""
+
+    config: ModelConfig
+    embedding: np.ndarray  # (vocab, d_model)
+    layers: list[LayerWeights]
+    norm_final: np.ndarray  # (d_model,)
+    lm_head: np.ndarray | None = None  # (vocab, d_model); None when tied
+
+    def head_matrix(self) -> np.ndarray:
+        """The output projection actually used for logits."""
+        return self.embedding if self.lm_head is None else self.lm_head
+
+    def parameters(self) -> int:
+        """Total parameter count."""
+        total = self.embedding.size + self.norm_final.size
+        total += sum(layer.parameters() for layer in self.layers)
+        if self.lm_head is not None:
+            total += self.lm_head.size
+        return total
+
+    def save(self, path: str) -> None:
+        """Persist all arrays to an .npz file."""
+        arrays: dict[str, np.ndarray] = {
+            "embedding": self.embedding,
+            "norm_final": self.norm_final,
+        }
+        if self.lm_head is not None:
+            arrays["lm_head"] = self.lm_head
+        for i, layer in enumerate(self.layers):
+            for name in (
+                "wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down",
+                "norm_attn", "norm_ffn", "bq", "bk", "w_dkv", "w_uk", "w_uv",
+                "rope_mask",
+            ):
+                value = getattr(layer, name)
+                if value is not None:
+                    arrays[f"layer{i}.{name}"] = value
+            arrays[f"layer{i}.rope_key_offset"] = np.array(layer.rope_key_offset)
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str, config: ModelConfig) -> "ModelWeights":
+        """Load arrays saved by :meth:`save`."""
+        data = np.load(path)
+        layers = []
+        for i in range(config.n_layers):
+            def get(name: str) -> np.ndarray | None:
+                key = f"layer{i}.{name}"
+                return data[key] if key in data else None
+
+            layers.append(
+                LayerWeights(
+                    wq=get("wq"),
+                    wk=get("wk"),
+                    wv=get("wv"),
+                    wo=get("wo"),
+                    w_gate=get("w_gate"),
+                    w_up=get("w_up"),
+                    w_down=get("w_down"),
+                    norm_attn=get("norm_attn"),
+                    norm_ffn=get("norm_ffn"),
+                    bq=get("bq"),
+                    bk=get("bk"),
+                    w_dkv=get("w_dkv"),
+                    w_uk=get("w_uk"),
+                    w_uv=get("w_uv"),
+                    rope_mask=get("rope_mask"),
+                    rope_key_offset=int(data[f"layer{i}.rope_key_offset"]),
+                )
+            )
+        return cls(
+            config=config,
+            embedding=data["embedding"],
+            layers=layers,
+            norm_final=data["norm_final"],
+            lm_head=data["lm_head"] if "lm_head" in data else None,
+        )
+
+
+def random_weights(config: ModelConfig, rng: np.random.Generator) -> ModelWeights:
+    """Gaussian-initialized weights (scale 1/sqrt(fan_in)), for trainer tests."""
+
+    def init(out_f: int, in_f: int) -> np.ndarray:
+        return (rng.standard_normal((out_f, in_f)) / np.sqrt(in_f)).astype(DTYPE)
+
+    d = config.d_model
+    qd = config.n_q_heads * config.head_dim
+    kvd = config.n_kv_heads * config.head_dim
+    layers = []
+    for _ in range(config.n_layers):
+        if config.attention is AttentionKind.MLA:
+            latent = config.mla_latent_dim
+            layers.append(
+                LayerWeights(
+                    wq=init(qd, d),
+                    wk=None,
+                    wv=None,
+                    wo=init(d, qd),
+                    w_gate=init(config.d_ff, d),
+                    w_up=init(config.d_ff, d),
+                    w_down=init(d, config.d_ff),
+                    norm_attn=np.ones(d, dtype=DTYPE),
+                    norm_ffn=np.ones(d, dtype=DTYPE),
+                    w_dkv=init(latent, d),
+                    w_uk=init(qd, latent),
+                    w_uv=init(qd, latent),
+                )
+            )
+        else:
+            layers.append(
+                LayerWeights(
+                    wq=init(qd, d),
+                    wk=init(kvd, d),
+                    wv=init(kvd, d),
+                    wo=init(d, qd),
+                    w_gate=init(config.d_ff, d),
+                    w_up=init(config.d_ff, d),
+                    w_down=init(d, config.d_ff),
+                    norm_attn=np.ones(d, dtype=DTYPE),
+                    norm_ffn=np.ones(d, dtype=DTYPE),
+                )
+            )
+    return ModelWeights(
+        config=config,
+        embedding=(rng.standard_normal((config.vocab_size, d)) / np.sqrt(d)).astype(DTYPE),
+        layers=layers,
+        norm_final=np.ones(d, dtype=DTYPE),
+        lm_head=None if config.tie_lm_head else init(config.vocab_size, d),
+    )

@@ -1,0 +1,565 @@
+"""End-to-end performance simulation of inference engines at paper scale.
+
+Combines four substrates into per-step latencies and end-to-end throughput
+for any (:class:`EngineSpec`, model, hardware, workload) combination:
+
+- :class:`repro.hardware.timing.LatencyModel` — roofline costs of GEMMs,
+  attention and PCIe transfers;
+- :class:`repro.core.prefetch.AsyncPrefetcher` — the Figure-7 stream
+  schedules (sequential fetch, overlapped prefetch, elastic prefetch);
+- :class:`repro.core.memory_model.MemoryModel` — Eq. 6-8 placement;
+- the engine's declarative behaviour from :mod:`repro.perf.engines`.
+
+Decode latency in long-context inference is dominated by three terms the
+simulator models explicitly: reading the model weights once per step
+(memory-bound), reading the attended KV cache (what sparsity shrinks), and
+moving offloaded KV over PCIe (what elastic loading shrinks and overlap
+hides). Framework dispatch overhead is the fourth, smaller term that
+separates Hugging Face from compiled engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.memory_model import KV_COEFF, RUNTIME_OVERHEAD, MemoryModel
+from repro.core.prefetch import AsyncPrefetcher, DataflowKind, StepTimings
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.timing import BYTES_PER_VALUE, LatencyModel, OpCost
+from repro.models.config import ModelConfig
+from repro.perf.engines import (
+    EngineSpec,
+    OffloadPolicy,
+    PreprocessKind,
+    RetrievalKind,
+)
+
+# The retrieval head's weights: ~0.03B parameters at FP16 (paper Sec. 7.4
+# reports ~60MB for Llama3-8B / Qwen3-8B scale teachers).
+RETRIEVAL_HEAD_BYTES = 60 * 10**6
+
+# Mean adjacent-step selection overlap (Fig. 6b measures >80%); elastic
+# loading transfers only the complement.
+DEFAULT_OVERLAP = 0.8
+
+# KV-cache preprocessing cost, expressed as passes over the key cache.
+PREPROCESS_PASSES = {
+    PreprocessKind.NONE: 0.0,
+    PreprocessKind.PAGING: 1.0,  # one min/max scan
+    PreprocessKind.CLUSTERING: 30.0,  # k-means iterations over all keys
+    PreprocessKind.QUANTIZATION: 6.0,  # calibration + pack + SVD-style pass
+}
+
+# Candidate-pool compression of each retrieval scheme (Sec. 3.1): Quest
+# scores one vector pair per 16-token page, ClusterKV one centroid per
+# ~80-token cluster, ShadowKV every key at 4-bit.
+PAGE_SIZE = 16
+CLUSTER_COMPRESSION = 80
+QUANTIZED_KEY_BYTES = 0.5
+
+# ShadowKV keeps an on-GPU cache of recently fetched V chunks. When the
+# scored prompt pool fits inside the budget the selection is static across
+# steps and the cache hits most fetches; once the pool exceeds the budget
+# the selection churns and (lacking elastic diffing) every step re-fetches.
+# Newly generated tokens' V lands in contiguous recent chunks with high
+# cache locality.
+SHADOWKV_CHUNK_HIT = 0.6
+SHADOWKV_GENERATED_HIT = 0.95
+SHADOWKV_RECENT_WINDOW = 256  # full-precision KV kept for recent tokens
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (input length, output length, batch) evaluation point."""
+
+    in_len: int
+    out_len: int
+    batch: int = 1
+
+    @property
+    def label(self) -> str:
+        def k(n: int) -> str:
+            return f"{n // 1024}k" if n % 1024 == 0 and n >= 1024 else str(n)
+
+        return f"[{k(self.in_len)}, {k(self.out_len)}]"
+
+    @property
+    def final_len(self) -> int:
+        return self.in_len + self.out_len
+
+
+@dataclass(frozen=True)
+class StepSample:
+    """Timings of one sampled decode step."""
+
+    seq_len: int
+    attended: int
+    layers_on_gpu: int
+    timings: StepTimings
+
+
+@dataclass
+class GenerationTimeline:
+    """Resolved end-to-end run of one engine on one workload."""
+
+    engine: EngineSpec
+    workload: Workload
+    oom: bool = False
+    oom_reason: str = ""
+    prefill_s: float = 0.0
+    decode_s: float = 0.0
+    samples: list[StepSample] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.prefill_s + self.decode_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end throughput: generated tokens over total wall time."""
+        if self.oom or self.total_s <= 0:
+            return 0.0
+        return self.workload.batch * self.workload.out_len / self.total_s
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Decode-phase throughput (excludes prefill)."""
+        if self.oom or self.decode_s <= 0:
+            return 0.0
+        return self.workload.batch * self.workload.out_len / self.decode_s
+
+
+class PerfSimulator:
+    """Times engines on a (model, hardware) pair.
+
+    Args:
+        model: paper-scale architecture preset (timing-only; never
+            materialized).
+        spec: hardware platform.
+        budget: KV retrieval budget B (the paper evaluates at 2048).
+        overlap: adjacent-step selection overlap driving elastic loading.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        spec: HardwareSpec,
+        budget: int = 2048,
+        overlap: float = DEFAULT_OVERLAP,
+    ):
+        if not 0.0 <= overlap < 1.0:
+            raise ValueError(f"overlap must be in [0, 1), got {overlap}")
+        self.model = model
+        self.spec = spec
+        self.budget = budget
+        self.overlap = overlap
+        self.latency = LatencyModel(spec)
+        self.prefetcher = AsyncPrefetcher(spec)
+
+    # ---- memory accounting ----------------------------------------------------
+
+    def memory_model(self, engine: EngineSpec, batch: int) -> MemoryModel:
+        """Eq. 6-8 model for this engine (only SpeContext carries a DLM)."""
+        dlm = RETRIEVAL_HEAD_BYTES if engine.retrieval is RetrievalKind.HEAD else 0
+        return MemoryModel(
+            self.model, dlm, self.spec, requests=batch, budget=self.budget
+        )
+
+    def _weights_bytes(self, engine: EngineSpec) -> float:
+        dlm = RETRIEVAL_HEAD_BYTES if engine.retrieval is RetrievalKind.HEAD else 0
+        return RUNTIME_OVERHEAD * (self.model.parameter_bytes() + dlm)
+
+    def _kv_token_layer_bytes(self) -> int:
+        return self.model.kv_bytes_per_token_layer()
+
+    def _full_kv_bytes(self, seq_len: int, batch: int, layers: int | None = None) -> float:
+        layers = self.model.n_layers if layers is None else layers
+        # The +alpha repeat_kv buffer of Sec. 6.2 applies to GQA/MQA.
+        eff = layers + self.model.group_size
+        return KV_COEFF * batch * eff * seq_len * self.model.n_kv_heads * self.model.head_dim
+
+    def _eager_prefill_transient(self, engine: EngineSpec, in_len: int, batch: int) -> float:
+        """Materialized attention-score matrix of one prefill layer."""
+        return float(engine.attn_score_bytes) * batch * self.model.n_q_heads * in_len * in_len
+
+    def resident_bytes(
+        self,
+        engine: EngineSpec,
+        seq_len: int,
+        batch: int,
+        layers_on_gpu: int,
+        in_len: int | None = None,
+    ) -> float:
+        """Peak GPU bytes at ``seq_len`` under the given placement."""
+        total = self._weights_bytes(engine)
+        if engine.offload is OffloadPolicy.VALUE_CPU:
+            # Quantized K resident for the whole sequence; V lives on the
+            # CPU behind per-layer budget buffers, except a small window of
+            # recent tokens kept in full precision.
+            k_bytes = (
+                batch
+                * seq_len
+                * self.model.n_kv_heads
+                * self.model.head_dim
+                * QUANTIZED_KEY_BYTES
+                * self.model.n_layers
+            )
+            v_buffers = (
+                batch
+                * self.budget
+                * self.model.n_kv_heads
+                * self.model.head_dim
+                * BYTES_PER_VALUE
+                * self.model.n_layers
+            )
+            recent = self._full_kv_bytes(
+                min(SHADOWKV_RECENT_WINDOW, seq_len), batch
+            )
+            return total + k_bytes + v_buffers + recent
+        total += self._full_kv_bytes(seq_len, batch, layers=layers_on_gpu)
+        offloaded = self.model.n_layers - layers_on_gpu
+        if offloaded > 0:
+            total += (
+                KV_COEFF
+                * batch
+                * offloaded
+                * self.budget
+                * self.model.n_kv_heads
+                * self.model.head_dim
+            )
+        return total
+
+    # ---- placement --------------------------------------------------------------
+
+    def static_all_gpu(self, engine: EngineSpec, workload: Workload) -> bool:
+        """The Challenge-3 predetermined choice: all-GPU iff the *final*
+        length fits (a static system cannot adapt mid-run)."""
+        final = workload.final_len
+        return (
+            self.resident_bytes(engine, final, workload.batch, self.model.n_layers)
+            <= self.spec.gpu_memory_bytes
+        )
+
+    def placement(
+        self,
+        engine: EngineSpec,
+        seq_len: int,
+        batch: int,
+        static_all_gpu: bool,
+    ) -> int:
+        """Layers whose KV is GPU-resident at ``seq_len``."""
+        layers = self.model.n_layers
+        if engine.offload is OffloadPolicy.NEVER:
+            return layers
+        if engine.offload is OffloadPolicy.FULL_CPU:
+            return 0
+        if engine.offload is OffloadPolicy.VALUE_CPU:
+            return layers  # K resident; V-side handled in transfer bytes
+        if engine.offload is OffloadPolicy.STATIC:
+            return layers if static_all_gpu else 0
+        # ADAPTIVE: Eq. 8 placement.
+        mm = self.memory_model(engine, batch)
+        return max(mm.max_layers_on_gpu(seq_len), 0)
+
+    # ---- per-step cost assembly --------------------------------------------------
+
+    def attended_len(self, engine: EngineSpec, seq_len: int, in_len: int) -> int:
+        """KV entries each decode step attends over (Challenge 2)."""
+        if not engine.sparse:
+            return seq_len
+        generated = max(seq_len - in_len, 0)
+        if engine.retains_generated:
+            # Budget covers the preprocessed prompt; every generated KV
+            # pair is retained and attended in full.
+            return min(self.budget, in_len) + generated
+        return min(self.budget, seq_len)
+
+    def _layer_linear_cost(self, batch: int) -> OpCost:
+        """QKV/O projections + FFN of one layer for one decode step."""
+        cfg = self.model
+        per_layer_params = (cfg.parameter_bytes() // BYTES_PER_VALUE - cfg.vocab_size * cfg.d_model) / cfg.n_layers
+        flops = 2.0 * per_layer_params * batch
+        weight_bytes = per_layer_params * BYTES_PER_VALUE
+        act_bytes = batch * cfg.d_model * BYTES_PER_VALUE * 8  # residual traffic
+        return OpCost(flops=flops, gpu_bytes=weight_bytes + act_bytes, kernels=7)
+
+    def _layer_attention_cost(
+        self, engine: EngineSpec, attended: int, batch: int
+    ) -> OpCost:
+        cfg = self.model
+        cost = self.latency.attention_decode_cost(
+            batch, cfg.n_q_heads, cfg.n_kv_heads, cfg.head_dim, attended
+        )
+        if engine.attn_score_bytes:
+            # Eager writes then re-reads the fp32 score matrix.
+            extra = 2.0 * engine.attn_score_bytes * batch * cfg.n_q_heads * attended
+            cost = cost + OpCost(flops=0.0, gpu_bytes=extra, kernels=3)
+        if engine.reallocates_kv_cache:
+            # HF dynamic cache: `torch.cat` re-reads and re-writes the whole
+            # layer KV every step.
+            cat = 2.0 * batch * attended * self._kv_token_layer_bytes()
+            cost = cost + OpCost(flops=0.0, gpu_bytes=cat, kernels=2)
+        if engine.sparse:
+            # Gathering the selected KV pairs into a contiguous buffer for
+            # the sparse kernel (torch.gather: read + write).
+            gathered = min(self.budget, attended)
+            gather = 2.0 * batch * gathered * self._kv_token_layer_bytes()
+            cost = cost + OpCost(flops=0.0, gpu_bytes=gather, kernels=2)
+        return cost
+
+    def layer_compute_seconds(
+        self, engine: EngineSpec, attended: int, batch: int
+    ) -> float:
+        """Attention + projections + FFN + dispatch of one layer, one step."""
+        cost = self._layer_linear_cost(batch) + self._layer_attention_cost(
+            engine, attended, batch
+        )
+        return self.latency.op_seconds(cost) + engine.framework_overhead_per_layer_s
+
+    def retrieval_seconds_per_layer(
+        self, engine: EngineSpec, seq_len: int, in_len: int, batch: int
+    ) -> float:
+        """Per-layer retrieval op of the layer-wise baselines (Challenge 1)."""
+        cfg = self.model
+        pool = min(in_len, seq_len)  # baselines score the preprocessed prompt
+        if engine.retrieval is RetrievalKind.PAGE:
+            candidates = 2.0 * pool / PAGE_SIZE  # min & max page vectors
+            key_bytes = candidates * cfg.n_kv_heads * cfg.head_dim * BYTES_PER_VALUE
+        elif engine.retrieval is RetrievalKind.CLUSTER:
+            candidates = pool / CLUSTER_COMPRESSION
+            key_bytes = candidates * cfg.n_kv_heads * cfg.head_dim * BYTES_PER_VALUE
+        elif engine.retrieval is RetrievalKind.QUANTIZED:
+            candidates = float(pool)
+            key_bytes = candidates * cfg.n_kv_heads * cfg.head_dim * QUANTIZED_KEY_BYTES
+        else:
+            return 0.0
+        flops = 2.0 * batch * cfg.n_q_heads * cfg.head_dim * candidates
+        cost = OpCost(flops=flops, gpu_bytes=key_bytes * batch, kernels=3)
+        return self.latency.op_seconds(cost)
+
+    def retrieval_head_seconds(self, seq_len: int, batch: int) -> float:
+        """SpeContext's one pre-pass retrieval: QK projection + scoring the
+        head's full K cache + top-k (Sec. 4.3)."""
+        cfg = self.model
+        dc = cfg.head_dim
+        k_cache_bytes = batch * cfg.n_q_heads * seq_len * dc * BYTES_PER_VALUE
+        flops = 2.0 * batch * cfg.n_q_heads * dc * seq_len
+        cost = OpCost(flops=flops, gpu_bytes=k_cache_bytes, kernels=4)
+        return self.latency.op_seconds(cost)
+
+    def layer_transfer_bytes(
+        self,
+        engine: EngineSpec,
+        seq_len: int,
+        in_len: int,
+        batch: int,
+        layers_on_gpu: int,
+    ) -> list[float]:
+        """Host->device KV bytes each layer needs this step."""
+        cfg = self.model
+        attended = self.attended_len(engine, seq_len, in_len)
+        kv_tok = self._kv_token_layer_bytes()
+        layers = cfg.n_layers
+        per_layer = [0.0] * layers
+
+        if engine.offload is OffloadPolicy.VALUE_CPU:
+            # V of the tokens selected from the prompt pool plus retained
+            # generated tokens, every layer, minus chunk-cache hits.
+            prompt_sel = float(min(self.budget, in_len))
+            if in_len <= self.budget:
+                prompt_sel *= 1.0 - SHADOWKV_CHUNK_HIT
+            generated = max(seq_len - in_len, 0)
+            gen_fetch = generated * (1.0 - SHADOWKV_GENERATED_HIT)
+            v_bytes = (prompt_sel + gen_fetch) * (kv_tok / 2) * batch
+            return [v_bytes] * layers
+
+        offloaded = layers - layers_on_gpu
+        if offloaded <= 0:
+            return per_layer
+
+        if engine.sparse:
+            tokens = min(self.budget, attended)
+            if engine.elastic:
+                tokens = tokens * (1.0 - self.overlap)
+            moved = tokens * kv_tok * batch
+        else:
+            moved = attended * kv_tok * batch
+        # Offloaded layers are the trailing ones (Algorithm 2).
+        for i in range(layers_on_gpu, layers):
+            per_layer[i] = moved
+        return per_layer
+
+    def decode_step(
+        self,
+        engine: EngineSpec,
+        seq_len: int,
+        in_len: int,
+        batch: int,
+        static_all_gpu: bool = True,
+    ) -> StepSample:
+        """Resolve one decode step's stream schedule at ``seq_len``."""
+        attended = self.attended_len(engine, seq_len, in_len)
+        layers_on_gpu = self.placement(engine, seq_len, batch, static_all_gpu)
+        compute = [
+            self.layer_compute_seconds(engine, attended, batch)
+        ] * self.model.n_layers
+        transfer = self.layer_transfer_bytes(
+            engine, seq_len, in_len, batch, layers_on_gpu
+        )
+
+        dataflow = engine.dataflow
+
+        pre_s = 0.0
+        per_layer_retrieval = 0.0
+        if engine.retrieval is RetrievalKind.HEAD:
+            pre_s = self.retrieval_head_seconds(seq_len, batch)
+        else:
+            per_layer_retrieval = self.retrieval_seconds_per_layer(
+                engine, seq_len, in_len, batch
+            )
+
+        timings = self.prefetcher.step_timings(
+            dataflow,
+            compute,
+            transfer,
+            retrieval_s_per_layer=per_layer_retrieval,
+            pre_retrieval_s=pre_s,
+        )
+        return StepSample(
+            seq_len=seq_len,
+            attended=attended,
+            layers_on_gpu=layers_on_gpu,
+            timings=timings,
+        )
+
+    # ---- prefill ------------------------------------------------------------------
+
+    def prefill_seconds(
+        self, engine: EngineSpec, workload: Workload, layers_on_gpu: int
+    ) -> float:
+        """Prompt processing: compute + preprocessing + offload writeback."""
+        cfg = self.model
+        in_len, batch = workload.in_len, workload.batch
+        params = cfg.parameter_bytes() / BYTES_PER_VALUE
+        flops = 2.0 * params * batch * in_len
+        flops += 4.0 * batch * cfg.n_q_heads * cfg.head_dim * float(in_len) ** 2
+        weight_bytes = cfg.parameter_bytes()
+        score_bytes = (
+            2.0 * self._eager_prefill_transient(engine, in_len, batch) * cfg.n_layers
+        )
+        cost = OpCost(
+            flops=flops,
+            gpu_bytes=weight_bytes + score_bytes,
+            kernels=cfg.n_layers * 8,
+        )
+        seconds = self.latency.op_seconds(cost)
+        seconds += engine.framework_overhead_per_layer_s * cfg.n_layers
+
+        # KV preprocessing (Quest paging / ClusterKV clustering / ShadowKV
+        # quantization) scans the key cache repeatedly.
+        passes = PREPROCESS_PASSES[engine.preprocess]
+        if passes:
+            k_bytes = batch * in_len * cfg.n_kv_heads * cfg.head_dim * BYTES_PER_VALUE
+            scan = OpCost(flops=2.0 * passes * k_bytes, gpu_bytes=passes * k_bytes * cfg.n_layers)
+            seconds += self.latency.op_seconds(scan)
+
+        # Writing offloaded layers' prompt KV back to the host.
+        offloaded = cfg.n_layers - layers_on_gpu
+        if engine.offload is OffloadPolicy.VALUE_CPU:
+            d2h = batch * in_len * (self._kv_token_layer_bytes() / 2) * cfg.n_layers
+            seconds += self.latency.transfer_seconds(d2h)
+        elif offloaded > 0:
+            d2h = batch * in_len * self._kv_token_layer_bytes() * offloaded
+            seconds += self.latency.transfer_seconds(d2h)
+        return seconds
+
+    # ---- OOM -----------------------------------------------------------------------
+
+    def oom_reason(self, engine: EngineSpec, workload: Workload) -> str:
+        """Non-empty string when the run cannot fit in GPU memory."""
+        batch = workload.batch
+        mem = self.spec.gpu_memory_bytes
+        transient = self._eager_prefill_transient(engine, workload.in_len, batch)
+        static = self.static_all_gpu(engine, workload)
+        final = workload.final_len
+
+        placement_final = self.placement(engine, final, batch, static)
+        resident = self.resident_bytes(
+            engine, final, batch, placement_final, in_len=workload.in_len
+        )
+        if engine.offload in (OffloadPolicy.NEVER,):
+            if resident + 0.0 > mem:
+                return (
+                    f"KV cache at {final} tokens x{batch} needs "
+                    f"{resident / 1e9:.1f}GB of {mem / 1e9:.0f}GB"
+                )
+        if resident > mem:
+            return (
+                f"resident {resident / 1e9:.1f}GB exceeds {mem / 1e9:.0f}GB "
+                f"even with offloading"
+            )
+        prefill_resident = self.resident_bytes(
+            engine,
+            workload.in_len,
+            batch,
+            self.placement(engine, workload.in_len, batch, static),
+            in_len=workload.in_len,
+        )
+        if prefill_resident + transient > mem:
+            return (
+                f"prefill attention scores need {transient / 1e9:.1f}GB transient "
+                f"on top of {prefill_resident / 1e9:.1f}GB resident"
+            )
+        return ""
+
+    # ---- end-to-end ----------------------------------------------------------------
+
+    def simulate(
+        self, engine: EngineSpec, workload: Workload, n_samples: int = 48
+    ) -> GenerationTimeline:
+        """Full run: prefill + ``out_len`` decode steps (sampled + integrated).
+
+        Decode cost varies smoothly with sequence length (piecewise under
+        placement changes), so the simulator evaluates ``n_samples`` evenly
+        spaced steps and integrates with the trapezoid rule — exact for the
+        linear segments that dominate.
+        """
+        timeline = GenerationTimeline(engine=engine, workload=workload)
+        reason = self.oom_reason(engine, workload)
+        if reason:
+            timeline.oom = True
+            timeline.oom_reason = reason
+            return timeline
+
+        static = self.static_all_gpu(engine, workload)
+        first_placement = self.placement(
+            engine, workload.in_len, workload.batch, static
+        )
+        timeline.prefill_s = self.prefill_seconds(engine, workload, first_placement)
+
+        out = workload.out_len
+        n = max(2, min(n_samples, out))
+        sample_steps = sorted({
+            int(round(1 + (out - 1) * i / (n - 1))) for i in range(n)
+        })
+        samples = [
+            self.decode_step(
+                engine,
+                workload.in_len + step,
+                workload.in_len,
+                workload.batch,
+                static_all_gpu=static,
+            )
+            for step in sample_steps
+        ]
+        timeline.samples = samples
+
+        total = 0.0
+        for left, right, s_left, s_right in zip(
+            sample_steps, sample_steps[1:], samples, samples[1:]
+        ):
+            width = right - left
+            total += 0.5 * (s_left.timings.total_s + s_right.timings.total_s) * width
+        total += samples[0].timings.total_s  # the first step itself
+        timeline.decode_s = total
+        return timeline

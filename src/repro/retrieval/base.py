@@ -1,0 +1,121 @@
+"""Common machinery for budgeted KV-selection policies.
+
+``BudgetedPolicy`` handles the lifecycle shared by all dynamic-selection
+baselines: remembering the prompt boundary at ``begin_generation``, running
+subclass preprocessing over the prompt cache, combining the per-head prompt
+selection with the always-retained generated tokens, and recording selection
+history for the overlap/transfer analyses (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+from repro.models.config import AttentionKind
+from repro.models.llm import TransformerLM
+
+
+@dataclass
+class RetrievalRecord:
+    """Bookkeeping of what a policy selected, for analysis experiments."""
+
+    # selection_history[step][layer] -> flat np.ndarray of token indices
+    selection_history: list[dict[int, np.ndarray]] = field(default_factory=list)
+    retrieval_ops: int = 0  # score multiply-accumulate count (Eq. 3 analog)
+
+    def layer_selections(self, layer: int) -> list[np.ndarray]:
+        """Selection of one layer across steps (for adjacent-step overlap)."""
+        return [step[layer] for step in self.selection_history if layer in step]
+
+
+class BudgetedPolicy:
+    """Base class for per-layer dynamic selection with a token budget.
+
+    Subclasses implement ``_prepare(cache)`` (preprocessing after prefill)
+    and ``_select_prompt(layer, queries, cache)`` returning per-head indices
+    into the *prompt* region, shaped (n_sel_heads, budget).
+
+    ``retain_generated=True`` reproduces the baselines' Challenge-2
+    behaviour: tokens generated during decode are always attended and are
+    never candidates for eviction.
+    """
+
+    def __init__(self, model: TransformerLM, budget: int, retain_generated: bool = True):
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.model = model
+        self.config = model.config
+        self.budget = budget
+        self.retain_generated = retain_generated
+        self.prompt_len = 0
+        self.record = RetrievalRecord()
+        self._step_log: dict[int, np.ndarray] = {}
+        if self.config.attention is AttentionKind.MLA and not self.supports_mla():
+            raise NotImplementedError(
+                f"{type(self).__name__} operates on the K cache and does not "
+                "support MLA latent caches (matches the paper's 'None Support' "
+                "entries); use SpeContext's retrieval head instead"
+            )
+
+    # ---- protocol ------------------------------------------------------------
+
+    def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
+        """Capture the prompt boundary and run subclass preprocessing."""
+        self.prompt_len = cache.seq_len
+        self._prepare(cache)
+
+    def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
+        if self._step_log:
+            self.record.selection_history.append(self._step_log)
+            self._step_log = {}
+
+    def select(
+        self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
+    ) -> np.ndarray | None:
+        """Per-layer selection: budgeted prompt tokens + retained new tokens."""
+        prompt_candidates = min(self.prompt_len, len(cache))
+        if prompt_candidates <= self.budget:
+            return None  # the whole prompt fits in the budget: full attention
+        queries = self.model.layers[layer].attention.selection_queries(hidden, position)
+        prompt_sel = self._select_prompt(layer, queries, cache)
+        prompt_sel = np.asarray(prompt_sel)
+        if prompt_sel.ndim == 1:
+            prompt_sel = np.broadcast_to(prompt_sel, (queries.shape[0], prompt_sel.shape[0]))
+        selection = self._append_generated(prompt_sel, len(cache))
+        self._step_log[layer] = np.unique(selection)
+        return selection
+
+    # ---- subclass hooks --------------------------------------------------------
+
+    def supports_mla(self) -> bool:
+        """Whether the policy can score an MLA latent cache."""
+        return False
+
+    def _prepare(self, cache: ModelKVCache) -> None:
+        """Preprocess the prompt KV cache (paging/clustering/quantization)."""
+
+    def _select_prompt(
+        self, layer: int, queries: np.ndarray, cache: LayerKVCache
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # ---- helpers ---------------------------------------------------------------
+
+    def _append_generated(self, prompt_sel: np.ndarray, cache_len: int) -> np.ndarray:
+        """Union the retained decode-phase tokens into every head's set."""
+        if not self.retain_generated or cache_len <= self.prompt_len:
+            return prompt_sel
+        generated = np.arange(self.prompt_len, cache_len)
+        tail = np.broadcast_to(generated, (prompt_sel.shape[0], generated.shape[0]))
+        return np.concatenate([prompt_sel, tail], axis=1)
+
+    def prompt_keys(self, cache: LayerKVCache) -> np.ndarray:
+        """Prompt-region keys, shape (n_kv_heads, prompt_len, head_dim)."""
+        return cache.keys[0][:, : self.prompt_len, :]
+
+    def count_ops(self, n: int) -> None:
+        """Accumulate retrieval multiply-accumulate ops (Eq. 3 bookkeeping)."""
+        self.record.retrieval_ops += int(n)

@@ -1,0 +1,28 @@
+"""Full attention "policy": no selection at all.
+
+The paper's three full-attention baselines (HuggingFace eager,
+FlashAttention, FlashInfer) compute identical outputs; they differ only in
+kernel efficiency and memory layout, which the timing models in
+:mod:`repro.simulate` capture. Functionally they are all this policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+
+
+class FullAttentionPolicy:
+    """Attends to the entire KV cache every step."""
+
+    def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
+        pass
+
+    def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
+        pass
+
+    def select(
+        self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
+    ) -> np.ndarray | None:
+        return None

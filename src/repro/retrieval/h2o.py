@@ -1,0 +1,67 @@
+"""H2O-style heavy-hitter selection (extra baseline beyond the paper's set).
+
+Maintains, per layer and KV head, an accumulator of attention mass each
+prompt token has received across decode steps; keeps the heaviest hitters
+plus a recency window. Unlike the paper's baselines this one adapts its
+scores over the course of generation, at the cost of computing full scores
+every step — included because H2O is ubiquitous in the OSS KV-sparsity
+ecosystem the paper situates itself in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+from repro.models.llm import TransformerLM
+from repro.retrieval.base import BudgetedPolicy
+from repro.tensor.ops import softmax, top_k_indices
+
+
+class H2OPolicy(BudgetedPolicy):
+    """Accumulated-attention heavy hitters + recency window."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        budget: int,
+        recent_fraction: float = 0.25,
+        retain_generated: bool = True,
+    ):
+        super().__init__(model, budget, retain_generated)
+        if not 0.0 <= recent_fraction < 1.0:
+            raise ValueError("recent_fraction must be in [0, 1)")
+        self.recent_fraction = recent_fraction
+        self._accumulated: list[np.ndarray] = []  # per layer: (Hkv, prompt_len)
+
+    def _prepare(self, cache: ModelKVCache) -> None:
+        self._accumulated = [
+            np.zeros((layer_cache.keys.shape[1], self.prompt_len))
+            for layer_cache in cache.layers
+        ]
+
+    def _select_prompt(
+        self, layer: int, queries: np.ndarray, cache: LayerKVCache
+    ) -> np.ndarray:
+        keys = self.prompt_keys(cache)
+        scores = np.einsum("hnd,hd->hn", keys, queries) / np.sqrt(keys.shape[-1])
+        self.count_ops(keys.size)
+        self._accumulated[layer] += softmax(scores, axis=-1)
+
+        n_recent = int(self.budget * self.recent_fraction)
+        n_heavy = self.budget - n_recent
+        heavy = top_k_indices(self._accumulated[layer], n_heavy, axis=-1)
+        if n_recent == 0:
+            return heavy
+        recent = np.arange(self.prompt_len - n_recent, self.prompt_len)
+        heads = heavy.shape[0]
+        out = np.empty((heads, self.budget), dtype=np.int64)
+        for h in range(heads):
+            merged = np.union1d(heavy[h], recent)
+            if merged.size < self.budget:
+                # Union removed duplicates; pad with next-heaviest tokens.
+                pool = top_k_indices(self._accumulated[layer][h], self.budget + n_recent)
+                extra = [t for t in pool if t not in set(merged.tolist())]
+                merged = np.concatenate([merged, np.array(extra[: self.budget - merged.size], dtype=np.int64)])
+            out[h] = merged[: self.budget]
+        return out

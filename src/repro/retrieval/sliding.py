@@ -1,0 +1,34 @@
+"""Sliding-window permanent eviction (Longformer-style local attention).
+
+Keeps only the most recent ``budget`` tokens. Cheap and constant-memory but
+discards history — the accuracy floor among the baselines (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+
+
+class SlidingWindowPolicy:
+    """Attend to the last ``budget`` positions only."""
+
+    def __init__(self, budget: int):
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.budget = budget
+
+    def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
+        pass
+
+    def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
+        pass
+
+    def select(
+        self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
+    ) -> np.ndarray | None:
+        length = len(cache)
+        if length <= self.budget:
+            return None
+        return np.arange(length - self.budget, length)

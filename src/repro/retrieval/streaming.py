@@ -1,0 +1,39 @@
+"""StreamingLLM: attention sinks + sliding window (Xiao et al., ICLR'24).
+
+Perpetually retains the first ``n_sinks`` tokens (the "attention sink"
+positions that soak up softmax mass) plus the most recent tokens, totalling
+``budget``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.cache import LayerKVCache, ModelKVCache
+
+
+class StreamingLLMPolicy:
+    """Sinks + recency window, position-based (input-agnostic)."""
+
+    def __init__(self, budget: int, n_sinks: int = 4):
+        if budget <= n_sinks:
+            raise ValueError(f"budget {budget} must exceed n_sinks {n_sinks}")
+        self.budget = budget
+        self.n_sinks = n_sinks
+
+    def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
+        pass
+
+    def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
+        pass
+
+    def select(
+        self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
+    ) -> np.ndarray | None:
+        length = len(cache)
+        if length <= self.budget:
+            return None
+        window = self.budget - self.n_sinks
+        sinks = np.arange(self.n_sinks)
+        recent = np.arange(length - window, length)
+        return np.concatenate([sinks, recent])

@@ -1,0 +1,13 @@
+"""Serving substrate: requests, memory-aware batching, throughput metering."""
+
+from repro.serving.meter import ThroughputMeter
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
+
+__all__ = [
+    "BatchPlan",
+    "Request",
+    "RequestState",
+    "StaticBatchScheduler",
+    "ThroughputMeter",
+]

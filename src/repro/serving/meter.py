@@ -1,0 +1,58 @@
+"""Throughput and latency accounting for serving runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.request import Request, RequestState
+
+
+@dataclass
+class ThroughputMeter:
+    """Aggregates completed requests into serving metrics."""
+
+    finished: list[Request] = field(default_factory=list)
+    rejected: list[Request] = field(default_factory=list)
+
+    def record(self, request: Request) -> None:
+        if request.state is RequestState.FINISHED:
+            self.finished.append(request)
+        elif request.state is RequestState.REJECTED:
+            self.rejected.append(request)
+        else:
+            raise ValueError(f"request {request.request_id} still {request.state}")
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall time from first arrival to last completion."""
+        if not self.finished:
+            return 0.0
+        start = min(r.arrival_s for r in self.finished)
+        end = max(r.finish_s for r in self.finished)
+        return end - start
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(r.out_len for r in self.finished)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Aggregate decode-token throughput over the makespan."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return self.generated_tokens / span
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile of end-to-end request latency (q in [0, 100])."""
+        if not self.finished:
+            return 0.0
+        return float(np.percentile([r.latency_s for r in self.finished], q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.finished:
+            return 0.0
+        return float(np.mean([r.latency_s for r in self.finished]))

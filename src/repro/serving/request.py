@@ -1,0 +1,50 @@
+"""Request model for the serving simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside the serving system."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    REJECTED = "rejected"  # cannot fit even alone (OOM)
+
+
+@dataclass
+class Request:
+    """One generation request.
+
+    Attributes:
+        request_id: unique identifier.
+        in_len: prompt length in tokens.
+        out_len: tokens to generate.
+        arrival_s: arrival time on the serving clock.
+    """
+
+    request_id: int
+    in_len: int
+    out_len: int
+    arrival_s: float = 0.0
+    state: RequestState = RequestState.QUEUED
+    start_s: float = field(default=0.0)
+    finish_s: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.in_len < 1 or self.out_len < 1:
+            raise ValueError("in_len and out_len must be positive")
+
+    @property
+    def latency_s(self) -> float:
+        """Queue + execution latency (valid once finished)."""
+        if self.state is not RequestState.FINISHED:
+            raise RuntimeError(f"request {self.request_id} not finished")
+        return self.finish_s - self.arrival_s
+
+    @property
+    def total_tokens(self) -> int:
+        return self.in_len + self.out_len

@@ -1,0 +1,108 @@
+"""Memory-aware batch scheduler over the performance simulator.
+
+The paper's cloud scenario is "high-end GPU with multiple requests": a
+server must decide how many queued requests to co-run. The scheduler forms
+FIFO batches of same-shape requests capped by the engine's memory fit
+(via :func:`repro.perf.capacity.max_fitting_batch`), executes each batch on
+the :class:`~repro.perf.simulate.PerfSimulator`, and feeds completions to a
+:class:`~repro.serving.meter.ThroughputMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.capacity import DEFAULT_CANDIDATES, max_fitting_batch
+from repro.perf.engines import EngineSpec
+from repro.perf.simulate import PerfSimulator, Workload
+from repro.serving.meter import ThroughputMeter
+from repro.serving.request import Request, RequestState
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One scheduled batch: which requests run together."""
+
+    request_ids: tuple[int, ...]
+    in_len: int
+    out_len: int
+
+
+class StaticBatchScheduler:
+    """FIFO batching with a memory-derived batch cap.
+
+    Requests are grouped in arrival order; a batch closes when it reaches
+    the engine's maximum fitting size for that shape (requests of different
+    shapes are padded to the batch maximum, as static-batching servers do).
+    """
+
+    def __init__(
+        self,
+        sim: PerfSimulator,
+        engine: EngineSpec,
+        candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    ):
+        self.sim = sim
+        self.engine = engine
+        self.candidates = candidates
+
+    def plan(self, requests: list[Request]) -> list[BatchPlan]:
+        """Group queued requests into executable batches."""
+        plans: list[BatchPlan] = []
+        queue = [r for r in requests if r.state is RequestState.QUEUED]
+        i = 0
+        while i < len(queue):
+            head = queue[i]
+            cap = max_fitting_batch(
+                self.sim, self.engine, head.in_len, head.out_len, self.candidates
+            )
+            if cap == 0:
+                head.state = RequestState.REJECTED
+                i += 1
+                continue
+            group = [head]
+            j = i + 1
+            while j < len(queue) and len(group) < cap:
+                nxt = queue[j]
+                pad_in = max(r.in_len for r in group + [nxt])
+                pad_out = max(r.out_len for r in group + [nxt])
+                padded_cap = max_fitting_batch(
+                    self.sim, self.engine, pad_in, pad_out, self.candidates
+                )
+                if padded_cap < len(group) + 1:
+                    break
+                group.append(nxt)
+                j += 1
+            plans.append(
+                BatchPlan(
+                    request_ids=tuple(r.request_id for r in group),
+                    in_len=max(r.in_len for r in group),
+                    out_len=max(r.out_len for r in group),
+                )
+            )
+            i = j
+        return plans
+
+    def execute(self, requests: list[Request]) -> ThroughputMeter:
+        """Run all queued requests batch by batch; returns the meter."""
+        by_id = {r.request_id: r for r in requests}
+        meter = ThroughputMeter()
+        clock = max((r.arrival_s for r in requests), default=0.0)
+        for plan in self.plan(requests):
+            workload = Workload(plan.in_len, plan.out_len, len(plan.request_ids))
+            timeline = self.sim.simulate(self.engine, workload, n_samples=16)
+            if timeline.oom:
+                for rid in plan.request_ids:
+                    by_id[rid].state = RequestState.REJECTED
+                continue
+            start = clock
+            clock += timeline.total_s
+            for rid in plan.request_ids:
+                request = by_id[rid]
+                request.state = RequestState.FINISHED
+                request.start_s = start
+                request.finish_s = clock
+        for request in requests:
+            if request.state in (RequestState.FINISHED, RequestState.REJECTED):
+                meter.record(request)
+        return meter

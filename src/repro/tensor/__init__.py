@@ -1,0 +1,40 @@
+"""Minimal numpy tensor-op library used by the transformer substrate.
+
+This package plays the role that PyTorch/CUDA kernels play in the paper's
+implementation: softmax, normalization, activations, linear projections,
+rotary embeddings (with YaRN context extension) and the low-bit quantization
+used by the ShadowKV baseline.
+"""
+
+from repro.tensor.ops import (
+    softmax,
+    log_softmax,
+    rms_norm,
+    layer_norm,
+    silu,
+    gelu,
+    linear,
+    kl_divergence,
+    cross_entropy,
+    top_k_indices,
+)
+from repro.tensor.rope import RotaryEmbedding, YarnConfig
+from repro.tensor.quantization import quantize_per_channel, dequantize, QuantizedTensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "rms_norm",
+    "layer_norm",
+    "silu",
+    "gelu",
+    "linear",
+    "kl_divergence",
+    "cross_entropy",
+    "top_k_indices",
+    "RotaryEmbedding",
+    "YarnConfig",
+    "quantize_per_channel",
+    "dequantize",
+    "QuantizedTensor",
+]

@@ -1,0 +1,101 @@
+"""Core numerical ops for the transformer substrate.
+
+All functions are pure, operate on the trailing axis unless stated otherwise,
+and are numerically stabilized the same way production kernels are (max
+subtraction in softmax, epsilon in norms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer normalization (Llama-style, no mean centering)."""
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def layer_norm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Standard layer normalization over the trailing axis."""
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.var(x, axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(variance + eps) * weight
+    if bias is not None:
+        normed = normed + bias
+    return normed
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, as used in SwiGLU FFNs."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU activation."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine projection ``x @ weight.T + bias`` (torch.nn.Linear convention).
+
+    ``weight`` has shape (out_features, in_features).
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def kl_divergence(p_logits: np.ndarray, q_logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """KL(P || Q) between distributions given as logits (Eq. 2 in the paper)."""
+    log_p = log_softmax(p_logits, axis=axis)
+    log_q = log_softmax(q_logits, axis=axis)
+    p = np.exp(log_p)
+    return np.sum(p * (log_p - log_q), axis=axis)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy of integer ``targets`` under ``logits``.
+
+    ``logits`` has shape (..., vocab) and ``targets`` the matching prefix shape.
+    """
+    log_probs = log_softmax(logits, axis=-1)
+    flat_logp = log_probs.reshape(-1, log_probs.shape[-1])
+    flat_targets = targets.reshape(-1)
+    picked = flat_logp[np.arange(flat_targets.size), flat_targets]
+    return float(-np.mean(picked))
+
+
+def top_k_indices(scores: np.ndarray, k: int, axis: int = -1) -> np.ndarray:
+    """Indices of the ``k`` largest entries along ``axis`` (sorted descending).
+
+    If ``k`` exceeds the axis length, all indices are returned.
+    """
+    length = scores.shape[axis]
+    if k >= length:
+        order = np.argsort(-scores, axis=axis)
+        return order
+    part = np.argpartition(-scores, k - 1, axis=axis)
+    top = np.take(part, np.arange(k), axis=axis)
+    top_scores = np.take_along_axis(scores, top, axis=axis)
+    order = np.argsort(-top_scores, axis=axis)
+    return np.take_along_axis(top, order, axis=axis)

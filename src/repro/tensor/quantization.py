@@ -1,0 +1,50 @@
+"""Low-bit per-channel quantization, used by the ShadowKV baseline.
+
+ShadowKV (Sun et al.) quantizes the key cache and scores queries against the
+quantized keys to select important KV pairs. We implement symmetric
+per-channel affine quantization at arbitrary bit widths (4 and 8 in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus per-channel scale/zero-point for reconstruction."""
+
+    codes: np.ndarray  # int32 codes, same shape as the original tensor
+    scale: np.ndarray  # per-channel scale, broadcastable over codes
+    zero_point: np.ndarray  # per-channel zero point
+    bits: int
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the codes at the nominal bit width."""
+        return int(np.ceil(self.codes.size * self.bits / 8)) + self.scale.nbytes + self.zero_point.nbytes
+
+
+def quantize_per_channel(x: np.ndarray, bits: int = 4, axis: int = -1) -> QuantizedTensor:
+    """Asymmetric per-channel quantization along every axis except ``axis``.
+
+    Each slice along ``axis`` (a "channel vector") shares one scale/zero-point
+    computed from its min/max, mirroring KV-cache quantization kernels.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    levels = (1 << bits) - 1
+    lo = np.min(x, axis=axis, keepdims=True)
+    hi = np.max(x, axis=axis, keepdims=True)
+    span = np.maximum(hi - lo, 1e-8)
+    scale = span / levels
+    zero_point = lo
+    codes = np.clip(np.round((x - zero_point) / scale), 0, levels).astype(np.int32)
+    return QuantizedTensor(codes=codes, scale=scale, zero_point=zero_point, bits=bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Reconstruct the float tensor from a :class:`QuantizedTensor`."""
+    return q.codes.astype(np.float64) * q.scale + q.zero_point

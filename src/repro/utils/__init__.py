@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG, table formatting, simple serialization.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.utils.rng import RngFactory, seeded_rng
+from repro.utils.tables import format_table, format_series
+from repro.utils.units import GB, MB, KB, bytes_to_gb, human_bytes
+
+__all__ = [
+    "RngFactory",
+    "seeded_rng",
+    "format_table",
+    "format_series",
+    "GB",
+    "MB",
+    "KB",
+    "bytes_to_gb",
+    "human_bytes",
+]

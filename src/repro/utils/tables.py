@@ -1,0 +1,56 @@
+"""Plain-text table/series formatting for the experiment harness.
+
+The experiment modules print the same rows/columns the paper reports; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``rows`` may contain strings, ints or floats; floats are rounded to
+    ``precision`` decimal places.
+    """
+    rendered = [[_fmt_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    precision: int = 3,
+) -> str:
+    """Render a figure-style set of (x, y) series, one series per row."""
+    headers = [name] + [_fmt_cell(x, precision) for x in xs]
+    rows = [[label] + list(ys) for label, ys in series.items()]
+    return format_table(headers, rows, precision=precision)

@@ -1,0 +1,23 @@
+"""Byte-size constants and formatting used by the memory model."""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to (binary) gigabytes."""
+    return n_bytes / GB
+
+
+def human_bytes(n_bytes: float) -> str:
+    """Render a byte count with an appropriate unit suffix."""
+    if n_bytes >= GB:
+        return f"{n_bytes / GB:.2f} GiB"
+    if n_bytes >= MB:
+        return f"{n_bytes / MB:.2f} MiB"
+    if n_bytes >= KB:
+        return f"{n_bytes / KB:.2f} KiB"
+    return f"{n_bytes:.0f} B"

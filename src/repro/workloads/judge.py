@@ -1,0 +1,153 @@
+"""Deterministic six-dimension judge for long-form writing (Fig. 9/Table 4).
+
+The paper scores LongWriter outputs with GPT-4o on six dimensions. We
+cannot call a proprietary judge, so this module scores the same dimensions
+with deterministic heuristics that are monotone in the same failure modes
+(substitution recorded in DESIGN.md):
+
+- relevance          staying on the outline's topics (off-plan tokens are
+                     the analog of off-topic prose);
+- accuracy           reproducing the planned content at the planned place;
+- coherence          licensed section-to-section transitions;
+- clarity            absence of repetition loops;
+- breadth and depth  how many sections are covered and how deeply;
+- reading experience composite of flow, non-repetition and completeness.
+
+Each dimension is scaled to [0, 5] like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.workloads.longwriter import WritingExample
+from repro.workloads.metrics import bigram_validity, distinct_ratio
+
+DIMENSIONS = (
+    "relevance",
+    "accuracy",
+    "coherence",
+    "clarity",
+    "breadth_depth",
+    "reading_experience",
+)
+MAX_SCORE = 5.0
+
+
+@dataclass(frozen=True)
+class JudgeScore:
+    """Six-dimension score of one generation, each in [0, 5]."""
+
+    relevance: float
+    accuracy: float
+    coherence: float
+    clarity: float
+    breadth_depth: float
+    reading_experience: float
+
+    @property
+    def average(self) -> float:
+        return sum(self.as_dict().values()) / len(DIMENSIONS)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in DIMENSIONS}
+
+
+def _relevance(generated: Sequence[int], example: WritingExample) -> float:
+    if not generated:
+        return 0.0
+    on_plan = sum(1 for t in generated if t in example.plan_tokens)
+    return on_plan / len(generated)
+
+
+def _accuracy(generated: Sequence[int], example: WritingExample) -> float:
+    reference = example.reference_chain
+    if not reference:
+        return 1.0
+    matched = sum(1 for g, r in zip(generated, reference) if g == r)
+    return matched / len(reference)
+
+
+def _coherence(generated: Sequence[int], example: WritingExample) -> float:
+    return bigram_validity(list(generated), example.reference_bigrams)
+
+
+def _clarity(generated: Sequence[int]) -> float:
+    return distinct_ratio(list(generated))
+
+
+def _breadth_depth(generated: Sequence[int], example: WritingExample) -> float:
+    """Breadth = sections whose topic was reached; depth = content coverage
+    within the reached sections; score = breadth x mean depth."""
+    produced = set(generated)
+    reached = 0
+    depth_total = 0.0
+    for section in example.sections:
+        topic, *contents = section
+        covered = sum(1 for t in contents if t in produced)
+        # The first section's topic appears in the prompt question, so a
+        # section counts as reached when any of its content was written.
+        if covered or topic in produced:
+            reached += 1
+            depth_total += covered / max(len(contents), 1)
+    if reached == 0:
+        return 0.0
+    breadth = reached / len(example.sections)
+    depth = depth_total / reached
+    return breadth * depth
+
+
+def _reading_experience(generated: Sequence[int], example: WritingExample) -> float:
+    """Geometric-style composite: flow x non-repetition x completeness."""
+    if not generated:
+        return 0.0
+    completion = min(len(generated) / max(len(example.reference_chain), 1), 1.0)
+    flow = _coherence(generated, example)
+    clean = _clarity(generated)
+    return (max(flow, 0.0) * max(clean, 0.0) * completion) ** (1.0 / 3.0)
+
+
+def judge_generation(
+    generated: Sequence[int], example: WritingExample
+) -> JudgeScore:
+    """Score one generation against its writing plan."""
+    generated = [int(t) for t in generated]
+    # The terminator is bookkeeping, not prose.
+    while generated and generated[-1] in example.stop_ids:
+        generated.pop()
+    reference = [
+        t for t in example.reference_chain if t not in example.stop_ids
+    ]
+    trimmed_example = example
+    if len(reference) != len(example.reference_chain):
+        trimmed_example = WritingExample(
+            prompt_ids=example.prompt_ids,
+            reference_chain=tuple(reference),
+            sections=example.sections,
+            plan_tokens=example.plan_tokens,
+            stop_ids=example.stop_ids,
+            max_new_tokens=example.max_new_tokens,
+            meta=example.meta,
+        )
+    return JudgeScore(
+        relevance=MAX_SCORE * _relevance(generated, trimmed_example),
+        accuracy=MAX_SCORE * _accuracy(generated, trimmed_example),
+        coherence=MAX_SCORE * _coherence(generated, trimmed_example),
+        clarity=MAX_SCORE * _clarity(generated),
+        breadth_depth=MAX_SCORE * _breadth_depth(generated, trimmed_example),
+        reading_experience=MAX_SCORE * _reading_experience(generated, trimmed_example),
+    )
+
+
+def mean_scores(scores: Sequence[JudgeScore]) -> JudgeScore:
+    """Dimension-wise mean of many judged generations."""
+    scores = list(scores)
+    if not scores:
+        raise ValueError("no scores to average")
+    sums = {name: 0.0 for name in DIMENSIONS}
+    for score in scores:
+        for name, value in score.as_dict().items():
+            sums[name] += value
+    n = len(scores)
+    return JudgeScore(**{name: sums[name] / n for name in DIMENSIONS})

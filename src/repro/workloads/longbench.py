@@ -1,0 +1,218 @@
+"""Synthetic LongBench-shaped tasks (paper Sec. 7.1, Fig. 8).
+
+Four generators with the same task *shape* as the LongBench subsets the
+paper evaluates — the substitution DESIGN.md records for the proprietary
+datasets:
+
+- ``trivia``       (TriviaQA-like): single-hop fact recall amid distractor
+                   facts and prose.
+- ``2wikimqa``     (2WikiMQA-like): two-hop recall across two documents
+                   linked by a bridge entity.
+- ``hotpotqa``     (HotpotQA-like): two-hop recall with supporting
+                   documents planted far apart among many distractors.
+- ``passage_count`` (PassageCount-like): enumerate the distinct passages
+                   in a context with duplicated passages.
+
+Each example's evidence is a handful of tokens scattered in a long
+context, so accuracy is causally tied to whether the KV selection keeps
+those tokens — the property Fig. 8's budget sweep measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.workloads.base import EntityPool, QAExample, weave_context
+
+
+def _qa_example(
+    task: str,
+    tokenizer: SyntheticTokenizer,
+    context_ids: list[int],
+    question_key: int,
+    answer: list[int],
+    evidence: tuple[int, ...],
+    stop_ids: tuple[int, ...] = (),
+    max_new_tokens: int | None = None,
+    meta: dict | None = None,
+) -> QAExample:
+    prompt = np.array(
+        context_ids + [tokenizer.question_id, question_key], dtype=np.int64
+    )
+    return QAExample(
+        task=task,
+        prompt_ids=prompt,
+        answer_ids=tuple(answer),
+        max_new_tokens=max_new_tokens or len(answer),
+        stop_ids=stop_ids,
+        evidence_positions=evidence,
+        meta=meta or {},
+    )
+
+
+def make_trivia(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    context_len: int = 2048,
+    answer_len: int = 3,
+    n_distractors: int = 12,
+) -> QAExample:
+    """Single-hop recall: one gold fact among ``n_distractors`` decoys."""
+    pool = EntityPool(tokenizer, rng)
+    key, *answer = pool.take(1 + answer_len)
+    gold = [key] + answer
+
+    segments = [gold]
+    for _ in range(n_distractors):
+        d_key, *d_vals = pool.take(1 + answer_len)
+        segments.append([d_key] + d_vals)
+
+    ids, starts = weave_context(tokenizer, rng, segments, context_len)
+    evidence = tuple(range(starts[0], starts[0] + len(gold)))
+    return _qa_example("trivia", tokenizer, ids, key, answer, evidence)
+
+
+def _two_hop(
+    task: str,
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    context_len: int,
+    tail_len: int,
+    n_distractors: int,
+    far_apart: bool,
+) -> QAExample:
+    """Two-hop recall: doc A links key->bridge, doc B links bridge->values."""
+    pool = EntityPool(tokenizer, rng)
+    key, bridge, *tail = pool.take(2 + tail_len)
+    doc_a = [tokenizer.doc_id, key, bridge]
+    doc_b = [tokenizer.doc_id, bridge] + tail
+
+    segments = [doc_a, doc_b]
+    for _ in range(n_distractors):
+        d_key, d_bridge, *d_tail = pool.take(2 + tail_len)
+        segments.append([tokenizer.doc_id, d_key, d_bridge] + d_tail)
+
+    if far_apart:
+        # Supporting docs pinned to opposite ends (HotpotQA's scattered
+        # evidence): weave distractors, then prepend/append supports.
+        inner_len = context_len - len(doc_a) - len(doc_b)
+        ids, starts = weave_context(tokenizer, rng, segments[2:], inner_len)
+        ids = [ids[0]] + doc_a + ids[1:] + doc_b
+        start_a, start_b = 1, context_len - len(doc_b)
+    else:
+        ids, starts = weave_context(tokenizer, rng, segments, context_len)
+        start_a, start_b = starts[0], starts[1]
+
+    evidence = tuple(range(start_a, start_a + len(doc_a))) + tuple(
+        range(start_b, start_b + len(doc_b))
+    )
+    answer = [bridge] + tail
+    return _qa_example(task, tokenizer, ids, key, answer, evidence)
+
+
+def make_2wikimqa(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    context_len: int = 2048,
+    tail_len: int = 2,
+    n_distractors: int = 10,
+) -> QAExample:
+    """Two-hop multi-document QA with randomly placed supporting docs."""
+    return _two_hop(
+        "2wikimqa", tokenizer, rng, context_len, tail_len, n_distractors,
+        far_apart=False,
+    )
+
+
+def make_hotpotqa(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    context_len: int = 2048,
+    tail_len: int = 2,
+    n_distractors: int = 18,
+) -> QAExample:
+    """Two-hop QA with supporting docs at opposite context ends."""
+    return _two_hop(
+        "hotpotqa", tokenizer, rng, context_len, tail_len, n_distractors,
+        far_apart=True,
+    )
+
+
+def make_passage_count(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    context_len: int = 2048,
+    n_distinct: int = 6,
+    n_duplicates: int = 4,
+    body_len: int = 24,
+) -> QAExample:
+    """Counting-as-enumeration: distinct passage ids form a chain.
+
+    Each distinct passage ``j`` opens with ``<doc> pid_j pid_{j+1}`` (the
+    last links to ``<sep>``); duplicated passages repeat an earlier header
+    and body verbatim. The model enumerates the distinct ids from
+    ``pid_1`` and stops at ``<sep>``; the predicted count is the number of
+    enumerated ids plus one. This replaces LongBench's free-form counting
+    with a circuit-solvable equivalent that still requires evidence from
+    every distinct passage (substitution recorded in DESIGN.md).
+    """
+    if n_distinct < 2:
+        raise ValueError("need at least 2 distinct passages")
+    pool = EntityPool(tokenizer, rng)
+    pids = pool.take(n_distinct)
+
+    passages: list[list[int]] = []
+    for j, pid in enumerate(pids):
+        nxt = pids[j + 1] if j + 1 < n_distinct else tokenizer.sep_id
+        body = [int(t) for t in tokenizer.random_filler_ids(rng, body_len)]
+        passages.append([tokenizer.doc_id, pid, nxt] + body)
+
+    segments = list(passages)
+    dup_sources = rng.integers(0, n_distinct, size=n_duplicates)
+    for src in dup_sources:
+        segments.append(list(passages[int(src)]))
+
+    ids, starts = weave_context(tokenizer, rng, segments, context_len)
+    evidence = tuple(
+        pos
+        for j in range(n_distinct)
+        for pos in range(starts[j], starts[j] + 3)
+    )
+    answer = pids[1:] + [tokenizer.sep_id]
+    return _qa_example(
+        "passage_count",
+        tokenizer,
+        ids,
+        pids[0],
+        answer,
+        evidence,
+        stop_ids=(tokenizer.sep_id,),
+        max_new_tokens=n_distinct + 4,
+        meta={"true_count": n_distinct},
+    )
+
+
+Generator = Callable[..., QAExample]
+
+TASKS: dict[str, Generator] = {
+    "trivia": make_trivia,
+    "2wikimqa": make_2wikimqa,
+    "hotpotqa": make_hotpotqa,
+    "passage_count": make_passage_count,
+}
+
+
+def generate_examples(
+    task: str,
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    n_examples: int,
+    **kwargs,
+) -> list[QAExample]:
+    """Draw ``n_examples`` i.i.d. examples of one task."""
+    if task not in TASKS:
+        raise KeyError(f"unknown task {task!r}; available: {sorted(TASKS)}")
+    return [TASKS[task](tokenizer, rng, **kwargs) for _ in range(n_examples)]

@@ -1,0 +1,122 @@
+"""Synthetic LongWriter-shaped long-form writing tasks (Fig. 9 / Table 4).
+
+A writing example is a short outline prompt (~100-200 tokens, matching the
+paper's observation that LongWriter inputs are ~100 tokens) followed by a
+*long* generation: the model writes the piece by following a section chain
+planted in the outline — topic t0 leads to its content words, whose chain
+hands over to topic t1, and so on to a final ``<sep>``.
+
+Because the prompt is tiny but the generation is long, this reproduces the
+paper's long-context *reasoning* regime: baselines that retain all newly
+generated KV effectively run full attention (their outputs are identical
+across budgets — the Sec. 7.2.2 observation), while SpeContext's budget
+governs selection over the growing generated cache and so actually bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.workloads.base import EntityPool, weave_context
+
+
+@dataclass(frozen=True)
+class WritingExample:
+    """One long-form writing task.
+
+    Attributes:
+        prompt_ids: outline prompt ending with ``<q> t0``.
+        reference_chain: the gold generation (content chain ending in
+            ``<sep>``).
+        sections: per-section token lists ``[topic, content...]`` used by
+            the judge's breadth/depth dimension.
+        plan_tokens: every on-topic token (topics + contents).
+        stop_ids: generation terminators.
+        max_new_tokens: decoding cap (reference length + slack).
+    """
+
+    prompt_ids: np.ndarray
+    reference_chain: tuple[int, ...]
+    sections: tuple[tuple[int, ...], ...]
+    plan_tokens: frozenset[int]
+    stop_ids: tuple[int, ...]
+    max_new_tokens: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt_ids.size)
+
+    @property
+    def reference_bigrams(self) -> set[tuple[int, int]]:
+        """Licensed adjacent pairs, including the opening topic transition."""
+        chain = self.reference_chain
+        pairs = set(zip(chain, chain[1:]))
+        if chain:
+            first_topic = self.sections[0][0]
+            pairs.add((first_topic, chain[0]))
+        return pairs
+
+
+def make_writing_example(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    n_sections: int = 8,
+    section_len: int = 10,
+    prompt_len: int = 160,
+) -> WritingExample:
+    """Build an outline whose sections chain into one long generation.
+
+    Section ``i`` is planted as ``<doc> t_i c_i1 ... c_ik t_{i+1}`` (the
+    trailing topic is the handover link); the last section ends with
+    ``<sep>``. The full reference generation, starting from ``t_0`` in the
+    question, is ``c_01 .. c_0k t_1 c_11 .. <sep>`` — roughly
+    ``n_sections * (section_len + 1)`` tokens from a ~``prompt_len`` prompt.
+    """
+    if n_sections < 2:
+        raise ValueError("need at least 2 sections")
+    pool = EntityPool(tokenizer, rng)
+    topics = pool.take(n_sections)
+    contents = [pool.take(section_len) for _ in range(n_sections)]
+
+    segments: list[list[int]] = []
+    for i in range(n_sections):
+        handover = [topics[i + 1]] if i + 1 < n_sections else [tokenizer.sep_id]
+        segments.append([tokenizer.doc_id, topics[i]] + contents[i] + handover)
+
+    ids, _ = weave_context(tokenizer, rng, segments, prompt_len, shuffle=False)
+    prompt = np.array(
+        ids + [tokenizer.question_id, topics[0]], dtype=np.int64
+    )
+
+    reference: list[int] = []
+    for i in range(n_sections):
+        reference.extend(contents[i])
+        reference.append(topics[i + 1] if i + 1 < n_sections else tokenizer.sep_id)
+
+    plan = frozenset(topics) | frozenset(t for sec in contents for t in sec)
+    sections = tuple(
+        (topics[i], *contents[i]) for i in range(n_sections)
+    )
+    return WritingExample(
+        prompt_ids=prompt,
+        reference_chain=tuple(reference),
+        sections=sections,
+        plan_tokens=plan,
+        stop_ids=(tokenizer.sep_id,),
+        max_new_tokens=len(reference) + 16,
+        meta={"n_sections": n_sections, "section_len": section_len},
+    )
+
+
+def generate_writing_examples(
+    tokenizer: SyntheticTokenizer,
+    rng: np.random.Generator,
+    n_examples: int,
+    **kwargs,
+) -> list[WritingExample]:
+    """Draw ``n_examples`` i.i.d. writing tasks."""
+    return [make_writing_example(tokenizer, rng, **kwargs) for _ in range(n_examples)]

@@ -1,0 +1,96 @@
+"""Scoring functions for the synthetic benchmark tasks.
+
+The tokenizer is closed-vocabulary and reversible, so metrics operate on
+token-id sequences directly: token-level F1 (the LongBench QA metric),
+exact match, and the passage-count score. All return floats in [0, 1]
+unless noted; experiment tables scale them to the paper's axes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+
+def token_f1(predicted: Sequence[int], gold: Sequence[int]) -> float:
+    """Bag-of-tokens F1 between a predicted and gold answer.
+
+    This mirrors LongBench's QA F1 (word-level, order-insensitive, with
+    multiplicity), computed on token ids since our tokenizer is word-level.
+    """
+    if not predicted and not gold:
+        return 1.0
+    if not predicted or not gold:
+        return 0.0
+    overlap = Counter(predicted) & Counter(gold)
+    n_common = sum(overlap.values())
+    if n_common == 0:
+        return 0.0
+    precision = n_common / len(predicted)
+    recall = n_common / len(gold)
+    return 2 * precision * recall / (precision + recall)
+
+
+def exact_match(predicted: Sequence[int], gold: Sequence[int]) -> float:
+    """1.0 iff the sequences are identical."""
+    return 1.0 if list(predicted) == list(gold) else 0.0
+
+
+def prefix_match(predicted: Sequence[int], gold: Sequence[int]) -> float:
+    """Fraction of the gold sequence correctly produced as a prefix.
+
+    Order-sensitive: rewards following the answer chain in order, which is
+    what degrades first when KV selection drops a link.
+    """
+    if not gold:
+        return 1.0
+    n = 0
+    for p, g in zip(predicted, gold):
+        if p != g:
+            break
+        n += 1
+    return n / len(gold)
+
+
+def count_score(predicted_count: int, true_count: int) -> float:
+    """Relative-error score for the passage-counting task.
+
+    1.0 for an exact count, decaying linearly to 0 at 100% relative error
+    (LongBench scores count answers as exact-match; the relative form keeps
+    the metric graded so budget sweeps produce curves, recorded as a
+    substitution in DESIGN.md).
+    """
+    if true_count <= 0:
+        raise ValueError(f"true_count must be positive, got {true_count}")
+    return max(0.0, 1.0 - abs(predicted_count - true_count) / true_count)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(sum(values) / len(values))
+
+
+def distinct_ratio(tokens: Sequence[int]) -> float:
+    """Distinct tokens over total — the repetition signal the judge uses."""
+    tokens = list(tokens)
+    if not tokens:
+        return 0.0
+    return len(set(tokens)) / len(tokens)
+
+
+def bigram_validity(tokens: Sequence[int], valid_bigrams: set[tuple[int, int]]) -> float:
+    """Fraction of adjacent pairs that are licensed transitions.
+
+    The reference chain of a writing task defines the licensed bigrams; a
+    generation that jumps between unrelated sections scores low — the
+    judge's coherence signal.
+    """
+    tokens = list(tokens)
+    if len(tokens) < 2:
+        return 1.0 if tokens else 0.0
+    pairs = list(zip(tokens, tokens[1:]))
+    valid = sum(1 for pair in pairs if pair in valid_bigrams)
+    return valid / len(pairs)

@@ -1,0 +1,110 @@
+"""Tests for the adaptive memory manager — Algorithm 2 (paper Sec. 6.2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveMemoryManager
+from repro.core.memory_model import MemoryModel
+from repro.hardware.memory import MemoryTier
+from repro.hardware.spec import HardwareSpec
+from repro.kvcache.tiered import TieredKVStore
+from repro.models.config import tiny_test_config
+from repro.utils.units import GB
+
+
+def make_manager(target_threshold: int = 400, requests: int = 1, **kwargs):
+    """A manager whose first threshold lands near ``target_threshold``."""
+    config = tiny_test_config(n_layers=4)
+    hd = config.n_kv_heads * config.head_dim
+    layers_eff = config.n_layers + 1 + config.group_size
+    gpu_bytes = int(
+        1.3 * config.parameter_bytes() + 4 * layers_eff * hd * target_threshold
+    )
+    spec = HardwareSpec(
+        name="test", gpu_memory_bytes=gpu_bytes, cpu_memory_bytes=64 * GB,
+        gpu_flops=1e12, gpu_bandwidth=1e11, pcie_bandwidth=1e9,
+    )
+    mm = MemoryModel(config, dlm_bytes=0, spec=spec, requests=requests, budget=64)
+    return AdaptiveMemoryManager(mm, **kwargs)
+
+
+class TestAdvance:
+    def test_initial_state_all_on_gpu(self):
+        manager = make_manager()
+        assert manager.layers_on_cpu == 0
+        assert manager.layers_on_gpu == manager.n_layers
+
+    def test_short_sequence_triggers_nothing(self):
+        manager = make_manager(target_threshold=10**6)
+        assert manager.advance(128) == []
+
+    def test_offloads_trailing_layers_first(self):
+        manager = make_manager()
+        thresholds = manager.thresholds()
+        events = manager.advance(thresholds[0] + 1)
+        assert events
+        assert events[0].layer == manager.n_layers - 1  # the last layer first
+
+    def test_progressive_offload_as_length_grows(self):
+        manager = make_manager()
+        thresholds = manager.thresholds()
+        seen_layers = []
+        for seq in range(1, max(thresholds) + 2):
+            for event in manager.advance(seq):
+                seen_layers.append(event.layer)
+        # Layers leave in strictly descending order (L-1, L-2, ...).
+        assert seen_layers == sorted(seen_layers, reverse=True)
+
+    def test_advance_is_idempotent_at_fixed_length(self):
+        manager = make_manager()
+        seq = manager.thresholds()[0] + 1
+        manager.advance(seq)
+        assert manager.advance(seq) == []
+
+    def test_required_offloads_matches_advance(self):
+        manager = make_manager()
+        seq = manager.thresholds()[1] + 1
+        expected = manager.required_offloads(seq)
+        manager.advance(seq)
+        assert manager.layers_on_cpu == expected
+
+    def test_layer_tier_tracks_offloads(self):
+        manager = make_manager()
+        seq = manager.thresholds()[0] + 1
+        manager.advance(seq)
+        last = manager.n_layers - 1
+        assert manager.layer_tier(last) is MemoryTier.CPU
+        assert manager.layer_tier(0) is MemoryTier.GPU
+
+    def test_never_offloads_beyond_all_layers(self):
+        manager = make_manager()
+        manager.advance(10**9)
+        assert manager.layers_on_cpu == manager.n_layers
+
+    def test_events_report_freed_bytes(self):
+        manager = make_manager()
+        events = manager.advance(manager.thresholds()[0] + 1)
+        assert all(e.bytes_freed > 0 for e in events)
+
+
+class TestWithStores:
+    def test_offload_evicts_store_payload(self):
+        config = tiny_test_config(n_layers=4)
+        stores = [
+            TieredKVStore(config.n_kv_heads, config.head_dim)
+            for _ in range(config.n_layers)
+        ]
+        rng = np.random.default_rng(0)
+        n_tokens = 32
+        for store in stores:
+            kv = rng.standard_normal(
+                (config.n_kv_heads, n_tokens, config.head_dim)
+            )
+            store.append(kv, kv.copy(), MemoryTier.GPU)
+        manager = make_manager(stores=stores)
+        events = manager.advance(manager.thresholds()[0] + 1)
+        assert events
+        for event in events:
+            assert stores[event.layer].gpu_bytes() == 0
+            assert event.bytes_freed > 0

@@ -1,0 +1,125 @@
+"""Tests for the theoretical memory model and Algorithm 1 (paper Sec. 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory_model import KV_COEFF, RUNTIME_OVERHEAD, MemoryModel
+from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060_4GB, HardwareSpec
+from repro.models.config import EDGE_LIKE_1B, LLAMA_LIKE_8B
+from repro.utils.units import GB
+
+
+def model(spec=CLOUD_A800, requests=1, budget=2048, config=LLAMA_LIKE_8B):
+    return MemoryModel(config, dlm_bytes=120 * 10**6, spec=spec,
+                       requests=requests, budget=budget)
+
+
+class TestEquations:
+    def test_requests_must_be_positive(self):
+        with pytest.raises(ValueError):
+            model(requests=0)
+
+    def test_m_all_matches_eq6(self):
+        mm = model(requests=2)
+        cfg = LLAMA_LIKE_8B
+        seq = 4096
+        expected_weights = RUNTIME_OVERHEAD * (cfg.parameter_bytes() + 120e6)
+        expected_kv = (
+            KV_COEFF * 2 * (cfg.n_layers + 1 + cfg.group_size)
+            * seq * cfg.n_kv_heads * cfg.head_dim
+        )
+        breakdown = mm.m_all(seq)
+        assert breakdown.weights == pytest.approx(expected_weights)
+        assert breakdown.kv_gpu == pytest.approx(expected_kv)
+
+    def test_m_part_all_layers_equals_m_all(self):
+        mm = model()
+        seq = 8192
+        assert mm.m_part(seq, LLAMA_LIKE_8B.n_layers).total == pytest.approx(
+            mm.m_all(seq).total
+        )
+
+    def test_m_part_rejects_invalid_layer_count(self):
+        mm = model()
+        with pytest.raises(ValueError):
+            mm.m_part(1024, LLAMA_LIKE_8B.n_layers + 1)
+        with pytest.raises(ValueError):
+            mm.m_part(1024, -1)
+
+    def test_offloading_reduces_gpu_footprint(self):
+        mm = model()
+        seq = 65536
+        full = mm.m_part(seq, LLAMA_LIKE_8B.n_layers).total
+        half = mm.m_part(seq, LLAMA_LIKE_8B.n_layers // 2).total
+        none = mm.m_part(seq, 0).total
+        assert full > half > none
+
+
+class TestPlacement:
+    def test_max_layers_decreases_with_length(self):
+        mm = model(requests=4)
+        layers = [mm.max_layers_on_gpu(s) for s in (4096, 32768, 131072)]
+        assert layers == sorted(layers, reverse=True)
+
+    def test_short_context_fits_everything(self):
+        mm = model()
+        assert mm.max_layers_on_gpu(1024) == LLAMA_LIKE_8B.n_layers
+        assert mm.fits_all_on_gpu(1024)
+
+    def test_oom_returns_minus_one(self):
+        tiny = HardwareSpec(
+            name="tiny", gpu_memory_bytes=1 * GB, cpu_memory_bytes=64 * GB,
+            gpu_flops=1e12, gpu_bandwidth=1e11, pcie_bandwidth=1e9,
+        )
+        mm = model(spec=tiny)
+        assert mm.max_layers_on_gpu(8192) == -1
+
+    def test_edge_model_fits_on_capped_gpu_with_offload(self):
+        mm = model(spec=EDGE_RTX4060_4GB, config=EDGE_LIKE_1B, budget=2048)
+        assert mm.max_layers_on_gpu(32768) >= 0
+
+
+class TestAlgorithm1:
+    def test_threshold_list_length(self):
+        thresholds = model().sequence_thresholds()
+        assert len(thresholds) == LLAMA_LIKE_8B.n_layers + 1
+
+    def test_thresholds_consistent_with_m_part(self):
+        """At S_T[i], placing L-i layers on GPU fits; at S_T[i]+1 it doesn't."""
+        mm = model(requests=4)
+        mem = CLOUD_A800.gpu_memory_bytes
+        thresholds = mm.sequence_thresholds()
+        layers = LLAMA_LIKE_8B.n_layers
+        for i in (0, 1, layers // 2, layers):
+            s = thresholds[i]
+            if s == 0:
+                continue
+            assert mm.m_part(s, layers - i).total <= mem
+            assert mm.m_part(s + 2, layers - i).total > mem
+
+    @given(
+        requests=st.integers(1, 16),
+        budget=st.sampled_from([512, 1024, 2048, 4096]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_thresholds_monotone_nondecreasing(self, requests, budget):
+        """Offloading more layers can only admit longer sequences."""
+        mm = model(requests=requests, budget=budget)
+        thresholds = mm.sequence_thresholds()
+        positive = [t for t in thresholds if t > 0]
+        assert positive == sorted(positive)
+
+    @given(
+        seq=st.integers(256, 200_000),
+        requests=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chosen_placement_never_exceeds_memory(self, seq, requests):
+        """Eq. 8's argmax placement always satisfies its own constraint."""
+        mm = model(requests=requests)
+        layers = mm.max_layers_on_gpu(seq)
+        if layers >= 0:
+            assert mm.m_part(seq, layers).total <= CLOUD_A800.gpu_memory_bytes

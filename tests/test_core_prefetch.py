@@ -1,0 +1,92 @@
+"""Tests for the asynchronous prefetch dataflows (paper Sec. 5, Fig. 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prefetch import AsyncPrefetcher, DataflowKind
+from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060
+
+
+@pytest.fixture
+def prefetcher():
+    return AsyncPrefetcher(CLOUD_A800)
+
+
+def timings(prefetcher, kind, n_layers=8, compute_ms=1.0, bytes_per_layer=50e6,
+            retrieval_ms=0.2, pre_ms=0.3):
+    return prefetcher.step_timings(
+        kind,
+        [compute_ms * 1e-3] * n_layers,
+        [bytes_per_layer] * n_layers,
+        retrieval_s_per_layer=retrieval_ms * 1e-3,
+        pre_retrieval_s=pre_ms * 1e-3,
+    )
+
+
+class TestDataflows:
+    def test_layer_lists_must_match(self, prefetcher):
+        with pytest.raises(ValueError):
+            prefetcher.step_timings(DataflowKind.SYNC_FETCH, [1.0], [1.0, 2.0])
+
+    def test_sync_fetch_serializes_everything(self, prefetcher):
+        t = timings(prefetcher, DataflowKind.SYNC_FETCH)
+        # No overlap: total >= compute + transfer + retrieval.
+        assert t.total_s >= t.compute_s + t.transfer_s + t.retrieval_s
+
+    def test_elastic_prefetch_overlaps_transfer(self, prefetcher):
+        sync = timings(prefetcher, DataflowKind.SYNC_FETCH)
+        elastic = timings(prefetcher, DataflowKind.ELASTIC_PREFETCH)
+        assert elastic.total_s < sync.total_s
+
+    def test_elastic_hides_transfer_behind_compute(self, prefetcher):
+        """With small transfers, the step is compute-bound plus the head."""
+        t = timings(prefetcher, DataflowKind.ELASTIC_PREFETCH,
+                    bytes_per_layer=1e4)
+        assert t.total_s == pytest.approx(
+            t.compute_s + t.retrieval_s, rel=0.05
+        )
+
+    def test_async_prefetch_beats_sync(self, prefetcher):
+        sync = timings(prefetcher, DataflowKind.SYNC_FETCH)
+        asyn = timings(prefetcher, DataflowKind.ASYNC_PREFETCH)
+        assert asyn.total_s <= sync.total_s
+
+    def test_full_prefetch_transfer_on_critical_path(self, prefetcher):
+        t = timings(prefetcher, DataflowKind.FULL_PREFETCH, bytes_per_layer=500e6)
+        assert t.total_s >= t.transfer_s
+
+    def test_ordering_of_the_five_dataflows(self, prefetcher):
+        """Elastic <= async/value <= sync for identical inputs."""
+        results = {
+            kind: timings(prefetcher, kind).total_s for kind in DataflowKind
+        }
+        assert results[DataflowKind.ELASTIC_PREFETCH] <= results[DataflowKind.ASYNC_PREFETCH]
+        assert results[DataflowKind.ASYNC_PREFETCH] <= results[DataflowKind.SYNC_FETCH]
+
+    def test_sync_overhead_scales_with_depth(self, prefetcher):
+        """Challenge 1: per-layer sync cost grows linearly with model depth."""
+        shallow = timings(prefetcher, DataflowKind.SYNC_FETCH, n_layers=4)
+        deep = timings(prefetcher, DataflowKind.SYNC_FETCH, n_layers=16)
+        assert deep.sync_s == pytest.approx(4 * shallow.sync_s)
+        assert deep.retrieval_s == pytest.approx(4 * shallow.retrieval_s)
+
+    def test_overhead_fraction_bounds(self, prefetcher):
+        t = timings(prefetcher, DataflowKind.SYNC_FETCH)
+        assert 0.0 <= t.overhead_fraction < 1.0
+
+    def test_zero_transfer_keeps_flows_close(self, prefetcher):
+        """Without transfers, every dataflow is compute (+retrieval) bound."""
+        for kind in (DataflowKind.FULL_PREFETCH, DataflowKind.ELASTIC_PREFETCH):
+            t = timings(prefetcher, kind, bytes_per_layer=0.0, retrieval_ms=0.0,
+                        pre_ms=0.0)
+            assert t.total_s == pytest.approx(t.compute_s, rel=0.05)
+
+
+class TestHardwareSensitivity:
+    def test_slower_pcie_hurts_sync_more(self):
+        cloud = AsyncPrefetcher(CLOUD_A800)
+        edge = AsyncPrefetcher(EDGE_RTX4060)
+        cloud_t = timings(cloud, DataflowKind.SYNC_FETCH)
+        edge_t = timings(edge, DataflowKind.SYNC_FETCH)
+        assert edge_t.transfer_s > cloud_t.transfer_s

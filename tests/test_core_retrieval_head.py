@@ -1,0 +1,230 @@
+"""Tests for the lightweight retrieval head (paper Sec. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.retrieval_head import (
+    LightweightRetrievalHead,
+    RetrievalHeadConfig,
+    SpeContextPolicy,
+)
+from repro.distill.dlm import full_dlm_analog
+from repro.models import AttentionKind
+
+
+def make_head(model, tokenizer, noise=0.15, **kwargs):
+    config = RetrievalHeadConfig(noise=noise, **kwargs)
+    return LightweightRetrievalHead.from_teacher(
+        model.weights, tokenizer.bos_id, np.random.default_rng(3), config=config
+    )
+
+
+class TestConstruction:
+    def test_head_count_matches_teacher_q_heads(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        assert head.n_heads == tiny_gqa_model.config.n_q_heads
+
+    def test_mla_head_count_matches_q_heads(self, tiny_mla_model, tiny_tokenizer):
+        head = make_head(tiny_mla_model, tiny_tokenizer)
+        assert head.n_heads == tiny_mla_model.config.n_q_heads
+
+    def test_parameter_reduction_exceeds_90_percent(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        dlm = full_dlm_analog(tiny_gqa_model.config)
+        reduction = 1.0 - head.parameter_count() / dlm.total_params()
+        assert reduction > 0.90
+
+    def test_shared_embedding_not_counted_by_default(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        marginal = head.parameter_count()
+        with_embedding = head.parameter_count(include_shared_embedding=True)
+        assert with_embedding - marginal == head.content.size
+
+
+class TestKCache:
+    def test_observe_extends_cache(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe([1, 2, 3])
+        head.observe(7)
+        assert len(head) == 4
+
+    def test_reset_clears_cache(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe([1, 2, 3])
+        head.reset()
+        assert len(head) == 0
+
+    def test_k_cache_bytes_grow_linearly(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(10)))
+        ten = head.k_cache_bytes()
+        head.observe(list(range(10)))
+        assert head.k_cache_bytes() == 2 * ten
+
+    def test_chunked_observe_equals_single_observe(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Deterministic-role keys are chunking-invariant (noise heads draw
+        from a stream, so they are excluded)."""
+        a = make_head(tiny_gqa_model, tiny_tokenizer)
+        b = make_head(tiny_gqa_model, tiny_tokenizer)
+        ids = list(range(10, 40))
+        a.observe(ids)
+        b.observe(ids[:13])
+        b.observe(ids[13:])
+        for h, role in enumerate(a.roles):
+            if role != "noise":
+                np.testing.assert_allclose(a._keys[h], b._keys[h], rtol=1e-5)
+
+    def test_scoring_empty_cache_raises(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        with pytest.raises(RuntimeError):
+            head.attention_weights(5)
+
+
+class TestSelection:
+    def test_attention_weights_normalized(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        weights = head.attention_weights(10)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_head_level_shape_gqa(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        sel = head.select(10, budget=16, level="head")
+        assert sel.shape == (tiny_gqa_model.config.n_kv_heads, 16)
+
+    def test_head_level_shape_mha(self, tiny_mha_model, tiny_tokenizer):
+        head = make_head(tiny_mha_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        sel = head.select(10, budget=16, level="head")
+        assert sel.shape == (tiny_mha_model.config.n_q_heads, 16)
+
+    def test_head_level_shape_mqa(self, tiny_mqa_model, tiny_tokenizer):
+        head = make_head(tiny_mqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        sel = head.select(10, budget=16, level="head")
+        assert sel.shape == (1, 16)
+
+    def test_head_level_shape_mla(self, tiny_mla_model, tiny_tokenizer):
+        head = make_head(tiny_mla_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        sel = head.select(10, budget=16, level="head")
+        assert sel.shape == (tiny_mla_model.config.n_q_heads, 16)
+
+    def test_batch_level_shares_one_set(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 120)))
+        sel = head.select(10, budget=16, level="batch")
+        for row in sel[1:]:
+            np.testing.assert_array_equal(row, sel[0])
+
+    def test_budget_capped_by_sequence(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 28)))
+        sel = head.select(10, budget=999)
+        assert sel.shape[1] == 20
+
+    def test_selection_indices_in_range_and_unique(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 208)))
+        sel = head.select(10, budget=32)
+        assert sel.min() >= 0 and sel.max() < 200
+        for row in sel:
+            assert len(np.unique(row)) == row.size
+
+    def test_sink_and_recent_positions_pinned(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer, always_sink=1, always_recent=2)
+        head.observe(list(range(8, 208)))
+        sel = head.select(10, budget=16)
+        for row in sel:
+            assert 0 in row  # attention sink
+            assert 198 in row and 199 in row  # the two most recent tokens
+
+    def test_unknown_level_raises(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 40)))
+        with pytest.raises(ValueError):
+            head.select(10, budget=8, level="token")
+
+    def test_selection_finds_planted_evidence(self, tiny_gqa_model, tiny_tokenizer):
+        """The induction-role heads must rank the value after a repeated key."""
+        rng = np.random.default_rng(5)
+        head = make_head(tiny_gqa_model, tiny_tokenizer, noise=0.1)
+        key, value = (
+            int(t) for t in tiny_tokenizer.random_content_ids(rng, 2)
+        )
+        filler = [int(t) for t in tiny_tokenizer.random_filler_ids(rng, 100)]
+        ids = filler[:50] + [key, value] + filler[50:]
+        head.observe(ids)
+        sel = head.select(key, budget=8, level="head")
+        value_pos = 51
+        induction_rows = [
+            i for i, role in enumerate(head.roles) if role == "induction"
+        ]
+        cfg = tiny_gqa_model.config
+        group = cfg.group_size
+        kv_rows = {r // group for r in induction_rows}
+        assert any(value_pos in sel[r] for r in kv_rows)
+
+
+class TestGroupReduction:
+    def test_gqa_group_max(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        head.observe(list(range(8, 72)))
+        full = head.attention_weights(9)
+        reduced = head.group_reduced_weights(9)
+        cfg = tiny_gqa_model.config
+        assert reduced.shape == (cfg.n_kv_heads, 64)
+        manual = full.reshape(cfg.n_kv_heads, cfg.group_size, -1).max(axis=1)
+        np.testing.assert_allclose(reduced, manual)
+
+    def test_mha_no_reduction(self, tiny_mha_model, tiny_tokenizer):
+        head = make_head(tiny_mha_model, tiny_tokenizer)
+        head.observe(list(range(8, 72)))
+        assert head.group_reduced_weights(9).shape[0] == head.n_heads
+
+
+class TestPolicy:
+    def test_policy_requires_positive_budget(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        with pytest.raises(ValueError):
+            SpeContextPolicy(head, budget=0)
+
+    def test_policy_full_attention_below_budget(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        policy = SpeContextPolicy(head, budget=64)
+        cache = tiny_gqa_model.new_cache()
+        policy.begin_generation(np.arange(8, 24), cache)
+        policy.pre_step(0, 9, cache)
+        assert policy.select(0, None, 16, None) is None
+
+    def test_policy_selects_above_budget(self, tiny_gqa_model, tiny_tokenizer):
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        policy = SpeContextPolicy(head, budget=16)
+        cache = tiny_gqa_model.new_cache()
+        policy.begin_generation(np.arange(8, 108), cache)
+        policy.pre_step(0, 9, cache)
+        selection = policy.select(0, None, 100, None)
+        assert selection is not None and selection.shape[1] == 16
+        assert len(policy.selection_history) == 1
+
+    def test_same_selection_used_for_all_layers(self, tiny_gqa_model, tiny_tokenizer):
+        """The paradigm shift: selection is global, not per-layer."""
+        head = make_head(tiny_gqa_model, tiny_tokenizer)
+        policy = SpeContextPolicy(head, budget=16)
+        cache = tiny_gqa_model.new_cache()
+        policy.begin_generation(np.arange(8, 108), cache)
+        policy.pre_step(0, 9, cache)
+        first = policy.select(0, None, 100, None)
+        for layer in range(1, 4):
+            np.testing.assert_array_equal(first, policy.select(layer, None, 100, None))

@@ -1,0 +1,83 @@
+"""Smoke tests: every experiment runs in quick mode and emits the expected
+row structure; the CLI resolves and prints them."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, registry
+from repro.experiments.runner import main
+
+warnings.filterwarnings("ignore", message="One of the clusters is empty")
+
+EXPECTED_IDS = {
+    "ablation-distill", "fig01", "fig02", "fig05", "fig06", "fig08",
+    "fig09", "fig10", "fig11", "overhead", "table3",
+}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(registry()) == EXPECTED_IDS
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.common import register
+
+        with pytest.raises(ValueError):
+            register("fig01")(lambda quick=False, seed=0: None)
+
+
+# Structural expectations per experiment (header subset, min rows).
+STRUCTURE = {
+    "ablation-distill": (["Head noise", "Full Attn"], 2),
+    "fig01": (["Engine", "acc(input)", "thpt(reasoning)"], 8),
+    "fig02": (["Part", "Setting", "Value"], 5),
+    "fig05": (["Metric", "Level"], 4),
+    "fig06": (["Part", "KV budget", "Value"], 6),
+    "fig08": (["Task", "Engine"], 20),
+    "fig09": (["Model", "Engine", "Average"], 5),
+    "fig10": (["Scenario", "Engine"], 10),
+    "fig11": (["[In, Out]", "HF", "Final speedup"], 4),
+    "overhead": (["Teacher", "Reduction"], 3),
+    "table3": (["Model", "[In, Out]", "Ours"], 8),
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+def test_experiment_quick_run(experiment_id):
+    result = registry()[experiment_id](quick=True, seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+
+    headers, min_rows = STRUCTURE[experiment_id]
+    for header in headers:
+        assert header in result.headers
+    assert len(result.rows) >= min_rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+
+    # format() renders without error and includes the title.
+    text = result.format()
+    assert result.title.splitlines()[0] in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figXX"]) == 2
+
+    def test_run_one(self, capsys):
+        assert main(["overhead", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Sec. 7.4" in out
+
+    def test_column_accessor(self):
+        result = registry()["overhead"](quick=True)
+        reductions = result.column("Reduction")
+        assert len(reductions) == len(result.rows)

@@ -1,0 +1,285 @@
+"""Tests for the KV-cache substrate: dense, paged, tiered, slot buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import MemoryTier
+from repro.kvcache import (
+    GpuSlotBuffer,
+    LayerKVCache,
+    ModelKVCache,
+    PagedKVCache,
+    TieredKVStore,
+)
+
+
+def _kv(n, heads=2, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((1, heads, n, dim)),
+        rng.standard_normal((1, heads, n, dim)),
+    )
+
+
+class TestLayerKVCache:
+    def test_append_and_len(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(5)
+        cache.append(k, v)
+        assert len(cache) == 5
+        np.testing.assert_array_equal(cache.keys, k)
+
+    def test_append_grows_capacity(self):
+        cache = LayerKVCache(1, 2, 4, capacity=2)
+        for i in range(10):
+            k, v = _kv(3, seed=i)
+            cache.append(k, v)
+        assert len(cache) == 30
+
+    def test_append_shape_mismatch_rejected(self):
+        cache = LayerKVCache(1, 2, 4)
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((1, 3, 2, 4)), np.zeros((1, 3, 2, 4)))
+
+    def test_gather_1d(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(8)
+        cache.append(k, v)
+        ks, vs = cache.gather(np.array([1, 5]))
+        np.testing.assert_array_equal(ks[0, :, 0], k[0, :, 1])
+        np.testing.assert_array_equal(vs[0, :, 1], v[0, :, 5])
+
+    def test_gather_head_level(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(8)
+        cache.append(k, v)
+        idx = np.array([[0, 1], [6, 7]])
+        ks, _ = cache.gather(idx)
+        np.testing.assert_array_equal(ks[0, 0, 0], k[0, 0, 0])
+        np.testing.assert_array_equal(ks[0, 1, 1], k[0, 1, 7])
+
+    def test_gather_out_of_range(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(3)
+        cache.append(k, v)
+        with pytest.raises(IndexError):
+            cache.gather(np.array([3]))
+
+    def test_truncate(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(6)
+        cache.append(k, v)
+        cache.truncate(2)
+        assert len(cache) == 2
+
+    def test_nbytes(self):
+        cache = LayerKVCache(1, 2, 4)
+        k, v = _kv(10)
+        cache.append(k, v)
+        assert cache.nbytes() == 2 * 1 * 2 * 10 * 4 * 2
+
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_append_preserves_prefix(self, chunks):
+        cache = LayerKVCache(1, 1, 2, capacity=1)
+        all_k = []
+        for i, n in enumerate(chunks):
+            rng = np.random.default_rng(i)
+            k = rng.standard_normal((1, 1, n, 2))
+            cache.append(k, k)
+            all_k.append(k)
+        expected = np.concatenate(all_k, axis=2)
+        np.testing.assert_array_equal(cache.keys, expected)
+
+
+class TestModelKVCache:
+    def test_seq_len_consistent(self):
+        cache = ModelKVCache(3, 1, 2, 4)
+        k, v = _kv(4)
+        for layer in range(3):
+            cache[layer].append(k, v)
+        assert cache.seq_len == 4
+        assert len(cache) == 3
+
+    def test_nbytes_sums_layers(self):
+        cache = ModelKVCache(2, 1, 2, 4)
+        k, v = _kv(5)
+        cache[0].append(k, v)
+        cache[1].append(k, v)
+        assert cache.nbytes() == 2 * cache[0].nbytes()
+
+
+class TestPagedKVCache:
+    def _filled(self, n=40, page_size=8):
+        cache = PagedKVCache(n_kv_heads=2, head_dim=4, page_size=page_size)
+        rng = np.random.default_rng(0)
+        cache.append(rng.standard_normal((2, n, 4)), rng.standard_normal((2, n, 4)))
+        return cache
+
+    def test_page_count(self):
+        assert self._filled(40, 8).n_pages == 5
+        assert self._filled(41, 8).n_pages == 6
+
+    def test_page_metadata_bounds_keys(self):
+        cache = self._filled()
+        meta = cache.page(2)
+        chunk_k, _ = cache.gather(np.arange(meta.start, meta.start + meta.length))
+        assert np.all(chunk_k >= meta.key_min[:, None, :] - 1e-12)
+        assert np.all(chunk_k <= meta.key_max[:, None, :] + 1e-12)
+
+    def test_upper_bound_dominates_true_scores(self):
+        """Quest's invariant: page bound >= any member key's dot product."""
+        cache = self._filled()
+        rng = np.random.default_rng(1)
+        query = rng.standard_normal((2, 4))
+        bounds = cache.page_upper_bounds(query)
+        for p in range(cache.n_pages):
+            meta = cache.page(p)
+            keys, _ = cache.gather(np.arange(meta.start, meta.start + meta.length))
+            true = np.einsum("hd,hnd->hn", query, keys)
+            assert np.all(true.max(axis=1) <= bounds[:, p] + 1e-9)
+
+    def test_tokens_of_pages(self):
+        cache = self._filled(20, 8)
+        tokens = cache.tokens_of_pages(np.array([0, 2]))
+        assert list(tokens) == list(range(8)) + list(range(16, 20))
+
+    def test_bad_page_index(self):
+        with pytest.raises(IndexError):
+            self._filled().page(99)
+
+
+class TestTieredKVStore:
+    def _store(self, n=16):
+        store = TieredKVStore(n_kv_heads=2, head_dim=4)
+        rng = np.random.default_rng(0)
+        store.append(
+            rng.standard_normal((2, n, 4)), rng.standard_normal((2, n, 4)), MemoryTier.CPU
+        )
+        return store
+
+    def test_fetch_charges_only_missing(self):
+        store = self._store()
+        moved1 = store.fetch_to_gpu(np.array([0, 1, 2]))
+        assert moved1 == 3 * store.bytes_per_token
+        moved2 = store.fetch_to_gpu(np.array([1, 2, 3]))
+        assert moved2 == 1 * store.bytes_per_token
+
+    def test_gather_requires_residency(self):
+        store = self._store()
+        with pytest.raises(RuntimeError):
+            store.gather(np.array([0]))
+        store.fetch_to_gpu(np.array([0]))
+        k, v = store.gather(np.array([0]))
+        assert k.shape == (2, 1, 4)
+
+    def test_evict_frees_gpu(self):
+        store = self._store()
+        store.fetch_to_gpu(np.array([0, 1]))
+        freed = store.evict_from_gpu(np.array([0]))
+        assert freed == store.bytes_per_token
+        assert store.gpu_resident == frozenset({1})
+
+    def test_append_on_gpu_no_traffic(self):
+        store = TieredKVStore(2, 4)
+        store.append(np.zeros((2, 3, 4)), np.zeros((2, 3, 4)), MemoryTier.GPU)
+        assert store.ledger.total_bytes == 0
+        assert store.gpu_resident == frozenset({0, 1, 2})
+
+    def test_append_on_cpu_charges_writeback(self):
+        store = TieredKVStore(2, 4)
+        store.append(np.zeros((2, 3, 4)), np.zeros((2, 3, 4)), MemoryTier.CPU)
+        assert store.ledger.d2h_bytes == 3 * store.bytes_per_token
+
+    def test_evict_all(self):
+        store = self._store()
+        store.fetch_to_gpu(np.arange(8))
+        freed = store.evict_all()
+        assert freed == 8 * store.bytes_per_token
+        assert store.gpu_bytes() == 0
+
+    def test_fetch_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._store(4).fetch_to_gpu(np.array([10]))
+
+    @given(st.lists(st.sets(st.integers(0, 15), min_size=1, max_size=10), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_traffic_counts_unique_misses(self, selections):
+        """Total h2d bytes == unique first-touches, under fetch-only workload."""
+        store = self._store(16)
+        seen = set()
+        for sel in selections:
+            store.fetch_to_gpu(np.array(sorted(sel)))
+            seen |= sel
+        assert store.ledger.h2d_bytes == len(seen) * store.bytes_per_token
+
+
+class TestGpuSlotBuffer:
+    def _fetch(self, token):
+        k = np.full((2, 4), float(token))
+        return k, -k
+
+    def test_update_loads_and_evicts(self):
+        buf = GpuSlotBuffer(budget=4, n_kv_heads=2, head_dim=4)
+        loaded, evicted = buf.update(np.array([1, 2, 3]), self._fetch)
+        assert (loaded, evicted) == (3, 0)
+        loaded, evicted = buf.update(np.array([2, 3, 4]), self._fetch)
+        assert (loaded, evicted) == (1, 1)
+        assert buf.resident_tokens == frozenset({2, 3, 4})
+
+    def test_gather_returns_payload(self):
+        buf = GpuSlotBuffer(4, 2, 4)
+        buf.update(np.array([7, 9]), self._fetch)
+        k, v = buf.gather(np.array([9, 7]))
+        assert k.shape == (2, 2, 4)
+        np.testing.assert_array_equal(k[:, 0, :], np.full((2, 4), 9.0))
+        np.testing.assert_array_equal(v[:, 1, :], np.full((2, 4), -7.0))
+
+    def test_gather_missing_token(self):
+        buf = GpuSlotBuffer(2, 2, 4)
+        buf.update(np.array([0]), self._fetch)
+        with pytest.raises(KeyError):
+            buf.gather(np.array([5]))
+
+    def test_over_budget_rejected(self):
+        buf = GpuSlotBuffer(2, 2, 4)
+        with pytest.raises(ValueError):
+            buf.update(np.array([0, 1, 2]), self._fetch)
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_residency_equals_selection(self, selections):
+        """Invariant from DESIGN.md: after update, residents == S_now."""
+        buf = GpuSlotBuffer(budget=8, n_kv_heads=1, head_dim=2)
+        fetch = lambda t: (np.full((1, 2), float(t)), np.full((1, 2), float(t)))
+        for sel in selections:
+            buf.update(np.array(sorted(sel)), fetch)
+            assert buf.resident_tokens == frozenset(sel)
+            k, _ = buf.gather(np.array(sorted(sel)))
+            np.testing.assert_array_equal(k[0, :, 0], np.array(sorted(sel), dtype=float))
+
+    @given(
+        st.sets(st.integers(0, 40), min_size=4, max_size=8),
+        st.sets(st.integers(0, 40), min_size=4, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_fixed_budget_symmetric_diff(self, s_last, s_now):
+        """|S_last| == |S_now| implies loads == evictions (Sec. 5.4)."""
+        size = min(len(s_last), len(s_now))
+        s_last = set(sorted(s_last)[:size])
+        s_now = set(sorted(s_now)[:size])
+        buf = GpuSlotBuffer(budget=8, n_kv_heads=1, head_dim=2)
+        fetch = lambda t: (np.zeros((1, 2)), np.zeros((1, 2)))
+        buf.update(np.array(sorted(s_last)), fetch)
+        loaded, evicted = buf.update(np.array(sorted(s_now)), fetch)
+        assert loaded == len(s_now - s_last)
+        assert evicted == len(s_last - s_now)
+        assert loaded == evicted

@@ -1,0 +1,136 @@
+"""Tests for the attention module's sparse-decode paths.
+
+The correctness contract behind every accuracy experiment: decoding with a
+selection that covers the whole cache must equal full attention, for every
+attention family and for both 1-D (shared) and 2-D (per-head) selections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.config import AttentionKind
+
+
+MODELS = ["tiny_mha_model", "tiny_gqa_model", "tiny_mqa_model", "tiny_mla_model"]
+
+
+class _FixedSelection:
+    """SelectionPolicy returning one fixed index array for every layer."""
+
+    def __init__(self, selection):
+        self.selection = selection
+
+    def begin_generation(self, prompt_ids, cache):
+        pass
+
+    def pre_step(self, step, token_id, cache):
+        pass
+
+    def select(self, layer, hidden, position, cache):
+        return self.selection
+
+
+def _prompt(tokenizer, rng, n=64):
+    ids = [tokenizer.bos_id]
+    ids += [int(t) for t in tokenizer.random_filler_ids(rng, n - 2)]
+    ids += [int(tokenizer.random_content_ids(rng, 1)[0])]
+    return np.array(ids)
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+class TestSelectionEquivalence:
+    def test_full_coverage_selection_equals_full_attention(
+        self, model_name, request, tiny_tokenizer
+    ):
+        model = request.getfixturevalue(model_name)
+        rng = np.random.default_rng(51)
+        prompt = _prompt(tiny_tokenizer, rng)
+
+        cache_full = model.new_cache()
+        model.prefill(prompt, cache_full)
+        logits_full, _, _ = model.decode_step(7, cache_full)
+
+        cache_sel = model.new_cache()
+        model.prefill(prompt, cache_sel)
+        everything = np.arange(cache_sel.seq_len + 1)  # includes the new token
+        policy = _FixedSelection(everything)
+        logits_sel, selections, _ = model.decode_step(7, cache_sel, policy=policy)
+
+        np.testing.assert_allclose(logits_sel, logits_full, rtol=1e-4, atol=1e-5)
+        assert selections  # the policy was consulted
+
+    def test_per_head_full_coverage_equals_full(
+        self, model_name, request, tiny_tokenizer
+    ):
+        model = request.getfixturevalue(model_name)
+        rng = np.random.default_rng(52)
+        prompt = _prompt(tiny_tokenizer, rng)
+
+        cache_full = model.new_cache()
+        model.prefill(prompt, cache_full)
+        logits_full, _, _ = model.decode_step(9, cache_full)
+
+        cache_sel = model.new_cache()
+        model.prefill(prompt, cache_sel)
+        if model.config.attention is AttentionKind.MLA:
+            n_sel_heads = model.config.n_q_heads
+        else:
+            n_sel_heads = model.config.n_kv_heads
+        everything = np.arange(cache_sel.seq_len + 1)
+        selection = np.broadcast_to(
+            everything, (n_sel_heads, everything.size)
+        ).copy()
+        logits_sel, _, _ = model.decode_step(
+            9, cache_sel, policy=_FixedSelection(selection)
+        )
+        np.testing.assert_allclose(logits_sel, logits_full, rtol=1e-4, atol=1e-5)
+
+    def test_partial_selection_changes_logits(
+        self, model_name, request, tiny_tokenizer
+    ):
+        """Dropping most of the cache must change the output distribution
+        (otherwise the sparsity experiments measure nothing)."""
+        model = request.getfixturevalue(model_name)
+        rng = np.random.default_rng(53)
+        prompt = _prompt(tiny_tokenizer, rng, n=96)
+
+        cache_full = model.new_cache()
+        model.prefill(prompt, cache_full)
+        logits_full, _, _ = model.decode_step(11, cache_full)
+
+        cache_sel = model.new_cache()
+        model.prefill(prompt, cache_sel)
+        tiny_sel = np.arange(4)
+        logits_sel, _, _ = model.decode_step(
+            11, cache_sel, policy=_FixedSelection(tiny_sel)
+        )
+        assert not np.allclose(logits_sel, logits_full, rtol=1e-3)
+
+
+class TestCurrentTokenUnion:
+    def test_current_position_always_attended(self, tiny_gqa_model, tiny_tokenizer):
+        """_ensure_current: the just-appended KV pair is never dropped."""
+        rng = np.random.default_rng(54)
+        prompt = _prompt(tiny_tokenizer, rng)
+        cache = tiny_gqa_model.new_cache()
+        tiny_gqa_model.prefill(prompt, cache)
+        position = cache.seq_len
+        selection_without_current = np.arange(8)
+        _, selections, _ = tiny_gqa_model.decode_step(
+            5, cache, policy=_FixedSelection(selection_without_current)
+        )
+        for used in selections.values():
+            assert position in np.asarray(used).ravel()
+
+    def test_capture_attention_shapes(self, tiny_gqa_model, tiny_tokenizer):
+        rng = np.random.default_rng(55)
+        prompt = _prompt(tiny_tokenizer, rng)
+        cache = tiny_gqa_model.new_cache()
+        tiny_gqa_model.prefill(prompt, cache)
+        _, _, attn = tiny_gqa_model.decode_step(5, cache, capture_attention=True)
+        assert len(attn) == tiny_gqa_model.config.n_layers
+        for weights in attn:
+            assert weights.shape[0] == tiny_gqa_model.config.n_q_heads
+            np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-5)

@@ -1,0 +1,129 @@
+"""Tests for the analytic circuit construction (models/builder.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.builder import (
+    CircuitPlan,
+    build_recall_model,
+    content_dim,
+    head_roles,
+    make_content_vectors,
+)
+from repro.models.config import AttentionKind, tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+from tests.conftest import make_recall_prompt
+
+
+class TestContentVectors:
+    def test_unit_norm(self):
+        rng = np.random.default_rng(0)
+        vectors = make_content_vectors(64, 16, rng)
+        np.testing.assert_allclose(
+            np.linalg.norm(vectors, axis=1), 1.0, rtol=1e-5
+        )
+
+    def test_correlation_raises_intra_cluster_cosine(self):
+        rng = np.random.default_rng(1)
+        low = make_content_vectors(256, 32, np.random.default_rng(1), correlation=0.0)
+        high = make_content_vectors(256, 32, np.random.default_rng(1), correlation=0.8)
+
+        def mean_abs_cos(v):
+            sims = v @ v.T
+            off = sims[~np.eye(len(v), dtype=bool)]
+            return np.abs(off).mean()
+
+        assert mean_abs_cos(high) > mean_abs_cos(low)
+
+
+class TestLayout:
+    def test_content_dim_requires_circuit_layout(self):
+        config = tiny_test_config()
+        assert content_dim(config) == config.head_dim
+        bad = config.with_(d_model=config.d_model + 1)
+        with pytest.raises(ValueError):
+            content_dim(bad)
+
+    def test_head_roles_layer0_has_prev(self):
+        config = tiny_test_config()
+        roles = head_roles(config, layer=0)
+        assert roles[0] == "prev"
+        assert len(roles) == config.n_kv_heads
+
+    def test_head_roles_later_layers_have_induction(self):
+        config = tiny_test_config()
+        for layer in (1, 2, 3):
+            assert head_roles(config, layer)[0] == "induction"
+
+    def test_mla_roles_per_q_head(self):
+        config = tiny_test_config(AttentionKind.MLA)
+        assert len(head_roles(config, 1)) == config.n_q_heads
+
+    def test_vocab_mismatch_rejected(self):
+        config = tiny_test_config(vocab_size=512)
+        tokenizer = SyntheticTokenizer(256)
+        with pytest.raises(ValueError):
+            build_recall_model(config, tokenizer, np.random.default_rng(0))
+
+
+class TestCircuitFunction:
+    @pytest.mark.parametrize(
+        "attention",
+        [AttentionKind.MHA, AttentionKind.GQA, AttentionKind.MQA, AttentionKind.MLA],
+    )
+    def test_recall_works_for_every_attention_family(self, attention):
+        rng = np.random.default_rng(7)
+        tokenizer = SyntheticTokenizer(512)
+        config = tiny_test_config(attention, n_layers=2)
+        model = TransformerLM(build_recall_model(config, tokenizer, rng))
+        prompt, expected, _ = make_recall_prompt(tokenizer, rng, n_filler=200)
+        result = model.generate(prompt, 1, sparse_from_first_token=True)
+        assert result.token_ids[0] == expected
+
+    def test_chained_recall_across_decode_steps(self, tiny_tokenizer):
+        """A planted chain 'k v1 v2 v3' is followed autoregressively."""
+        rng = np.random.default_rng(8)
+        config = tiny_test_config(n_layers=2)
+        model = TransformerLM(build_recall_model(config, tiny_tokenizer, rng))
+        key, v1, v2, v3 = (
+            int(t) for t in tiny_tokenizer.random_content_ids(rng, 4)
+        )
+        filler = [int(t) for t in tiny_tokenizer.random_filler_ids(rng, 120)]
+        prompt = (
+            [tiny_tokenizer.bos_id] + filler[:60] + [key, v1, v2, v3]
+            + filler[60:] + [tiny_tokenizer.question_id, key]
+        )
+        result = model.generate(np.array(prompt), 3, sparse_from_first_token=True)
+        assert result.token_ids == [v1, v2, v3]
+
+    def test_filler_damping_disambiguates_bridges(self, tiny_tokenizer):
+        """A bridge entity followed by prose in doc A and by the answer in
+        doc B resolves to the answer (the multi-hop mechanism)."""
+        rng = np.random.default_rng(9)
+        config = tiny_test_config(n_layers=2)
+        plan = CircuitPlan(filler_logit_damping=0.35)
+        model = TransformerLM(
+            build_recall_model(config, tiny_tokenizer, rng, plan)
+        )
+        key, bridge, answer = (
+            int(t) for t in tiny_tokenizer.random_content_ids(rng, 3)
+        )
+        filler = [int(t) for t in tiny_tokenizer.random_filler_ids(rng, 140)]
+        prompt = (
+            [tiny_tokenizer.bos_id]
+            + filler[:40] + [key, bridge] + filler[40:90]
+            + [bridge, answer] + filler[90:]
+            + [tiny_tokenizer.question_id, key]
+        )
+        result = model.generate(np.array(prompt), 2, sparse_from_first_token=True)
+        assert result.token_ids == [bridge, answer]
+
+    def test_determinism_per_seed(self, tiny_tokenizer):
+        config = tiny_test_config(n_layers=2)
+        a = build_recall_model(config, tiny_tokenizer, np.random.default_rng(3))
+        b = build_recall_model(config, tiny_tokenizer, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.embedding, b.embedding)
+        np.testing.assert_array_equal(a.layers[0].wq, b.layers[0].wq)

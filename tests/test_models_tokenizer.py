@@ -1,0 +1,114 @@
+"""Tests for the synthetic tokenizer and model configs."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AttentionKind,
+    LLAMA_LIKE_8B,
+    QWEN_LIKE_8B,
+    DEEPSEEK_MLA_LIKE_8B,
+    EDGE_LIKE_1B,
+    ModelConfig,
+    SyntheticTokenizer,
+    tiny_test_config,
+)
+from repro.utils import GB
+
+
+class TestTokenizer:
+    def test_roundtrip(self):
+        tok = SyntheticTokenizer(256)
+        text = "<bos> ent0003 w0001 <q> ent0007"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_word(self):
+        tok = SyntheticTokenizer(256)
+        assert tok.encode("definitely-not-a-word") == [tok.unk_id]
+
+    def test_special_ids_distinct(self):
+        tok = SyntheticTokenizer(128)
+        ids = {tok.pad_id, tok.bos_id, tok.eos_id, tok.unk_id, tok.sep_id,
+               tok.question_id, tok.answer_id, tok.doc_id}
+        assert len(ids) == 8
+
+    def test_content_vs_filler_ranges(self):
+        tok = SyntheticTokenizer(256)
+        assert tok.is_content(tok.content_id(0))
+        assert not tok.is_content(tok.filler_id(0))
+        assert not tok.is_content(tok.bos_id)
+
+    def test_vocab_fully_covered(self):
+        tok = SyntheticTokenizer(100)
+        assert len(tok) == 100
+        # decode every id without error
+        tok.decode(list(range(100)))
+
+    def test_content_index_bounds(self):
+        tok = SyntheticTokenizer(64)
+        with pytest.raises(IndexError):
+            tok.content_id(tok.n_content)
+        with pytest.raises(IndexError):
+            tok.filler_id(-1)
+
+    def test_random_content_ids_unique(self):
+        tok = SyntheticTokenizer(512)
+        ids = tok.random_content_ids(np.random.default_rng(0), 50)
+        assert len(set(ids.tolist())) == 50
+        assert all(tok.is_content(int(i)) for i in ids)
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(4)
+
+
+class TestModelConfig:
+    def test_presets_valid(self):
+        for cfg in (LLAMA_LIKE_8B, QWEN_LIKE_8B, DEEPSEEK_MLA_LIKE_8B, EDGE_LIKE_1B):
+            assert cfg.n_layers > 0
+            assert cfg.group_size >= 1
+
+    def test_param_bytes_override(self):
+        assert LLAMA_LIKE_8B.parameter_bytes() == 16 * GB
+
+    def test_parameter_count_reasonable_for_8b(self):
+        cfg = LLAMA_LIKE_8B.with_(param_bytes=0)
+        count = cfg.parameter_count()
+        assert 6e9 < count < 9e9
+
+    def test_kv_bytes_llama_32k(self):
+        """Paper Sec. 2.2: ~4GB KV for 32K context on Llama3.1-8B."""
+        kv = LLAMA_LIKE_8B.kv_bytes(seq_len=32 * 1024)
+        assert 3.5 * GB < kv < 4.5 * GB
+
+    def test_kv_cache_width_mla_uses_latent(self):
+        assert DEEPSEEK_MLA_LIKE_8B.kv_cache_width == DEEPSEEK_MLA_LIKE_8B.mla_latent_dim
+
+    def test_mha_requires_equal_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", vocab_size=100, d_model=64, n_layers=1,
+                n_q_heads=8, n_kv_heads=4, head_dim=8, d_ff=64,
+                attention=AttentionKind.MHA,
+            )
+
+    def test_mqa_requires_single_kv_head(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", vocab_size=100, d_model=64, n_layers=1,
+                n_q_heads=8, n_kv_heads=2, head_dim=8, d_ff=64,
+                attention=AttentionKind.MQA,
+            )
+
+    def test_indivisible_groups_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="bad", vocab_size=100, d_model=64, n_layers=1,
+                n_q_heads=8, n_kv_heads=3, head_dim=8, d_ff=64,
+            )
+
+    def test_tiny_configs_all_kinds(self):
+        for kind in AttentionKind:
+            cfg = tiny_test_config(kind)
+            assert cfg.attention is kind
+            assert cfg.d_model == 3 * cfg.head_dim + 1

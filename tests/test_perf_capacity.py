@@ -1,0 +1,52 @@
+"""Tests for batch-capacity search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.spec import CLOUD_A800
+from repro.models.config import LLAMA_LIKE_8B
+from repro.perf.capacity import best_batch, max_fitting_batch
+from repro.perf.engines import FLASHINFER, HF_EAGER, QUEST, SPECONTEXT
+from repro.perf.simulate import PerfSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return PerfSimulator(LLAMA_LIKE_8B, CLOUD_A800, budget=2048)
+
+
+class TestMaxFittingBatch:
+    def test_full_attention_capped_by_kv_memory(self, sim):
+        cap = max_fitting_batch(sim, FLASHINFER, 2048, 32768)
+        assert 4 <= cap <= 16
+
+    def test_sparse_engine_fits_more(self, sim):
+        full = max_fitting_batch(sim, FLASHINFER, 2048, 32768)
+        ours = max_fitting_batch(sim, SPECONTEXT, 2048, 32768)
+        assert ours > full
+
+    def test_eager_cannot_fit_long_prompts(self, sim):
+        assert max_fitting_batch(sim, HF_EAGER, 32768, 2048) == 0
+
+    def test_single_request_engines_capped_at_one(self, sim):
+        assert max_fitting_batch(sim, QUEST, 2048, 8192) <= 1
+
+
+class TestBestBatch:
+    def test_best_batch_prefers_larger_batches(self, sim):
+        result = best_batch(sim, FLASHINFER, 2048, 8192, n_samples=6)
+        assert result.best_batch >= 8
+        assert result.tokens_per_second > 0
+        assert result.timeline is not None
+
+    def test_ours_best_batch_beats_full_attention(self, sim):
+        ours = best_batch(sim, SPECONTEXT, 2048, 16384, n_samples=6)
+        full = best_batch(sim, FLASHINFER, 2048, 16384, n_samples=6)
+        assert ours.tokens_per_second > full.tokens_per_second
+
+    def test_all_oom_flagged(self, sim):
+        result = best_batch(sim, HF_EAGER, 131072, 2048, n_samples=4)
+        assert result.all_oom
+        assert result.best_batch == 0
+        assert result.timeline is None

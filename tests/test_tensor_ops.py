@@ -1,0 +1,142 @@
+"""Tests for repro.tensor.ops, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import (
+    cross_entropy,
+    kl_divergence,
+    layer_norm,
+    linear,
+    log_softmax,
+    rms_norm,
+    silu,
+    softmax,
+    top_k_indices,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False, width=64)
+
+
+class TestSoftmax:
+    @given(arrays(np.float64, st.integers(2, 32), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_normalizes(self, x):
+        p = softmax(x)
+        assert p.shape == x.shape
+        assert np.all(p >= 0)
+        assert np.isclose(p.sum(), 1.0)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_extreme_values_stable(self):
+        p = softmax(np.array([1e4, 0.0, -1e4]))
+        assert np.isfinite(p).all()
+        assert p[0] == pytest.approx(1.0)
+
+    def test_axis(self):
+        x = np.arange(6.0).reshape(2, 3)
+        p = softmax(x, axis=0)
+        np.testing.assert_allclose(p.sum(axis=0), np.ones(3))
+
+    @given(arrays(np.float64, st.integers(2, 16), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_consistent(self, x):
+        np.testing.assert_allclose(np.exp(log_softmax(x)), softmax(x), atol=1e-10)
+
+
+class TestNorms:
+    def test_rms_norm_unit_rms(self):
+        x = np.random.default_rng(0).standard_normal((4, 32))
+        out = rms_norm(x, np.ones(32))
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, np.ones(4), atol=1e-3)
+
+    def test_rms_norm_weight_scales(self):
+        x = np.random.default_rng(1).standard_normal(16)
+        out2 = rms_norm(x, 2.0 * np.ones(16))
+        out1 = rms_norm(x, np.ones(16))
+        np.testing.assert_allclose(out2, 2.0 * out1)
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = np.random.default_rng(2).standard_normal((3, 64)) * 5 + 3
+        out = layer_norm(x, np.ones(64))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_bias(self):
+        x = np.random.default_rng(3).standard_normal(8)
+        out = layer_norm(x, np.ones(8), bias=np.full(8, 2.0))
+        np.testing.assert_allclose(out.mean(), 2.0, atol=1e-6)
+
+
+class TestActivationsAndLinear:
+    def test_silu_known_values(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+        assert silu(np.array([100.0]))[0] == pytest.approx(100.0)
+
+    def test_linear_matches_manual(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((5, 8))
+        w = rng.standard_normal((3, 8))
+        b = rng.standard_normal(3)
+        np.testing.assert_allclose(linear(x, w, b), x @ w.T + b)
+
+
+class TestDivergences:
+    def test_kl_self_zero(self):
+        logits = np.random.default_rng(5).standard_normal(16)
+        assert kl_divergence(logits, logits) == pytest.approx(0.0, abs=1e-10)
+
+    @given(
+        arrays(np.float64, 8, elements=finite_floats),
+        arrays(np.float64, 8, elements=finite_floats),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kl_nonnegative(self, p, q):
+        assert kl_divergence(p, q) >= -1e-9
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.zeros((2, 4))
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert cross_entropy(logits, np.array([1, 2])) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestTopK:
+    def test_basic(self):
+        idx = top_k_indices(np.array([0.1, 5.0, 3.0, 4.0]), 2)
+        assert list(idx) == [1, 3]
+
+    def test_k_exceeds_length(self):
+        idx = top_k_indices(np.array([2.0, 1.0]), 10)
+        assert list(idx) == [0, 1]
+
+    def test_2d_rows(self):
+        scores = np.array([[1.0, 9.0, 2.0], [7.0, 0.0, 3.0]])
+        idx = top_k_indices(scores, 1, axis=-1)
+        assert idx.shape == (2, 1)
+        assert idx[0, 0] == 1
+        assert idx[1, 0] == 0
+
+    @given(arrays(np.float64, st.integers(3, 40), elements=finite_floats), st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_contains_max(self, scores, k):
+        k = min(k, scores.size)
+        idx = top_k_indices(scores, k)
+        assert len(set(idx.tolist())) == k
+        assert scores[idx].max() == scores.max()
+
+    @given(arrays(np.float64, st.integers(5, 40), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_property_selected_dominate_rest(self, scores):
+        k = 3
+        idx = set(top_k_indices(scores, k).tolist())
+        rest = [scores[i] for i in range(scores.size) if i not in idx]
+        if rest:
+            assert min(scores[list(idx)]) >= max(rest) - 1e-12

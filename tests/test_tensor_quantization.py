@@ -1,0 +1,70 @@
+"""Tests for the per-channel quantization used by the ShadowKV baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import QuantizedTensor, dequantize, quantize_per_channel
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded_by_step(self):
+        x = np.random.default_rng(0).standard_normal((8, 64))
+        q = quantize_per_channel(x, bits=8)
+        err = np.abs(dequantize(q) - x)
+        assert np.all(err <= q.scale / 2 + 1e-9)
+
+    def test_lower_bits_coarser(self):
+        x = np.random.default_rng(1).standard_normal((4, 128))
+        err4 = np.abs(dequantize(quantize_per_channel(x, bits=4)) - x).mean()
+        err8 = np.abs(dequantize(quantize_per_channel(x, bits=8)) - x).mean()
+        assert err4 > err8
+
+    def test_constant_channel(self):
+        x = np.full((2, 16), 3.25)
+        q = quantize_per_channel(x, bits=4)
+        np.testing.assert_allclose(dequantize(q), x, atol=1e-6)
+
+    def test_codes_within_levels(self):
+        x = np.random.default_rng(2).standard_normal((4, 32)) * 100
+        q = quantize_per_channel(x, bits=4)
+        assert q.codes.min() >= 0
+        assert q.codes.max() <= 15
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_per_channel(np.zeros((2, 2)), bits=1)
+
+    def test_nbytes_smaller_than_fp16(self):
+        x = np.random.default_rng(3).standard_normal((64, 128))
+        q = quantize_per_channel(x, bits=4)
+        fp16_bytes = x.size * 2
+        assert q.nbytes < fp16_bytes
+
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=32),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+        ),
+        st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_reconstruction_within_scale(self, x, bits):
+        q = quantize_per_channel(x, bits=bits)
+        recon = dequantize(q)
+        assert np.all(np.abs(recon - x) <= q.scale + 1e-6)
+
+    def test_quantized_scores_rank_correlates(self):
+        """ShadowKV's premise: scores on 4-bit keys rank like full keys."""
+        rng = np.random.default_rng(4)
+        keys = rng.standard_normal((256, 64))
+        query = rng.standard_normal(64)
+        exact = keys @ query
+        approx = dequantize(quantize_per_channel(keys, bits=4)) @ query
+        top_exact = set(np.argsort(-exact)[:32].tolist())
+        top_approx = set(np.argsort(-approx)[:32].tolist())
+        overlap = len(top_exact & top_approx) / 32
+        assert overlap > 0.8

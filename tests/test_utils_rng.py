@@ -1,0 +1,86 @@
+"""Tests for repro.utils: rng streams, tables, units."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GB,
+    MB,
+    RngFactory,
+    bytes_to_gb,
+    format_series,
+    format_table,
+    human_bytes,
+    seeded_rng,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = seeded_rng(42).standard_normal(8)
+        b = seeded_rng(42).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_string_seeds_are_stable(self):
+        a = seeded_rng("workload").integers(0, 1000, 16)
+        b = seeded_rng("workload").integers(0, 1000, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        factory = RngFactory(7)
+        a = factory.stream("a").standard_normal(32)
+        b = factory.stream("b").standard_normal(32)
+        assert not np.allclose(a, b)
+
+    def test_factory_reproducible(self):
+        x = RngFactory(3).stream("model").standard_normal(4)
+        y = RngFactory(3).stream("model").standard_normal(4)
+        np.testing.assert_array_equal(x, y)
+
+    def test_child_namespacing(self):
+        parent = RngFactory(11)
+        c1 = parent.child("exp1").stream("data").standard_normal(4)
+        c2 = parent.child("exp2").stream("data").standard_normal(4)
+        assert not np.allclose(c1, c2)
+
+    def test_master_seed_changes_streams(self):
+        a = RngFactory(1).stream("s").standard_normal(4)
+        b = RngFactory(2).stream("s").standard_normal(4)
+        assert not np.allclose(a, b)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "val"], [["quest", 1.5], ["ours", 12.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "12.25" in lines[3] or "12.25" in text
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="Table 3")
+        assert text.splitlines()[0] == "Table 3"
+
+    def test_format_table_precision(self):
+        text = format_table(["x"], [[3.14159]], precision=1)
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_format_series_has_all_labels(self):
+        text = format_series("budget", [512, 1024], {"ours": [1.0, 2.0], "quest": [0.5, 0.6]})
+        assert "ours" in text
+        assert "quest" in text
+        assert "512" in text
+
+
+class TestUnits:
+    def test_constants(self):
+        assert GB == 1024 * MB
+
+    def test_bytes_to_gb(self):
+        assert bytes_to_gb(2 * GB) == pytest.approx(2.0)
+
+    def test_human_bytes_units(self):
+        assert human_bytes(512) == "512 B"
+        assert "KiB" in human_bytes(2048)
+        assert "MiB" in human_bytes(3 * MB)
+        assert "GiB" in human_bytes(5 * GB)

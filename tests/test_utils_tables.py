@@ -1,0 +1,40 @@
+"""Tests for the table/series formatting helpers."""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["Engine", "tok/s"], [["Ours", 12.345], ["HF", 1.0]],
+            precision=2, title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Engine" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "12.35" in text  # float rounding
+        # Every row has identical rendered width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/separator/rows align
+
+    def test_mixed_cell_types(self):
+        text = format_table(["a", "b", "c"], [[1, "x", 2.5]], precision=1)
+        assert "2.5" in text and "x" in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        text = format_series(
+            "budget", [32, 64], {"head": [0.9, 1.0], "batch": [0.5, 0.6]}
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("budget")
+        assert any(line.startswith("head") for line in lines)
+        assert any(line.startswith("batch") for line in lines)

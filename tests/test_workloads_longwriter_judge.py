@@ -1,0 +1,123 @@
+"""Tests for the writing-task generator and the six-dimension judge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.workloads.judge import (
+    DIMENSIONS,
+    JudgeScore,
+    judge_generation,
+    mean_scores,
+)
+from repro.workloads.longwriter import generate_writing_examples, make_writing_example
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return SyntheticTokenizer(2048)
+
+
+@pytest.fixture
+def example(tokenizer):
+    rng = np.random.default_rng(31)
+    return make_writing_example(
+        tokenizer, rng, n_sections=5, section_len=6, prompt_len=120
+    )
+
+
+class TestGenerator:
+    def test_prompt_shape(self, example, tokenizer):
+        assert example.prompt_len == 122
+        assert example.prompt_ids[-2] == tokenizer.question_id
+        assert example.prompt_ids[-1] == example.sections[0][0]
+
+    def test_reference_chain_walks_sections(self, example, tokenizer):
+        chain = list(example.reference_chain)
+        assert chain[-1] == tokenizer.sep_id
+        # Each section's contents appear in order, then the next topic.
+        cursor = 0
+        for i, section in enumerate(example.sections):
+            _, *contents = section
+            assert chain[cursor : cursor + len(contents)] == list(contents)
+            cursor += len(contents)
+            if i + 1 < len(example.sections):
+                assert chain[cursor] == example.sections[i + 1][0]
+                cursor += 1
+
+    def test_plan_tokens_cover_topics_and_contents(self, example):
+        for section in example.sections:
+            assert set(section) <= example.plan_tokens
+
+    def test_reference_bigrams_license_the_chain(self, example):
+        chain = example.reference_chain
+        bigrams = example.reference_bigrams
+        assert all(pair in bigrams for pair in zip(chain, chain[1:]))
+
+    def test_batch_generation(self, tokenizer):
+        rng = np.random.default_rng(5)
+        examples = generate_writing_examples(
+            tokenizer, rng, 3, n_sections=3, section_len=4, prompt_len=64
+        )
+        assert len(examples) == 3
+
+    def test_needs_two_sections(self, tokenizer):
+        with pytest.raises(ValueError):
+            make_writing_example(tokenizer, np.random.default_rng(0), n_sections=1)
+
+
+class TestJudge:
+    def test_perfect_generation_scores_max(self, example):
+        score = judge_generation(list(example.reference_chain), example)
+        for value in score.as_dict().values():
+            assert value == pytest.approx(5.0)
+
+    def test_empty_generation_scores_zero(self, example):
+        score = judge_generation([], example)
+        assert score.average == 0.0
+
+    def test_off_plan_garbage_scores_low(self, example, tokenizer):
+        garbage = [tokenizer.filler_id(i % 10) for i in range(40)]
+        score = judge_generation(garbage, example)
+        assert score.relevance == 0.0
+        assert score.average < 1.0
+
+    def test_repetition_loop_hurts_clarity(self, example):
+        token = example.sections[0][1]
+        looped = [token] * 30
+        score = judge_generation(looped, example)
+        assert score.clarity < 1.0
+        assert score.coherence == 0.0
+
+    def test_truncation_hurts_breadth_not_accuracy_prefix(self, example):
+        half = list(example.reference_chain)[: len(example.reference_chain) // 2]
+        score = judge_generation(half, example)
+        full = judge_generation(list(example.reference_chain), example)
+        assert score.breadth_depth < full.breadth_depth
+        assert score.relevance == pytest.approx(5.0)
+
+    def test_all_dimensions_bounded(self, example, tokenizer):
+        rng = np.random.default_rng(9)
+        random_tokens = [int(t) for t in rng.integers(8, 500, size=50)]
+        score = judge_generation(random_tokens, example)
+        for value in score.as_dict().values():
+            assert 0.0 <= value <= 5.0
+
+    def test_mean_scores_dimensionwise(self):
+        a = JudgeScore(1, 1, 1, 1, 1, 1)
+        b = JudgeScore(3, 3, 3, 3, 3, 3)
+        mean = mean_scores([a, b])
+        assert all(v == 2.0 for v in mean.as_dict().values())
+        assert mean.average == 2.0
+
+    def test_mean_scores_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_scores([])
+
+    def test_dimension_names_stable(self):
+        assert DIMENSIONS == (
+            "relevance", "accuracy", "coherence", "clarity",
+            "breadth_depth", "reading_experience",
+        )

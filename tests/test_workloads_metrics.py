@@ -1,0 +1,114 @@
+"""Tests for the benchmark metrics, with hypothesis property checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.metrics import (
+    bigram_validity,
+    count_score,
+    distinct_ratio,
+    exact_match,
+    prefix_match,
+    token_f1,
+)
+
+tokens = st.lists(st.integers(0, 30), min_size=0, max_size=20)
+nonempty = st.lists(st.integers(0, 30), min_size=1, max_size=20)
+
+
+class TestTokenF1:
+    def test_perfect_match(self):
+        assert token_f1([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_order_insensitive(self):
+        assert token_f1([3, 1, 2], [1, 2, 3]) == 1.0
+
+    def test_no_overlap(self):
+        assert token_f1([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        # pred {1,2}, gold {1,3}: precision 0.5, recall 0.5 -> F1 0.5
+        assert token_f1([1, 2], [1, 3]) == pytest.approx(0.5)
+
+    def test_multiplicity_counts(self):
+        # pred has one 1, gold has two: recall 0.5, precision 1.0
+        assert token_f1([1], [1, 1]) == pytest.approx(2 / 3)
+
+    def test_empty_cases(self):
+        assert token_f1([], []) == 1.0
+        assert token_f1([], [1]) == 0.0
+        assert token_f1([1], []) == 0.0
+
+    @given(pred=tokens, gold=tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_symmetric(self, pred, gold):
+        f1 = token_f1(pred, gold)
+        assert 0.0 <= f1 <= 1.0
+        assert f1 == pytest.approx(token_f1(gold, pred))
+
+    @given(seq=nonempty)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_is_one(self, seq):
+        assert token_f1(seq, seq) == 1.0
+
+
+class TestPrefixAndExact:
+    def test_prefix_partial(self):
+        assert prefix_match([1, 2, 9], [1, 2, 3, 4]) == pytest.approx(0.5)
+
+    def test_prefix_empty_gold(self):
+        assert prefix_match([1], []) == 1.0
+
+    def test_exact(self):
+        assert exact_match([1, 2], [1, 2]) == 1.0
+        assert exact_match([1, 2], [2, 1]) == 0.0
+
+    @given(pred=tokens, gold=tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_implies_full_prefix(self, pred, gold):
+        if exact_match(pred, gold) == 1.0:
+            assert prefix_match(pred, gold) == 1.0
+
+
+class TestCountScore:
+    def test_exact_count(self):
+        assert count_score(5, 5) == 1.0
+
+    def test_linear_decay(self):
+        assert count_score(4, 5) == pytest.approx(0.8)
+        assert count_score(10, 5) == 0.0
+
+    def test_rejects_nonpositive_truth(self):
+        with pytest.raises(ValueError):
+            count_score(3, 0)
+
+    @given(pred=st.integers(0, 100), true=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, pred, true):
+        assert 0.0 <= count_score(pred, true) <= 1.0
+
+
+class TestTextQuality:
+    def test_distinct_ratio(self):
+        assert distinct_ratio([1, 1, 1, 1]) == 0.25
+        assert distinct_ratio([1, 2, 3, 4]) == 1.0
+        assert distinct_ratio([]) == 0.0
+
+    def test_bigram_validity(self):
+        valid = {(1, 2), (2, 3)}
+        assert bigram_validity([1, 2, 3], valid) == 1.0
+        assert bigram_validity([3, 2, 1], valid) == 0.0
+        assert bigram_validity([1, 2, 1], valid) == pytest.approx(0.5)
+
+    def test_bigram_short_sequences(self):
+        assert bigram_validity([1], {(1, 2)}) == 1.0
+        assert bigram_validity([], {(1, 2)}) == 0.0
+
+    @given(seq=nonempty)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_ratio_bounds(self, seq):
+        ratio = distinct_ratio(seq)
+        assert 0.0 < ratio <= 1.0

@@ -1,0 +1,110 @@
+"""Hypothesis property tests on the workload builders and judge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.workloads.base import weave_context
+from repro.workloads.judge import judge_generation
+from repro.workloads.longbench import make_passage_count, make_trivia
+from repro.workloads.longwriter import make_writing_example
+
+TOKENIZER = SyntheticTokenizer(2048)
+
+
+class TestWeaveProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_segments=st.integers(1, 6),
+        seg_len=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weave_invariants(self, seed, n_segments, seg_len):
+        rng = np.random.default_rng(seed)
+        segments = [
+            [TOKENIZER.content_id(i * seg_len + j) for j in range(seg_len)]
+            for i in range(n_segments)
+        ]
+        context_len = 32 + n_segments * (seg_len + 4)
+        ids, starts = weave_context(TOKENIZER, rng, segments, context_len)
+        # Exact length, bos first, all segments intact.
+        assert len(ids) == context_len
+        assert ids[0] == TOKENIZER.bos_id
+        for seg, start in zip(segments, starts):
+            assert ids[start : start + len(seg)] == seg
+        # Segments never overlap.
+        spans = sorted(
+            (start, start + len(seg)) for seg, start in zip(segments, starts)
+        )
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
+
+class TestGeneratorProperties:
+    @given(seed=st.integers(0, 5_000), answer_len=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_trivia_answer_planted_verbatim(self, seed, answer_len):
+        rng = np.random.default_rng(seed)
+        example = make_trivia(
+            TOKENIZER, rng, context_len=256, answer_len=answer_len,
+            n_distractors=4,
+        )
+        start = example.evidence_positions[0]
+        planted = [
+            int(t)
+            for t in example.prompt_ids[start + 1 : start + 1 + answer_len]
+        ]
+        assert planted == list(example.answer_ids)
+        assert example.max_new_tokens == answer_len
+
+    @given(
+        seed=st.integers(0, 5_000),
+        n_distinct=st.integers(2, 8),
+        n_duplicates=st.integers(0, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_passage_count_chain_consistency(self, seed, n_distinct, n_duplicates):
+        rng = np.random.default_rng(seed)
+        example = make_passage_count(
+            TOKENIZER, rng, context_len=512, n_distinct=n_distinct,
+            n_duplicates=n_duplicates, body_len=8,
+        )
+        assert example.meta["true_count"] == n_distinct
+        assert len(example.answer_ids) == n_distinct  # pids[1:] + <sep>
+        # Every answer id except the terminator is a content word.
+        for token in example.answer_ids[:-1]:
+            assert TOKENIZER.is_content(token)
+
+
+class TestJudgeProperties:
+    @given(seed=st.integers(0, 2_000), cut=st.floats(0.1, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_longer_correct_prefix_never_scores_worse(self, seed, cut):
+        """Truncating a perfect generation is monotone for the judge's
+        average (more of the plan written -> weakly better)."""
+        rng = np.random.default_rng(seed)
+        example = make_writing_example(
+            TOKENIZER, rng, n_sections=4, section_len=5, prompt_len=64
+        )
+        reference = list(example.reference_chain)
+        shorter = reference[: max(1, int(len(reference) * cut * 0.5))]
+        longer = reference[: max(1, int(len(reference) * cut))]
+        s_short = judge_generation(shorter, example).average
+        s_long = judge_generation(longer, example).average
+        assert s_long >= s_short - 1e-9
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_judge_bounded_on_arbitrary_generations(self, seed):
+        rng = np.random.default_rng(seed)
+        example = make_writing_example(
+            TOKENIZER, rng, n_sections=3, section_len=4, prompt_len=48
+        )
+        tokens = [int(t) for t in rng.integers(0, 2048, size=rng.integers(0, 60))]
+        score = judge_generation(tokens, example)
+        for value in score.as_dict().values():
+            assert 0.0 <= value <= 5.0
