@@ -1,11 +1,26 @@
-"""Legacy setup shim.
+"""Legacy setup script.
 
 The execution environment has setuptools but no `wheel` package and no
-network access, so PEP-517 editable installs fail; this shim lets
-``pip install -e .`` take the legacy `setup.py develop` path. All real
-metadata lives in pyproject.toml.
+network access, so PEP-517 editable installs fail; this script keeps
+``pip install -e .`` on the legacy `setup.py develop` path and registers
+the console entry points.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="specontext-repro",
+    version="1.1.0",
+    description="SpeContext (ASPLOS 2026) reproduction: speculative "
+    "context sparsity for long-context LLM reasoning",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "specontext-experiments=repro.experiments.runner:main",
+            "specontext-serve=repro.serving.cli:main",
+        ]
+    },
+)

@@ -21,14 +21,20 @@ The package is organized bottom-up:
 - :mod:`repro.experiments` — one module per paper table/figure plus the
   ``specontext-experiments`` CLI.
 
-Quick start::
+Quick start (request-level API)::
 
-    from repro import SpeContextEngine, TransformerLM
-    from repro.models import SyntheticTokenizer, build_recall_model, tiny_test_config
+    from repro import EngineConfig, GenerationRequest, SpeContextServer
 
-See ``examples/quickstart.py`` for a complete runnable walk-through.
+    server = SpeContextServer(model, EngineConfig(budget=96, bos_id=bos))
+    server.add_request(GenerationRequest(prompt_ids))
+    outputs = server.run()
+
+See ``examples/quickstart.py`` for a complete runnable walk-through and
+``README.md`` for the config -> registry -> server tour.
 """
 
+from repro.api.config import EngineConfig, SamplingParams
+from repro.api.request import GenerationOutput, GenerationRequest
 from repro.core.engine import GenerationStats, SpeContextEngine
 from repro.core.retrieval_head import (
     LightweightRetrievalHead,
@@ -38,19 +44,28 @@ from repro.core.retrieval_head import (
 from repro.models.config import AttentionKind, ModelConfig, tiny_test_config
 from repro.models.llm import TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
+from repro.retrieval.registry import available_policies, make_policy
+from repro.serving.server import SpeContextServer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttentionKind",
+    "EngineConfig",
+    "GenerationOutput",
+    "GenerationRequest",
     "GenerationStats",
     "LightweightRetrievalHead",
     "ModelConfig",
     "RetrievalHeadConfig",
+    "SamplingParams",
     "SpeContextEngine",
     "SpeContextPolicy",
+    "SpeContextServer",
     "SyntheticTokenizer",
     "TransformerLM",
+    "available_policies",
+    "make_policy",
     "tiny_test_config",
     "__version__",
 ]

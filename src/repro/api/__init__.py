@@ -1,0 +1,34 @@
+"""Public request-level serving API.
+
+The canonical entry points of the system:
+
+- :class:`EngineConfig` / :class:`SamplingParams` — engine-level and
+  request-level configuration, replacing the loose kwargs of the original
+  one-shot engine API;
+- :class:`GenerationRequest` / :class:`GenerationOutput` — the
+  request/response pair the continuous-batching server speaks;
+- :func:`repro.retrieval.registry.make_policy` — the single factory that
+  resolves KV-selection policies by name;
+- :class:`repro.serving.server.SpeContextServer` — the continuous-batching
+  server itself (imported from :mod:`repro.serving` to keep this package
+  dependency-free).
+
+Typical flow::
+
+    from repro.api import EngineConfig, GenerationRequest, SamplingParams
+    from repro.serving import SpeContextServer
+
+    server = SpeContextServer(model, EngineConfig(budget=96, bos_id=bos))
+    server.add_request(GenerationRequest(prompt, SamplingParams(8)))
+    outputs = server.run()
+"""
+
+from repro.api.config import EngineConfig, SamplingParams
+from repro.api.request import GenerationOutput, GenerationRequest
+
+__all__ = [
+    "EngineConfig",
+    "GenerationOutput",
+    "GenerationRequest",
+    "SamplingParams",
+]

@@ -1,0 +1,106 @@
+"""Engine-level and request-level configuration for the serving API.
+
+``EngineConfig`` captures everything that used to be loose
+``SpeContextEngine.__init__`` kwargs — budget, hardware spec, selection
+policy and granularity, elastic loading — plus the serving knobs the
+continuous-batching :class:`~repro.serving.server.SpeContextServer` needs
+(admission concurrency, seeding). ``SamplingParams`` captures the loose
+``generate()`` kwargs (token limit, temperature, stop ids).
+
+Both are plain dataclasses with no upward dependencies, so every layer
+(core engine, server, experiments, examples, CLI) can share them without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.hardware.spec import EDGE_RTX4060, HardwareSpec
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.core.retrieval_head import RetrievalHeadConfig
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request decoding parameters.
+
+    Attributes:
+        max_new_tokens: decode-step cap for the request.
+        temperature: 0 is greedy; > 0 samples from the softmax.
+        stop_ids: token ids that terminate generation once emitted.
+        seed: RNG seed for temperature sampling (ignored when greedy).
+    """
+
+    max_new_tokens: int = 128
+    temperature: float = 0.0
+    stop_ids: tuple[int, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+
+
+@dataclass
+class EngineConfig:
+    """Everything the engine/server needs beyond the model itself.
+
+    Attributes:
+        budget: default KV token budget for requests that don't set one.
+        spec: hardware pair driving the memory model and offload thresholds.
+        policy: default selection-policy name (see
+            :func:`repro.retrieval.registry.make_policy`).
+        selection_level: SpeContext granularity, "head" or "batch".
+        bos_id: BOS token id, needed to build retrieval heads for
+            "specontext" requests when no prebuilt head is supplied.
+        head_config: retrieval-head construction parameters.
+        elastic: set-difference (True) vs full-reload (False) transfer
+            accounting.
+        max_concurrency: maximum co-running sessions in the server; further
+            requests wait in the FIFO admission queue.
+        sparse_from_first_token: decode the final prompt token as the first
+            policy-governed step (SpeContext's dataflow).
+        requests: request multiplier for the theoretical memory model.
+        dlm_bytes: DLM weight bytes charged to the memory model when the
+            server builds it; None (default) auto-sizes from a retrieval
+            head when the default policy is specontext, an explicit value
+            (including 0) is used as-is.
+        seed: base seed for per-request retrieval-head construction.
+        policy_opts: default extra kwargs forwarded to ``make_policy``.
+    """
+
+    budget: int = 2048
+    spec: HardwareSpec = EDGE_RTX4060
+    policy: str = "specontext"
+    selection_level: str = "head"
+    bos_id: int | None = None
+    head_config: "RetrievalHeadConfig | None" = None
+    elastic: bool = True
+    max_concurrency: int = 8
+    sparse_from_first_token: bool = True
+    requests: int = 1
+    dlm_bytes: int | None = None
+    seed: int = 0
+    policy_opts: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.selection_level not in ("head", "batch"):
+            raise ValueError(
+                f"selection_level must be 'head' or 'batch', "
+                f"got {self.selection_level!r}"
+            )
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")

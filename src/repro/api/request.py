@@ -1,0 +1,76 @@
+"""Request/response dataclasses for the request-level serving API.
+
+A :class:`GenerationRequest` bundles a prompt with its sampling parameters
+and (optionally) a per-request policy choice and budget; the server answers
+with a :class:`GenerationOutput` carrying the generated tokens, the finish
+reason and the full per-request :class:`~repro.core.engine.GenerationStats`
+system accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.api.config import SamplingParams
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
+    from repro.core.engine import GenerationStats
+    from repro.models.llm import SelectionPolicy
+
+
+@dataclass
+class GenerationRequest:
+    """One generation request for the server.
+
+    Attributes:
+        prompt_ids: 1-D token array (non-empty).
+        sampling: decoding parameters.
+        policy: selection policy for this request — a registry name (see
+            :func:`repro.retrieval.registry.make_policy`), a prebuilt
+            policy object, or None to use the engine config's default.
+        budget: KV token budget; None uses the engine config's default.
+        policy_opts: extra kwargs forwarded to ``make_policy`` (merged over
+            the engine config's ``policy_opts``).
+        request_id: assigned by the server at submission.
+        rng: sampling RNG override (takes precedence over sampling.seed).
+    """
+
+    prompt_ids: np.ndarray
+    sampling: SamplingParams = field(default_factory=SamplingParams)
+    policy: "str | SelectionPolicy | None" = None
+    budget: int | None = None
+    policy_opts: dict = field(default_factory=dict)
+    request_id: int | None = None
+    rng: np.random.Generator | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.prompt_ids = np.asarray(self.prompt_ids)
+        if self.prompt_ids.ndim != 1 or self.prompt_ids.size == 0:
+            raise ValueError("prompt_ids must be a non-empty 1-D token array")
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt_ids.size)
+
+
+@dataclass
+class GenerationOutput:
+    """Server response for one finished request.
+
+    ``finish_reason`` is "stop" when a stop id was emitted and "length"
+    when the request exhausted ``max_new_tokens``.
+    """
+
+    request_id: int
+    token_ids: list[int]
+    finish_reason: str
+    stats: "GenerationStats"
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.token_ids)

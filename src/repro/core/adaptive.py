@@ -44,6 +44,16 @@ class AdaptiveMemoryManager:
     def __post_init__(self):
         self._thresholds = self.memory_model.sequence_thresholds()
 
+    def reset(self) -> None:
+        """Return to the all-on-GPU state without recomputing thresholds.
+
+        The Algorithm-1 threshold list depends only on (model, hardware,
+        budget), so a server reuses one manager across requests and resets
+        the runtime state between busy periods.
+        """
+        self.layers_on_cpu = 0
+        self.events.clear()
+
     @property
     def n_layers(self) -> int:
         return self.memory_model.model.n_layers

@@ -285,6 +285,16 @@ class SpeContextPolicy:
         self.selection_history: list[np.ndarray] = []
         self._current: np.ndarray | None = None
 
+    def reset(self) -> None:
+        """Clear per-request state so the policy can serve a new request.
+
+        A fresh list (not ``clear()``) leaves previously returned histories
+        intact for callers that kept a reference for transfer analysis.
+        """
+        self.head.reset()
+        self.selection_history = []
+        self._current = None
+
     def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
         self.head.reset()
         self.head.observe(prompt_ids)

@@ -26,6 +26,12 @@ from repro.retrieval.quest import QuestPolicy
 from repro.retrieval.clusterkv import ClusterKVPolicy
 from repro.retrieval.shadowkv import ShadowKVPolicy
 from repro.retrieval.h2o import H2OPolicy
+from repro.retrieval.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+    resolve_policy_name,
+)
 
 __all__ = [
     "BudgetedPolicy",
@@ -37,4 +43,8 @@ __all__ = [
     "ClusterKVPolicy",
     "ShadowKVPolicy",
     "H2OPolicy",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+    "resolve_policy_name",
 ]

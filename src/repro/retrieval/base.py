@@ -62,6 +62,18 @@ class BudgetedPolicy:
 
     # ---- protocol ------------------------------------------------------------
 
+    def reset(self) -> None:
+        """Clear per-request bookkeeping so the policy can be reused.
+
+        Subclass preprocessing state is rebuilt by the next
+        ``begin_generation``; only the shared record/step log need
+        explicit clearing (fresh objects, so histories handed out for
+        analysis stay intact).
+        """
+        self.prompt_len = 0
+        self.record = RetrievalRecord()
+        self._step_log = {}
+
     def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
         """Capture the prompt boundary and run subclass preprocessing."""
         self.prompt_len = cache.seq_len

@@ -1,13 +1,23 @@
-"""Serving substrate: requests, memory-aware batching, throughput metering."""
+"""Serving layer: the request-level server plus batching/metering substrate.
+
+- :class:`SpeContextServer` — continuous batching of *real* functional
+  inference: concurrent sessions with per-request policies, budgets and
+  stop conditions (the request-level API's execution engine).
+- :class:`StaticBatchScheduler` — memory-aware FIFO batching over the
+  performance *simulator* (Table 3's serving view).
+- :class:`ThroughputMeter` / :class:`Request` — shared accounting.
+"""
 
 from repro.serving.meter import ThroughputMeter
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
+from repro.serving.server import SpeContextServer
 
 __all__ = [
     "BatchPlan",
     "Request",
     "RequestState",
+    "SpeContextServer",
     "StaticBatchScheduler",
     "ThroughputMeter",
 ]

@@ -45,6 +45,21 @@ class StaticBatchScheduler:
         self.sim = sim
         self.engine = engine
         self.candidates = candidates
+        # max_fitting_batch runs a 16-sample simulation per candidate batch
+        # size, and plan() asks for the same (in_len, out_len) shape once
+        # per candidate added to a group; the simulator is deterministic,
+        # so capacity lookups are memoized for the scheduler's lifetime.
+        self._capacity_cache: dict[tuple[int, int], int] = {}
+
+    def _capacity(self, in_len: int, out_len: int) -> int:
+        """Memoized ``max_fitting_batch`` for one request shape."""
+        key = (in_len, out_len)
+        cached = self._capacity_cache.get(key)
+        if cached is None:
+            cached = self._capacity_cache[key] = max_fitting_batch(
+                self.sim, self.engine, in_len, out_len, self.candidates
+            )
+        return cached
 
     def plan(self, requests: list[Request]) -> list[BatchPlan]:
         """Group queued requests into executable batches."""
@@ -53,9 +68,7 @@ class StaticBatchScheduler:
         i = 0
         while i < len(queue):
             head = queue[i]
-            cap = max_fitting_batch(
-                self.sim, self.engine, head.in_len, head.out_len, self.candidates
-            )
+            cap = self._capacity(head.in_len, head.out_len)
             if cap == 0:
                 head.state = RequestState.REJECTED
                 i += 1
@@ -66,9 +79,7 @@ class StaticBatchScheduler:
                 nxt = queue[j]
                 pad_in = max(r.in_len for r in group + [nxt])
                 pad_out = max(r.out_len for r in group + [nxt])
-                padded_cap = max_fitting_batch(
-                    self.sim, self.engine, pad_in, pad_out, self.candidates
-                )
+                padded_cap = self._capacity(pad_in, pad_out)
                 if padded_cap < len(group) + 1:
                     break
                 group.append(nxt)

@@ -1,0 +1,433 @@
+"""SpeContextServer: continuous batching of real inference over the
+functional engine.
+
+The original API was one-shot: ``SpeContextEngine.generate()`` ran exactly
+one request, and the serving layer only ever drove the performance
+*simulator*. This server runs **actual numpy inference** for many
+concurrent sessions:
+
+- ``add_request`` enqueues a :class:`~repro.api.request.GenerationRequest`
+  (FIFO admission up to ``EngineConfig.max_concurrency``);
+- ``step`` admits waiting requests, then runs **one decode step for every
+  active session** — continuous batching: requests join and leave the
+  running batch at step granularity, each with its own policy, budget,
+  sampling parameters and stop conditions;
+- ``run`` steps until the queue drains and returns per-request
+  :class:`~repro.api.request.GenerationOutput`s.
+
+System accounting matches the one-shot engine: each session gets elastic
+transfer statistics (set-difference bytes over PCIe, adjacent-step
+overlap) and the **shared** adaptive memory manager walks the Algorithm-1
+thresholds against the *aggregate* KV footprint of all co-resident
+sessions, so offload events reflect multi-request pressure. Completions
+feed a :class:`~repro.serving.meter.ThroughputMeter` on a step-count
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.config import EngineConfig, SamplingParams
+from repro.api.request import GenerationOutput, GenerationRequest
+from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
+from repro.core.elastic import ElasticTransferTracker
+from repro.core.engine import GenerationStats
+from repro.core.memory_model import MemoryModel
+from repro.core.retrieval_head import SpeContextPolicy
+from repro.kvcache.cache import ModelKVCache
+from repro.models.config import AttentionKind
+from repro.models.llm import DecodeResult, SelectionPolicy, TransformerLM
+from repro.retrieval.registry import make_policy, resolve_policy_name
+from repro.serving.meter import ThroughputMeter
+from repro.serving.request import Request, RequestState
+
+
+@dataclass
+class _Session:
+    """One in-flight request: its cache, policy, and decode progress."""
+
+    request: GenerationRequest
+    policy: SelectionPolicy | None
+    budget: int  # the budget that actually governs selection
+    cache: ModelKVCache
+    rng: np.random.Generator | None
+    result: DecodeResult
+    arrival_s: float
+    start_s: float = 0.0
+    pending: int | None = None  # next token to decode
+    prefill_token: int | None = None  # step-0 token from full-prompt prefill
+    steps_taken: int = 0
+    finish_reason: str = ""
+    offload_events: list[OffloadEvent] = field(default_factory=list)
+
+    @property
+    def request_id(self) -> int:
+        assert self.request.request_id is not None
+        return self.request.request_id
+
+    @property
+    def sampling(self) -> SamplingParams:
+        return self.request.sampling
+
+    @property
+    def current_len(self) -> int:
+        """KV footprint in tokens: full prompt plus generated tokens."""
+        return self.request.prompt_len + len(self.result.token_ids)
+
+    @property
+    def done(self) -> bool:
+        return bool(self.finish_reason)
+
+
+class SpeContextServer:
+    """Request-level serving of the functional model with mixed policies."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        config: EngineConfig | None = None,
+        memory_model: MemoryModel | None = None,
+    ):
+        self.model = model
+        self.config = config or EngineConfig()
+        if memory_model is None:
+            memory_model = MemoryModel(
+                model.config,
+                self.config.dlm_bytes
+                if self.config.dlm_bytes is not None
+                else self._estimate_dlm_bytes(),
+                self.config.spec,
+                requests=self.config.requests,
+                budget=self.config.budget,
+            )
+        self.memory_model = memory_model
+        # One manager for the whole server: thresholds are computed once;
+        # runtime state is reset between busy periods (idle -> first admit).
+        self.manager = AdaptiveMemoryManager(self.memory_model)
+        self.meter = ThroughputMeter()
+        self._waiting: deque[_Session] = deque()
+        self._active: list[_Session] = []
+        self._outputs: list[GenerationOutput] = []
+        self._next_id = 0
+        self._clock = 0.0
+
+    def _estimate_dlm_bytes(self) -> int:
+        """Retrieval-head bytes to charge the memory model (Eq. 6-8).
+
+        When the default policy is specontext, per-request heads occupy
+        real memory; the size is a pure function of the teacher's shapes
+        (per-head Q/K projections plus the shared embedding slice, FP16),
+        so the server's Algorithm-1 thresholds match the one-shot
+        engine's for the same workload without building a head.
+        """
+        if (
+            self.config.bos_id is None
+            or resolve_policy_name(self.config.policy) != "specontext"
+        ):
+            return 0
+        cfg = self.model.config
+        dc = cfg.head_dim
+        n_heads = (
+            cfg.n_kv_heads
+            if cfg.attention is AttentionKind.MLA
+            else cfg.n_kv_heads * cfg.group_size
+        )
+        params = 2 * n_heads * dc * dc + cfg.vocab_size * dc
+        return 2 * params
+
+    def clear_history(self) -> None:
+        """Drop accumulated outputs and meter records.
+
+        Long-lived servers (and the engine's private single-session
+        server) call this between runs so per-request bookkeeping does
+        not grow without bound; queued/active sessions are unaffected.
+        """
+        self._outputs.clear()
+        self.meter.finished.clear()
+        self.meter.rejected.clear()
+
+    # ---- submission ------------------------------------------------------------
+
+    def add_request(self, request: GenerationRequest) -> int:
+        """Enqueue a request; returns its assigned request id.
+
+        Policy and RNG resolution happen before any state changes, so a
+        rejected submission (unknown policy, MLA mismatch, missing seed)
+        leaves the server and the request object untouched and retryable.
+        """
+        if request.request_id is not None and request.request_id < self._next_id:
+            raise ValueError(
+                f"request_id {request.request_id} already used; ids must be "
+                "unique and increasing"
+            )
+        if not isinstance(request.policy, str) and request.policy is not None:
+            # A prebuilt policy owns mutable per-request state (K cache,
+            # selection history); sharing one across in-flight sessions
+            # would silently merge their token streams.
+            for session in (*self._waiting, *self._active):
+                if session.policy is request.policy:
+                    raise ValueError(
+                        "policy object is already bound to in-flight request "
+                        f"{session.request_id}; prebuilt policies can only be "
+                        "reused sequentially"
+                    )
+        policy = self._resolve_policy(request)
+        rng = self._resolve_rng(request)
+        if request.request_id is None:
+            request.request_id = self._next_id
+        self._next_id = request.request_id + 1
+        session = _Session(
+            request=request,
+            policy=policy,
+            budget=self._effective_budget(request, policy),
+            cache=self.model.new_cache(),
+            rng=rng,
+            result=DecodeResult(
+                prompt_len=request.prompt_len, token_ids=[], stopped_by_eos=False
+            ),
+            arrival_s=self._clock,
+        )
+        self._waiting.append(session)
+        return request.request_id
+
+    def _effective_budget(
+        self, request: GenerationRequest, policy: SelectionPolicy | None
+    ) -> int:
+        """The budget that actually governs selection for this session.
+
+        A prebuilt policy carries its own budget, which wins over the
+        request/config values so stats never misreport what ran.
+        """
+        policy_budget = getattr(policy, "budget", None)
+        if policy_budget is not None:
+            return int(policy_budget)
+        return request.budget or self.config.budget
+
+    def _resolve_policy(self, request: GenerationRequest) -> SelectionPolicy | None:
+        policy = request.policy if request.policy is not None else self.config.policy
+        if not isinstance(policy, str):
+            return policy  # prebuilt instance (sequential reuse, e.g. engine)
+        # Config-level opts describe the config's *default* policy; they
+        # must not leak into requests that name a different one.
+        opts = dict(request.policy_opts)
+        if resolve_policy_name(policy) == resolve_policy_name(self.config.policy):
+            opts = {**self.config.policy_opts, **opts}
+        budget = request.budget or self.config.budget
+        if resolve_policy_name(policy) == "specontext":
+            # Each concurrent session needs its own head (it owns a K
+            # cache); identical seeding keeps batched runs bit-identical
+            # to single-request runs.
+            opts.setdefault("bos_id", self.config.bos_id)
+            opts.setdefault("head_config", self.config.head_config)
+            opts.setdefault("level", self.config.selection_level)
+            if "head" not in opts and "rng" not in opts:
+                opts["rng"] = np.random.default_rng(self.config.seed)
+        return make_policy(policy, self.model, budget, **opts)
+
+    def _resolve_rng(self, request: GenerationRequest) -> np.random.Generator | None:
+        if request.rng is not None:
+            return request.rng
+        if request.sampling.seed is not None:
+            return np.random.default_rng(request.sampling.seed)
+        if request.sampling.temperature > 0:
+            raise ValueError("temperature sampling requires a seed or rng")
+        return None
+
+    # ---- stepping --------------------------------------------------------------
+
+    @property
+    def has_unfinished(self) -> bool:
+        return bool(self._waiting or self._active)
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def outputs(self) -> list[GenerationOutput]:
+        """All outputs completed over the server's lifetime."""
+        return list(self._outputs)
+
+    def step(self) -> list[GenerationOutput]:
+        """Admit + one decode step for every active session.
+
+        Returns the requests that finished during this step.
+        """
+        self._admit()
+        finished: list[GenerationOutput] = []
+        for session in list(self._active):
+            self._decode_one(session)
+            if session.done:
+                self._active.remove(session)
+                finished.append(self._finish(session))
+        self._clock += 1.0
+        return finished
+
+    def run(self) -> list[GenerationOutput]:
+        """Step until all queued requests finish; returns their outputs."""
+        outputs: list[GenerationOutput] = []
+        while self.has_unfinished:
+            outputs.extend(self.step())
+        return sorted(outputs, key=lambda o: o.request_id)
+
+    # ---- internals -------------------------------------------------------------
+
+    def _admit(self) -> None:
+        while self._waiting and len(self._active) < self.config.max_concurrency:
+            if not self._active:
+                # New busy period: fresh Algorithm-2 state (thresholds kept).
+                self.manager.reset()
+            session = self._waiting.popleft()
+            self._prefill(session)
+            session.start_s = self._clock
+            self._active.append(session)
+            # The prompt's KV lands on the GPU: account it immediately.
+            self._advance_memory(session)
+
+    def _prefill(self, session: _Session) -> None:
+        """Prefill mirroring ``TransformerLM.generate``'s two entry modes.
+
+        _prefill/_decode_one deliberately open-code the generate() loop:
+        continuous batching needs one-step-at-a-time control that the
+        closed loop can't provide. Equivalence with the model path is
+        pinned by tests/test_api_server.py (wrapper == direct generate,
+        batched == solo).
+        """
+        prompt = session.request.prompt_ids
+        policy = session.policy
+        if policy is not None and hasattr(policy, "reset"):
+            policy.reset()
+        sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
+        if sparse_first:
+            self.model.prefill(prompt[:-1], session.cache)
+            if policy is not None:
+                policy.begin_generation(prompt[:-1], session.cache)
+            session.pending = int(prompt[-1])
+        else:
+            logits = self.model.prefill(prompt, session.cache)
+            if policy is not None:
+                policy.begin_generation(prompt, session.cache)
+            session.prefill_token = self._sample(session, logits)
+
+    def _decode_one(self, session: _Session) -> None:
+        """One decode step for one session (one generated token)."""
+        if session.steps_taken == 0 and session.prefill_token is not None:
+            token = session.prefill_token
+        else:
+            policy = session.policy
+            if policy is not None:
+                policy.pre_step(
+                    session.steps_taken, int(session.pending), session.cache
+                )
+            logits, selections, _ = self.model.decode_step(
+                int(session.pending), session.cache, policy=policy
+            )
+            session.result.selections.append(selections)
+            token = self._sample(session, logits)
+        session.steps_taken += 1
+        session.result.token_ids.append(int(token))
+        self._advance_memory(session)
+        if int(token) in session.sampling.stop_ids:
+            session.result.stopped_by_eos = True
+            session.finish_reason = "stop"
+        elif session.steps_taken >= session.sampling.max_new_tokens:
+            session.finish_reason = "length"
+        else:
+            session.pending = int(token)
+
+    def _sample(self, session: _Session, logits: np.ndarray) -> int:
+        return TransformerLM._sample(
+            logits, session.sampling.temperature, session.rng
+        )
+
+    def _advance_memory(self, session: _Session) -> None:
+        """Walk Algorithm 2 against the aggregate multi-request footprint.
+
+        The aggregate KV footprint of R co-resident sessions is modelled as
+        a single stream of their summed lengths; events fired by one
+        session's growth are attributed to that session's stats.
+        """
+        aggregate = sum(s.current_len for s in self._active)
+        session.offload_events.extend(self.manager.advance(aggregate))
+
+    def _finish(self, session: _Session) -> GenerationOutput:
+        stats = GenerationStats(
+            result=session.result,
+            budget=session.budget,
+            offload_events=session.offload_events,
+        )
+        bytes_moved, reduction, overlap = self._transfer_stats(session)
+        stats.bytes_transferred = bytes_moved
+        stats.transfer_reduction = reduction
+        stats.mean_selection_overlap = overlap
+        output = GenerationOutput(
+            request_id=session.request_id,
+            token_ids=list(session.result.token_ids),
+            finish_reason=session.finish_reason,
+            stats=stats,
+        )
+        self._outputs.append(output)
+        self._record_meter(session)
+        return output
+
+    def _transfer_stats(self, session: _Session) -> tuple[int, float, float]:
+        """Elastic-loading accounting for one finished session.
+
+        SpeContext selects once per step for all layers (its history is the
+        global selection stream); layer-wise baselines are tracked per
+        layer from the selections the decode steps actually used.
+        """
+        bytes_per_layer = self.model.config.kv_bytes_per_token_layer()
+        policy = session.policy
+        if isinstance(policy, SpeContextPolicy):
+            tracker = ElasticTransferTracker(
+                bytes_per_token=bytes_per_layer * self.model.config.n_layers,
+                elastic=self.config.elastic,
+            )
+            for selection in policy.selection_history:
+                tracker.observe(selection)
+            return (
+                tracker.total_bytes,
+                tracker.transfer_reduction_vs_full_reload(),
+                tracker.mean_overlap,
+            )
+        trackers: dict[int, ElasticTransferTracker] = {}
+        for step_selections in session.result.selections:
+            for layer, selection in step_selections.items():
+                tracker = trackers.get(layer)
+                if tracker is None:
+                    tracker = trackers[layer] = ElasticTransferTracker(
+                        bytes_per_token=bytes_per_layer,
+                        elastic=self.config.elastic,
+                    )
+                tracker.observe(selection)
+        if not trackers:
+            return 0, 0.0, 0.0
+        total = sum(t.total_bytes for t in trackers.values())
+        full = sum(
+            sum(s.selection_size for s in t.steps) * t.bytes_per_token
+            for t in trackers.values()
+        )
+        reduction = 0.0 if full == 0 else 1.0 - total / full
+        overlap = float(np.mean([t.mean_overlap for t in trackers.values()]))
+        return total, reduction, overlap
+
+    def _record_meter(self, session: _Session) -> None:
+        record = Request(
+            request_id=session.request_id,
+            in_len=session.request.prompt_len,
+            out_len=len(session.result.token_ids),
+            arrival_s=session.arrival_s,
+        )
+        record.state = RequestState.FINISHED
+        record.start_s = session.start_s
+        record.finish_s = self._clock + 1.0  # this step completes at clock+1
+        self.meter.record(record)

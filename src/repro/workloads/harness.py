@@ -13,24 +13,17 @@ SpeContext's dataflow, applied uniformly to all engines for fairness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
 from repro.core.retrieval_head import (
     LightweightRetrievalHead,
     RetrievalHeadConfig,
-    SpeContextPolicy,
 )
 from repro.kvcache.cache import ModelKVCache
 from repro.models.llm import SelectionPolicy, TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
-from repro.retrieval.clusterkv import ClusterKVPolicy
-from repro.retrieval.h2o import H2OPolicy
-from repro.retrieval.quest import QuestPolicy
-from repro.retrieval.shadowkv import ShadowKVPolicy
-from repro.retrieval.sliding import SlidingWindowPolicy
-from repro.retrieval.streaming import StreamingLLMPolicy
+from repro.retrieval.registry import make_policy
 from repro.workloads.base import QAExample
 from repro.workloads.metrics import count_score, token_f1
 
@@ -100,18 +93,31 @@ def decode_with_policy(
     return out
 
 
-# ---- engine -> policy factories ------------------------------------------------
-
-PolicyFactory = Callable[[TransformerLM, int], SelectionPolicy | None]
+# ---- engine -> policy registry --------------------------------------------------
 
 
 class PolicyBench:
-    """Binds a model (and its retrieval head) to named policy factories.
+    """Binds a model (and its retrieval head) to the policy registry.
 
     The names match the engines of the paper's accuracy figures; "Ours"
     uses the head-level retrieval head, "Ours(batch)" the coarse
-    batch-level ablation of Sec. 4.2.
+    batch-level ablation of Sec. 4.2. Construction is delegated to
+    :func:`repro.retrieval.registry.make_policy` — the bench only supplies
+    the shared retrieval head (sequential decode runs can reuse it).
     """
+
+    # figure-engine name -> (registry name, extra make_policy opts)
+    _ENGINES: dict[str, tuple[str, dict]] = {
+        "Full": ("full", {}),
+        "Quest": ("quest", {}),
+        "ClusterKV": ("clusterkv", {}),
+        "ShadowKV": ("shadowkv", {}),
+        "StreamingLLM": ("streaming", {}),
+        "H2O": ("h2o", {}),
+        "SlidingWindow": ("sliding", {}),
+        "Ours": ("specontext", {"level": "head"}),
+        "Ours(batch)": ("specontext", {"level": "batch"}),
+    }
 
     def __init__(
         self,
@@ -128,39 +134,21 @@ class PolicyBench:
         )
 
     def available(self) -> list[str]:
-        return [
-            "Full",
-            "Quest",
-            "ClusterKV",
-            "ShadowKV",
-            "StreamingLLM",
-            "H2O",
-            "SlidingWindow",
-            "Ours",
-            "Ours(batch)",
-        ]
+        return list(self._ENGINES)
 
     def policy(self, engine: str, budget: int) -> SelectionPolicy | None:
-        """Fresh policy instance for one decode run."""
+        """Fresh policy instance for one decode run (None = full attention)."""
         if engine == "Full":
             return None
-        if engine == "Quest":
-            return QuestPolicy(self.model, budget)
-        if engine == "ClusterKV":
-            return ClusterKVPolicy(self.model, budget)
-        if engine == "ShadowKV":
-            return ShadowKVPolicy(self.model, budget)
-        if engine == "StreamingLLM":
-            return StreamingLLMPolicy(budget)
-        if engine == "H2O":
-            return H2OPolicy(self.model, budget)
-        if engine == "SlidingWindow":
-            return SlidingWindowPolicy(budget)
-        if engine == "Ours":
-            return SpeContextPolicy(self.head, budget, level="head")
-        if engine == "Ours(batch)":
-            return SpeContextPolicy(self.head, budget, level="batch")
-        raise KeyError(f"unknown engine {engine!r}; available: {self.available()}")
+        try:
+            name, opts = self._ENGINES[engine]
+        except KeyError:
+            raise KeyError(
+                f"unknown engine {engine!r}; available: {self.available()}"
+            ) from None
+        if name == "specontext":
+            opts = {**opts, "head": self.head}
+        return make_policy(name, self.model, budget, **opts)
 
 
 # ---- QA scoring ------------------------------------------------------------------

@@ -1,0 +1,474 @@
+"""Tests for the request-level serving API: policy registry round-trips,
+continuous-batching server determinism, and engine back-compat."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, GenerationRequest, SamplingParams
+from repro.core.engine import SpeContextEngine
+from repro.core.retrieval_head import RetrievalHeadConfig, SpeContextPolicy
+from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060_4GB
+from repro.models.config import LLAMA_LIKE_8B
+from repro.perf.engines import SPECONTEXT
+from repro.perf.simulate import PerfSimulator
+from repro.retrieval.base import BudgetedPolicy
+from repro.retrieval.registry import (
+    available_policies,
+    make_policy,
+    resolve_policy_name,
+)
+from repro.serving.request import Request
+from repro.serving.scheduler import StaticBatchScheduler
+from repro.serving.server import SpeContextServer
+from tests.conftest import make_recall_prompt
+
+warnings.filterwarnings("ignore", message="One of the clusters is empty")
+
+ALL_NAMES = (
+    "specontext", "quest", "h2o", "shadowkv", "clusterkv",
+    "streaming", "sliding", "full",
+)
+K_CACHE_NAMES = ("quest", "h2o", "shadowkv", "clusterkv")
+CACHE_AGNOSTIC_NAMES = ("specontext", "streaming", "sliding", "full")
+
+
+def server_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=96,
+        spec=EDGE_RTX4060_4GB,
+        bos_id=tokenizer.bos_id,
+        head_config=RetrievalHeadConfig(noise=0.1),
+        max_concurrency=4,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def mixed_requests(tokenizer, n=8, max_new_tokens=3):
+    """One request per policy name, alternating budgets."""
+    requests = []
+    for i in range(n):
+        rng = np.random.default_rng(100 + i)
+        prompt, _, _ = make_recall_prompt(tokenizer, rng, n_filler=300)
+        requests.append(GenerationRequest(
+            prompt,
+            sampling=SamplingParams(max_new_tokens=max_new_tokens),
+            policy=ALL_NAMES[i % len(ALL_NAMES)],
+            budget=64 if i % 2 else 96,
+        ))
+    return requests
+
+
+def clone(request: GenerationRequest) -> GenerationRequest:
+    return GenerationRequest(
+        request.prompt_ids.copy(),
+        sampling=request.sampling,
+        policy=request.policy,
+        budget=request.budget,
+    )
+
+
+class TestRegistry:
+    def test_canonical_names_complete(self):
+        assert set(available_policies()) == set(ALL_NAMES)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_round_trip_builds_working_policy(
+        self, name, tiny_gqa_model, tiny_tokenizer
+    ):
+        opts = {"bos_id": tiny_tokenizer.bos_id} if name == "specontext" else {}
+        policy = make_policy(name, tiny_gqa_model, 64, **opts)
+        assert hasattr(policy, "begin_generation")
+        assert hasattr(policy, "pre_step")
+        assert hasattr(policy, "select")
+        rng = np.random.default_rng(0)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=200)
+        result = tiny_gqa_model.generate(
+            prompt, 2, policy=policy, sparse_from_first_token=True
+        )
+        assert result.n_generated == 2
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("Ours", "specontext"),
+        ("SPECONTEXT", "specontext"),
+        ("StreamingLLM", "streaming"),
+        ("SlidingWindow", "sliding"),
+        ("full-attention", "full"),
+        ("Quest", "quest"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_policy_name(alias) == canonical
+
+    def test_unknown_name_raises_with_available_list(self, tiny_gqa_model):
+        with pytest.raises(KeyError, match="specontext"):
+            make_policy("does-not-exist", tiny_gqa_model, 64)
+
+    @pytest.mark.parametrize("name", K_CACHE_NAMES)
+    def test_mla_rejects_k_cache_policies(self, name, tiny_mla_model):
+        """The paper's 'None Support' cells, via the registry."""
+        with pytest.raises(NotImplementedError):
+            make_policy(name, tiny_mla_model, 64)
+
+    @pytest.mark.parametrize("name", CACHE_AGNOSTIC_NAMES)
+    def test_mla_supported_policies_construct(
+        self, name, tiny_mla_model, tiny_tokenizer
+    ):
+        opts = {"bos_id": tiny_tokenizer.bos_id} if name == "specontext" else {}
+        make_policy(name, tiny_mla_model, 64, **opts)
+
+    def test_specontext_needs_head_or_bos_id(self, tiny_gqa_model):
+        with pytest.raises(ValueError, match="bos_id"):
+            make_policy("specontext", tiny_gqa_model, 64)
+
+    def test_specontext_accepts_prebuilt_head(self, tiny_gqa_model, tiny_tokenizer):
+        first = make_policy(
+            "specontext", tiny_gqa_model, 64, bos_id=tiny_tokenizer.bos_id
+        )
+        second = make_policy("specontext", tiny_gqa_model, 64, head=first.head)
+        assert second.head is first.head
+
+    def test_opts_forwarded(self, tiny_gqa_model):
+        policy = make_policy("quest", tiny_gqa_model, 64, page_size=8)
+        assert policy.page_size == 8
+
+
+class TestServer:
+    def test_eight_concurrent_mixed_policies(self, tiny_gqa_model, tiny_tokenizer):
+        """Acceptance: >= 8 concurrent requests, mixed policies/budgets."""
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        requests = mixed_requests(tiny_tokenizer)
+        for request in requests:
+            server.add_request(request)
+        outputs = server.run()
+        assert len(outputs) == 8
+        assert [o.request_id for o in outputs] == list(range(8))
+        for output in outputs:
+            assert output.n_generated == 3
+            assert output.finish_reason == "length"
+            stats = output.stats
+            assert stats.budget in (64, 96)
+            assert 0.0 <= stats.mean_selection_overlap <= 1.0
+        assert len(server.meter.finished) == 8
+        assert server.meter.generated_tokens == 24
+
+    def test_batched_matches_single_request_runs(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Acceptance: meter totals == sum of solo runs under the same seed."""
+        batched = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        requests = mixed_requests(tiny_tokenizer)
+        for request in requests:
+            batched.add_request(clone(request))
+        batched_outputs = batched.run()
+
+        solo_tokens, solo_generated = [], 0
+        for request in requests:
+            solo = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+            solo.add_request(clone(request))
+            output = solo.run()[0]
+            solo_tokens.append(output.token_ids)
+            solo_generated += solo.meter.generated_tokens
+        assert [o.token_ids for o in batched_outputs] == solo_tokens
+        assert batched.meter.generated_tokens == solo_generated
+
+    def test_deterministic_under_fixed_seed(self, tiny_gqa_model, tiny_tokenizer):
+        def run_once():
+            server = SpeContextServer(
+                tiny_gqa_model, server_config(tiny_tokenizer)
+            )
+            for request in mixed_requests(tiny_tokenizer):
+                server.add_request(request)
+            return [
+                (o.request_id, tuple(o.token_ids), o.stats.bytes_transferred)
+                for o in server.run()
+            ]
+
+        assert run_once() == run_once()
+
+    def test_temperature_sampling_deterministic_with_seed(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        rng = np.random.default_rng(7)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=200)
+        sampling = SamplingParams(max_new_tokens=4, temperature=0.8, seed=3)
+
+        def run_once():
+            server = SpeContextServer(
+                tiny_gqa_model, server_config(tiny_tokenizer)
+            )
+            server.add_request(GenerationRequest(prompt, sampling, policy="full"))
+            return server.run()[0].token_ids
+
+        assert run_once() == run_once()
+
+    def test_temperature_without_seed_rejected(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        rng = np.random.default_rng(7)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=100)
+        with pytest.raises(ValueError, match="temperature"):
+            server.add_request(GenerationRequest(
+                prompt, SamplingParams(max_new_tokens=2, temperature=0.5)
+            ))
+
+    def test_concurrency_cap_respected(self, tiny_gqa_model, tiny_tokenizer):
+        server = SpeContextServer(
+            tiny_gqa_model, server_config(tiny_tokenizer, max_concurrency=2)
+        )
+        for request in mixed_requests(tiny_tokenizer, n=5, max_new_tokens=4):
+            server.add_request(request)
+        server.step()
+        assert server.n_active == 2
+        assert server.n_waiting == 3
+        outputs = server.run()
+        assert len(outputs) == 5
+        assert len(server.outputs) == 5
+
+    def test_stop_ids_finish_early(self, tiny_gqa_model, tiny_tokenizer):
+        rng = np.random.default_rng(11)
+        prompt, expected, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        server.add_request(GenerationRequest(
+            prompt,
+            SamplingParams(max_new_tokens=8, stop_ids=(expected,)),
+            policy="specontext",
+        ))
+        output = server.run()[0]
+        assert output.finish_reason == "stop"
+        assert output.token_ids[-1] == expected
+        assert output.stats.result.stopped_by_eos
+
+    def test_solves_recall_under_sparsity(self, tiny_gqa_model, tiny_tokenizer):
+        rng = np.random.default_rng(11)
+        prompt, expected, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        server.add_request(GenerationRequest(
+            prompt, SamplingParams(max_new_tokens=1), policy="specontext"
+        ))
+        assert server.run()[0].token_ids[0] == expected
+
+    def test_prebuilt_policy_budget_wins_in_stats(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """stats.budget reports the budget that actually governed selection."""
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        prebuilt = make_policy(
+            "specontext", tiny_gqa_model, 96, bos_id=tiny_tokenizer.bos_id
+        )
+        rng = np.random.default_rng(21)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=200)
+        server.add_request(GenerationRequest(
+            prompt, SamplingParams(max_new_tokens=2), policy=prebuilt, budget=32
+        ))
+        assert server.run()[0].stats.budget == 96
+
+    def test_failed_submission_leaves_request_retryable(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        rng = np.random.default_rng(22)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=100)
+        request = GenerationRequest(
+            prompt, SamplingParams(max_new_tokens=2), policy="qest"  # typo
+        )
+        with pytest.raises(KeyError):
+            server.add_request(request)
+        assert request.request_id is None  # no id burned
+        request.policy = "quest"
+        assert server.add_request(request) == 0
+        assert server.run()[0].n_generated == 2
+
+    def test_shared_prebuilt_policy_rejected_while_in_flight(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        prebuilt = make_policy(
+            "specontext", tiny_gqa_model, 96, bos_id=tiny_tokenizer.bos_id
+        )
+        rng = np.random.default_rng(24)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=100)
+        server.add_request(GenerationRequest(
+            prompt, SamplingParams(max_new_tokens=2), policy=prebuilt
+        ))
+        with pytest.raises(ValueError, match="already bound"):
+            server.add_request(GenerationRequest(
+                prompt, SamplingParams(max_new_tokens=2), policy=prebuilt
+            ))
+        server.run()
+        # Sequential reuse (previous session drained) is fine.
+        server.add_request(GenerationRequest(
+            prompt, SamplingParams(max_new_tokens=2), policy=prebuilt
+        ))
+        assert server.run()[0].n_generated == 2
+
+    def test_clear_history_bounds_bookkeeping(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(tiny_gqa_model, server_config(tiny_tokenizer))
+        rng = np.random.default_rng(23)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=100)
+        for _ in range(2):
+            server.add_request(GenerationRequest(
+                prompt, SamplingParams(max_new_tokens=1), policy="full"
+            ))
+            server.run()
+        assert len(server.outputs) == 2
+        server.clear_history()
+        assert server.outputs == []
+        assert len(server.meter.finished) == 0
+
+
+class TestEngineBackCompat:
+    @pytest.fixture
+    def engine(self, tiny_gqa_model, tiny_tokenizer):
+        return SpeContextEngine(
+            tiny_gqa_model,
+            tiny_tokenizer.bos_id,
+            budget=96,
+            spec=EDGE_RTX4060_4GB,
+            head_config=RetrievalHeadConfig(noise=0.1),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_wrapper_matches_direct_model_generate(
+        self, engine, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Seed behaviour: engine tokens == model.generate under sparsity."""
+        rng = np.random.default_rng(12)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        stats = engine.generate(prompt, max_new_tokens=4)
+        fresh_policy = SpeContextPolicy(engine.head, 96, level="head")
+        direct = tiny_gqa_model.generate(
+            prompt, 4, policy=fresh_policy, sparse_from_first_token=True
+        )
+        assert stats.text_token_ids == direct.token_ids
+
+    def test_policy_reused_across_calls(self, engine, tiny_tokenizer):
+        """The satellite: one policy object serves every generate() call."""
+        policy_before = engine.policy
+        rng = np.random.default_rng(13)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        first = engine.generate(prompt, max_new_tokens=3)
+        assert engine.policy is policy_before
+        second = engine.generate(prompt, max_new_tokens=3)
+        assert engine.policy is policy_before
+        # Explicit reset between requests: histories don't leak across
+        # calls (tokens and offload schedule repeat; transfer bytes may
+        # wiggle because noise-role head keys are drawn from a stateful
+        # rng, exactly as in the pre-refactor engine).
+        assert first.text_token_ids == second.text_token_ids
+        assert first.bytes_transferred > 0 and second.bytes_transferred > 0
+        assert [e.seq_len for e in first.offload_events] == [
+            e.seq_len for e in second.offload_events
+        ]
+
+    def test_repeat_call_matches_fresh_engine(
+        self, engine, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Stats from a reused engine == stats from a brand-new engine."""
+        rng = np.random.default_rng(14)
+        prompt_a, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        prompt_b, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        engine.generate(prompt_a, max_new_tokens=3)
+        reused = engine.generate(prompt_b, max_new_tokens=3)
+        fresh = SpeContextEngine(
+            tiny_gqa_model,
+            tiny_tokenizer.bos_id,
+            budget=96,
+            spec=EDGE_RTX4060_4GB,
+            head_config=RetrievalHeadConfig(noise=0.1),
+            rng=np.random.default_rng(0),
+        ).generate(prompt_b, max_new_tokens=3)
+        assert reused.text_token_ids == fresh.text_token_ids
+        assert len(reused.offload_events) == len(fresh.offload_events)
+
+    def test_engine_accepts_engine_config(self, tiny_gqa_model, tiny_tokenizer):
+        config = EngineConfig(
+            budget=96,
+            spec=EDGE_RTX4060_4GB,
+            head_config=RetrievalHeadConfig(noise=0.1),
+            max_concurrency=1,
+        )
+        engine = SpeContextEngine(
+            tiny_gqa_model, tiny_tokenizer.bos_id, config=config,
+            rng=np.random.default_rng(0),
+        )
+        assert engine.budget == 96
+        rng = np.random.default_rng(15)
+        prompt, expected, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=300)
+        stats = engine.generate(prompt, max_new_tokens=1)
+        assert stats.text_token_ids[0] == expected
+
+    def test_engine_rejects_mixed_kwargs_and_config(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        with pytest.raises(ValueError, match="budget"):
+            SpeContextEngine(
+                tiny_gqa_model,
+                tiny_tokenizer.bos_id,
+                budget=96,
+                config=EngineConfig(spec=EDGE_RTX4060_4GB),
+            )
+
+    def test_engine_bos_id_config_contract(self, tiny_gqa_model, tiny_tokenizer):
+        """Clashing bos_ids raise; a None config.bos_id is filled in."""
+        with pytest.raises(ValueError, match="bos_id"):
+            SpeContextEngine(
+                tiny_gqa_model,
+                0,
+                config=EngineConfig(
+                    bos_id=tiny_tokenizer.bos_id, max_concurrency=1
+                ),
+            )
+        engine = SpeContextEngine(
+            tiny_gqa_model,
+            tiny_tokenizer.bos_id,
+            config=EngineConfig(max_concurrency=1),
+            rng=np.random.default_rng(0),
+        )
+        assert engine.config.bos_id == tiny_tokenizer.bos_id
+        assert engine.head.bos_id == tiny_tokenizer.bos_id
+
+
+class TestSchedulerMemoization:
+    def test_capacity_lookups_memoized_by_shape(self, monkeypatch):
+        import repro.serving.scheduler as scheduler_module
+
+        sim = PerfSimulator(LLAMA_LIKE_8B, CLOUD_A800, budget=2048)
+        calls: list[tuple[int, int]] = []
+        real = scheduler_module.max_fitting_batch
+
+        def counting(sim_, engine_, in_len, out_len, candidates):
+            calls.append((in_len, out_len))
+            return real(sim_, engine_, in_len, out_len, candidates)
+
+        monkeypatch.setattr(scheduler_module, "max_fitting_batch", counting)
+        scheduler = StaticBatchScheduler(sim, SPECONTEXT)
+        requests = [
+            Request(request_id=i, in_len=2048, out_len=4096) for i in range(12)
+        ]
+        plans = scheduler.plan(requests)
+        assert sum(len(p.request_ids) for p in plans) == 12
+        # Naive planning called max_fitting_batch once per request added to
+        # a group; memoized planning hits the simulator once per shape.
+        assert calls == [(2048, 4096)]
+
+    def test_memoized_plans_match_shapes(self, monkeypatch):
+        sim = PerfSimulator(LLAMA_LIKE_8B, CLOUD_A800, budget=2048)
+        scheduler = StaticBatchScheduler(sim, SPECONTEXT)
+        mixed = [
+            Request(request_id=i, in_len=2048 if i % 2 == 0 else 4096,
+                    out_len=4096)
+            for i in range(6)
+        ]
+        plans = scheduler.plan(mixed)
+        assert sum(len(p.request_ids) for p in plans) == 6
+        # Head shape (2048, 4096) plus the padded group shape (4096, 4096):
+        # every other lookup is a cache hit.
+        assert set(scheduler._capacity_cache) == {(2048, 4096), (4096, 4096)}
