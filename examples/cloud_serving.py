@@ -6,7 +6,13 @@ Part 1 — real inference, request-level API: a mixed-policy queue of
 policy (resolved by registry name), budget and stop conditions, and the
 throughput meter aggregates completions.
 
-Part 2 — the paper's scale: the same serving questions on the performance
+Part 2 — memory pressure: the same server with its shared paged KV pool
+deliberately over-committed. Prompts sharing a system prefix reuse
+resident blocks (prefix caching), and when decode growth exhausts the
+pool the scheduler preempts the lowest-priority session and requeues it —
+token streams stay bit-identical to unpressured runs.
+
+Part 3 — the paper's scale: the same serving questions on the performance
 simulator (A800, 8B-class model) — memory-admitted batch sizes and static
 FIFO batching under three engines, the serving view behind Table 3.
 
@@ -72,6 +78,66 @@ def serve_functional(n_requests: int = 8, seed: int = 0) -> None:
           f"({meter.tokens_per_second:.1f} tokens/step)\n")
 
 
+def serve_overcommitted(seed: int = 0) -> None:
+    """Part 2: a pool half the workload's KV forces preemption; a shared
+    system prefix makes the prefix cache earn its keep."""
+    rng = np.random.default_rng(seed)
+    tokenizer = SyntheticTokenizer(vocab_size=512)
+    model = TransformerLM(
+        build_recall_model(tiny_test_config(n_layers=2, vocab_size=512),
+                           tokenizer, rng)
+    )
+    system_prefix = [
+        int(t) for t in tokenizer.random_filler_ids(
+            np.random.default_rng(seed + 1), 48
+        )
+    ]
+
+    def request(i: int) -> GenerationRequest:
+        req_rng = np.random.default_rng(seed + 50 + i)
+        suffix = [int(t) for t in tokenizer.random_filler_ids(req_rng, 24)]
+        prompt = np.array([tokenizer.bos_id] + system_prefix + suffix)
+        return GenerationRequest(
+            prompt,
+            sampling=SamplingParams(max_new_tokens=24),
+            policy=POLICY_MIX[i % len(POLICY_MIX)],
+            priority=i % 2,  # odd requests outrank even ones
+        )
+
+    # Reference: every request alone on an unpressured server.
+    base = dict(budget=96, bos_id=tokenizer.bos_id, block_size=8,
+                scheduler="priority")
+    solo_streams = []
+    for i in range(6):
+        solo = SpeContextServer(model, EngineConfig(**base))
+        solo.add_request(request(i))
+        solo_streams.append(solo.run()[0].token_ids)
+
+    # Over-committed: pool sized to roughly half the aggregate KV.
+    block = base["block_size"]
+    aggregate = sum(
+        -(-(request(i).prompt_len + 24) // block) for i in range(6)
+    )
+    server = SpeContextServer(
+        model, EngineConfig(**base, pool_blocks=aggregate // 2)
+    )
+    for i in range(6):
+        server.add_request(request(i))
+    outputs = server.run()
+
+    stats = server.pool.stats
+    print(f"over-committed pool: {aggregate // 2} blocks for a workload "
+          f"needing {aggregate}")
+    print(f"  {len(server.preemption_log)} preemptions "
+          f"({sum(1 for o in outputs if o.stats.preemptions)} requests hit), "
+          f"{stats.prefix_blocks_reused} prompt blocks reused via prefix "
+          f"cache ({stats.prefix_hit_rate:.0%} hit rate)")
+    identical = all(
+        outputs[i].token_ids == solo_streams[i] for i in range(6)
+    )
+    print(f"  token streams bit-identical to solo runs: {identical}\n")
+
+
 def build_queue(n: int, seed: int = 0) -> list[Request]:
     """Reasoning-heavy request mix: short prompts, long generations."""
     rng = np.random.default_rng(seed)
@@ -83,7 +149,7 @@ def build_queue(n: int, seed: int = 0) -> list[Request]:
 
 
 def simulate_cloud() -> None:
-    """Part 2: Table 3's serving view on the performance simulator."""
+    """Part 3: Table 3's serving view on the performance simulator."""
     sim = PerfSimulator(DEEPSEEK_DISTILL_LIKE_8B, CLOUD_A800, budget=2048)
     print(f"model: {DEEPSEEK_DISTILL_LIKE_8B.name}  |  GPU: {CLOUD_A800.name}")
 
@@ -120,6 +186,7 @@ def simulate_cloud() -> None:
 
 def main() -> None:
     serve_functional()
+    serve_overcommitted()
     simulate_cloud()
 
 

@@ -63,8 +63,27 @@ class EngineConfig:
         head_config: retrieval-head construction parameters.
         elastic: set-difference (True) vs full-reload (False) transfer
             accounting.
-        max_concurrency: maximum co-running sessions in the server; further
-            requests wait in the FIFO admission queue.
+        max_concurrency: upper bound on co-running sessions in the server
+            (admission is primarily gated by KV-pool pressure and the
+            adaptive memory manager's thresholds; this is a hard cap on
+            top).
+        block_size: tokens per KV block in the server's shared
+            :class:`~repro.kvcache.pool.PagedKVPool`.
+        pool_blocks: total blocks in the shared pool. None (default) sizes
+            the pool from the adaptive manager's Algorithm-1 capacity
+            (``capacity_tokens() / block_size``); an explicit small value
+            forces memory pressure, preemption and prefix-cache eviction.
+        enable_prefix_cache: publish full prompt blocks for reuse by later
+            requests sharing the prefix (never changes logits; prefix KV
+            values are bit-identical to recomputation).
+        preempt_mode: what happens to a session evicted under pool
+            pressure — "swap" stashes its KV cache host-side and restores
+            it on resume (exact for every policy); "recompute" drops the
+            cache and replays prefill + forced decode on resume (exact for
+            policies without stateful sampling inside the policy itself).
+        scheduler: admission/preemption ordering policy name (see
+            :func:`repro.serving.policies.make_scheduler`): "fcfs",
+            "priority" or "sjf".
         sparse_from_first_token: decode the final prompt token as the first
             policy-governed step (SpeContext's dataflow).
         requests: request multiplier for the theoretical memory model.
@@ -84,6 +103,11 @@ class EngineConfig:
     head_config: "RetrievalHeadConfig | None" = None
     elastic: bool = True
     max_concurrency: int = 8
+    block_size: int = 16
+    pool_blocks: int | None = None
+    enable_prefix_cache: bool = True
+    preempt_mode: str = "swap"
+    scheduler: str = "fcfs"
     sparse_from_first_token: bool = True
     requests: int = 1
     dlm_bytes: int | None = None
@@ -104,3 +128,14 @@ class EngineConfig:
             )
         if self.requests < 1:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.pool_blocks is not None and self.pool_blocks < 1:
+            raise ValueError(
+                f"pool_blocks must be >= 1 or None, got {self.pool_blocks}"
+            )
+        if self.preempt_mode not in ("swap", "recompute"):
+            raise ValueError(
+                f"preempt_mode must be 'swap' or 'recompute', "
+                f"got {self.preempt_mode!r}"
+            )

@@ -34,6 +34,9 @@ class GenerationRequest:
         budget: KV token budget; None uses the engine config's default.
         policy_opts: extra kwargs forwarded to ``make_policy`` (merged over
             the engine config's ``policy_opts``).
+        priority: scheduling weight — higher values admit earlier and are
+            preempted later under the "priority" scheduler; other
+            schedulers ignore it. Ties break by arrival order.
         request_id: assigned by the server at submission.
         rng: sampling RNG override (takes precedence over sampling.seed).
     """
@@ -43,6 +46,7 @@ class GenerationRequest:
     policy: "str | SelectionPolicy | None" = None
     budget: int | None = None
     policy_opts: dict = field(default_factory=dict)
+    priority: int = 0
     request_id: int | None = None
     rng: np.random.Generator | None = field(default=None, repr=False)
 

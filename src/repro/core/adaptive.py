@@ -66,6 +66,26 @@ class AdaptiveMemoryManager:
         """The Algorithm 1 threshold list S_T[0..L]."""
         return list(self._thresholds)
 
+    def capacity_tokens(self) -> int:
+        """Largest aggregate sequence length the GPU can serve at all.
+
+        ``S_T[L]`` — the Algorithm-1 threshold with every layer offloaded —
+        is the hard ceiling on the summed KV footprint of co-resident
+        requests. Beyond it no placement fits, so it is the natural
+        admission-control bound for a shared server.
+        """
+        return self._thresholds[self.n_layers]
+
+    def admits(self, aggregate_len: int) -> bool:
+        """Admission-control hook: can ``aggregate_len`` tokens be served?
+
+        The server projects the summed KV footprint of the active sessions
+        plus a candidate request (prompt and full generation budget) and
+        defers admission while the projection exceeds the thresholds,
+        instead of gating on a bare concurrency count.
+        """
+        return aggregate_len <= self.capacity_tokens()
+
     def required_offloads(self, seq_len: int) -> int:
         """Smallest L_CPU whose threshold accommodates ``seq_len``."""
         for i in range(self.n_layers + 1):

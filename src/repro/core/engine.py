@@ -51,6 +51,9 @@ class GenerationStats:
     transfer_reduction: float = 0.0
     mean_selection_overlap: float = 0.0
     offload_events: list[OffloadEvent] = field(default_factory=list)
+    preemptions: int = 0
+    swap_bytes: int = 0
+    prefix_reused_tokens: int = 0
 
     @property
     def text_token_ids(self) -> list[int]:

@@ -5,6 +5,8 @@ cache is a first-class subsystem here rather than an array inside the model:
 
 - ``LayerKVCache``: the dense append/gather cache every attention variant uses.
 - ``PagedKVCache``: fixed-size pages with min/max metadata (Quest's layout).
+- ``PagedKVPool``: the server-wide block pool — refcounted copy-on-write
+  blocks, hash-chained prefix caching, deterministic free-list reuse.
 - ``TieredKVStore``: CPU/DRAM-backed cache with an explicit transfer ledger,
   so experiments can count bytes moved over PCIe.
 - ``GpuSlotBuffer``: the fixed-budget on-GPU staging buffer that elastic
@@ -13,14 +15,26 @@ cache is a first-class subsystem here rather than an array inside the model:
 
 from repro.kvcache.cache import LayerKVCache, ModelKVCache
 from repro.kvcache.paged import PagedKVCache, PageMetadata
+from repro.kvcache.pool import (
+    BlockTable,
+    PagedKVPool,
+    PoolExhausted,
+    PoolStats,
+    hash_token_prefix,
+)
 from repro.kvcache.tiered import TieredKVStore, TransferLedger
 from repro.kvcache.slots import GpuSlotBuffer
 
 __all__ = [
+    "BlockTable",
     "LayerKVCache",
     "ModelKVCache",
     "PagedKVCache",
+    "PagedKVPool",
     "PageMetadata",
+    "PoolExhausted",
+    "PoolStats",
+    "hash_token_prefix",
     "TieredKVStore",
     "TransferLedger",
     "GpuSlotBuffer",

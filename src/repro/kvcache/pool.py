@@ -1,0 +1,346 @@
+"""Server-wide paged KV block pool: refcounting, copy-on-write, prefix cache.
+
+Production engines (vLLM, aphrodite-engine) treat GPU KV memory as one
+fixed pool of fixed-size blocks shared by every in-flight sequence, not as
+per-request private caches. This module brings that discipline to the
+functional server:
+
+- :class:`PagedKVPool` owns ``n_blocks`` blocks of ``block_size`` tokens
+  each; every allocation and free goes through it, so aggregate occupancy
+  is observable and bounded by construction.
+- Blocks are **refcounted**: a sequence's :class:`BlockTable` and the
+  prefix cache can hold the same physical block. Writes to a shared block
+  go through :meth:`PagedKVPool.write_block`, which forks a private copy
+  first (**copy-on-write**), so readers never observe the writer's data.
+- **Prefix caching**: full blocks of a prompt are published under a
+  chained hash of the token ids they cover. A later request whose prompt
+  shares that prefix re-references the resident blocks instead of
+  allocating (and recomputing) them — the classic shared-system-prompt
+  saving. Entries are evicted LRU when the pool runs dry, but only while
+  no sequence still references them.
+- The free list is a **stack** (LIFO): the ids an allocation returns are a
+  pure function of the alloc/free history, which makes pool behaviour
+  reproducible run-to-run — a property the trace tests pin.
+
+The pool tracks *capacity and sharing*; the dense per-session
+:class:`~repro.kvcache.cache.ModelKVCache` remains the compute-side view.
+Block payloads (one ``(keys, values)`` pair per layer) are attached where
+sharing needs real data: prefix-cache entries and CoW forks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# Payload: one (keys, values) array pair per transformer layer, each shaped
+# (batch, kv_heads, block_tokens, head_dim) — a slice of a ModelKVCache.
+BlockPayload = list[tuple[np.ndarray, np.ndarray]]
+
+
+class PoolExhausted(RuntimeError):
+    """No free block available (after evicting unreferenced cached blocks)."""
+
+
+@dataclass
+class PoolStats:
+    """Counters the serving layer and the trace tests read.
+
+    ``prefill_blocks_allocated`` counts only blocks allocated to cover
+    prompt KV (the prefix cache's savings target); ``prefix_blocks_reused``
+    counts prompt blocks satisfied by a cache hit instead.
+    """
+
+    allocated: int = 0
+    freed: int = 0
+    cow_forks: int = 0
+    prefill_blocks_allocated: int = 0
+    prefix_blocks_reused: int = 0
+    prefix_queries: int = 0
+    prefix_hits: int = 0
+    prefix_evictions: int = 0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        if self.prefix_queries == 0:
+            return 0.0
+        return self.prefix_hits / self.prefix_queries
+
+
+@dataclass
+class BlockTable:
+    """One sequence's logical-to-physical block mapping."""
+
+    block_ids: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    def __iter__(self):
+        return iter(self.block_ids)
+
+
+def hash_token_prefix(token_ids: np.ndarray, n_tokens: int) -> bytes:
+    """Stable content digest of ``token_ids[:n_tokens]``.
+
+    Prefix-cache keys must depend on the *entire* prefix up to the block's
+    end (a block's KV values are a function of every token before it), so
+    the key hashes the full covered prefix, not just the block's own ids.
+    A 16-byte blake2b digest makes accidental aliasing (which would splice
+    wrong KV values into a request) cryptographically unlikely, and is
+    stable across processes (unlike ``hash()`` under PYTHONHASHSEED).
+    """
+    chunk = np.ascontiguousarray(np.asarray(token_ids[:n_tokens], dtype=np.int64))
+    digest = hashlib.blake2b(chunk.tobytes(), digest_size=16)
+    digest.update(n_tokens.to_bytes(8, "little"))
+    return digest.digest()
+
+
+@dataclass
+class _Block:
+    block_id: int
+    ref_count: int = 0
+    payload: BlockPayload | None = None
+    prefix_key: bytes | None = None  # set while published in the prefix cache
+
+
+class PagedKVPool:
+    """Fixed-capacity block pool with refcounts, CoW and a prefix cache."""
+
+    def __init__(self, n_blocks: int, block_size: int = 16):
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self._blocks = [_Block(block_id=i) for i in range(n_blocks)]
+        # LIFO free stack, seeded so that block 0 is allocated first.
+        self._free: list[int] = list(range(n_blocks - 1, -1, -1))
+        # prefix key -> block id, in insertion order (dict preserves it);
+        # re-publication moves a key to the back, giving LRU eviction.
+        self._prefix_index: dict[bytes, int] = {}
+        self.stats = PoolStats()
+
+    # ---- capacity --------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_used(self) -> int:
+        return self.capacity - self.n_free
+
+    def blocks_for_tokens(self, n_tokens: int) -> int:
+        """Blocks needed to hold ``n_tokens`` tokens."""
+        return -(-max(n_tokens, 0) // self.block_size)
+
+    def n_evictable(self) -> int:
+        """Cached blocks held only by the prefix cache (freeable on demand)."""
+        return sum(
+            1
+            for block_id in self._prefix_index.values()
+            if self._blocks[block_id].ref_count == 1
+        )
+
+    def can_allocate(self, n: int) -> bool:
+        """Whether ``n`` blocks could be produced (free + evictable)."""
+        return self.n_free + self.n_evictable() >= n
+
+    def ref_count(self, block_id: int) -> int:
+        return self._blocks[block_id].ref_count
+
+    # ---- allocate / retain / release -------------------------------------------
+
+    def allocate(self) -> int:
+        """Pop one free block (refcount 1), evicting cached blocks if needed."""
+        if not self._free and not self._evict_one_unreferenced():
+            raise PoolExhausted(
+                f"pool exhausted: {self.capacity} blocks all referenced"
+            )
+        block_id = self._free.pop()
+        block = self._blocks[block_id]
+        assert block.ref_count == 0
+        block.ref_count = 1
+        block.payload = None
+        block.prefix_key = None
+        self.stats.allocated += 1
+        return block_id
+
+    def retain(self, block_id: int) -> None:
+        """Add one reference to an allocated block."""
+        block = self._blocks[block_id]
+        if block.ref_count < 1:
+            raise ValueError(f"retain of free block {block_id}")
+        block.ref_count += 1
+
+    def release(self, block_id: int) -> bool:
+        """Drop one reference; returns True when the block was freed."""
+        block = self._blocks[block_id]
+        if block.ref_count < 1:
+            raise ValueError(f"release of free block {block_id}")
+        block.ref_count -= 1
+        if block.ref_count == 0:
+            if block.prefix_key is not None:
+                # Last holder was the prefix cache itself (unpublish path).
+                self._prefix_index.pop(block.prefix_key, None)
+                block.prefix_key = None
+            block.payload = None
+            self._free.append(block_id)
+            self.stats.freed += 1
+            return True
+        return False
+
+    def free_table(self, table: BlockTable) -> None:
+        """Release every block a sequence holds and clear its table."""
+        for block_id in table.block_ids:
+            self.release(block_id)
+        table.block_ids.clear()
+
+    # ---- payload access & copy-on-write ----------------------------------------
+
+    def read_block(self, block_id: int) -> BlockPayload | None:
+        block = self._blocks[block_id]
+        if block.ref_count < 1:
+            raise ValueError(f"read of free block {block_id}")
+        return block.payload
+
+    def write_block(
+        self, table: BlockTable, logical_index: int, payload: BlockPayload
+    ) -> int:
+        """Write a payload through a table slot, forking shared blocks (CoW).
+
+        If the physical block is referenced by anyone else (another table,
+        the prefix cache), a fresh block is allocated, the table is
+        repointed at it, and the old block loses one reference — readers of
+        the shared block keep seeing the original payload. Returns the
+        physical block id written.
+        """
+        block_id = table.block_ids[logical_index]
+        block = self._blocks[block_id]
+        if block.ref_count > 1:
+            fresh = self.allocate()
+            self.stats.cow_forks += 1
+            table.block_ids[logical_index] = fresh
+            block.ref_count -= 1
+            block_id = fresh
+            block = self._blocks[fresh]
+        block.payload = [(k.copy(), v.copy()) for k, v in payload]
+        return block_id
+
+    def fork_table(self, table: BlockTable) -> BlockTable:
+        """Share every block with a new table (beam-search-style fork)."""
+        for block_id in table.block_ids:
+            self.retain(block_id)
+        return BlockTable(block_ids=list(table.block_ids))
+
+    # ---- prefix cache ----------------------------------------------------------
+
+    def publish_prefix(
+        self, token_ids: np.ndarray, table: BlockTable, n_full_blocks: int
+    ) -> int:
+        """Publish a sequence's first ``n_full_blocks`` blocks for reuse.
+
+        Each published block gains one reference held by the cache and is
+        indexed by the chained hash of the token prefix it completes.
+        Blocks whose key is already cached are skipped. The block payloads
+        must have been attached (via :meth:`write_block`) by the caller.
+        Returns the number of newly published blocks.
+        """
+        published = 0
+        for i in range(min(n_full_blocks, len(table.block_ids))):
+            key = hash_token_prefix(token_ids, (i + 1) * self.block_size)
+            if key in self._prefix_index:
+                # Refresh LRU position.
+                self._prefix_index[key] = self._prefix_index.pop(key)
+                continue
+            block_id = table.block_ids[i]
+            block = self._blocks[block_id]
+            if block.payload is None:
+                raise ValueError(
+                    f"block {block_id} has no payload; write_block before "
+                    "publishing"
+                )
+            self.retain(block_id)
+            block.prefix_key = key
+            self._prefix_index[key] = block_id
+            published += 1
+        return published
+
+    def match_prefix(self, token_ids: np.ndarray, max_tokens: int) -> list[int]:
+        """Longest chain of cached blocks covering a prefix of ``token_ids``.
+
+        Only full blocks ending at or before ``max_tokens`` are considered
+        (the caller caps this below the prefill length so at least one
+        prompt token is always computed). Returns the physical block ids of
+        the chain, longest match first broken at the first miss.
+        """
+        self.stats.prefix_queries += 1
+        chain: list[int] = []
+        token_ids = np.asarray(token_ids)
+        n_candidates = min(token_ids.size, max_tokens) // self.block_size
+        for i in range(n_candidates):
+            key = hash_token_prefix(token_ids, (i + 1) * self.block_size)
+            block_id = self._prefix_index.get(key)
+            if block_id is None:
+                break
+            # Refresh LRU position on hit.
+            self._prefix_index[key] = self._prefix_index.pop(key)
+            chain.append(block_id)
+        if chain:
+            self.stats.prefix_hits += 1
+        return chain
+
+    def acquire_prefix(self, block_ids: list[int], table: BlockTable) -> None:
+        """Attach matched prefix blocks to a sequence's table (refcounted)."""
+        for block_id in block_ids:
+            self.retain(block_id)
+            table.block_ids.append(block_id)
+        self.stats.prefix_blocks_reused += len(block_ids)
+
+    def _evict_one_unreferenced(self) -> bool:
+        """Drop the least-recently-used cache-only block; True on success."""
+        for key, block_id in self._prefix_index.items():
+            block = self._blocks[block_id]
+            if block.ref_count == 1:  # held only by the cache
+                del self._prefix_index[key]
+                block.prefix_key = None
+                self.release(block_id)
+                self.stats.prefix_evictions += 1
+                return True
+        return False
+
+    def evict_all_unreferenced(self) -> int:
+        """Flush every cache-only block (e.g. on reconfiguration)."""
+        n = 0
+        while self._evict_one_unreferenced():
+            n += 1
+        return n
+
+    # ---- invariant check (tests) -----------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Raise AssertionError if internal bookkeeping disagrees.
+
+        Free blocks must have refcount 0 and no payload/key; used blocks a
+        positive refcount; the prefix index must point at live blocks whose
+        back-pointer matches; allocated + free must equal capacity.
+        """
+        free_set = set(self._free)
+        assert len(free_set) == len(self._free), "duplicate ids on free stack"
+        for block in self._blocks:
+            if block.block_id in free_set:
+                assert block.ref_count == 0, f"free block {block.block_id} ref'd"
+            else:
+                assert block.ref_count > 0, f"leaked block {block.block_id}"
+        for key, block_id in self._prefix_index.items():
+            block = self._blocks[block_id]
+            assert block.block_id not in free_set, f"cached block {block_id} free"
+            assert block.prefix_key == key, f"stale prefix key on {block_id}"
+        assert self.n_used + self.n_free == self.capacity

@@ -1,23 +1,44 @@
 """Serving layer: the request-level server plus batching/metering substrate.
 
 - :class:`SpeContextServer` — continuous batching of *real* functional
-  inference: concurrent sessions with per-request policies, budgets and
-  stop conditions (the request-level API's execution engine).
+  inference over a shared paged KV pool: concurrent sessions with
+  per-request policies, budgets and stop conditions, prefix caching,
+  pool-pressure admission and preemption.
+- :mod:`repro.serving.policies` — scheduler-policy registry (``fcfs``,
+  ``priority``, ``sjf``) governing admission order and victim selection.
+- :mod:`repro.serving.trace` — trace-driven harness: seeded Poisson
+  workloads replayed through the server with per-step invariant checks.
 - :class:`StaticBatchScheduler` — memory-aware FIFO batching over the
   performance *simulator* (Table 3's serving view).
 - :class:`ThroughputMeter` / :class:`Request` — shared accounting.
 """
 
 from repro.serving.meter import ThroughputMeter
+from repro.serving.policies import (
+    SchedulerPolicy,
+    available_schedulers,
+    make_scheduler,
+    resolve_scheduler_name,
+)
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
-from repro.serving.server import SpeContextServer
+from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+from repro.serving.trace import TraceEntry, poisson_trace, replay_trace
 
 __all__ = [
     "BatchPlan",
+    "PreemptionEvent",
     "Request",
     "RequestState",
+    "SchedulerPolicy",
     "SpeContextServer",
     "StaticBatchScheduler",
+    "StreamEvent",
     "ThroughputMeter",
+    "TraceEntry",
+    "available_schedulers",
+    "make_scheduler",
+    "poisson_trace",
+    "replay_trace",
+    "resolve_scheduler_name",
 ]

@@ -9,6 +9,7 @@ Usage::
     specontext-serve                      # 8 requests, mixed policies
     specontext-serve --requests 12 --concurrency 4 --budget 96
     specontext-serve --policies specontext,quest --max-new-tokens 8
+    specontext-serve --pool-blocks 40 --scheduler priority  # force pressure
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.models.config import tiny_test_config
 from repro.models.llm import TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
 from repro.retrieval.registry import available_policies, resolve_policy_name
+from repro.serving.policies import available_schedulers, resolve_scheduler_name
 from repro.serving.server import SpeContextServer
 from repro.utils.tables import format_table
 from repro.utils.units import human_bytes
@@ -65,10 +67,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--vocab", type=int, default=512)
     parser.add_argument("--layers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--block-size", type=int, default=16,
+                        help="tokens per shared KV-pool block")
+    parser.add_argument("--pool-blocks", type=int, default=None,
+                        help="pool capacity in blocks (default: sized from "
+                        "the adaptive manager; small values force "
+                        "preemption)")
+    parser.add_argument("--scheduler", default="fcfs",
+                        help="admission/preemption policy "
+                        f"(available: {', '.join(available_schedulers())})")
+    parser.add_argument("--preempt-mode", default="swap",
+                        choices=("swap", "recompute"))
+    parser.add_argument("--no-prefix-cache", action="store_true",
+                        help="disable prompt prefix-block reuse")
     args = parser.parse_args(argv)
 
     try:
         policies = [resolve_policy_name(p) for p in args.policies.split(",") if p]
+        scheduler = resolve_scheduler_name(args.scheduler)
     except KeyError as err:
         print(err.args[0], file=sys.stderr)
         return 2
@@ -80,32 +96,47 @@ def main(argv: list[str] | None = None) -> int:
     tokenizer = SyntheticTokenizer(vocab_size=args.vocab)
     config = tiny_test_config(n_layers=args.layers, vocab_size=args.vocab)
     model = TransformerLM(build_recall_model(config, tokenizer, rng))
-    server = SpeContextServer(
-        model,
-        EngineConfig(
-            budget=args.budget,
-            bos_id=tokenizer.bos_id,
-            max_concurrency=args.concurrency,
-            seed=args.seed,
-        ),
-    )
+    try:
+        server = SpeContextServer(
+            model,
+            EngineConfig(
+                budget=args.budget,
+                bos_id=tokenizer.bos_id,
+                max_concurrency=args.concurrency,
+                seed=args.seed,
+                block_size=args.block_size,
+                pool_blocks=args.pool_blocks,
+                enable_prefix_cache=not args.no_prefix_cache,
+                preempt_mode=args.preempt_mode,
+                scheduler=scheduler,
+            ),
+        )
+    except ValueError as err:
+        print(err, file=sys.stderr)
+        return 2
     print(
         f"model: {config.n_layers}-layer {config.attention.value}, "
         f"vocab {config.vocab_size}  |  budget {args.budget}, "
-        f"concurrency {args.concurrency}"
+        f"concurrency {args.concurrency}  |  pool "
+        f"{server.pool.capacity} x {server.pool.block_size}-token blocks, "
+        f"{scheduler} scheduling"
     )
 
     for i in range(args.requests):
         prompt = _recall_prompt(
             tokenizer, np.random.default_rng(args.seed + 1000 + i), args.prompt_len
         )
-        server.add_request(
-            GenerationRequest(
-                prompt,
-                sampling=SamplingParams(max_new_tokens=args.max_new_tokens),
-                policy=policies[i % len(policies)],
+        try:
+            server.add_request(
+                GenerationRequest(
+                    prompt,
+                    sampling=SamplingParams(max_new_tokens=args.max_new_tokens),
+                    policy=policies[i % len(policies)],
+                )
             )
-        )
+        except ValueError as err:
+            print(err, file=sys.stderr)  # e.g. prompt larger than the pool
+            return 2
 
     outputs = server.run()
     rows = []
@@ -118,19 +149,29 @@ def main(argv: list[str] | None = None) -> int:
             human_bytes(output.stats.bytes_transferred),
             f"{output.stats.mean_selection_overlap:.0%}",
             len(output.stats.offload_events),
+            output.stats.preemptions,
+            output.stats.prefix_reused_tokens,
         ])
     print()
     print(format_table(
         ["req", "policy", "tokens", "finish", "PCIe bytes", "overlap",
-         "offloads"],
+         "offloads", "preempts", "prefix hit"],
         rows,
         title=f"{len(outputs)} requests, continuous batching",
     ))
     meter = server.meter
+    stats = server.pool.stats
     print(
         f"\nmeter: {len(meter.finished)} finished, "
         f"{meter.generated_tokens} tokens over {meter.makespan_s:.0f} steps "
         f"({meter.tokens_per_second:.2f} tokens/step)"
+    )
+    print(
+        f"pool: {stats.allocated} blocks allocated "
+        f"({stats.prefill_blocks_allocated} prefill, "
+        f"{stats.prefix_blocks_reused} reused via prefix cache, "
+        f"{stats.prefix_hit_rate:.0%} hit rate), "
+        f"{len(server.preemption_log)} preemptions"
     )
     return 0
 

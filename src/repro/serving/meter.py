@@ -1,4 +1,12 @@
-"""Throughput and latency accounting for serving runs."""
+"""Throughput and latency accounting for serving runs.
+
+Latency aggregates are computed **only** over requests that are finished
+with valid timestamps. Rejected requests (which legitimately carry unset
+``start_s``/``finish_s``) are counted separately and can never skew
+latency or throughput numbers; a record whose state is mutated after being
+recorded (e.g. a finished request requeued for a retry pass) is likewise
+excluded at read time instead of crashing or contributing a stale sample.
+"""
 
 from __future__ import annotations
 
@@ -18,24 +26,49 @@ class ThroughputMeter:
 
     def record(self, request: Request) -> None:
         if request.state is RequestState.FINISHED:
+            if request.finish_s < request.start_s or (
+                request.finish_s < request.arrival_s
+            ):
+                raise ValueError(
+                    f"request {request.request_id} recorded as finished with "
+                    f"unset/inverted timestamps (arrival={request.arrival_s}, "
+                    f"start={request.start_s}, finish={request.finish_s})"
+                )
             self.finished.append(request)
         elif request.state is RequestState.REJECTED:
             self.rejected.append(request)
         else:
             raise ValueError(f"request {request.request_id} still {request.state}")
 
+    def _completed(self) -> list[Request]:
+        """Finished records that are *still* finished (state re-checked)."""
+        return [r for r in self.finished if r.state is RequestState.FINISHED]
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of recorded requests that finished (1.0 when none)."""
+        total = len(self.finished) + len(self.rejected)
+        if total == 0:
+            return 1.0
+        return len(self._completed()) / total
+
     @property
     def makespan_s(self) -> float:
         """Wall time from first arrival to last completion."""
-        if not self.finished:
+        completed = self._completed()
+        if not completed:
             return 0.0
-        start = min(r.arrival_s for r in self.finished)
-        end = max(r.finish_s for r in self.finished)
+        start = min(r.arrival_s for r in completed)
+        end = max(r.finish_s for r in completed)
         return end - start
 
     @property
     def generated_tokens(self) -> int:
-        return sum(r.out_len for r in self.finished)
+        return sum(r.out_len for r in self._completed())
 
     @property
     def tokens_per_second(self) -> float:
@@ -47,12 +80,14 @@ class ThroughputMeter:
 
     def latency_percentile(self, q: float) -> float:
         """q-th percentile of end-to-end request latency (q in [0, 100])."""
-        if not self.finished:
+        completed = self._completed()
+        if not completed:
             return 0.0
-        return float(np.percentile([r.latency_s for r in self.finished], q))
+        return float(np.percentile([r.latency_s for r in completed], q))
 
     @property
     def mean_latency_s(self) -> float:
-        if not self.finished:
+        completed = self._completed()
+        if not completed:
             return 0.0
-        return float(np.mean([r.latency_s for r in self.finished]))
+        return float(np.mean([r.latency_s for r in completed]))

@@ -1,0 +1,134 @@
+"""Scheduler-policy registry: pluggable admission and preemption ordering.
+
+Mirrors :mod:`repro.retrieval.registry` for the serving layer: every
+scheduling discipline is registered under a canonical name (plus display
+aliases) and resolved through one factory::
+
+    scheduler = make_scheduler("priority")
+    waiting.sort(key=scheduler.admission_key)
+    victim = min(active, key=scheduler.victim_key)
+
+A policy supplies two sort keys over the server's session view:
+
+- ``admission_key``: waiting sessions are admitted in ascending key order;
+- ``victim_key``: under pool pressure the active session with the smallest
+  key is preempted first.
+
+Keys must be total orders (ties broken by request id) so scheduling is
+deterministic at fixed seed — the trace tests replay schedules and compare
+token streams bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+
+class SchedulableSession(Protocol):
+    """What a scheduler may inspect about a session (duck-typed)."""
+
+    @property
+    def request_id(self) -> int: ...
+
+    @property
+    def priority(self) -> int: ...
+
+    @property
+    def prompt_len(self) -> int: ...
+
+    @property
+    def arrival_s(self) -> float: ...
+
+
+class SchedulerPolicy:
+    """Base: FIFO admission, LIFO (latest-arrival) preemption."""
+
+    name = "fcfs"
+
+    def admission_key(self, session: SchedulableSession):
+        return (session.arrival_s, session.request_id)
+
+    def victim_key(self, session: SchedulableSession):
+        # Preempt the most recently arrived session first: it has done the
+        # least work and its requeue wastes the least progress.
+        return (-session.arrival_s, -session.request_id)
+
+
+SchedulerBuilder = Callable[[], SchedulerPolicy]
+
+_REGISTRY: dict[str, SchedulerBuilder] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("-", "").replace("_", "")
+
+
+def register_scheduler(
+    name: str, *aliases: str
+) -> Callable[[SchedulerBuilder], SchedulerBuilder]:
+    """Decorator adding a scheduler under ``name`` (plus aliases)."""
+
+    def deco(builder: SchedulerBuilder) -> SchedulerBuilder:
+        key = _normalize(name)
+        if key in _REGISTRY:
+            raise ValueError(f"duplicate scheduler name {name!r}")
+        _REGISTRY[key] = builder
+        for alias in aliases:
+            _ALIASES[_normalize(alias)] = key
+        return builder
+
+    return deco
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Canonical scheduler names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_scheduler_name(name: str) -> str:
+    """Canonical name for ``name`` (alias- and case-insensitive)."""
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: "
+            f"{list(available_schedulers())}"
+        )
+    return key
+
+
+def make_scheduler(name: str) -> SchedulerPolicy:
+    """Build the scheduling policy registered under ``name``."""
+    return _REGISTRY[resolve_scheduler_name(name)]()
+
+
+@register_scheduler("fcfs", "fifo")
+def _build_fcfs() -> SchedulerPolicy:
+    return SchedulerPolicy()
+
+
+@register_scheduler("priority", "prio")
+class PriorityScheduler(SchedulerPolicy):
+    """Higher request priority admits first and is preempted last."""
+
+    name = "priority"
+
+    def admission_key(self, session: SchedulableSession):
+        return (-session.priority, session.arrival_s, session.request_id)
+
+    def victim_key(self, session: SchedulableSession):
+        return (session.priority, -session.arrival_s, -session.request_id)
+
+
+@register_scheduler("sjf", "shortestpromptfirst", "spf")
+class ShortestPromptFirstScheduler(SchedulerPolicy):
+    """Admit short prompts first; evict the largest KV holder first."""
+
+    name = "sjf"
+
+    def admission_key(self, session: SchedulableSession):
+        return (session.prompt_len, session.arrival_s, session.request_id)
+
+    def victim_key(self, session: SchedulableSession):
+        return (-session.prompt_len, -session.arrival_s, -session.request_id)

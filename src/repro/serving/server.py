@@ -1,26 +1,34 @@
-"""SpeContextServer: continuous batching of real inference over the
-functional engine.
+"""SpeContextServer: continuous batching over a shared paged KV pool.
 
-The original API was one-shot: ``SpeContextEngine.generate()`` ran exactly
-one request, and the serving layer only ever drove the performance
-*simulator*. This server runs **actual numpy inference** for many
-concurrent sessions:
+The server runs **actual numpy inference** for many concurrent sessions,
+with the memory discipline of a production engine:
 
-- ``add_request`` enqueues a :class:`~repro.api.request.GenerationRequest`
-  (FIFO admission up to ``EngineConfig.max_concurrency``);
-- ``step`` admits waiting requests, then runs **one decode step for every
-  active session** — continuous batching: requests join and leave the
-  running batch at step granularity, each with its own policy, budget,
-  sampling parameters and stop conditions;
+- ``add_request`` enqueues a :class:`~repro.api.request.GenerationRequest`;
+  admission is gated by the shared :class:`~repro.kvcache.pool.PagedKVPool`
+  and the :class:`~repro.core.adaptive.AdaptiveMemoryManager`'s Algorithm-1
+  capacity (``max_concurrency`` remains only a hard cap on top);
+- every session's KV footprint is block-accounted in the pool; full prompt
+  blocks are **prefix-cached** so requests sharing a prompt prefix re-use
+  resident blocks and skip recomputing the teacher's prefill for them —
+  never changing logits, because the reused KV values are exactly what
+  prefill would have produced;
+- on pool exhaustion the scheduler policy (``fcfs`` / ``priority`` /
+  ``sjf``, see :mod:`repro.serving.policies`) picks a victim to **preempt**:
+  its blocks are freed and the session is requeued, either with its cache
+  stashed host-side (``preempt_mode="swap"``) or to be replayed from the
+  prompt (``preempt_mode="recompute"``). Both modes resume with
+  bit-identical token streams for deterministic policies; swap is exact
+  for every policy (the cache object is restored as-is);
+- ``step`` admits, ensures capacity, then runs **one decode step for every
+  active session** — continuous batching at step granularity — and emits
+  per-token :class:`StreamEvent`s drainable via :meth:`pop_stream_events`;
 - ``run`` steps until the queue drains and returns per-request
   :class:`~repro.api.request.GenerationOutput`s.
 
-System accounting matches the one-shot engine: each session gets elastic
-transfer statistics (set-difference bytes over PCIe, adjacent-step
-overlap) and the **shared** adaptive memory manager walks the Algorithm-1
-thresholds against the *aggregate* KV footprint of all co-resident
-sessions, so offload events reflect multi-request pressure. Completions
-feed a :class:`~repro.serving.meter.ThroughputMeter` on a step-count
+System accounting matches the one-shot engine: per-session elastic
+transfer statistics, shared adaptive memory manager walking the
+Algorithm-1 thresholds against the aggregate KV footprint, completions
+feeding a :class:`~repro.serving.meter.ThroughputMeter` on a step-count
 virtual clock.
 """
 
@@ -39,16 +47,46 @@ from repro.core.engine import GenerationStats
 from repro.core.memory_model import MemoryModel
 from repro.core.retrieval_head import SpeContextPolicy
 from repro.kvcache.cache import ModelKVCache
+from repro.kvcache.pool import BlockTable, PagedKVPool, PoolExhausted
 from repro.models.config import AttentionKind
 from repro.models.llm import DecodeResult, SelectionPolicy, TransformerLM
 from repro.retrieval.registry import make_policy, resolve_policy_name
 from repro.serving.meter import ThroughputMeter
+from repro.serving.policies import make_scheduler
 from repro.serving.request import Request, RequestState
 
 
-@dataclass
+@dataclass(frozen=True)
+class StreamEvent:
+    """One generated token, emitted at the step that produced it."""
+
+    request_id: int
+    step: int
+    token_id: int
+    finished: bool
+
+
+@dataclass(frozen=True)
+class PreemptionEvent:
+    """One session evicted from the pool under memory pressure."""
+
+    request_id: int
+    clock: float
+    mode: str  # "swap" | "recompute"
+    blocks_freed: int
+    kv_bytes: int
+
+
+class _SessionState:
+    FRESH = "fresh"  # never prefilled
+    READY = "ready"  # active (or finished)
+    SWAPPED = "swapped"  # preempted, cache stashed host-side
+    RECOMPUTE = "recompute"  # preempted, cache dropped; replay on resume
+
+
+@dataclass(eq=False)  # identity semantics: sessions live in queues/lists
 class _Session:
-    """One in-flight request: its cache, policy, and decode progress."""
+    """One in-flight request: its cache, policy, blocks, decode progress."""
 
     request: GenerationRequest
     policy: SelectionPolicy | None
@@ -63,6 +101,11 @@ class _Session:
     steps_taken: int = 0
     finish_reason: str = ""
     offload_events: list[OffloadEvent] = field(default_factory=list)
+    state: str = _SessionState.FRESH
+    block_table: BlockTable = field(default_factory=BlockTable)
+    preemptions: int = 0
+    swap_bytes: int = 0
+    prefix_reused_tokens: int = 0
 
     @property
     def request_id(self) -> int:
@@ -72,6 +115,14 @@ class _Session:
     @property
     def sampling(self) -> SamplingParams:
         return self.request.sampling
+
+    @property
+    def priority(self) -> int:
+        return self.request.priority
+
+    @property
+    def prompt_len(self) -> int:
+        return self.request.prompt_len
 
     @property
     def current_len(self) -> int:
@@ -108,12 +159,34 @@ class SpeContextServer:
         # One manager for the whole server: thresholds are computed once;
         # runtime state is reset between busy periods (idle -> first admit).
         self.manager = AdaptiveMemoryManager(self.memory_model)
+        self.pool = PagedKVPool(
+            self._pool_blocks(), block_size=self.config.block_size
+        )
+        self.scheduler = make_scheduler(self.config.scheduler)
         self.meter = ThroughputMeter()
         self._waiting: deque[_Session] = deque()
         self._active: list[_Session] = []
         self._outputs: list[GenerationOutput] = []
+        self._stream: list[StreamEvent] = []
+        self._preemption_log: list[PreemptionEvent] = []
         self._next_id = 0
         self._clock = 0.0
+
+    def _pool_blocks(self) -> int:
+        """Pool capacity in blocks.
+
+        An explicit ``EngineConfig.pool_blocks`` wins (that is how tests
+        and over-commit demos force pressure); otherwise the pool is sized
+        from the adaptive manager's Algorithm-1 capacity — the aggregate
+        sequence length servable with every layer offloaded — floored at
+        one full-length request so degenerate specs stay runnable.
+        """
+        if self.config.pool_blocks is not None:
+            return self.config.pool_blocks
+        block = self.config.block_size
+        derived = -(-self.manager.capacity_tokens() // block)
+        floor = -(-self.model.config.max_position // block)
+        return max(derived, floor, 1)
 
     def _estimate_dlm_bytes(self) -> int:
         """Retrieval-head bytes to charge the memory model (Eq. 6-8).
@@ -140,13 +213,15 @@ class SpeContextServer:
         return 2 * params
 
     def clear_history(self) -> None:
-        """Drop accumulated outputs and meter records.
+        """Drop accumulated outputs, meter records and stream events.
 
         Long-lived servers (and the engine's private single-session
         server) call this between runs so per-request bookkeeping does
         not grow without bound; queued/active sessions are unaffected.
         """
         self._outputs.clear()
+        self._stream.clear()
+        self._preemption_log.clear()
         self.meter.finished.clear()
         self.meter.rejected.clear()
 
@@ -156,13 +231,23 @@ class SpeContextServer:
         """Enqueue a request; returns its assigned request id.
 
         Policy and RNG resolution happen before any state changes, so a
-        rejected submission (unknown policy, MLA mismatch, missing seed)
-        leaves the server and the request object untouched and retryable.
+        rejected submission (unknown policy, MLA mismatch, missing seed,
+        prompt larger than the pool) leaves the server and the request
+        object untouched and retryable.
         """
         if request.request_id is not None and request.request_id < self._next_id:
             raise ValueError(
                 f"request_id {request.request_id} already used; ids must be "
                 "unique and increasing"
+            )
+        peak_blocks = self.pool.blocks_for_tokens(
+            request.prompt_len + request.sampling.max_new_tokens
+        )
+        if peak_blocks > self.pool.capacity:
+            raise ValueError(
+                f"request needs up to {peak_blocks} KV blocks but the pool "
+                f"holds {self.pool.capacity}; raise pool_blocks or shrink "
+                "the request"
             )
         if not isinstance(request.policy, str) and request.policy is not None:
             # A prebuilt policy owns mutable per-request state (K cache,
@@ -240,6 +325,19 @@ class SpeContextServer:
     # ---- stepping --------------------------------------------------------------
 
     @property
+    def clock(self) -> float:
+        """The step-count virtual clock (one tick per ``step``)."""
+        return self._clock
+
+    def advance_clock_to(self, when: float) -> None:
+        """Jump the idle clock forward (trace replay across arrival gaps)."""
+        if when < self._clock:
+            raise ValueError(
+                f"clock may only move forward: {when} < {self._clock}"
+            )
+        self._clock = float(when)
+
+    @property
     def has_unfinished(self) -> bool:
         return bool(self._waiting or self._active)
 
@@ -256,17 +354,37 @@ class SpeContextServer:
         """All outputs completed over the server's lifetime."""
         return list(self._outputs)
 
+    @property
+    def preemption_log(self) -> list[PreemptionEvent]:
+        """Every preemption since the last ``clear_history``."""
+        return list(self._preemption_log)
+
+    def pop_stream_events(self) -> list[StreamEvent]:
+        """Drain the per-token stream accumulated since the last call.
+
+        Events are appended in decode order within each step, so a client
+        consuming them after every :meth:`step` sees each session's tokens
+        as they are produced (the streaming view of continuous batching).
+        """
+        events = self._stream
+        self._stream = []
+        return events
+
     def step(self) -> list[GenerationOutput]:
-        """Admit + one decode step for every active session.
+        """Admit, ensure pool capacity, one decode step per active session.
 
         Returns the requests that finished during this step.
         """
         self._admit()
         finished: list[GenerationOutput] = []
         for session in list(self._active):
+            if session not in self._active:
+                continue  # preempted this step to make room for a peer
+            self._ensure_decode_capacity(session)
             self._decode_one(session)
             if session.done:
                 self._active.remove(session)
+                self.pool.free_table(session.block_table)
                 finished.append(self._finish(session))
         self._clock += 1.0
         return finished
@@ -278,44 +396,234 @@ class SpeContextServer:
             outputs.extend(self.step())
         return sorted(outputs, key=lambda o: o.request_id)
 
-    # ---- internals -------------------------------------------------------------
+    # ---- admission -------------------------------------------------------------
 
     def _admit(self) -> None:
         while self._waiting and len(self._active) < self.config.max_concurrency:
+            candidate = min(self._waiting, key=self.scheduler.admission_key)
+            if self._active and not self._can_admit(candidate):
+                break
             if not self._active:
                 # New busy period: fresh Algorithm-2 state (thresholds kept).
                 self.manager.reset()
-            session = self._waiting.popleft()
-            self._prefill(session)
+            self._waiting.remove(candidate)
+            self._activate(candidate)
+
+    def _can_admit(self, session: _Session) -> bool:
+        """Memory-pressure admission: manager thresholds + pool headroom.
+
+        The projected aggregate charges the candidate's full generation
+        budget (its KV grows to ``prompt + max_new_tokens`` if it runs to
+        length), and the pool must be able to produce the candidate's
+        prompt blocks from free or cache-evictable blocks without
+        preempting an active session.
+        """
+        projected = (
+            sum(s.current_len for s in self._active)
+            + session.prompt_len
+            + session.sampling.max_new_tokens
+        )
+        if not self.manager.admits(projected):
+            return False
+        needed = self.pool.blocks_for_tokens(session.current_len)
+        return self.pool.can_allocate(needed)
+
+    def _activate(self, session: _Session) -> None:
+        if session.state == _SessionState.FRESH:
             session.start_s = self._clock
-            self._active.append(session)
-            # The prompt's KV lands on the GPU: account it immediately.
-            self._advance_memory(session)
+            self._prefill(session)
+        elif session.state == _SessionState.SWAPPED:
+            # Cache restored from the host stash as-is; charge the h2d leg.
+            session.swap_bytes += session.cache.nbytes()
+        elif session.state == _SessionState.RECOMPUTE:
+            self._replay(session)
+        session.state = _SessionState.READY
+        self._active.append(session)
+        self._extend_blocks(session, session.current_len)
+        # The prompt's KV lands on the GPU: account it immediately.
+        self._advance_memory(session)
+
+    # ---- pool bookkeeping ------------------------------------------------------
+
+    def _extend_blocks(
+        self, session: _Session, target_tokens: int, prefill: bool = False
+    ) -> None:
+        """Grow a session's block table to cover ``target_tokens`` tokens."""
+        needed = self.pool.blocks_for_tokens(target_tokens) - len(
+            session.block_table
+        )
+        for _ in range(needed):
+            block_id = self._allocate_block(session)
+            session.block_table.block_ids.append(block_id)
+            if prefill:
+                self.pool.stats.prefill_blocks_allocated += 1
+
+    def _allocate_block(self, session: _Session) -> int:
+        """One pool block for ``session``, preempting peers if exhausted."""
+        while True:
+            try:
+                return self.pool.allocate()
+            except PoolExhausted:
+                self._preempt_for(session)
+
+    def _ensure_decode_capacity(self, session: _Session) -> None:
+        """Reserve the block the about-to-be-generated token will occupy."""
+        self._extend_blocks(session, session.current_len + 1)
+
+    def _preempt_for(self, session: _Session) -> None:
+        candidates = [s for s in self._active if s is not session]
+        if not candidates:
+            raise PoolExhausted(
+                f"pool of {self.pool.capacity} blocks exhausted by request "
+                f"{session.request_id} alone; submission validation should "
+                "have rejected it"
+            )
+        victim = min(candidates, key=self.scheduler.victim_key)
+        self._preempt(victim)
+
+    def _preempt(self, victim: _Session) -> None:
+        """Evict one active session: free its blocks, requeue it."""
+        self._active.remove(victim)
+        blocks_freed = len(victim.block_table)
+        self.pool.free_table(victim.block_table)
+        kv_bytes = victim.cache.nbytes()
+        if self.config.preempt_mode == "swap":
+            # The ModelKVCache object *is* the host stash; the d2h leg is
+            # charged now, the h2d leg at resume.
+            victim.state = _SessionState.SWAPPED
+            victim.swap_bytes += kv_bytes
+        else:
+            victim.state = _SessionState.RECOMPUTE
+        victim.preemptions += 1
+        self._waiting.append(victim)
+        self._preemption_log.append(
+            PreemptionEvent(
+                request_id=victim.request_id,
+                clock=self._clock,
+                mode=self.config.preempt_mode,
+                blocks_freed=blocks_freed,
+                kv_bytes=kv_bytes,
+            )
+        )
+
+    # ---- prefill / replay ------------------------------------------------------
 
     def _prefill(self, session: _Session) -> None:
-        """Prefill mirroring ``TransformerLM.generate``'s two entry modes.
+        """Prefill mirroring ``TransformerLM.generate``'s two entry modes,
+        with prefix-cache reuse of full prompt blocks.
 
         _prefill/_decode_one deliberately open-code the generate() loop:
         continuous batching needs one-step-at-a-time control that the
         closed loop can't provide. Equivalence with the model path is
         pinned by tests/test_api_server.py (wrapper == direct generate,
-        batched == solo).
+        batched == solo) and tests/test_serving_traces.py (prefix hits and
+        preemption never change tokens).
         """
         prompt = session.request.prompt_ids
         policy = session.policy
         if policy is not None and hasattr(policy, "reset"):
             policy.reset()
         sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
+        prefill_ids = prompt[:-1] if sparse_first else prompt
+        reused = self._acquire_prefix(session, prompt, prefill_ids.size)
+        remaining = prefill_ids[reused:]
         if sparse_first:
-            self.model.prefill(prompt[:-1], session.cache)
+            self.model.prefill(remaining, session.cache)
             if policy is not None:
-                policy.begin_generation(prompt[:-1], session.cache)
+                policy.begin_generation(prefill_ids, session.cache)
             session.pending = int(prompt[-1])
         else:
-            logits = self.model.prefill(prompt, session.cache)
+            logits = self.model.prefill(remaining, session.cache)
             if policy is not None:
-                policy.begin_generation(prompt, session.cache)
+                policy.begin_generation(prefill_ids, session.cache)
             session.prefill_token = self._sample(session, logits)
+        self._publish_prefix(session, prompt, prefill_ids.size)
+
+    def _acquire_prefix(
+        self, session: _Session, prompt: np.ndarray, prefill_len: int
+    ) -> int:
+        """Load cached prefix blocks into the session cache; returns tokens.
+
+        At most ``prefill_len - 1`` tokens are reused so at least one
+        prompt token always goes through the real prefill (the non-sparse
+        path needs last-token logits; the sparse path needs a non-empty
+        chunk). The copied KV values are the ones prefill produced for the
+        donor request, and a token's KV depends only on the tokens before
+        it — so the resumed prefill computes logits bit-identical to an
+        uncached run.
+        """
+        if not self.config.enable_prefix_cache or prefill_len < 2:
+            return 0
+        chain = self.pool.match_prefix(prompt, prefill_len - 1)
+        if not chain:
+            return 0
+        self.pool.acquire_prefix(chain, session.block_table)
+        for block_id in chain:
+            payload = self.pool.read_block(block_id)
+            for layer_index, (keys, values) in enumerate(payload):
+                session.cache[layer_index].append(keys, values)
+        reused = len(chain) * self.pool.block_size
+        session.prefix_reused_tokens = reused
+        return reused
+
+    def _publish_prefix(
+        self, session: _Session, prompt: np.ndarray, prefill_len: int
+    ) -> None:
+        """Publish this prompt's full blocks for reuse by later requests."""
+        self._extend_blocks(session, session.current_len, prefill=True)
+        if not self.config.enable_prefix_cache:
+            return
+        block = self.pool.block_size
+        n_full = prefill_len // block
+        reused_blocks = session.prefix_reused_tokens // block
+        for i in range(reused_blocks, n_full):
+            payload = [
+                (
+                    layer.keys[:, :, i * block : (i + 1) * block, :],
+                    layer.values[:, :, i * block : (i + 1) * block, :],
+                )
+                for layer in session.cache.layers
+            ]
+            self.pool.write_block(session.block_table, i, payload)
+        self.pool.publish_prefix(prompt, session.block_table, n_full)
+
+    def _replay(self, session: _Session) -> None:
+        """Rebuild a recompute-preempted session's cache and policy state.
+
+        Prefill runs again and every already-generated token is replayed
+        as a *forced* decode step — the sampler is never consulted, so the
+        request RNG stream is untouched and the continuation is
+        bit-identical for policies whose state is a deterministic function
+        of the replayed inputs.
+        """
+        session.cache = self.model.new_cache()
+        session.block_table = BlockTable()
+        prompt = session.request.prompt_ids
+        policy = session.policy
+        if policy is not None and hasattr(policy, "reset"):
+            policy.reset()
+        sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
+        prefill_ids = prompt[:-1] if sparse_first else prompt
+        self.model.prefill(prefill_ids, session.cache)
+        if policy is not None:
+            policy.begin_generation(prefill_ids, session.cache)
+        session.result.selections.clear()
+        pending: int | None = int(prompt[-1]) if sparse_first else None
+        for step, token in enumerate(session.result.token_ids):
+            if step == 0 and session.prefill_token is not None:
+                pending = int(token)
+                continue
+            if policy is not None:
+                policy.pre_step(step, int(pending), session.cache)
+            _, selections, _ = self.model.decode_step(
+                int(pending), session.cache, policy=policy
+            )
+            session.result.selections.append(selections)
+            pending = int(token)
+        if pending is not None:
+            session.pending = pending
+
+    # ---- decode ----------------------------------------------------------------
 
     def _decode_one(self, session: _Session) -> None:
         """One decode step for one session (one generated token)."""
@@ -342,6 +650,14 @@ class SpeContextServer:
             session.finish_reason = "length"
         else:
             session.pending = int(token)
+        self._stream.append(
+            StreamEvent(
+                request_id=session.request_id,
+                step=session.steps_taken - 1,
+                token_id=int(token),
+                finished=session.done,
+            )
+        )
 
     def _sample(self, session: _Session, logits: np.ndarray) -> int:
         return TransformerLM._sample(
@@ -368,6 +684,9 @@ class SpeContextServer:
         stats.bytes_transferred = bytes_moved
         stats.transfer_reduction = reduction
         stats.mean_selection_overlap = overlap
+        stats.preemptions = session.preemptions
+        stats.swap_bytes = session.swap_bytes
+        stats.prefix_reused_tokens = session.prefix_reused_tokens
         output = GenerationOutput(
             request_id=session.request_id,
             token_ids=list(session.result.token_ids),

@@ -1,0 +1,114 @@
+"""Trace-driven serving harness: seeded arrival processes, replay, checks.
+
+A reproduction is only trustworthy under representative randomized
+workloads, so the serving layer ships its own harness instead of leaving
+workload construction to ad-hoc test code:
+
+- :func:`poisson_trace` draws seeded Poisson (exponential inter-arrival)
+  request traces on the server's step-count virtual clock;
+- :func:`replay_trace` feeds a trace through a
+  :class:`~repro.serving.server.SpeContextServer`, submitting each request
+  when the clock reaches its arrival and stepping until drained, invoking
+  an observer after every step (tests assert pool/scheduling invariants
+  there);
+- :func:`solo_token_streams` computes the reference output of every
+  request run alone on an identical server — the oracle for the
+  batched == solo and preemption bit-identity guarantees.
+
+Everything is deterministic at fixed seed: traces, admission order,
+preemption schedules and token streams replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.config import EngineConfig
+from repro.api.request import GenerationOutput, GenerationRequest
+from repro.serving.server import SpeContextServer
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request plus its arrival time on the virtual clock."""
+
+    arrival_step: int
+    request: GenerationRequest
+
+
+def poisson_trace(
+    rng: np.random.Generator,
+    requests: Sequence[GenerationRequest],
+    mean_interarrival_steps: float,
+) -> list[TraceEntry]:
+    """Assign Poisson-process arrival steps to ``requests`` in order.
+
+    Inter-arrival gaps are exponential with the given mean and floored to
+    whole steps (the server clock is discrete), starting at step 0.
+    """
+    if mean_interarrival_steps < 0:
+        raise ValueError(
+            f"mean_interarrival_steps must be >= 0, got {mean_interarrival_steps}"
+        )
+    entries: list[TraceEntry] = []
+    clock = 0.0
+    for request in requests:
+        entries.append(TraceEntry(arrival_step=int(clock), request=request))
+        if mean_interarrival_steps > 0:
+            clock += rng.exponential(mean_interarrival_steps)
+    return entries
+
+
+def replay_trace(
+    server: SpeContextServer,
+    trace: Sequence[TraceEntry],
+    observer: Callable[[SpeContextServer], None] | None = None,
+) -> list[GenerationOutput]:
+    """Replay a trace to completion; returns outputs sorted by request id.
+
+    Requests are submitted when the server clock reaches their arrival
+    step; across idle gaps the clock jumps to the next arrival. The
+    ``observer`` runs after every step with the server as argument — the
+    place to assert invariants (pool occupancy, starvation bounds) while
+    the schedule is in flight.
+    """
+    entries = sorted(trace, key=lambda e: e.arrival_step)
+    submitted = 0
+    outputs: list[GenerationOutput] = []
+    while submitted < len(entries) or server.has_unfinished:
+        while (
+            submitted < len(entries)
+            and entries[submitted].arrival_step <= server.clock
+        ):
+            server.add_request(entries[submitted].request)
+            submitted += 1
+        if not server.has_unfinished:
+            server.advance_clock_to(entries[submitted].arrival_step)
+            continue
+        outputs.extend(server.step())
+        if observer is not None:
+            observer(server)
+    return sorted(outputs, key=lambda o: o.request_id)
+
+
+def solo_token_streams(
+    model,
+    config: EngineConfig,
+    requests: Sequence[GenerationRequest],
+    clone: Callable[[GenerationRequest], GenerationRequest],
+) -> list[list[int]]:
+    """Token stream of each request run alone on a fresh identical server.
+
+    ``clone`` must produce an unsubmitted copy (no request_id, fresh
+    sampling state); each solo server sees exactly one request, which is
+    the reference the batched/preempted runs are compared against.
+    """
+    streams: list[list[int]] = []
+    for request in requests:
+        solo = SpeContextServer(model, config)
+        solo.add_request(clone(request))
+        streams.append(solo.run()[0].token_ids)
+    return streams

@@ -1,0 +1,298 @@
+"""Property-based tests for the shared paged KV pool.
+
+The pool is the server's memory-safety foundation, so its invariants are
+pinned with randomized sequences, not just examples: random
+alloc/free/fork/write interleavings never leak blocks, refcounts stay
+consistent with who holds what, copy-on-write forks preserve the values
+readers see, and freed-block reuse is a deterministic function of the
+operation history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvcache.pool import (
+    BlockTable,
+    PagedKVPool,
+    PoolExhausted,
+    hash_token_prefix,
+)
+
+
+def payload_of(value: float, n_layers: int = 2, block: int = 4):
+    """A recognizable block payload: arrays filled with ``value``."""
+    shape = (1, 2, block, 3)
+    return [
+        (np.full(shape, value + layer), np.full(shape, -(value + layer)))
+        for layer in range(n_layers)
+    ]
+
+
+def payload_value(payload) -> float:
+    """Recover the fill value written by :func:`payload_of`."""
+    return float(payload[0][0].flat[0])
+
+
+class PoolModel:
+    """Shadow model: tables of expected per-slot values, driven by ops.
+
+    The real pool and this model interpret the same operation stream; the
+    model tracks only what each table should *read* — the property under
+    test is that sharing and CoW never let one table's writes reach
+    another's reads.
+    """
+
+    def __init__(self, pool: PagedKVPool):
+        self.pool = pool
+        self.tables: list[BlockTable] = []
+        self.expected: list[list[float | None]] = []
+
+    def op_new_table(self) -> None:
+        self.tables.append(BlockTable())
+        self.expected.append([])
+
+    def op_alloc(self, t: int) -> None:
+        try:
+            block_id = self.pool.allocate()
+        except PoolExhausted:
+            return
+        self.tables[t].block_ids.append(block_id)
+        self.expected[t].append(None)
+
+    def op_fork(self, t: int) -> None:
+        if self.pool.n_free < 1 and len(self.tables[t]) > 0:
+            # A post-fork CoW write would need a free block; forking is
+            # still legal, but keep the random walk away from dead ends.
+            return
+        self.tables.append(self.pool.fork_table(self.tables[t]))
+        self.expected.append(list(self.expected[t]))
+
+    def op_write(self, t: int, slot: int, value: float) -> None:
+        table = self.tables[t]
+        if not table.block_ids:
+            return
+        slot %= len(table.block_ids)
+        shared = self.pool.ref_count(table.block_ids[slot]) > 1
+        if shared and self.pool.n_free == 0:
+            return  # CoW fork would exhaust the pool
+        self.pool.write_block(table, slot, payload_of(value))
+        self.expected[t][slot] = value
+
+    def op_free(self, t: int) -> None:
+        self.pool.free_table(self.tables[t])
+        self.expected[t] = []
+
+    def check(self) -> None:
+        self.pool.check_consistency()
+        held = sum(len(t) for t in self.tables)
+        # Every held reference is backed by an in-use block and vice versa
+        # (no cached blocks in this walk, so refs come only from tables).
+        in_use = {b for t in self.tables for b in t.block_ids}
+        assert self.pool.n_used == len(in_use)
+        for block_id in in_use:
+            refs = sum(t.block_ids.count(block_id) for t in self.tables)
+            assert self.pool.ref_count(block_id) == refs
+        assert held >= self.pool.n_used
+        for t, table in enumerate(self.tables):
+            for slot, value in enumerate(self.expected[t]):
+                if value is None:
+                    continue
+                got = self.pool.read_block(table.block_ids[slot])
+                assert got is not None and payload_value(got) == value, (
+                    f"table {t} slot {slot}: expected {value}"
+                )
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["new", "alloc", "fork", "write", "free"]),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPoolProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops_strategy, n_blocks=st.integers(min_value=1, max_value=24))
+    def test_random_walk_never_leaks_and_cow_isolates(self, ops, n_blocks):
+        model = PoolModel(PagedKVPool(n_blocks, block_size=4))
+        model.op_new_table()
+        value = 0.0
+        for name, a, b in ops:
+            if name == "new":
+                model.op_new_table()
+            elif name == "alloc":
+                model.op_alloc(a % len(model.tables))
+            elif name == "fork":
+                model.op_fork(a % len(model.tables))
+            elif name == "write":
+                value += 1.0
+                model.op_write(a % len(model.tables), b, value)
+            elif name == "free":
+                model.op_free(a % len(model.tables))
+            model.check()
+        for t in range(len(model.tables)):
+            model.op_free(t)
+        model.check()
+        assert model.pool.n_free == model.pool.capacity  # nothing leaked
+        assert model.pool.stats.allocated == model.pool.stats.freed
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy)
+    def test_freed_block_reuse_is_deterministic(self, ops):
+        """Two pools fed the same op stream hand out identical block ids."""
+
+        def run(pool: PagedKVPool) -> list[int]:
+            tables = [BlockTable()]
+            trace: list[int] = []
+            for name, a, _ in ops:
+                t = a % len(tables)
+                if name == "new":
+                    tables.append(BlockTable())
+                elif name == "fork":
+                    tables.append(pool.fork_table(tables[t]))
+                elif name == "free":
+                    pool.free_table(tables[t])
+                else:  # alloc and write both exercise the free stack
+                    try:
+                        block_id = pool.allocate()
+                    except PoolExhausted:
+                        continue
+                    tables[t].block_ids.append(block_id)
+                    trace.append(block_id)
+            return trace
+
+        assert run(PagedKVPool(12, block_size=4)) == run(
+            PagedKVPool(12, block_size=4)
+        )
+
+    def test_cow_fork_preserves_read_values(self):
+        pool = PagedKVPool(8, block_size=4)
+        original = BlockTable()
+        original.block_ids.append(pool.allocate())
+        pool.write_block(original, 0, payload_of(1.0))
+        forked = pool.fork_table(original)
+        assert forked.block_ids == original.block_ids
+        assert pool.ref_count(original.block_ids[0]) == 2
+
+        written_id = pool.write_block(forked, 0, payload_of(2.0))
+        assert written_id != original.block_ids[0]  # CoW forked a copy
+        assert pool.stats.cow_forks == 1
+        assert payload_value(pool.read_block(original.block_ids[0])) == 1.0
+        assert payload_value(pool.read_block(forked.block_ids[0])) == 2.0
+        pool.free_table(original)
+        pool.free_table(forked)
+        assert pool.n_free == pool.capacity
+
+    def test_lifo_reuse_order(self):
+        """Freed blocks are reused most-recently-freed first."""
+        pool = PagedKVPool(4, block_size=4)
+        table = BlockTable()
+        ids = [pool.allocate() for _ in range(3)]
+        table.block_ids.extend(ids)
+        pool.release(ids[1])
+        table.block_ids.remove(ids[1])
+        pool.release(ids[0])
+        table.block_ids.remove(ids[0])
+        assert pool.allocate() == ids[0]  # last freed, first reused
+        assert pool.allocate() == ids[1]
+
+
+class TestPoolApi:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedKVPool(0)
+        with pytest.raises(ValueError):
+            PagedKVPool(4, block_size=0)
+        pool = PagedKVPool(2)
+        with pytest.raises(ValueError):
+            pool.retain(0)  # free block
+        with pytest.raises(ValueError):
+            pool.release(0)
+
+    def test_exhaustion_raises(self):
+        pool = PagedKVPool(2, block_size=4)
+        pool.allocate()
+        pool.allocate()
+        with pytest.raises(PoolExhausted):
+            pool.allocate()
+
+    def test_blocks_for_tokens(self):
+        pool = PagedKVPool(8, block_size=16)
+        assert pool.blocks_for_tokens(0) == 0
+        assert pool.blocks_for_tokens(1) == 1
+        assert pool.blocks_for_tokens(16) == 1
+        assert pool.blocks_for_tokens(17) == 2
+
+
+class TestPrefixCache:
+    def publish(self, pool: PagedKVPool, prompt: np.ndarray, n_blocks: int):
+        table = BlockTable()
+        for i in range(n_blocks):
+            table.block_ids.append(pool.allocate())
+            pool.write_block(table, i, payload_of(float(i)))
+        pool.publish_prefix(prompt, table, n_blocks)
+        return table
+
+    def test_hash_covers_whole_prefix(self):
+        a = np.arange(32)
+        b = np.arange(32)
+        b[0] = 99  # differs before the final block
+        assert hash_token_prefix(a, 32) != hash_token_prefix(b, 32)
+        assert hash_token_prefix(a, 16) == hash_token_prefix(a.copy(), 16)
+
+    def test_match_returns_longest_chain_then_stops(self):
+        pool = PagedKVPool(16, block_size=4)
+        prompt = np.arange(100, 120)
+        self.publish(pool, prompt, 3)
+        sharing = np.concatenate([prompt[:8], np.arange(500, 512)])
+        chain = pool.match_prefix(sharing, sharing.size)
+        assert len(chain) == 2  # blocks 0-1 shared, block 2 diverges
+        assert pool.stats.prefix_hits == 1
+        table = BlockTable()
+        pool.acquire_prefix(chain, table)
+        assert [payload_value(pool.read_block(b)) for b in table] == [0.0, 1.0]
+        assert all(pool.ref_count(b) == 3 for b in chain)  # donor+cache+us
+
+    def test_match_respects_max_tokens_cap(self):
+        pool = PagedKVPool(16, block_size=4)
+        prompt = np.arange(16)
+        self.publish(pool, prompt, 4)
+        assert len(pool.match_prefix(prompt, 15)) == 3  # 4th block > cap
+        assert len(pool.match_prefix(prompt, 16)) == 4
+
+    def test_cached_blocks_evicted_lru_only_when_unreferenced(self):
+        pool = PagedKVPool(4, block_size=4)
+        donor = self.publish(pool, np.arange(100, 108), 2)
+        pool.free_table(donor)  # cache is now the only holder
+        assert pool.n_free == 2 and pool.n_evictable() == 2
+        # Exhaust free blocks, then two more allocations evict LRU entries.
+        held = [pool.allocate() for _ in range(4)]
+        assert pool.stats.prefix_evictions == 2
+        assert pool.match_prefix(np.arange(100, 108), 8) == []
+        for block_id in held:
+            pool.release(block_id)
+        pool.check_consistency()
+
+    def test_referenced_cached_blocks_never_evicted(self):
+        pool = PagedKVPool(3, block_size=4)
+        donor = self.publish(pool, np.arange(8), 2)  # donor + cache hold them
+        pool.allocate()
+        with pytest.raises(PoolExhausted):
+            pool.allocate()  # nothing evictable: donor still references
+        assert len(pool.match_prefix(np.arange(8), 8)) == 2
+        assert pool.ref_count(donor.block_ids[0]) >= 2
+
+    def test_publish_requires_payload(self):
+        pool = PagedKVPool(4, block_size=4)
+        table = BlockTable()
+        table.block_ids.append(pool.allocate())
+        with pytest.raises(ValueError, match="payload"):
+            pool.publish_prefix(np.arange(4), table, 1)

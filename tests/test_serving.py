@@ -56,6 +56,55 @@ class TestMeter:
         meter = ThroughputMeter()
         assert meter.tokens_per_second == 0.0
         assert meter.mean_latency_s == 0.0
+        assert meter.completion_rate == 1.0
+
+    def test_rejected_requests_never_skew_latency_aggregates(self):
+        """Rejected requests carry unset start_s/finish_s (0.0); they must
+        be counted as rejections, not as zero-latency samples."""
+        meter = ThroughputMeter()
+        finished = Request(request_id=0, in_len=10, out_len=50, arrival_s=2.0)
+        finished.state = RequestState.FINISHED
+        finished.start_s = 4.0
+        finished.finish_s = 12.0
+        meter.record(finished)
+        rejected = Request(request_id=1, in_len=10, out_len=50, arrival_s=3.0)
+        rejected.state = RequestState.REJECTED  # start_s/finish_s unset
+        meter.record(rejected)
+
+        assert meter.n_rejected == 1
+        assert meter.completion_rate == pytest.approx(0.5)
+        # All latency/throughput aggregates come from the finished request
+        # alone; the rejected one would otherwise contribute a bogus
+        # negative latency (0.0 - 3.0) and drag the makespan start to 0.
+        assert meter.mean_latency_s == pytest.approx(10.0)
+        assert meter.latency_percentile(0) == pytest.approx(10.0)
+        assert meter.makespan_s == pytest.approx(10.0)
+        assert meter.generated_tokens == 50
+
+    def test_finished_record_requires_timestamps(self):
+        """The scheduler bug class this guards: marking a request FINISHED
+        but never stamping its clock times now fails at record time."""
+        meter = ThroughputMeter()
+        bogus = Request(request_id=0, in_len=10, out_len=10, arrival_s=5.0)
+        bogus.state = RequestState.FINISHED  # start_s/finish_s left at 0.0
+        with pytest.raises(ValueError, match="timestamps"):
+            meter.record(bogus)
+
+    def test_record_mutated_after_recording_is_excluded_not_crashing(self):
+        """A finished record requeued for a retry pass used to make every
+        latency aggregate raise (Request.latency_s checks state); now it
+        is simply excluded until it finishes again."""
+        meter = ThroughputMeter()
+        request = Request(request_id=0, in_len=10, out_len=20, arrival_s=0.0)
+        request.state = RequestState.FINISHED
+        request.finish_s = 4.0
+        meter.record(request)
+        request.state = RequestState.QUEUED  # caller retries it
+        assert meter.mean_latency_s == 0.0
+        assert meter.generated_tokens == 0
+        assert meter.makespan_s == 0.0
+        request.state = RequestState.FINISHED
+        assert meter.mean_latency_s == pytest.approx(4.0)
 
 
 class TestScheduler:

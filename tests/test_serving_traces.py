@@ -1,0 +1,499 @@
+"""Trace-driven serving tests: pool pressure, preemption, prefix caching.
+
+Replays seeded Poisson-arrival workloads with mixed policies and
+priorities through the pool-backed server and asserts the invariants that
+make the shared pool trustworthy:
+
+- pool occupancy never exceeds capacity and nothing leaks;
+- preempted requests finish with token streams bit-identical to solo runs
+  (swap and recompute modes);
+- prefix-cache hits never change tokens and cut prefill block allocations
+  by >= 30% on shared-prefix workloads;
+- no starvation under the priority scheduler;
+- the PR-1 guarantee (batched == solo streams and meter totals for all 8
+  policies at fixed seed) survives the pool, including under a forced
+  preemption schedule.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, GenerationRequest, SamplingParams
+from repro.serving import SpeContextServer, poisson_trace, replay_trace
+from repro.serving.policies import (
+    available_schedulers,
+    make_scheduler,
+    resolve_scheduler_name,
+)
+from repro.serving.trace import TraceEntry, solo_token_streams
+from tests.conftest import make_recall_prompt
+
+warnings.filterwarnings("ignore", message="One of the clusters is empty")
+
+ALL_NAMES = (
+    "specontext", "quest", "h2o", "shadowkv", "clusterkv",
+    "streaming", "sliding", "full",
+)
+# Policies whose per-request state is a deterministic function of the
+# replayed inputs — exact under recompute-mode preemption. (specontext's
+# noise-role head keys come from a stateful rng, so it needs swap mode.)
+RECOMPUTE_EXACT = (
+    "quest", "h2o", "shadowkv", "clusterkv", "streaming", "sliding", "full",
+)
+
+
+def pool_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=64,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=8,
+        seed=0,
+        block_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def filler_prompt(tokenizer, seed: int, n: int, prefix=None) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    ids = [int(t) for t in tokenizer.random_filler_ids(rng, n)]
+    if prefix is not None:
+        ids = list(prefix) + ids
+    return np.array([tokenizer.bos_id] + ids)
+
+
+def clone(request: GenerationRequest) -> GenerationRequest:
+    return GenerationRequest(
+        request.prompt_ids.copy(),
+        sampling=request.sampling,
+        policy=request.policy,
+        budget=request.budget,
+        priority=request.priority,
+    )
+
+
+def mixed_workload(tokenizer, n=8, max_new_tokens=12, prompt_tokens=30):
+    """One request per policy, varied prompt lengths and priorities."""
+    requests = []
+    for i in range(n):
+        prompt = filler_prompt(tokenizer, 100 + i, prompt_tokens + 3 * i)
+        requests.append(GenerationRequest(
+            prompt,
+            sampling=SamplingParams(max_new_tokens=max_new_tokens),
+            policy=ALL_NAMES[i % len(ALL_NAMES)],
+            budget=48 if i % 2 else 64,
+            priority=i % 3,
+        ))
+    return requests
+
+
+def occupancy_observer(server: SpeContextServer, high_water: list[int]):
+    def observe(s: SpeContextServer) -> None:
+        assert s.pool.n_used <= s.pool.capacity
+        s.pool.check_consistency()
+        high_water.append(s.pool.n_used)
+    return observe
+
+
+class TestTraceHarness:
+    def test_poisson_trace_seeded_and_monotonic(self, tiny_tokenizer):
+        requests = mixed_workload(tiny_tokenizer, n=6)
+        a = poisson_trace(np.random.default_rng(7), requests, 3.0)
+        b = poisson_trace(np.random.default_rng(7), requests, 3.0)
+        assert [e.arrival_step for e in a] == [e.arrival_step for e in b]
+        arrivals = [e.arrival_step for e in a]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0
+        burst = poisson_trace(np.random.default_rng(7), requests, 0.0)
+        assert all(e.arrival_step == 0 for e in burst)
+
+    def test_replay_jumps_idle_gaps(self, tiny_gqa_model, tiny_tokenizer):
+        server = SpeContextServer(tiny_gqa_model, pool_config(tiny_tokenizer))
+        late = TraceEntry(
+            arrival_step=50,
+            request=GenerationRequest(
+                filler_prompt(tiny_tokenizer, 1, 20),
+                SamplingParams(max_new_tokens=2),
+                policy="full",
+            ),
+        )
+        outputs = replay_trace(server, [late])
+        assert len(outputs) == 1
+        assert server.meter.finished[0].arrival_s == 50.0
+
+
+class TestPoolPressureServing:
+    def test_overcommitted_pool_completes_via_preemption_bit_identical(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Acceptance: pool ~half the aggregate KV of an 8-request
+        mixed-policy workload; everything completes through preemption
+        with token streams bit-identical to solo runs."""
+        requests = mixed_workload(tiny_tokenizer)
+        config = pool_config(tiny_tokenizer)
+        pool = SpeContextServer(tiny_gqa_model, config).pool
+        aggregate_blocks = sum(
+            pool.blocks_for_tokens(r.prompt_len + r.sampling.max_new_tokens)
+            for r in requests
+        )
+        per_request_max = max(
+            pool.blocks_for_tokens(r.prompt_len + r.sampling.max_new_tokens)
+            for r in requests
+        )
+        half_pool = max(aggregate_blocks // 2, per_request_max)
+
+        solo = solo_token_streams(
+            tiny_gqa_model, pool_config(tiny_tokenizer), requests, clone
+        )
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(tiny_tokenizer, pool_blocks=half_pool),
+        )
+        trace = poisson_trace(
+            np.random.default_rng(3), [clone(r) for r in requests], 1.5
+        )
+        high_water: list[int] = []
+        outputs = replay_trace(
+            server, trace, observer=occupancy_observer(server, high_water)
+        )
+        assert len(outputs) == len(requests)
+        assert [o.token_ids for o in outputs] == solo
+        assert len(server.preemption_log) > 0  # pressure actually bit
+        assert max(high_water) <= half_pool
+        # Every block is back: free, or held only by the prefix cache.
+        assert server.pool.n_used == server.pool.n_evictable()
+        assert sum(o.stats.preemptions for o in outputs) == len(
+            server.preemption_log
+        )
+
+    @pytest.mark.parametrize("mode", ["swap", "recompute"])
+    @pytest.mark.parametrize("scheduler", ["fcfs", "priority", "sjf"])
+    def test_preemption_exact_across_modes_and_schedulers(
+        self, mode, scheduler, tiny_gqa_model, tiny_tokenizer
+    ):
+        policies = RECOMPUTE_EXACT if mode == "recompute" else ALL_NAMES
+        requests = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 40 + i, 28),
+                SamplingParams(max_new_tokens=14),
+                policy=policies[i % len(policies)],
+                priority=i % 2,
+            )
+            for i in range(4)
+        ]
+        solo = solo_token_streams(
+            tiny_gqa_model, pool_config(tiny_tokenizer), requests, clone
+        )
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer,
+                pool_blocks=9,
+                preempt_mode=mode,
+                scheduler=scheduler,
+            ),
+        )
+        for request in requests:
+            server.add_request(clone(request))
+        outputs = server.run()
+        assert len(server.preemption_log) > 0
+        assert [o.token_ids for o in outputs] == solo
+        if mode == "swap":
+            preempted = [o for o in outputs if o.stats.preemptions]
+            assert preempted and all(
+                o.stats.swap_bytes > 0 for o in preempted
+            )
+
+    def test_no_starvation_under_priority_flood(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """A low-priority early request is preempted/deferred by a flood
+        of high-priority arrivals but still finishes (finite work => no
+        starvation), and high priority is honoured at admission."""
+        low = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 1, 30),
+            SamplingParams(max_new_tokens=16),
+            policy="streaming",
+            priority=0,
+        )
+        flood = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 10 + i, 30),
+                SamplingParams(max_new_tokens=8),
+                policy="streaming",
+                priority=5,
+            )
+            for i in range(5)
+        ]
+        trace = [TraceEntry(0, low)] + [
+            TraceEntry(1 + i, r) for i, r in enumerate(flood)
+        ]
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer,
+                pool_blocks=10,
+                scheduler="priority",
+                max_concurrency=2,
+            ),
+        )
+        outputs = replay_trace(server, trace)
+        assert len(outputs) == 6  # nobody starves
+        finished = {r.request_id: r for r in server.meter.finished}
+        low_finish = finished[0].finish_s
+        assert all(
+            finished[r.request_id].finish_s <= low_finish
+            for r in flood
+            if r.request_id is not None
+        )
+
+    def test_single_oversized_request_rejected_at_submit(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(
+            tiny_gqa_model, pool_config(tiny_tokenizer, pool_blocks=3)
+        )
+        request = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 2, 40),
+            SamplingParams(max_new_tokens=4),
+            policy="full",
+        )
+        with pytest.raises(ValueError, match="KV blocks"):
+            server.add_request(request)
+        assert request.request_id is None  # retryable, no id burned
+
+
+class TestPrefixCaching:
+    def shared_prefix_requests(self, tokenizer, n=6, prefix_tokens=48):
+        prefix = [
+            int(t)
+            for t in tokenizer.random_filler_ids(
+                np.random.default_rng(99), prefix_tokens
+            )
+        ]
+        return [
+            GenerationRequest(
+                filler_prompt(tokenizer, 200 + i, 24, prefix=prefix),
+                SamplingParams(max_new_tokens=4),
+                policy="quest",
+            )
+            for i in range(n)
+        ]
+
+    def test_prefix_hits_never_change_tokens_and_save_blocks(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Acceptance: >= 30% fewer prefill-allocated blocks than the
+        no-prefix-cache baseline, with bit-identical token streams."""
+        requests = self.shared_prefix_requests(tiny_tokenizer)
+        cached = SpeContextServer(tiny_gqa_model, pool_config(tiny_tokenizer))
+        for request in requests:
+            cached.add_request(clone(request))
+        cached_outputs = cached.run()
+
+        baseline = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(tiny_tokenizer, enable_prefix_cache=False),
+        )
+        for request in requests:
+            baseline.add_request(clone(request))
+        baseline_outputs = baseline.run()
+
+        assert [o.token_ids for o in cached_outputs] == [
+            o.token_ids for o in baseline_outputs
+        ]
+        with_cache = cached.pool.stats.prefill_blocks_allocated
+        without = baseline.pool.stats.prefill_blocks_allocated
+        assert with_cache <= 0.7 * without, (with_cache, without)
+        assert cached.pool.stats.prefix_hits >= len(requests) - 1
+        assert any(o.stats.prefix_reused_tokens > 0 for o in cached_outputs)
+
+    def test_prefix_reuse_exact_for_every_policy(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """A cache warmed by a donor request never changes any policy's
+        logits: the follower's stream equals its uncached solo run."""
+        prefix = [
+            int(t)
+            for t in tiny_tokenizer.random_filler_ids(
+                np.random.default_rng(7), 32
+            )
+        ]
+        for name in ALL_NAMES:
+            follower = GenerationRequest(
+                filler_prompt(tiny_tokenizer, 300, 20, prefix=prefix),
+                SamplingParams(max_new_tokens=3),
+                policy=name,
+            )
+            solo = solo_token_streams(
+                tiny_gqa_model,
+                pool_config(tiny_tokenizer, enable_prefix_cache=False),
+                [follower],
+                clone,
+            )[0]
+            server = SpeContextServer(
+                tiny_gqa_model, pool_config(tiny_tokenizer)
+            )
+            donor = GenerationRequest(
+                filler_prompt(tiny_tokenizer, 301, 16, prefix=prefix),
+                SamplingParams(max_new_tokens=1),
+                policy="full",
+            )
+            server.add_request(donor)
+            server.run()
+            server.add_request(clone(follower))
+            output = server.run()[0]
+            assert output.stats.prefix_reused_tokens > 0, name
+            assert output.token_ids == solo, name
+
+
+class TestStreaming:
+    def test_stream_events_reassemble_outputs(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(tiny_gqa_model, pool_config(tiny_tokenizer))
+        for i in range(3):
+            server.add_request(GenerationRequest(
+                filler_prompt(tiny_tokenizer, 60 + i, 20 + i),
+                SamplingParams(max_new_tokens=4),
+                policy="streaming",
+            ))
+        streams: dict[int, list[int]] = {}
+        seen_steps: dict[int, int] = {}
+        while server.has_unfinished:
+            server.step()
+            for event in server.pop_stream_events():
+                streams.setdefault(event.request_id, []).append(event.token_id)
+                # steps arrive in order, exactly once
+                assert event.step == seen_steps.get(event.request_id, 0)
+                seen_steps[event.request_id] = event.step + 1
+        assert server.pop_stream_events() == []
+        for output in server.outputs:
+            assert streams[output.request_id] == output.token_ids
+
+
+class TestSchedulerRegistry:
+    def test_canonical_names(self):
+        assert set(available_schedulers()) == {"fcfs", "priority", "sjf"}
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("FIFO", "fcfs"),
+        ("Priority", "priority"),
+        ("shortest-prompt-first", "sjf"),
+        ("SPF", "sjf"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_scheduler_name(alias) == canonical
+
+    def test_unknown_scheduler_raises_with_available(self):
+        with pytest.raises(KeyError, match="fcfs"):
+            make_scheduler("round-robin")
+
+    def test_server_rejects_unknown_scheduler(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        with pytest.raises(KeyError):
+            SpeContextServer(
+                tiny_gqa_model,
+                pool_config(tiny_tokenizer, scheduler="nope"),
+            )
+
+
+class TestCli:
+    def test_cli_reports_pool_and_preemption_stats(self, capsys):
+        from repro.serving import cli
+
+        rc = cli.main([
+            "--requests", "4", "--max-new-tokens", "4", "--prompt-len", "40",
+            "--policies", "quest,streaming", "--pool-blocks", "64",
+            "--block-size", "8", "--scheduler", "priority",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "continuous batching" in out
+        assert "preemptions" in out
+        assert "priority scheduling" in out
+
+    @pytest.mark.parametrize("argv", [
+        ["--policies", "not-a-policy"],
+        ["--scheduler", "not-a-scheduler"],
+    ])
+    def test_cli_rejects_unknown_names(self, argv, capsys):
+        from repro.serving import cli
+
+        assert cli.main(argv) == 2
+        assert "available" in capsys.readouterr().err
+
+
+class TestPr1RegressionUnderPool:
+    """The PR-1 guarantee, re-pinned on the pool-backed server."""
+
+    def eight_policy_requests(self, tokenizer, max_new_tokens=6):
+        requests = []
+        for i, name in enumerate(ALL_NAMES):
+            prompt, _, _ = make_recall_prompt(
+                tokenizer, np.random.default_rng(100 + i), n_filler=120
+            )
+            requests.append(GenerationRequest(
+                prompt,
+                sampling=SamplingParams(max_new_tokens=max_new_tokens),
+                policy=name,
+                budget=48 if i % 2 else 64,
+            ))
+        return requests
+
+    def config(self, tokenizer, **overrides):
+        overrides.setdefault("max_concurrency", 4)
+        return pool_config(tokenizer, **overrides)
+
+    def test_batched_equals_solo_all_policies(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        requests = self.eight_policy_requests(tiny_tokenizer)
+        solo = solo_token_streams(
+            tiny_gqa_model, self.config(tiny_tokenizer), requests, clone
+        )
+        solo_generated = sum(len(s) for s in solo)
+        batched = SpeContextServer(tiny_gqa_model, self.config(tiny_tokenizer))
+        for request in requests:
+            batched.add_request(clone(request))
+        outputs = batched.run()
+        assert [o.token_ids for o in outputs] == solo
+        assert batched.meter.generated_tokens == solo_generated
+
+    def test_batched_equals_solo_under_forced_preemption(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """All 8 policies at fixed seed with a pool too small for the
+        batch: completion requires preemption, streams stay identical."""
+        # Generations cross >= 3 block boundaries each; the pool holds two
+        # prompts plus one spare block, so two co-resident sessions must
+        # fight over growth blocks and the loser is preempted.
+        requests = self.eight_policy_requests(tiny_tokenizer, max_new_tokens=24)
+        solo = solo_token_streams(
+            tiny_gqa_model, self.config(tiny_tokenizer), requests, clone
+        )
+        pool = SpeContextServer(
+            tiny_gqa_model, self.config(tiny_tokenizer)
+        ).pool
+        prompt_blocks = max(
+            pool.blocks_for_tokens(r.prompt_len) for r in requests
+        )
+        server = SpeContextServer(
+            tiny_gqa_model,
+            self.config(
+                tiny_tokenizer,
+                pool_blocks=2 * prompt_blocks + 1,
+                max_concurrency=8,
+            ),
+        )
+        for request in requests:
+            server.add_request(clone(request))
+        outputs = server.run()
+        assert len(server.preemption_log) > 0
+        assert [o.token_ids for o in outputs] == solo
+        assert server.meter.generated_tokens == sum(len(s) for s in solo)
