@@ -84,6 +84,18 @@ class EngineConfig:
         scheduler: admission/preemption ordering policy name (see
             :func:`repro.serving.policies.make_scheduler`): "fcfs",
             "priority" or "sjf".
+        batched_decode: fuse every active session's decode step into one
+            server-wide forward pass (stacked hidden states, row-batched
+            QKV/O/FFN GEMMs, selection-shape-grouped attention). Token
+            streams and selection histories are bit-identical to the
+            sequential per-session path; set False to fall back to the
+            one-session-at-a-time reference loop.
+        kv_dtype: storage precision of per-session KV caches, "float64"
+            (default, double-precision attention accumulation) or
+            "float32" (half the memory traffic; projections are float32 so
+            the stored values are unchanged — what production engines do
+            with FP16 KV). Applies equally to both decode paths, which
+            stay bit-identical to each other at either precision.
         sparse_from_first_token: decode the final prompt token as the first
             policy-governed step (SpeContext's dataflow).
         requests: request multiplier for the theoretical memory model.
@@ -108,6 +120,8 @@ class EngineConfig:
     enable_prefix_cache: bool = True
     preempt_mode: str = "swap"
     scheduler: str = "fcfs"
+    batched_decode: bool = True
+    kv_dtype: str = "float64"
     sparse_from_first_token: bool = True
     requests: int = 1
     dlm_bytes: int | None = None
@@ -138,4 +152,8 @@ class EngineConfig:
             raise ValueError(
                 f"preempt_mode must be 'swap' or 'recompute', "
                 f"got {self.preempt_mode!r}"
+            )
+        if self.kv_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"kv_dtype must be 'float32' or 'float64', got {self.kv_dtype!r}"
             )

@@ -18,15 +18,23 @@ class LayerKVCache:
     amortized rather than O(seq) per step.
     """
 
-    def __init__(self, batch: int, n_kv_heads: int, head_dim: int, capacity: int = 64):
+    def __init__(
+        self,
+        batch: int,
+        n_kv_heads: int,
+        head_dim: int,
+        capacity: int = 64,
+        dtype: np.dtype = np.float64,
+    ):
         if batch < 1 or n_kv_heads < 1 or head_dim < 1:
             raise ValueError("batch, n_kv_heads and head_dim must be positive")
         self.batch = batch
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
+        self.dtype = np.dtype(dtype)
         self._len = 0
-        self._k = np.zeros((batch, n_kv_heads, capacity, head_dim))
-        self._v = np.zeros((batch, n_kv_heads, capacity, head_dim))
+        self._k = np.zeros((batch, n_kv_heads, capacity, head_dim), dtype=self.dtype)
+        self._v = np.zeros((batch, n_kv_heads, capacity, head_dim), dtype=self.dtype)
 
     def __len__(self) -> int:
         return self._len
@@ -55,7 +63,10 @@ class LayerKVCache:
         needed = self._len + new
         if needed > self._k.shape[2]:
             capacity = max(needed, 2 * self._k.shape[2])
-            grown_k = np.zeros((self.batch, self.n_kv_heads, capacity, self.head_dim))
+            grown_k = np.zeros(
+                (self.batch, self.n_kv_heads, capacity, self.head_dim),
+                dtype=self.dtype,
+            )
             grown_v = np.zeros_like(grown_k)
             grown_k[:, :, : self._len, :] = self._k[:, :, : self._len, :]
             grown_v[:, :, : self._len, :] = self._v[:, :, : self._len, :]
@@ -100,6 +111,25 @@ class LayerKVCache:
             return k_sel, v_sel
         raise ValueError(f"indices must be 1-D or 2-D, got ndim={indices.ndim}")
 
+    def gather_into(
+        self, indices: np.ndarray, k_out: np.ndarray, v_out: np.ndarray
+    ) -> None:
+        """1-D token gather written straight into caller buffers.
+
+        Batched-decode fast path: identical values to :meth:`gather` with
+        1-D indices (batch 0), but lands in the group's preallocated
+        stacked K/V buffers instead of allocating per-session temporaries
+        that a later ``np.stack`` would copy again. Bounds are enforced by
+        ``np.take(mode="raise")``.
+        """
+        np.take(self._k[0, :, : self._len], indices, axis=1, out=k_out)
+        np.take(self._v[0, :, : self._len], indices, axis=1, out=v_out)
+
+    def copy_kv_into(self, k_out: np.ndarray, v_out: np.ndarray) -> None:
+        """Copy all valid K/V entries into caller buffers (full attention)."""
+        np.copyto(k_out, self._k[0, :, : self._len])
+        np.copyto(v_out, self._v[0, :, : self._len])
+
     def truncate(self, length: int) -> None:
         """Drop all entries at positions >= ``length`` (used by rollbacks)."""
         if length < 0 or length > self._len:
@@ -109,7 +139,11 @@ class LayerKVCache:
     def clone(self) -> "LayerKVCache":
         """Deep copy (shared-prefill evaluation decodes on clones)."""
         copy = LayerKVCache(
-            self.batch, self.n_kv_heads, self.head_dim, capacity=self._k.shape[2]
+            self.batch,
+            self.n_kv_heads,
+            self.head_dim,
+            capacity=self._k.shape[2],
+            dtype=self.dtype,
         )
         copy._k = self._k.copy()
         copy._v = self._v.copy()
@@ -124,11 +158,19 @@ class LayerKVCache:
 class ModelKVCache:
     """Per-request stack of :class:`LayerKVCache`, one per transformer layer."""
 
-    def __init__(self, n_layers: int, batch: int, n_kv_heads: int, head_dim: int):
+    def __init__(
+        self,
+        n_layers: int,
+        batch: int,
+        n_kv_heads: int,
+        head_dim: int,
+        dtype: np.dtype = np.float64,
+    ):
         if n_layers < 1:
             raise ValueError("n_layers must be positive")
         self.layers = [
-            LayerKVCache(batch, n_kv_heads, head_dim) for _ in range(n_layers)
+            LayerKVCache(batch, n_kv_heads, head_dim, dtype=dtype)
+            for _ in range(n_layers)
         ]
 
     def __getitem__(self, layer: int) -> LayerKVCache:

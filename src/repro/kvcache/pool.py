@@ -211,6 +211,34 @@ class PagedKVPool:
             raise ValueError(f"read of free block {block_id}")
         return block.payload
 
+    def gather_chain(self, block_ids: list[int]) -> BlockPayload | None:
+        """Batch-gather a resident block chain into one payload per layer.
+
+        Concatenates the chain's per-layer (keys, values) pairs along the
+        token axis, so a prefix-cache hit loads with **one** cache append
+        per layer instead of one per (block, layer) — the values written
+        are exactly the per-block payloads, in chain order. Returns None
+        for an empty chain; raises if any block has no payload attached.
+        """
+        if not block_ids:
+            return None
+        payloads = []
+        for block_id in block_ids:
+            payload = self.read_block(block_id)
+            if payload is None:
+                raise ValueError(
+                    f"block {block_id} has no payload; only written blocks "
+                    "(prefix cache, CoW forks) can be gathered"
+                )
+            payloads.append(payload)
+        return [
+            (
+                np.concatenate([p[layer][0] for p in payloads], axis=2),
+                np.concatenate([p[layer][1] for p in payloads], axis=2),
+            )
+            for layer in range(len(payloads[0]))
+        ]
+
     def write_block(
         self, table: BlockTable, logical_index: int, payload: BlockPayload
     ) -> int:

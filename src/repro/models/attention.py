@@ -23,7 +23,7 @@ import numpy as np
 from repro.kvcache.cache import LayerKVCache
 from repro.models.config import AttentionKind, ModelConfig
 from repro.models.weights import LayerWeights
-from repro.tensor.ops import linear, softmax
+from repro.tensor.ops import linear, linear_rows, softmax
 from repro.tensor.rope import RotaryEmbedding
 
 PREFILL_CHUNK = 256
@@ -37,6 +37,21 @@ class AttentionModule:
         self.layer = layer
         self.rope = rope
         self._scale = 1.0 / np.sqrt(config.head_dim)
+        # RoPE masks are pure functions of the layer weights; precompute
+        # them once instead of rebuilding boolean arrays on every
+        # projection of every decode step.
+        if layer.rope_mask is not None:
+            self._q_mask = np.asarray(layer.rope_mask, dtype=bool)
+        else:
+            self._q_mask = np.ones(config.n_q_heads, dtype=bool)
+        self._q_mask.setflags(write=False)
+        if config.attention is AttentionKind.MLA:
+            self._kv_mask = self._q_mask
+        else:
+            self._kv_mask = self._q_mask.reshape(
+                config.n_kv_heads, config.group_size
+            ).any(axis=1)
+            self._kv_mask.setflags(write=False)
 
     # ---- projections --------------------------------------------------------
 
@@ -45,20 +60,14 @@ class AttentionModule:
         cfg = self.config
         q = linear(x, self.layer.wq, self.layer.bq)
         q = q.reshape(x.shape[0], cfg.n_q_heads, cfg.head_dim).transpose(1, 0, 2)
-        return self._apply_rope_masked(q, positions, self._q_rope_mask())
+        return self._apply_rope_masked(q, positions, self._q_mask)
 
     def _q_rope_mask(self) -> np.ndarray:
-        if self.layer.rope_mask is not None:
-            return np.asarray(self.layer.rope_mask, dtype=bool)
-        return np.ones(self.config.n_q_heads, dtype=bool)
+        return self._q_mask
 
     def _kv_rope_mask(self) -> np.ndarray:
         """Per-KV-head RoPE mask: a KV head rotates iff its group's q heads do."""
-        qmask = self._q_rope_mask()
-        group = self.config.group_size
-        if self.config.attention is AttentionKind.MLA:
-            return qmask
-        return qmask.reshape(self.config.n_kv_heads, group).any(axis=1)
+        return self._kv_mask
 
     def _apply_rope_masked(
         self, heads: np.ndarray, positions: np.ndarray, mask: np.ndarray
@@ -67,6 +76,8 @@ class AttentionModule:
         if not mask.any():
             return heads
         rotated = self.rope.apply(heads, positions)
+        if mask.all():
+            return rotated
         out = heads.copy()
         out[mask] = rotated[mask]
         return out
@@ -85,7 +96,7 @@ class AttentionModule:
         k = k.reshape(x.shape[0], cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
         v = v.reshape(x.shape[0], cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
         key_positions = positions + self.layer.rope_key_offset
-        k = self._apply_rope_masked(k, key_positions, self._kv_rope_mask())
+        k = self._apply_rope_masked(k, key_positions, self._kv_mask)
         return k, v
 
     def project_latent(self, x: np.ndarray) -> np.ndarray:
@@ -104,7 +115,7 @@ class AttentionModule:
         k = k.transpose(1, 0, 2)
         v = v.transpose(1, 0, 2)
         key_positions = positions + self.layer.rope_key_offset
-        k = self._apply_rope_masked(k, key_positions, self._kv_rope_mask())
+        k = self._apply_rope_masked(k, key_positions, self._kv_mask)
         return k, v
 
     def selection_queries(self, x_token: np.ndarray, position: int) -> np.ndarray:
@@ -206,9 +217,11 @@ class AttentionModule:
             token_indices = selection
 
         if cfg.attention is AttentionKind.MLA:
-            out, weights = self._decode_mla(q, cache, token_indices, per_head)
+            out_heads, weights = self._attend_mla(q, cache, token_indices, per_head)
         else:
-            out, weights = self._decode_kv(q, cache, token_indices, per_head)
+            out_heads, weights = self._attend_kv(q, cache, token_indices, per_head)
+        flat = out_heads.reshape(cfg.n_q_heads * cfg.head_dim)
+        out = linear(flat, self.layer.wo)
 
         if not capture_weights:
             return out, None
@@ -223,13 +236,14 @@ class AttentionModule:
             full[:, token_indices] = weights
         return out, full
 
-    def _decode_kv(
+    def _attend_kv(
         self,
         q: np.ndarray,
         cache: LayerKVCache,
         token_indices: np.ndarray,
         per_head: bool,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-head attention outputs (Hq, dim) before the output projection."""
         cfg = self.config
         group = cfg.group_size
         keys = cache.keys[0]  # (Hkv, len, dim)
@@ -246,16 +260,16 @@ class AttentionModule:
             out_heads[kv_head * group : (kv_head + 1) * group] = w @ v_sel
             weights_list.append(w)
         weights = np.concatenate(weights_list, axis=0)
-        flat = out_heads.reshape(cfg.n_q_heads * cfg.head_dim)
-        return linear(flat, self.layer.wo), weights
+        return out_heads, weights
 
-    def _decode_mla(
+    def _attend_mla(
         self,
         q: np.ndarray,
         cache: LayerKVCache,
         token_indices: np.ndarray,
         per_head: bool,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-head attention outputs (Hq, dim) before the output projection."""
         cfg = self.config
         latents = cache.keys[0, 0]  # (len, latent)
         out_heads = np.empty((cfg.n_q_heads, cfg.head_dim), dtype=q.dtype)
@@ -271,5 +285,138 @@ class AttentionModule:
             out_heads[head] = w @ v_sel
             weights_rows.append(w)
         weights = np.stack(weights_rows, axis=0)
-        flat = out_heads.reshape(cfg.n_q_heads * cfg.head_dim)
-        return linear(flat, self.layer.wo), weights
+        return out_heads, weights
+
+    # ---- batched decode (one fused pass over many sessions) --------------------
+
+    def project_q_rows(self, x_rows: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Queries for ``n`` single-token sessions, shape (n, n_q_heads, dim).
+
+        Row ``j`` is bit-identical to ``_project_q(x_rows[j:j+1],
+        positions[j:j+1])[:, 0, :]``: the projection goes through
+        :func:`linear_rows` (per-row GEMM semantics) and RoPE is a pure
+        elementwise rotation with each row's own cos/sin table entries.
+        """
+        cfg = self.config
+        q = linear_rows(x_rows, self.layer.wq, self.layer.bq)
+        q = q.reshape(x_rows.shape[0], cfg.n_q_heads, cfg.head_dim).transpose(1, 0, 2)
+        q = self._apply_rope_masked(q, np.asarray(positions), self._q_mask)
+        return q.transpose(1, 0, 2)
+
+    def append_token_rows(
+        self,
+        x_rows: np.ndarray,
+        positions: np.ndarray,
+        caches: list[LayerKVCache],
+    ) -> None:
+        """Project and append one new token per session, K/V fused into
+        single row-batched GEMMs over the shared weights."""
+        cfg = self.config
+        n = x_rows.shape[0]
+        if cfg.attention is AttentionKind.MLA:
+            latents = linear_rows(x_rows, self.layer.w_dkv)  # (n, latent)
+            for j in range(n):
+                entry = latents[j][None, None, None, :]
+                caches[j].append(entry, entry)
+            return
+        k = linear_rows(x_rows, self.layer.wk, self.layer.bk)
+        v = linear_rows(x_rows, self.layer.wv)
+        k = k.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        v = v.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        key_positions = np.asarray(positions) + self.layer.rope_key_offset
+        k = self._apply_rope_masked(k, key_positions, self._kv_mask)
+        for j in range(n):
+            caches[j].append(k[None, :, j : j + 1, :], v[None, :, j : j + 1, :])
+
+    def decode_rows(
+        self,
+        x_rows: np.ndarray,
+        positions: np.ndarray,
+        caches: list[LayerKVCache],
+        selections: list[np.ndarray | None],
+    ) -> np.ndarray:
+        """One decode step for ``n`` sessions at once; returns (n, d_model).
+
+        Sessions are grouped by selection shape; each group's gathered KV
+        is scored in one batched matmul (a stack of per-slice GEMMs whose
+        2-D shapes match the sequential path exactly, keeping every row
+        bit-identical to :meth:`decode` on that session alone). The output
+        projection runs as a single row-batched GEMM over all sessions.
+        MLA sessions fall back to the per-session expansion loop — the
+        projections around them still batch.
+        """
+        cfg = self.config
+        n = x_rows.shape[0]
+        q = self.project_q_rows(x_rows, positions)  # (n, Hq, dim)
+        if cfg.attention is AttentionKind.MLA:
+            out_heads = np.empty((n, cfg.n_q_heads, cfg.head_dim), dtype=q.dtype)
+            for j in range(n):
+                idx, per_head = self._selection_indices(selections[j], caches[j])
+                out_heads[j], _ = self._attend_mla(q[j], caches[j], idx, per_head)
+        else:
+            out_heads = self._attend_rows_kv(q, caches, selections)
+        flat = out_heads.reshape(n, cfg.n_q_heads * cfg.head_dim)
+        return linear_rows(flat, self.layer.wo)
+
+    @staticmethod
+    def _selection_indices(
+        selection: np.ndarray | None, cache: LayerKVCache
+    ) -> tuple[np.ndarray, bool]:
+        if selection is None:
+            return np.arange(len(cache)), False
+        selection = np.asarray(selection)
+        return selection, selection.ndim == 2
+
+    def _attend_rows_kv(
+        self,
+        q: np.ndarray,
+        caches: list[LayerKVCache],
+        selections: list[np.ndarray | None],
+    ) -> np.ndarray:
+        """Grouped-by-selection-shape attention; returns (n, Hq, dim)."""
+        cfg = self.config
+        group = cfg.group_size
+        n = q.shape[0]
+        q_g = q.reshape(n, cfg.n_kv_heads, group, cfg.head_dim)
+        out = np.empty((n, cfg.n_kv_heads, group, cfg.head_dim), dtype=q.dtype)
+        buckets: dict[tuple, list[int]] = {}
+        for j, selection in enumerate(selections):
+            if selection is None:
+                key = ("full", len(caches[j]))
+            else:
+                selection = np.asarray(selection)
+                if selection.ndim == 2:
+                    key = ("head", selection.shape[1])
+                else:
+                    key = ("flat", selection.shape[0])
+            buckets.setdefault(key, []).append(j)
+        kv_dtype = caches[0].keys.dtype
+        for (kind, width), members in buckets.items():
+            g = len(members)
+            if kind == "head":
+                ks, vs = [], []
+                for j in members:
+                    k_sel, v_sel = caches[j].gather(np.asarray(selections[j]))
+                    ks.append(k_sel[0])
+                    vs.append(v_sel[0])
+                k = np.stack(ks)  # (g, Hkv, s, dim)
+                v = np.stack(vs)
+            else:
+                # Gather straight into the stacked buffers — one copy, not
+                # a per-session temporary plus a stack copy.
+                k = np.empty((g, cfg.n_kv_heads, width, cfg.head_dim), dtype=kv_dtype)
+                v = np.empty_like(k)
+                for gi, j in enumerate(members):
+                    if kind == "full":
+                        caches[j].copy_kv_into(k[gi], v[gi])
+                    else:
+                        caches[j].gather_into(selections[j], k[gi], v[gi])
+            whole_batch = g == n  # skip fancy-index copies for one bucket
+            qg = q_g if whole_batch else q_g[members]  # (g, Hkv, group, dim)
+            scores = np.matmul(qg, k.transpose(0, 1, 3, 2)) * self._scale
+            w = softmax(scores, axis=-1)
+            if whole_batch:
+                out[:] = np.matmul(w, v)
+            else:
+                out[members] = np.matmul(w, v)
+        return out.reshape(n, cfg.n_q_heads, cfg.head_dim)

@@ -8,7 +8,7 @@ from repro.kvcache.cache import LayerKVCache
 from repro.models.attention import AttentionModule
 from repro.models.config import ModelConfig
 from repro.models.weights import LayerWeights
-from repro.tensor.ops import linear, rms_norm, silu
+from repro.tensor.ops import linear, linear_rows, rms_norm, silu
 from repro.tensor.rope import RotaryEmbedding
 
 
@@ -59,3 +59,31 @@ class DecoderLayer:
         )
         x = x + attn_out
         return x + self._ffn(x), weights
+
+    def decode_rows(
+        self,
+        x_rows: np.ndarray,
+        positions: np.ndarray,
+        caches: list[LayerKVCache],
+        selections: list[np.ndarray | None],
+    ) -> np.ndarray:
+        """Process one decode token for ``n`` independent sessions at once.
+
+        ``x_rows`` is (n, d_model); row ``j`` is bit-identical to
+        :meth:`decode` run on session ``j`` alone — every fused op is
+        either elementwise/row-wise or dispatches per-row GEMM slices.
+        """
+        h = self._pre_attn(x_rows)
+        self.attention.append_token_rows(h, positions, caches)
+        attn_out = self.attention.decode_rows(h, positions, caches, selections)
+        x = x_rows + attn_out
+        return x + self._ffn_rows(x)
+
+    def _ffn_rows(self, x: np.ndarray) -> np.ndarray:
+        """SwiGLU over (n, d_model) rows with per-row GEMM semantics."""
+        h = x
+        if self.config.use_norm:
+            h = rms_norm(h, self.weights.norm_ffn)
+        gate = silu(linear_rows(h, self.weights.w_gate))
+        up = linear_rows(h, self.weights.w_up)
+        return linear_rows(gate * up, self.weights.w_down)

@@ -19,7 +19,7 @@ from repro.kvcache.cache import LayerKVCache, ModelKVCache
 from repro.models.config import AttentionKind, ModelConfig
 from repro.models.layers import DecoderLayer
 from repro.models.weights import ModelWeights
-from repro.tensor.ops import rms_norm, softmax
+from repro.tensor.ops import linear, linear_rows, rms_norm, softmax
 from repro.tensor.rope import RotaryEmbedding, YarnConfig
 
 
@@ -75,12 +75,20 @@ class TransformerLM:
 
     # ---- cache management ----------------------------------------------------
 
-    def new_cache(self) -> ModelKVCache:
-        """Empty KV cache matching this model's geometry."""
+    def new_cache(self, dtype: np.dtype = np.float64) -> ModelKVCache:
+        """Empty KV cache matching this model's geometry.
+
+        ``dtype`` sets the KV storage precision: projections are float32,
+        so float32 storage is value-preserving at half the memory traffic
+        (what production engines do with FP16 KV), while the float64
+        default keeps attention accumulation in double precision.
+        """
         cfg = self.config
         if cfg.attention is AttentionKind.MLA:
-            return ModelKVCache(cfg.n_layers, 1, 1, cfg.mla_latent_dim)
-        return ModelKVCache(cfg.n_layers, 1, cfg.n_kv_heads, cfg.head_dim)
+            return ModelKVCache(cfg.n_layers, 1, 1, cfg.mla_latent_dim, dtype=dtype)
+        return ModelKVCache(
+            cfg.n_layers, 1, cfg.n_kv_heads, cfg.head_dim, dtype=dtype
+        )
 
     # ---- forward passes --------------------------------------------------------
 
@@ -92,7 +100,13 @@ class TransformerLM:
         """Final norm + LM head."""
         if self.config.use_norm:
             hidden = rms_norm(hidden, self.weights.norm_final)
-        return hidden @ self.weights.head_matrix().T
+        return linear(hidden, self.weights.head_matrix())
+
+    def logits_from_hidden_rows(self, hidden: np.ndarray) -> np.ndarray:
+        """Final norm + LM head over (n, d_model) rows, one fused call."""
+        if self.config.use_norm:
+            hidden = rms_norm(hidden, self.weights.norm_final)
+        return linear_rows(hidden, self.weights.head_matrix())
 
     def prefill(self, token_ids: np.ndarray, cache: ModelKVCache) -> np.ndarray:
         """Run the prompt through all layers; returns last-token logits."""
@@ -137,6 +151,55 @@ class TransformerLM:
             if capture_attention:
                 attn_weights.append(weights)
         return self.logits_from_hidden(x), selections, attn_weights
+
+    def decode_step_batch(
+        self,
+        token_ids: list[int],
+        caches: list[ModelKVCache],
+        policies: list[SelectionPolicy | None] | None = None,
+    ) -> tuple[np.ndarray, list[dict[int, np.ndarray]]]:
+        """One autoregressive step for ``n`` independent sessions, fused.
+
+        Instead of ``n`` full forward passes over the shared weights, the
+        sessions' hidden states are stacked into (n, d_model) batches and
+        every projection/FFN runs as one row-batched GEMM; attention groups
+        sessions by selection shape and scores each group's gathered KV in
+        one batched matmul. Policy hooks (``select``) still run per session
+        — they own per-session state — but all tensor math is fused.
+
+        Returns (logits of shape (n, vocab), per-session selections dict).
+        Row ``j`` is bit-identical to ``decode_step(token_ids[j],
+        caches[j], policies[j])`` on the same session state: the fused ops
+        are elementwise/row-wise or per-row GEMM slices, never row-fused
+        BLAS reductions (see :func:`repro.tensor.ops.linear_rows`).
+        """
+        n = len(caches)
+        if policies is None:
+            policies = [None] * n
+        if not (len(token_ids) == len(policies) == n):
+            raise ValueError(
+                f"batch size mismatch: {len(token_ids)} tokens, {n} caches, "
+                f"{len(policies)} policies"
+            )
+        positions = [cache.seq_len for cache in caches]
+        position_rows = np.asarray(positions)
+        x = self.embed(np.asarray(token_ids))  # (n, d_model)
+        selections: list[dict[int, np.ndarray]] = [{} for _ in range(n)]
+        for i, layer in enumerate(self.layers):
+            layer_caches = [cache[i] for cache in caches]
+            step_selections: list[np.ndarray | None] = []
+            for j in range(n):
+                selection = None
+                if policies[j] is not None:
+                    selection = policies[j].select(
+                        i, x[j], positions[j], layer_caches[j]
+                    )
+                if selection is not None:
+                    selection = self._ensure_current(selection, positions[j])
+                    selections[j][i] = selection
+                step_selections.append(selection)
+            x = layer.decode_rows(x, position_rows, layer_caches, step_selections)
+        return self.logits_from_hidden_rows(x), selections
 
     @staticmethod
     def _ensure_current(selection: np.ndarray, position: int) -> np.ndarray:

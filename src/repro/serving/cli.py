@@ -80,6 +80,12 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("swap", "recompute"))
     parser.add_argument("--no-prefix-cache", action="store_true",
                         help="disable prompt prefix-block reuse")
+    parser.add_argument("--sequential-decode", action="store_true",
+                        help="disable the fused batched decode path (one "
+                        "batch=1 forward pass per session per step)")
+    parser.add_argument("--kv-dtype", default="float64",
+                        choices=("float32", "float64"),
+                        help="KV cache storage precision")
     args = parser.parse_args(argv)
 
     try:
@@ -109,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
                 enable_prefix_cache=not args.no_prefix_cache,
                 preempt_mode=args.preempt_mode,
                 scheduler=scheduler,
+                batched_decode=not args.sequential_decode,
+                kv_dtype=args.kv_dtype,
             ),
         )
     except ValueError as err:
@@ -119,7 +127,9 @@ def main(argv: list[str] | None = None) -> int:
         f"vocab {config.vocab_size}  |  budget {args.budget}, "
         f"concurrency {args.concurrency}  |  pool "
         f"{server.pool.capacity} x {server.pool.block_size}-token blocks, "
-        f"{scheduler} scheduling"
+        f"{scheduler} scheduling  |  "
+        f"{'sequential' if args.sequential_decode else 'batched'} decode, "
+        f"{args.kv_dtype} KV"
     )
 
     for i in range(args.requests):

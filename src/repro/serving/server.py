@@ -21,7 +21,12 @@ with the memory discipline of a production engine:
   for every policy (the cache object is restored as-is);
 - ``step`` admits, ensures capacity, then runs **one decode step for every
   active session** — continuous batching at step granularity — and emits
-  per-token :class:`StreamEvent`s drainable via :meth:`pop_stream_events`;
+  per-token :class:`StreamEvent`s drainable via :meth:`pop_stream_events`.
+  With ``batched_decode`` (default) the sessions' forward passes are fused
+  into one server-wide batch (stacked hidden states, row-batched GEMMs,
+  selection-shape-grouped attention; see
+  :meth:`repro.models.llm.TransformerLM.decode_step_batch`), bit-identical
+  to the sequential per-session reference loop;
 - ``run`` steps until the queue drains and returns per-request
   :class:`~repro.api.request.GenerationOutput`s.
 
@@ -269,7 +274,7 @@ class SpeContextServer:
             request=request,
             policy=policy,
             budget=self._effective_budget(request, policy),
-            cache=self.model.new_cache(),
+            cache=self.model.new_cache(dtype=np.dtype(self.config.kv_dtype)),
             rng=rng,
             result=DecodeResult(
                 prompt_len=request.prompt_len, token_ids=[], stopped_by_eos=False
@@ -373,9 +378,22 @@ class SpeContextServer:
     def step(self) -> list[GenerationOutput]:
         """Admit, ensure pool capacity, one decode step per active session.
 
-        Returns the requests that finished during this step.
+        With ``batched_decode`` (the default) the active sessions' forward
+        passes are fused into one server-wide batch; otherwise each session
+        runs its own batch=1 pass. Both paths produce bit-identical token
+        streams and selection histories. Returns the requests that finished
+        during this step.
         """
         self._admit()
+        if self.config.batched_decode:
+            finished = self._step_batched()
+        else:
+            finished = self._step_sequential()
+        self._clock += 1.0
+        return finished
+
+    def _step_sequential(self) -> list[GenerationOutput]:
+        """Reference loop: one full batch=1 forward pass per session."""
         finished: list[GenerationOutput] = []
         for session in list(self._active):
             if session not in self._active:
@@ -386,7 +404,84 @@ class SpeContextServer:
                 self._active.remove(session)
                 self.pool.free_table(session.block_table)
                 finished.append(self._finish(session))
-        self._clock += 1.0
+        return finished
+
+    def _step_batched(self) -> list[GenerationOutput]:
+        """Fused step: reserve capacity per session, decode in fused waves.
+
+        Sessions are walked in the sequential loop's order. As long as
+        each session's decode block comes straight off the free stack, it
+        joins the current *wave*; when a reservation would need eviction
+        or preemption, the wave decodes first — its completions free their
+        blocks exactly as the sequential interleave (ensure A, decode A,
+        ensure B, ...) would have — and only then does the reservation
+        retry with the sequential path's eviction/preemption semantics.
+        Preemption therefore never hits a reserved-but-undecoded session:
+        victims either already decoded this step (like the sequential
+        loop's earlier-in-order sessions) or have not been reserved yet
+        (and are skipped below, like its preempted-before-their-turn
+        ones). Under no pressure the whole step is one wave — a single
+        server-wide forward pass.
+        """
+        finished: list[GenerationOutput] = []
+        wave: list[_Session] = []
+        for session in list(self._active):
+            if session not in self._active:
+                continue  # preempted this step to make room for a peer
+            needed = self.pool.blocks_for_tokens(session.current_len + 1) - len(
+                session.block_table
+            )
+            if needed > self.pool.n_free and wave:
+                finished.extend(self._flush_wave(wave))
+                wave = []
+            self._ensure_decode_capacity(session)
+            wave.append(session)
+        finished.extend(self._flush_wave(wave))
+        return finished
+
+    def _flush_wave(self, wave: list[_Session]) -> list[GenerationOutput]:
+        """One fused forward pass + bookkeeping for ``wave``'s sessions.
+
+        Post-decode bookkeeping runs in wave (= sequential) order so
+        memory-manager walks and stream events match the sequential path
+        event for event.
+        """
+        if not wave:
+            return []
+        # Sessions whose step-0 token is already known from full-prompt
+        # prefill skip the forward pass entirely (HuggingFace semantics).
+        forward = [
+            s
+            for s in wave
+            if not (s.steps_taken == 0 and s.prefill_token is not None)
+        ]
+        tokens: dict[int, int] = {}
+        if forward:
+            for session in forward:
+                if session.policy is not None:
+                    session.policy.pre_step(
+                        session.steps_taken, int(session.pending), session.cache
+                    )
+            logits, selections = self.model.decode_step_batch(
+                [int(s.pending) for s in forward],
+                [s.cache for s in forward],
+                [s.policy for s in forward],
+            )
+            for row, session in enumerate(forward):
+                session.result.selections.append(selections[row])
+                tokens[id(session)] = self._sample(session, logits[row])
+
+        finished: list[GenerationOutput] = []
+        for session in wave:
+            if id(session) in tokens:
+                token = tokens[id(session)]
+            else:
+                token = session.prefill_token
+            self._commit_token(session, int(token))
+            if session.done:
+                self._active.remove(session)
+                self.pool.free_table(session.block_table)
+                finished.append(self._finish(session))
         return finished
 
     def run(self) -> list[GenerationOutput]:
@@ -558,10 +653,11 @@ class SpeContextServer:
         if not chain:
             return 0
         self.pool.acquire_prefix(chain, session.block_table)
-        for block_id in chain:
-            payload = self.pool.read_block(block_id)
-            for layer_index, (keys, values) in enumerate(payload):
-                session.cache[layer_index].append(keys, values)
+        # Batch-gather the whole resident chain: one append per layer
+        # instead of one per (block, layer).
+        payload = self.pool.gather_chain(chain)
+        for layer_index, (keys, values) in enumerate(payload):
+            session.cache[layer_index].append(keys, values)
         reused = len(chain) * self.pool.block_size
         session.prefix_reused_tokens = reused
         return reused
@@ -596,7 +692,7 @@ class SpeContextServer:
         bit-identical for policies whose state is a deterministic function
         of the replayed inputs.
         """
-        session.cache = self.model.new_cache()
+        session.cache = self.model.new_cache(dtype=np.dtype(self.config.kv_dtype))
         session.block_table = BlockTable()
         prompt = session.request.prompt_ids
         policy = session.policy
@@ -640,21 +736,25 @@ class SpeContextServer:
             )
             session.result.selections.append(selections)
             token = self._sample(session, logits)
+        self._commit_token(session, int(token))
+
+    def _commit_token(self, session: _Session, token: int) -> None:
+        """Record one generated token: stats, stop conditions, streaming."""
         session.steps_taken += 1
-        session.result.token_ids.append(int(token))
+        session.result.token_ids.append(token)
         self._advance_memory(session)
-        if int(token) in session.sampling.stop_ids:
+        if token in session.sampling.stop_ids:
             session.result.stopped_by_eos = True
             session.finish_reason = "stop"
         elif session.steps_taken >= session.sampling.max_new_tokens:
             session.finish_reason = "length"
         else:
-            session.pending = int(token)
+            session.pending = token
         self._stream.append(
             StreamEvent(
                 request_id=session.request_id,
                 step=session.steps_taken - 1,
-                token_id=int(token),
+                token_id=token,
                 finished=session.done,
             )
         )

@@ -14,11 +14,17 @@ from repro.tensor.ops import (
     silu,
     gelu,
     linear,
+    linear_rows,
     kl_divergence,
     cross_entropy,
     top_k_indices,
 )
-from repro.tensor.rope import RotaryEmbedding, YarnConfig
+from repro.tensor.rope import (
+    RotaryEmbedding,
+    YarnConfig,
+    clear_rope_table_cache,
+    rope_table_cache_info,
+)
 from repro.tensor.quantization import quantize_per_channel, dequantize, QuantizedTensor
 
 __all__ = [
@@ -29,11 +35,14 @@ __all__ = [
     "silu",
     "gelu",
     "linear",
+    "linear_rows",
     "kl_divergence",
     "cross_entropy",
     "top_k_indices",
     "RotaryEmbedding",
     "YarnConfig",
+    "clear_rope_table_cache",
+    "rope_table_cache_info",
     "quantize_per_channel",
     "dequantize",
     "QuantizedTensor",

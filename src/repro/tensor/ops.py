@@ -45,8 +45,17 @@ def layer_norm(
 
 
 def silu(x: np.ndarray) -> np.ndarray:
-    """SiLU / swish activation, as used in SwiGLU FFNs."""
-    return x / (1.0 + np.exp(-x))
+    """SiLU / swish activation, as used in SwiGLU FFNs.
+
+    The exponent is clipped at the dtype's ``exp`` overflow threshold so
+    large-negative inputs produce (near-)zero instead of an overflow
+    RuntimeWarning under ``-W error``. Inputs above the clip are untouched,
+    so the result is bit-identical to the naive ``x / (1 + exp(-x))`` there.
+    """
+    x = np.asarray(x)
+    limit = 88.0 if x.dtype == np.float32 else 709.0
+    z = np.exp(-np.maximum(x, -limit))
+    return x / (1.0 + z)
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
@@ -57,12 +66,38 @@ def gelu(x: np.ndarray) -> np.ndarray:
 def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
     """Affine projection ``x @ weight.T + bias`` (torch.nn.Linear convention).
 
-    ``weight`` has shape (out_features, in_features).
+    ``weight`` has shape (out_features, in_features). A 1-D ``x`` is
+    computed as a one-row GEMM so that single-token decode projections
+    reduce in the same order as the row-batched :func:`linear_rows` path
+    and stay bit-identical to it. ``bias is None`` returns the matmul
+    result directly — no bias broadcast, no extra temporary.
     """
-    out = x @ weight.T
-    if bias is not None:
-        out = out + bias
-    return out
+    if x.ndim == 1:
+        out = (x[None, :] @ weight.T)[0]
+    else:
+        out = x @ weight.T
+    if bias is None:
+        return out
+    return out + bias
+
+
+def linear_rows(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Row-batched affine projection with per-row GEMM semantics.
+
+    Fuses ``n`` independent single-token projections into ONE numpy call:
+    ``np.matmul(x[:, None, :], weight.T)`` dispatches a GEMM per leading
+    slice, so row ``r`` of the result is bit-identical to
+    ``linear(x[r], weight, bias)``. A row-fused ``x @ weight.T`` would be
+    faster still, but BLAS backends accumulate multi-row GEMMs in a
+    different order than one-row GEMMs, which would break the batched ==
+    sequential bit-identity guarantee the serving layer relies on.
+    """
+    out = np.matmul(x[:, None, :], weight.T)[:, 0, :]
+    if bias is None:
+        return out
+    return out + bias
 
 
 def kl_divergence(p_logits: np.ndarray, q_logits: np.ndarray, axis: int = -1) -> np.ndarray:

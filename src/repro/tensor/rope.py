@@ -54,6 +54,28 @@ def _yarn_correction_index(num_rotations: float, dim: int, base: float, max_posi
     return (dim * math.log(max_position / (num_rotations * 2 * math.pi))) / (2 * math.log(base))
 
 
+# Shared cos/sin tables, keyed by every parameter that determines their
+# values: (dim, max_position, base, yarn params, dtype). Building the trig
+# tables is O(max_position * dim) — by far the dominant cost of a
+# RotaryEmbedding — and the serving layer constructs one embedding per
+# retrieval head (i.e. per specontext request), all with identical
+# parameters. Cached tables are marked read-only so sharing is safe.
+_TABLE_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_TABLE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def rope_table_cache_info() -> dict[str, int]:
+    """Hit/miss counters of the shared cos/sin table cache (for tests)."""
+    return dict(_TABLE_CACHE_STATS)
+
+
+def clear_rope_table_cache() -> None:
+    """Drop all cached tables and reset the counters."""
+    _TABLE_CACHE.clear()
+    _TABLE_CACHE_STATS["hits"] = 0
+    _TABLE_CACHE_STATS["misses"] = 0
+
+
 class RotaryEmbedding:
     """Precomputed cos/sin tables for rotary position embedding.
 
@@ -68,6 +90,7 @@ class RotaryEmbedding:
         max_position: int,
         base: float = 10000.0,
         yarn: YarnConfig | None = None,
+        dtype: np.dtype = np.float32,
     ):
         if dim % 2 != 0:
             raise ValueError(f"rotary dim must be even, got {dim}")
@@ -76,6 +99,41 @@ class RotaryEmbedding:
         self.base = base
         self.yarn = yarn
 
+        dtype = np.dtype(dtype)
+        key = (
+            dim,
+            max_position,
+            base,
+            yarn
+            if yarn is None
+            else (
+                yarn.original_max_position,
+                yarn.scaling_factor,
+                yarn.beta_fast,
+                yarn.beta_slow,
+            ),
+            dtype.str,
+        )
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            _TABLE_CACHE_STATS["hits"] += 1
+            self._cos, self._sin = cached
+        else:
+            _TABLE_CACHE_STATS["misses"] += 1
+            self._cos, self._sin = self._build_tables(dim, max_position, base, yarn, dtype)
+            self._cos.setflags(write=False)
+            self._sin.setflags(write=False)
+            _TABLE_CACHE[key] = (self._cos, self._sin)
+        self._scale = yarn.attention_factor if yarn is not None else 1.0
+
+    @staticmethod
+    def _build_tables(
+        dim: int,
+        max_position: int,
+        base: float,
+        yarn: YarnConfig | None,
+        dtype: np.dtype,
+    ) -> tuple[np.ndarray, np.ndarray]:
         half = dim // 2
         inv_freq = 1.0 / (base ** (2.0 * np.arange(half, dtype=np.float64) / dim))
 
@@ -95,9 +153,7 @@ class RotaryEmbedding:
 
         positions = np.arange(max_position, dtype=np.float64)
         freqs = np.outer(positions, inv_freq)
-        self._cos = np.cos(freqs).astype(np.float32)
-        self._sin = np.sin(freqs).astype(np.float32)
-        self._scale = yarn.attention_factor if yarn is not None else 1.0
+        return np.cos(freqs).astype(dtype), np.sin(freqs).astype(dtype)
 
     @property
     def attention_scale(self) -> float:

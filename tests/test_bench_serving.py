@@ -1,0 +1,51 @@
+"""The serving benchmark harness itself is part of the tested surface:
+every future PR's perf trajectory depends on it emitting a valid,
+self-consistent report."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "bench_serving.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_serving", BENCH_PATH)
+bench_serving = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_serving)
+
+
+class TestBenchServing:
+    def run_bench(self, tmp_path, extra=()):
+        out = tmp_path / "BENCH_serving.json"
+        rc = bench_serving.main([
+            "--sessions", "3", "--prompt-len", "24", "--max-new-tokens", "6",
+            "--layers", "2", "--repeats", "1", "--out", str(out), *extra,
+        ])
+        return rc, out
+
+    def test_report_schema_and_identical_streams(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "serving_batched_decode"
+        assert report["streams_identical"] is True
+        assert report["speedup"] > 0
+        for mode in ("sequential", "batched"):
+            entry = report[mode]
+            assert entry["generated_tokens"] > 0
+            assert entry["tokens_per_s"] > 0
+            assert entry["decode_tokens_per_s"] > 0
+            assert set(entry["step_latency_ms"]) == {"mean", "p50", "p95"}
+            assert "token_streams" not in entry  # raw streams stay out
+        assert "speedup" in capsys.readouterr().out
+
+    def test_min_speedup_gate_fails_when_unmet(self, tmp_path, capsys):
+        rc, _ = self.run_bench(tmp_path, extra=("--min-speedup", "1e9"))
+        assert rc == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self, tmp_path, capsys):
+        rc = bench_serving.main(["--policy", "nope", "--out", str(tmp_path / "x")])
+        assert rc == 2

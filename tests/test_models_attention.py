@@ -134,3 +134,30 @@ class TestCurrentTokenUnion:
         for weights in attn:
             assert weights.shape[0] == tiny_gqa_model.config.n_q_heads
             np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-5)
+
+
+class TestRopeMaskHoisting:
+    def test_masks_precomputed_and_reused(self, tiny_gqa_model):
+        """Masks are built once at __init__, not per projection call."""
+        for layer in tiny_gqa_model.layers:
+            attn = layer.attention
+            assert attn._q_rope_mask() is attn._q_mask
+            assert attn._kv_rope_mask() is attn._kv_mask
+            assert not attn._q_mask.flags.writeable
+            assert attn._q_mask.dtype == bool
+            assert attn._q_mask.shape == (attn.config.n_q_heads,)
+            assert attn._kv_mask.shape[0] in (
+                attn.config.n_kv_heads, attn.config.n_q_heads
+            )
+
+    def test_masks_match_layer_weights(self, tiny_gqa_model):
+        import numpy as np
+
+        for layer in tiny_gqa_model.layers:
+            attn = layer.attention
+            if attn.layer.rope_mask is not None:
+                assert (
+                    attn._q_mask == np.asarray(attn.layer.rope_mask, dtype=bool)
+                ).all()
+            else:
+                assert attn._q_mask.all()

@@ -242,3 +242,97 @@ class TestAttentionConcentration:
         weights = attn[1][0]
         assert int(weights.argmax()) == value_pos
         assert weights[value_pos] > 0.5
+
+
+class TestBatchedDecodeStep:
+    """decode_step_batch row j == decode_step on session j, bit for bit."""
+
+    def _make_sessions(self, model, tokenizer, policy_names, budget=48):
+        """Two identical session sets: one for each decode path."""
+        from repro.retrieval.registry import make_policy
+
+        sets = []
+        for _ in range(2):
+            caches, pendings, policies = [], [], []
+            for i, name in enumerate(policy_names):
+                rng = np.random.default_rng(500 + i)
+                ids = [int(t) for t in tokenizer.random_filler_ids(rng, 40 + 4 * i)]
+                prompt = np.array([tokenizer.bos_id] + ids)
+                cache = model.new_cache()
+                model.prefill(prompt[:-1], cache)
+                policy = None
+                if name is not None:
+                    policy = make_policy(name, model, budget)
+                    policy.begin_generation(prompt[:-1], cache)
+                caches.append(cache)
+                policies.append(policy)
+                pendings.append(int(prompt[-1]))
+            sets.append((caches, policies, pendings))
+        return sets
+
+    @pytest.mark.parametrize("fixture", [
+        "tiny_gqa_model", "tiny_mha_model", "tiny_mqa_model", "tiny_mla_model",
+    ])
+    def test_bit_identical_over_steps(self, fixture, tiny_tokenizer, request):
+        model = request.getfixturevalue(fixture)
+        if fixture == "tiny_mla_model":
+            names = [None, "streaming", "sliding", "full"]
+        else:
+            names = [None, "streaming", "quest", "h2o", "sliding", "full"]
+        (seq_caches, seq_policies, seq_pending), (
+            bat_caches, bat_policies, bat_pending,
+        ) = self._make_sessions(model, tiny_tokenizer, names)
+        for step in range(6):
+            seq_logits, seq_selections = [], []
+            for j in range(len(names)):
+                if seq_policies[j] is not None:
+                    seq_policies[j].pre_step(step, seq_pending[j], seq_caches[j])
+                logits, sels, _ = model.decode_step(
+                    seq_pending[j], seq_caches[j], policy=seq_policies[j]
+                )
+                seq_logits.append(logits)
+                seq_selections.append(sels)
+            for j in range(len(names)):
+                if bat_policies[j] is not None:
+                    bat_policies[j].pre_step(step, bat_pending[j], bat_caches[j])
+            bat_logits, bat_selections = model.decode_step_batch(
+                bat_pending, bat_caches, bat_policies
+            )
+            for j in range(len(names)):
+                assert (bat_logits[j] == seq_logits[j]).all(), (names[j], step)
+                assert bat_selections[j].keys() == seq_selections[j].keys()
+                for layer, sel in seq_selections[j].items():
+                    assert np.array_equal(bat_selections[j][layer], sel), (
+                        names[j], step, layer,
+                    )
+                token = int(np.argmax(seq_logits[j]))
+                assert token == int(np.argmax(bat_logits[j]))
+                seq_pending[j] = token
+                bat_pending[j] = token
+            # The caches themselves must agree entry for entry.
+            for j in range(len(names)):
+                for layer in range(len(seq_caches[j])):
+                    assert (
+                        seq_caches[j][layer].keys == bat_caches[j][layer].keys
+                    ).all()
+                    assert (
+                        seq_caches[j][layer].values == bat_caches[j][layer].values
+                    ).all()
+
+    def test_batch_of_one_matches(self, tiny_gqa_model, tiny_tokenizer):
+        (seq_caches, seq_policies, seq_pending), (
+            bat_caches, bat_policies, bat_pending,
+        ) = self._make_sessions(tiny_gqa_model, tiny_tokenizer, ["streaming"])
+        logits, _, _ = tiny_gqa_model.decode_step(
+            seq_pending[0], seq_caches[0], policy=seq_policies[0]
+        )
+        bat_logits, _ = tiny_gqa_model.decode_step_batch(
+            bat_pending, bat_caches, bat_policies
+        )
+        assert (bat_logits[0] == logits).all()
+
+    def test_batch_size_mismatch_rejected(self, tiny_gqa_model):
+        with pytest.raises(ValueError, match="batch size mismatch"):
+            tiny_gqa_model.decode_step_batch(
+                [1, 2], [tiny_gqa_model.new_cache()], None
+            )

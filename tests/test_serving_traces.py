@@ -497,3 +497,207 @@ class TestPr1RegressionUnderPool:
         assert len(server.preemption_log) > 0
         assert [o.token_ids for o in outputs] == solo
         assert server.meter.generated_tokens == sum(len(s) for s in solo)
+
+
+def assert_outputs_bit_identical(batched_outputs, sequential_outputs):
+    """Full GenerationOutput equality: tokens, stats and selection history."""
+    assert len(batched_outputs) == len(sequential_outputs)
+    for b, s in zip(batched_outputs, sequential_outputs):
+        assert b.request_id == s.request_id
+        assert b.token_ids == s.token_ids, b.request_id
+        assert b.finish_reason == s.finish_reason
+        sb, ss = b.stats, s.stats
+        assert sb.budget == ss.budget
+        assert sb.bytes_transferred == ss.bytes_transferred
+        assert sb.transfer_reduction == ss.transfer_reduction
+        assert sb.mean_selection_overlap == ss.mean_selection_overlap
+        assert sb.preemptions == ss.preemptions
+        assert sb.swap_bytes == ss.swap_bytes
+        assert sb.prefix_reused_tokens == ss.prefix_reused_tokens
+        assert len(sb.offload_events) == len(ss.offload_events)
+        assert len(sb.result.selections) == len(ss.result.selections)
+        for step_b, step_s in zip(sb.result.selections, ss.result.selections):
+            assert step_b.keys() == step_s.keys()
+            for layer, selection in step_s.items():
+                assert np.array_equal(step_b[layer], selection), (
+                    b.request_id, layer,
+                )
+
+
+class TestBatchedDecodeEquivalence:
+    """The tentpole guarantee: the fused server-wide decode path is
+    bit-identical to the sequential reference for every policy — tokens,
+    selection histories, GenerationStats and prefix-cache reuse — also
+    under forced preemption."""
+
+    def eight_policy_requests(self, tokenizer, max_new_tokens=8):
+        requests = []
+        for i, name in enumerate(ALL_NAMES):
+            prompt, _, _ = make_recall_prompt(
+                tokenizer, np.random.default_rng(700 + i), n_filler=110 + 5 * i
+            )
+            requests.append(GenerationRequest(
+                prompt,
+                sampling=SamplingParams(max_new_tokens=max_new_tokens),
+                policy=name,
+                budget=48 if i % 2 else 64,
+                priority=i % 3,
+            ))
+        return requests
+
+    def run_pair(self, model, tokenizer, requests, trace_seed=11, **overrides):
+        """Replay one seeded trace through a batched and a sequential
+        server; returns (batched_server, sequential_server, outputs)."""
+        servers, outputs = [], []
+        for batched in (True, False):
+            config = pool_config(tokenizer, batched_decode=batched, **overrides)
+            server = SpeContextServer(model, config)
+            trace = poisson_trace(
+                np.random.default_rng(trace_seed),
+                [clone(r) for r in requests],
+                1.5,
+            )
+            outputs.append(replay_trace(server, trace))
+            servers.append(server)
+        return servers[0], servers[1], outputs[0], outputs[1]
+
+    def test_all_policies_bit_identical(self, tiny_gqa_model, tiny_tokenizer):
+        requests = self.eight_policy_requests(tiny_tokenizer)
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model, tiny_tokenizer, requests
+        )
+        assert_outputs_bit_identical(b_out, s_out)
+        assert batched.meter.generated_tokens == sequential.meter.generated_tokens
+        assert [e.token_id for e in batched.pop_stream_events()] == [
+            e.token_id for e in sequential.pop_stream_events()
+        ]
+
+    def test_all_policies_bit_identical_under_forced_preemption(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Pool sized for two prompts plus one spare block: completion
+        requires preemption in both modes; everything still matches."""
+        requests = self.eight_policy_requests(tiny_tokenizer, max_new_tokens=24)
+        pool = SpeContextServer(
+            tiny_gqa_model, pool_config(tiny_tokenizer)
+        ).pool
+        prompt_blocks = max(
+            pool.blocks_for_tokens(r.prompt_len) for r in requests
+        )
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model,
+            tiny_tokenizer,
+            requests,
+            pool_blocks=2 * prompt_blocks + 1,
+        )
+        assert len(batched.preemption_log) > 0
+        assert len(sequential.preemption_log) > 0
+        assert_outputs_bit_identical(b_out, s_out)
+
+    @pytest.mark.parametrize("mode", ["swap", "recompute"])
+    def test_preempt_modes_bit_identical(
+        self, mode, tiny_gqa_model, tiny_tokenizer
+    ):
+        policies = RECOMPUTE_EXACT if mode == "recompute" else ALL_NAMES
+        requests = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 70 + i, 28),
+                SamplingParams(max_new_tokens=14),
+                policy=policies[i % len(policies)],
+            )
+            for i in range(4)
+        ]
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model,
+            tiny_tokenizer,
+            requests,
+            pool_blocks=9,
+            preempt_mode=mode,
+        )
+        assert len(batched.preemption_log) > 0
+        assert_outputs_bit_identical(b_out, s_out)
+
+    def test_prefix_cache_reuse_identical(self, tiny_gqa_model, tiny_tokenizer):
+        prefix = [
+            int(t)
+            for t in tiny_tokenizer.random_filler_ids(
+                np.random.default_rng(42), 48
+            )
+        ]
+        requests = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 800 + i, 20, prefix=prefix),
+                SamplingParams(max_new_tokens=4),
+                policy=ALL_NAMES[i % len(ALL_NAMES)],
+            )
+            for i in range(6)
+        ]
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model, tiny_tokenizer, requests
+        )
+        assert_outputs_bit_identical(b_out, s_out)
+        for server in (batched, sequential):
+            assert server.pool.stats.prefix_hits > 0
+        assert (
+            batched.pool.stats.prefix_blocks_reused
+            == sequential.pool.stats.prefix_blocks_reused
+        )
+        assert (
+            batched.pool.stats.prefill_blocks_allocated
+            == sequential.pool.stats.prefill_blocks_allocated
+        )
+
+    @pytest.mark.parametrize("scheduler", ["fcfs", "priority", "sjf"])
+    def test_same_step_completion_under_pressure_bit_identical(
+        self, scheduler, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Sessions finishing in the very step a peer needs their blocks:
+        the sequential loop frees a finished session's blocks *before* the
+        next session's reservation, so the batched planner must flush its
+        wave rather than preempt a session the reference path would have
+        let finish. Varied generation lengths make completions land on
+        many different pressure steps."""
+        requests = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 60 + i, 26),
+                SamplingParams(max_new_tokens=4 + 5 * i),
+                policy=ALL_NAMES[i % len(ALL_NAMES)],
+                priority=i % 3,
+            )
+            for i in range(6)
+        ]
+        pool = SpeContextServer(
+            tiny_gqa_model, pool_config(tiny_tokenizer)
+        ).pool
+        prompt_blocks = max(
+            pool.blocks_for_tokens(r.prompt_len) for r in requests
+        )
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model,
+            tiny_tokenizer,
+            requests,
+            pool_blocks=2 * prompt_blocks + 1,
+            scheduler=scheduler,
+        )
+        assert_outputs_bit_identical(b_out, s_out)
+        assert [
+            (e.request_id, e.clock, e.blocks_freed, e.kv_bytes)
+            for e in batched.preemption_log
+        ] == [
+            (e.request_id, e.clock, e.blocks_freed, e.kv_bytes)
+            for e in sequential.preemption_log
+        ]
+
+    def test_float32_kv_bit_identical_between_paths(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Reduced-precision KV storage serves faster but never splits the
+        two decode paths apart."""
+        requests = self.eight_policy_requests(tiny_tokenizer, max_new_tokens=6)
+        batched, sequential, b_out, s_out = self.run_pair(
+            tiny_gqa_model, tiny_tokenizer, requests, kv_dtype="float32"
+        )
+        assert_outputs_bit_identical(b_out, s_out)
+
+    def test_batched_default_on(self, tiny_tokenizer):
+        assert EngineConfig(bos_id=tiny_tokenizer.bos_id).batched_decode is True

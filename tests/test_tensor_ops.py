@@ -11,6 +11,7 @@ from repro.tensor import (
     kl_divergence,
     layer_norm,
     linear,
+    linear_rows,
     log_softmax,
     rms_norm,
     silu,
@@ -140,3 +141,77 @@ class TestTopK:
         rest = [scores[i] for i in range(scores.size) if i not in idx]
         if rest:
             assert min(scores[list(idx)]) >= max(rest) - 1e-12
+
+
+class TestSiluOverflowSafety:
+    def test_large_negative_inputs_no_warning(self):
+        """silu must not emit RuntimeWarnings under -W error."""
+        for dtype in (np.float32, np.float64):
+            x = np.array([-1e4, -750.0, -90.0, 0.0, 90.0, 1e4], dtype=dtype)
+            with np.errstate(over="raise", invalid="raise"):
+                out = silu(x)
+            assert np.isfinite(out).all()
+            assert out.dtype == dtype
+            # Limit behaviour: silu(x) -> 0 as x -> -inf, -> x as x -> +inf.
+            assert abs(out[0]) < 1e-30
+            assert out[-1] == x[-1]
+
+    def test_bit_identical_to_naive_form_in_safe_range(self):
+        rng = np.random.default_rng(0)
+        for dtype in (np.float32, np.float64):
+            x = (rng.standard_normal(512) * 20).astype(dtype)
+            naive = x / (1.0 + np.exp(-x))
+            assert (silu(x) == naive).all()
+
+    def test_continuous_across_clip_threshold(self):
+        """No jump where the clipped branch takes over."""
+        for dtype, limit in ((np.float32, 88.0), (np.float64, 709.0)):
+            x = np.linspace(-limit - 5, -limit + 5, 101).astype(dtype)
+            out = silu(x)
+            assert np.isfinite(out).all()
+            assert np.abs(out).max() < 1e-30
+
+
+class TestLinear:
+    def test_bias_none_returns_matmul_directly(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 8))
+        w = rng.standard_normal((5, 8))
+        assert (linear(x, w) == x @ w.T).all()
+
+    def test_bias_applied(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(8)
+        w = rng.standard_normal((5, 8))
+        b = rng.standard_normal(5)
+        np.testing.assert_allclose(linear(x, w, b), (x[None] @ w.T)[0] + b)
+
+    def test_1d_promoted_to_one_row_gemm(self):
+        """1-D inputs reduce like a one-row GEMM (the linear_rows contract)."""
+        rng = np.random.default_rng(3)
+        for dtype in (np.float32, np.float64):
+            x = rng.standard_normal(193).astype(dtype)
+            w = rng.standard_normal((512, 193)).astype(dtype)
+            assert (linear(x, w) == (x[None, :] @ w.T)[0]).all()
+
+
+class TestLinearRows:
+    """The bit-identity contract the batched decode path is built on."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("n,d,m", [(1, 16, 16), (8, 193, 512), (5, 64, 256)])
+    def test_rows_bit_identical_to_linear(self, dtype, n, d, m):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((n, d)).astype(dtype)
+        w = rng.standard_normal((m, d)).astype(dtype)
+        b = rng.standard_normal(m).astype(dtype)
+        fused = linear_rows(x, w)
+        fused_bias = linear_rows(x, w, b)
+        for r in range(n):
+            assert (fused[r] == linear(x[r], w)).all()
+            assert (fused_bias[r] == linear(x[r], w, b)).all()
+
+    def test_shape(self):
+        x = np.zeros((4, 8))
+        w = np.zeros((3, 8))
+        assert linear_rows(x, w).shape == (4, 3)

@@ -109,3 +109,54 @@ class TestYarn:
         d1 = float(np.sum(rope.apply(q, np.array([100])) * rope.apply(k, np.array([90]))))
         d2 = float(np.sum(rope.apply(q, np.array([600])) * rope.apply(k, np.array([590]))))
         assert d1 == pytest.approx(d2, rel=1e-3)
+
+
+class TestTableCache:
+    def test_identical_params_hit_cache_and_share_tables(self):
+        from repro.tensor import clear_rope_table_cache, rope_table_cache_info
+
+        clear_rope_table_cache()
+        a = RotaryEmbedding(dim=32, max_position=256)
+        info = rope_table_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 0
+        b = RotaryEmbedding(dim=32, max_position=256)
+        info = rope_table_cache_info()
+        assert info["hits"] == 1, "second identical construction must hit"
+        # The tables are the same read-only arrays, not copies.
+        assert a._cos is b._cos and a._sin is b._sin
+        assert not a._cos.flags.writeable
+
+    def test_distinct_params_are_distinct_entries(self):
+        from repro.tensor import clear_rope_table_cache, rope_table_cache_info
+
+        clear_rope_table_cache()
+        RotaryEmbedding(dim=32, max_position=256)
+        RotaryEmbedding(dim=32, max_position=512)
+        RotaryEmbedding(dim=32, max_position=256, base=500000.0)
+        RotaryEmbedding(
+            dim=32,
+            max_position=256,
+            yarn=YarnConfig(original_max_position=128, scaling_factor=2.0),
+        )
+        RotaryEmbedding(dim=32, max_position=256, dtype=np.float64)
+        assert rope_table_cache_info()["misses"] == 5
+        assert rope_table_cache_info()["hits"] == 0
+
+    def test_cached_tables_bit_identical_to_fresh_build(self):
+        from repro.tensor import clear_rope_table_cache
+
+        clear_rope_table_cache()
+        first = RotaryEmbedding(dim=16, max_position=64)
+        clear_rope_table_cache()
+        rebuilt = RotaryEmbedding(dim=16, max_position=64)
+        assert (first._cos == rebuilt._cos).all()
+        assert (first._sin == rebuilt._sin).all()
+
+    def test_decode_loop_reuses_tables(self):
+        """Per-request head construction (the serving pattern) stays warm."""
+        from repro.tensor import clear_rope_table_cache, rope_table_cache_info
+
+        clear_rope_table_cache()
+        for _ in range(8):
+            RotaryEmbedding(dim=64, max_position=2048)
+        assert rope_table_cache_info() == {"hits": 7, "misses": 1}
