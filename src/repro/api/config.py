@@ -96,6 +96,25 @@ class EngineConfig:
             the stored values are unchanged — what production engines do
             with FP16 KV). Applies equally to both decode paths, which
             stay bit-identical to each other at either precision.
+        prefill_chunk_tokens: split every prompt prefill into chunks of at
+            most this many tokens, streamed in across server steps so one
+            long-prompt arrival can no longer freeze the decode wave for
+            its whole prefill (head-of-line blocking). A token's KV
+            depends only on the tokens before it, so chunked prefill is
+            bit-identical to the monolithic default (None). Full prompt
+            blocks are prefix-published as chunks complete, so later
+            requests can hit blocks of a still-prefilling peer.
+        max_step_tokens: per-step token budget shared by the decode wave
+            and prefill chunks. Each step reserves one token per ready
+            (decoding) session, then spends the remainder on prefill
+            chunks in scheduler admission order. The budget bounds
+            *prefill* work; decode tokens are never dropped, so a session
+            whose final chunk lands mid-step decodes in that same step
+            (matching monolithic admission semantics) and may push the
+            step's total a few tokens past the budget. None (default)
+            schedules one chunk per prefilling session per step instead
+            of a global budget. Requires ``prefill_chunk_tokens`` (a
+            monolithic prefill cannot be budgeted).
         sparse_from_first_token: decode the final prompt token as the first
             policy-governed step (SpeContext's dataflow).
         requests: request multiplier for the theoretical memory model.
@@ -122,6 +141,8 @@ class EngineConfig:
     scheduler: str = "fcfs"
     batched_decode: bool = True
     kv_dtype: str = "float64"
+    prefill_chunk_tokens: int | None = None
+    max_step_tokens: int | None = None
     sparse_from_first_token: bool = True
     requests: int = 1
     dlm_bytes: int | None = None
@@ -157,3 +178,20 @@ class EngineConfig:
             raise ValueError(
                 f"kv_dtype must be 'float32' or 'float64', got {self.kv_dtype!r}"
             )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ValueError(
+                f"prefill_chunk_tokens must be >= 1 or None, "
+                f"got {self.prefill_chunk_tokens}"
+            )
+        if self.max_step_tokens is not None:
+            if self.max_step_tokens < 1:
+                raise ValueError(
+                    f"max_step_tokens must be >= 1 or None, "
+                    f"got {self.max_step_tokens}"
+                )
+            if self.prefill_chunk_tokens is None:
+                raise ValueError(
+                    "max_step_tokens requires prefill_chunk_tokens: a "
+                    "monolithic prefill runs inline at admission and "
+                    "cannot be budgeted per step"
+                )

@@ -271,7 +271,11 @@ class PagedKVPool:
     # ---- prefix cache ----------------------------------------------------------
 
     def publish_prefix(
-        self, token_ids: np.ndarray, table: BlockTable, n_full_blocks: int
+        self,
+        token_ids: np.ndarray,
+        table: BlockTable,
+        n_full_blocks: int,
+        start_block: int = 0,
     ) -> int:
         """Publish a sequence's first ``n_full_blocks`` blocks for reuse.
 
@@ -280,9 +284,14 @@ class PagedKVPool:
         Blocks whose key is already cached are skipped. The block payloads
         must have been attached (via :meth:`write_block`) by the caller.
         Returns the number of newly published blocks.
+
+        ``start_block`` skips blocks below that logical index entirely —
+        chunked prefill publishes incrementally as chunks complete, and a
+        session resuming after preemption must not re-publish its earlier
+        blocks (its fresh table slots there carry no payload).
         """
         published = 0
-        for i in range(min(n_full_blocks, len(table.block_ids))):
+        for i in range(start_block, min(n_full_blocks, len(table.block_ids))):
             key = hash_token_prefix(token_ids, (i + 1) * self.block_size)
             if key in self._prefix_index:
                 # Refresh LRU position.

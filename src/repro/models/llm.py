@@ -120,6 +120,31 @@ class TransformerLM:
             x = layer.prefill(x, positions, cache[i])
         return self.logits_from_hidden(x[-1])
 
+    def prefill_chunked(
+        self, token_ids: np.ndarray, cache: ModelKVCache, chunk_tokens: int
+    ) -> np.ndarray:
+        """Prefill in fixed-size chunks; returns the last token's logits.
+
+        Each chunk attends causally over the cache built by its
+        predecessors, so it computes the same math as a one-shot
+        :meth:`prefill` — a token's KV depends only on the tokens before
+        it. Values agree to the last ulp of the float32 projections
+        (chunk boundaries shift BLAS GEMM blocking, as with the prefix
+        cache's resumed prefill), and the generated *token streams* are
+        bit-identical — the serving suite pins this for every policy.
+        This is the model-level primitive behind the server's chunked
+        prefill, which interleaves chunks with other sessions' decodes.
+        """
+        token_ids = np.asarray(token_ids)
+        if token_ids.ndim != 1 or token_ids.size == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        if chunk_tokens < 1:
+            raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
+        logits = None
+        for start in range(0, token_ids.size, chunk_tokens):
+            logits = self.prefill(token_ids[start : start + chunk_tokens], cache)
+        return logits
+
     def decode_step(
         self,
         token_id: int,

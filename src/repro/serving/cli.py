@@ -86,6 +86,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kv-dtype", default="float64",
                         choices=("float32", "float64"),
                         help="KV cache storage precision")
+    parser.add_argument("--prefill-chunk-tokens", type=int, default=None,
+                        help="stream each prompt's prefill in chunks of at "
+                        "most this many tokens instead of one inline "
+                        "prefill at admission (kills head-of-line "
+                        "blocking; bit-identical tokens)")
+    parser.add_argument("--max-step-tokens", type=int, default=None,
+                        help="per-step token budget shared by the decode "
+                        "wave and prefill chunks (requires "
+                        "--prefill-chunk-tokens)")
     args = parser.parse_args(argv)
 
     try:
@@ -117,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
                 scheduler=scheduler,
                 batched_decode=not args.sequential_decode,
                 kv_dtype=args.kv_dtype,
+                prefill_chunk_tokens=args.prefill_chunk_tokens,
+                max_step_tokens=args.max_step_tokens,
             ),
         )
     except ValueError as err:
@@ -130,6 +141,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{scheduler} scheduling  |  "
         f"{'sequential' if args.sequential_decode else 'batched'} decode, "
         f"{args.kv_dtype} KV"
+        + (
+            f"  |  chunked prefill ({args.prefill_chunk_tokens} tokens"
+            + (
+                f", {args.max_step_tokens}-token step budget"
+                if args.max_step_tokens is not None
+                else ""
+            )
+            + ")"
+            if args.prefill_chunk_tokens is not None
+            else ""
+        )
     )
 
     for i in range(args.requests):
@@ -174,7 +196,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\nmeter: {len(meter.finished)} finished, "
         f"{meter.generated_tokens} tokens over {meter.makespan_s:.0f} steps "
-        f"({meter.tokens_per_second:.2f} tokens/step)"
+        f"({meter.tokens_per_second:.2f} tokens/step, "
+        f"{meter.busy_tokens_per_second:.2f} busy)"
+    )
+    print(
+        f"latency: ttft p50 {meter.ttft_percentile(50):.0f} / "
+        f"p95 {meter.ttft_percentile(95):.0f} steps, queueing delay "
+        f"p95 {meter.queueing_delay_percentile(95):.0f} steps"
     )
     print(
         f"pool: {stats.allocated} blocks allocated "

@@ -25,7 +25,15 @@ from typing import Callable, Protocol
 
 
 class SchedulableSession(Protocol):
-    """What a scheduler may inspect about a session (duck-typed)."""
+    """What a scheduler may inspect about a session (duck-typed).
+
+    ``admission_key`` also orders the chunked-prefill phase's token-budget
+    spending across still-prefilling sessions (``sjf`` lets a short
+    prompt's chunks slip past a long prefill; ``fcfs`` keeps strict
+    arrival order). ``prefill_done``/``prefill_pos`` expose the chunk
+    cursor so custom policies can rank victims by work completed — a
+    mid-prefill session loses the least progress when preempted.
+    """
 
     @property
     def request_id(self) -> int: ...
@@ -38,6 +46,12 @@ class SchedulableSession(Protocol):
 
     @property
     def arrival_s(self) -> float: ...
+
+    @property
+    def prefill_done(self) -> bool: ...
+
+    @property
+    def prefill_pos(self) -> int: ...
 
 
 class SchedulerPolicy:

@@ -24,6 +24,9 @@ class Request:
         in_len: prompt length in tokens.
         out_len: tokens to generate.
         arrival_s: arrival time on the serving clock.
+        first_token_s: clock time the first generated token was emitted;
+            None when the serving layer did not record it (legacy
+            records, synthetic simulator requests).
     """
 
     request_id: int
@@ -33,6 +36,7 @@ class Request:
     state: RequestState = RequestState.QUEUED
     start_s: float = field(default=0.0)
     finish_s: float = field(default=0.0)
+    first_token_s: float | None = field(default=None)
 
     def __post_init__(self):
         if self.in_len < 1 or self.out_len < 1:
@@ -44,6 +48,18 @@ class Request:
         if self.state is not RequestState.FINISHED:
             raise RuntimeError(f"request {self.request_id} not finished")
         return self.finish_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Time to first token (arrival -> first emitted token), if recorded."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Time spent waiting before first activation (arrival -> start)."""
+        return self.start_s - self.arrival_s
 
     @property
     def total_tokens(self) -> int:

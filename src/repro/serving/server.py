@@ -19,8 +19,18 @@ with the memory discipline of a production engine:
   prompt (``preempt_mode="recompute"``). Both modes resume with
   bit-identical token streams for deterministic policies; swap is exact
   for every policy (the cache object is restored as-is);
+- with ``prefill_chunk_tokens`` set, prompt prefill is **chunked**: an
+  admitted session enters a ``PREFILLING`` state and its prompt streams
+  in over several steps under a per-step token budget
+  (``max_step_tokens``) shared with the decode wave, so one long-prompt
+  arrival no longer freezes every active decode for its whole prefill.
+  Chunking is bit-identical to monolithic prefill (a token's KV depends
+  only on its predecessors — the same argument behind the prefix cache),
+  full prompt blocks are prefix-published as chunks complete (a later
+  request can hit blocks of a still-prefilling peer), and mid-prefill
+  preemption resumes at the correct chunk in both preempt modes;
 - ``step`` admits, ensures capacity, then runs **one decode step for every
-  active session** — continuous batching at step granularity — and emits
+  ready session** — continuous batching at step granularity — and emits
   per-token :class:`StreamEvent`s drainable via :meth:`pop_stream_events`.
   With ``batched_decode`` (default) the sessions' forward passes are fused
   into one server-wide batch (stacked hidden states, row-batched GEMMs,
@@ -84,6 +94,7 @@ class PreemptionEvent:
 
 class _SessionState:
     FRESH = "fresh"  # never prefilled
+    PREFILLING = "prefilling"  # active, prompt streaming in chunk by chunk
     READY = "ready"  # active (or finished)
     SWAPPED = "swapped"  # preempted, cache stashed host-side
     RECOMPUTE = "recompute"  # preempted, cache dropped; replay on resume
@@ -101,6 +112,7 @@ class _Session:
     result: DecodeResult
     arrival_s: float
     start_s: float = 0.0
+    first_token_s: float | None = None
     pending: int | None = None  # next token to decode
     prefill_token: int | None = None  # step-0 token from full-prompt prefill
     steps_taken: int = 0
@@ -111,6 +123,17 @@ class _Session:
     preemptions: int = 0
     swap_bytes: int = 0
     prefix_reused_tokens: int = 0
+    # ---- chunked-prefill cursor ----
+    # prefill_pos counts prefill-input tokens whose KV is in the cache
+    # (prefix-cache reuse included); prefill_started flips at the first
+    # chunk (policy reset + prefix acquisition happen there); replaying
+    # marks a recompute-resume that must not touch the sampler, the
+    # prefix cache or the prefill-block stats (mirroring _replay).
+    prefill_pos: int = 0
+    prefill_started: bool = False
+    prefill_done: bool = False
+    published_blocks: int = 0  # full prompt blocks already prefix-published
+    replaying: bool = False
 
     @property
     def request_id(self) -> int:
@@ -131,7 +154,26 @@ class _Session:
 
     @property
     def current_len(self) -> int:
-        """KV footprint in tokens: full prompt plus generated tokens."""
+        """KV footprint in tokens.
+
+        Mid-prefill that is the chunk cursor (only ``prefill_pos`` prompt
+        tokens are resident); once prefill completes it is the full
+        prompt plus generated tokens, exactly the monolithic accounting.
+        """
+        if not self.prefill_done:
+            return self.prefill_pos
+        return self.request.prompt_len + len(self.result.token_ids)
+
+    @property
+    def projected_len(self) -> int:
+        """Footprint once prefill lands: prompt plus generated tokens.
+
+        Admission projections must charge a still-prefilling session its
+        whole prompt (the blocks it is guaranteed to claim), not the
+        partial cursor — otherwise chunked mode would over-admit relative
+        to the monolithic server, whose active sessions always hold their
+        full prompt.
+        """
         return self.request.prompt_len + len(self.result.token_ids)
 
     @property
@@ -176,6 +218,7 @@ class SpeContextServer:
         self._preemption_log: list[PreemptionEvent] = []
         self._next_id = 0
         self._clock = 0.0
+        self._step_prefill_tokens = 0
 
     def _pool_blocks(self) -> int:
         """Pool capacity in blocks.
@@ -245,9 +288,18 @@ class SpeContextServer:
                 f"request_id {request.request_id} already used; ids must be "
                 "unique and increasing"
             )
-        peak_blocks = self.pool.blocks_for_tokens(
-            request.prompt_len + request.sampling.max_new_tokens
-        )
+        peak_tokens = request.prompt_len + request.sampling.max_new_tokens
+        if peak_tokens > self.model.config.max_position:
+            # Without this check the request is admitted and decodes past
+            # the cached RoPE table instead of failing at submission.
+            raise ValueError(
+                f"request needs up to {peak_tokens} positions (prompt "
+                f"{request.prompt_len} + max_new_tokens "
+                f"{request.sampling.max_new_tokens}) but the model's "
+                f"max_position is {self.model.config.max_position}; shrink "
+                "the prompt or max_new_tokens"
+            )
+        peak_blocks = self.pool.blocks_for_tokens(peak_tokens)
         if peak_blocks > self.pool.capacity:
             raise ValueError(
                 f"request needs up to {peak_blocks} KV blocks but the pool "
@@ -375,16 +427,37 @@ class SpeContextServer:
         self._stream = []
         return events
 
-    def step(self) -> list[GenerationOutput]:
-        """Admit, ensure pool capacity, one decode step per active session.
+    @property
+    def last_step_prefill_tokens(self) -> int:
+        """Prompt tokens computed by the most recent ``step``.
 
-        With ``batched_decode`` (the default) the active sessions' forward
+        Counts real prefill forward-pass tokens (chunked or monolithic,
+        including recompute replays), not prefix-cache reuse — the number
+        the benchmark's per-step token-budget accounting reads.
+        """
+        return self._step_prefill_tokens
+
+    def step(self) -> list[GenerationOutput]:
+        """Admit, run prefill work, one decode step per ready session.
+
+        With ``prefill_chunk_tokens`` unset (the default), admission runs
+        each prompt's entire prefill inline — the monolithic reference.
+        With it set, admitted sessions enter a ``PREFILLING`` state and
+        the step spends a token budget on prefill chunks *alongside* the
+        decode wave, so long prompts stream in over several steps while
+        decodes keep ticking (no head-of-line blocking). Chunking never
+        changes tokens: a token's KV depends only on its predecessors, so
+        chunked prefill is bit-identical to monolithic prefill.
+
+        With ``batched_decode`` (the default) the ready sessions' forward
         passes are fused into one server-wide batch; otherwise each session
         runs its own batch=1 pass. Both paths produce bit-identical token
         streams and selection histories. Returns the requests that finished
         during this step.
         """
+        self._step_prefill_tokens = 0
         self._admit()
+        self._prefill_phase()
         if self.config.batched_decode:
             finished = self._step_batched()
         else:
@@ -398,6 +471,8 @@ class SpeContextServer:
         for session in list(self._active):
             if session not in self._active:
                 continue  # preempted this step to make room for a peer
+            if session.state != _SessionState.READY:
+                continue  # still prefilling; no token to decode yet
             self._ensure_decode_capacity(session)
             self._decode_one(session)
             if session.done:
@@ -428,6 +503,8 @@ class SpeContextServer:
         for session in list(self._active):
             if session not in self._active:
                 continue  # preempted this step to make room for a peer
+            if session.state != _SessionState.READY:
+                continue  # still prefilling; no token to decode yet
             needed = self.pool.blocks_for_tokens(session.current_len + 1) - len(
                 session.block_table
             )
@@ -511,26 +588,63 @@ class SpeContextServer:
         budget (its KV grows to ``prompt + max_new_tokens`` if it runs to
         length), and the pool must be able to produce the candidate's
         prompt blocks from free or cache-evictable blocks without
-        preempting an active session.
+        preempting an active session. Still-prefilling sessions are
+        charged their whole prompt — including the blocks their remaining
+        chunks have not claimed yet — so chunked mode admits exactly what
+        the monolithic server (whose actives always hold their full
+        prompt) would.
         """
         projected = (
-            sum(s.current_len for s in self._active)
+            sum(s.projected_len for s in self._active)
             + session.prompt_len
             + session.sampling.max_new_tokens
         )
         if not self.manager.admits(projected):
             return False
-        needed = self.pool.blocks_for_tokens(session.current_len)
-        return self.pool.can_allocate(needed)
+        needed = self.pool.blocks_for_tokens(session.projected_len)
+        reserved = sum(
+            max(
+                0,
+                self.pool.blocks_for_tokens(s.projected_len)
+                - len(s.block_table),
+            )
+            for s in self._active
+            if not s.prefill_done
+        )
+        return self.pool.can_allocate(needed + reserved)
 
     def _activate(self, session: _Session) -> None:
+        chunked = self.config.prefill_chunk_tokens is not None
         if session.state == _SessionState.FRESH:
             session.start_s = self._clock
+            if chunked:
+                # Prefill is deferred to this step's budgeted prefill
+                # phase; the session joins the active set with an empty
+                # cache and a chunk cursor at zero.
+                session.state = _SessionState.PREFILLING
+                self._active.append(session)
+                return
             self._prefill(session)
         elif session.state == _SessionState.SWAPPED:
             # Cache restored from the host stash as-is; charge the h2d leg.
             session.swap_bytes += session.cache.nbytes()
+            if not session.prefill_done:
+                # Preempted mid-prefill: the stash holds prefill_pos
+                # tokens of KV; re-claim their blocks and keep chunking.
+                session.state = _SessionState.PREFILLING
+                self._active.append(session)
+                self._extend_blocks(session, session.current_len)
+                self._advance_memory(session)
+                return
         elif session.state == _SessionState.RECOMPUTE:
+            if chunked:
+                # Rebuild through the budgeted chunk path instead of an
+                # inline monolithic replay — a recompute-resume is the
+                # same head-of-line hazard as a fresh long prompt.
+                self._begin_rebuild(session)
+                session.state = _SessionState.PREFILLING
+                self._active.append(session)
+                return
             self._replay(session)
         session.state = _SessionState.READY
         self._active.append(session)
@@ -601,6 +715,171 @@ class SpeContextServer:
             )
         )
 
+    # ---- chunked prefill -------------------------------------------------------
+
+    def _prefill_phase(self) -> None:
+        """Spend this step's token budget on prefill chunks.
+
+        Ready sessions reserve one budget token each for the decode wave;
+        the remainder goes to still-prefilling sessions in the scheduler's
+        admission order (``sjf`` lets short prompts slip past a long
+        prefill, ``fcfs`` keeps strict arrival order). With no
+        ``max_step_tokens`` every prefilling session advances one chunk
+        per step. Sessions whose prefill completes here join this step's
+        decode wave — exactly when the monolithic path would have decoded
+        them.
+        """
+        if self.config.prefill_chunk_tokens is None:
+            return
+        chunk = self.config.prefill_chunk_tokens
+        budget = self.config.max_step_tokens
+        if budget is not None:
+            budget -= sum(
+                1 for s in self._active if s.state == _SessionState.READY
+            )
+        prefilling = sorted(
+            (s for s in self._active if s.state == _SessionState.PREFILLING),
+            key=self.scheduler.admission_key,
+        )
+        for session in prefilling:
+            while (
+                session in self._active
+                and session.state == _SessionState.PREFILLING
+            ):
+                take = chunk if budget is None else min(chunk, budget)
+                if take <= 0:
+                    return  # budget exhausted; decoders run, prefill waits
+                consumed = self._prefill_chunk(session, take)
+                if budget is None:
+                    break  # unbudgeted: one chunk per session per step
+                budget -= consumed
+
+    def _prefill_chunk(self, session: _Session, max_tokens: int) -> int:
+        """Advance one session's prefill by at most ``max_tokens`` tokens.
+
+        The first chunk resets the policy and acquires any cached prefix
+        (deferred from activation so a peer publishing blocks in the
+        meantime is still hit); every chunk claims the pool blocks its KV
+        lands in and publishes newly completed full prompt blocks, so a
+        later request can reuse blocks of this *still-prefilling*
+        session. Returns the number of prompt tokens computed.
+        """
+        prompt = session.request.prompt_ids
+        sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
+        prefill_ids = prompt[:-1] if sparse_first else prompt
+        policy = session.policy
+        if not session.prefill_started:
+            session.prefill_started = True
+            if policy is not None and hasattr(policy, "reset"):
+                policy.reset()
+            if not session.replaying:
+                reused = self._acquire_prefix(session, prompt, prefill_ids.size)
+                session.prefill_pos = reused
+                session.published_blocks = reused // self.pool.block_size
+        take = min(max_tokens, int(prefill_ids.size) - session.prefill_pos)
+        segment = prefill_ids[session.prefill_pos : session.prefill_pos + take]
+        logits = self.model.prefill(segment, session.cache)
+        session.prefill_pos += take
+        self._step_prefill_tokens += take
+        self._extend_blocks(
+            session, session.prefill_pos, prefill=not session.replaying
+        )
+        self._publish_chunk_blocks(session, prompt, int(prefill_ids.size))
+        if session.prefill_pos >= prefill_ids.size:
+            self._finish_prefill(session, logits, sparse_first, prefill_ids)
+        else:
+            self._advance_memory(session)
+        return take
+
+    def _publish_chunk_blocks(
+        self, session: _Session, prompt: np.ndarray, prefill_len: int
+    ) -> None:
+        """Publish prompt blocks completed by the latest chunk."""
+        if not self.config.enable_prefix_cache or session.replaying:
+            return
+        n_full = min(session.prefill_pos, prefill_len) // self.pool.block_size
+        self._write_and_publish_blocks(
+            session, prompt, session.published_blocks, n_full
+        )
+        session.published_blocks = n_full
+
+    def _write_and_publish_blocks(
+        self, session: _Session, prompt: np.ndarray, start: int, n_full: int
+    ) -> None:
+        """Attach payloads for table blocks [start, n_full) and publish.
+
+        The one place prompt KV is sliced out of the dense cache into
+        pool blocks — shared by monolithic prefill (one call for the
+        whole prompt) and chunked prefill (one call per chunk, resumed
+        publications passing the cursor as ``start``).
+        """
+        if n_full <= start:
+            return
+        block = self.pool.block_size
+        for i in range(start, n_full):
+            payload = [
+                (
+                    layer.keys[:, :, i * block : (i + 1) * block, :],
+                    layer.values[:, :, i * block : (i + 1) * block, :],
+                )
+                for layer in session.cache.layers
+            ]
+            self.pool.write_block(session.block_table, i, payload)
+        self.pool.publish_prefix(
+            prompt, session.block_table, n_full, start_block=start
+        )
+
+    def _finish_prefill(
+        self,
+        session: _Session,
+        logits: np.ndarray,
+        sparse_first: bool,
+        prefill_ids: np.ndarray,
+    ) -> None:
+        """Last chunk landed: arm the session for decoding this step."""
+        was_replaying = session.replaying
+        policy = session.policy
+        if policy is not None:
+            policy.begin_generation(prefill_ids, session.cache)
+        if sparse_first:
+            session.pending = int(session.request.prompt_ids[-1])
+        elif not was_replaying:
+            # A replay keeps its original prefill_token: the sampler (and
+            # the request rng stream) must not be consulted twice.
+            session.prefill_token = self._sample(session, logits)
+        session.prefill_done = True
+        session.state = _SessionState.READY
+        if was_replaying:
+            self._replay_decodes(session)
+            session.replaying = False
+        self._extend_blocks(
+            session, session.current_len, prefill=not was_replaying
+        )
+        self._advance_memory(session)
+
+    def _begin_rebuild(self, session: _Session) -> None:
+        """Route a recompute-preempted session back through chunked prefill.
+
+        Mirrors ``_replay``'s contract: fresh cache and table, no prefix
+        acquisition or publication, no prefill-block stats, and — when
+        the session had sampled progress — a forced decode replay at
+        completion that never consults the sampler. A victim with no
+        sampled progress (preempted mid-prefill, or a sparse-first
+        session before its first step) restarts as a fresh prefill
+        instead, which *is* allowed to hit the prefix cache: nothing was
+        drawn from its rng, so the restart is exact either way.
+        """
+        session.cache = self.model.new_cache(dtype=np.dtype(self.config.kv_dtype))
+        session.block_table = BlockTable()
+        session.prefill_pos = 0
+        session.prefill_started = False
+        session.prefill_done = False
+        session.replaying = (
+            session.prefill_token is not None or session.steps_taken > 0
+        )
+        if not session.replaying:
+            session.pending = None
+
     # ---- prefill / replay ------------------------------------------------------
 
     def _prefill(self, session: _Session) -> None:
@@ -620,8 +899,10 @@ class SpeContextServer:
             policy.reset()
         sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
         prefill_ids = prompt[:-1] if sparse_first else prompt
+        session.prefill_started = True
         reused = self._acquire_prefix(session, prompt, prefill_ids.size)
         remaining = prefill_ids[reused:]
+        self._step_prefill_tokens += int(remaining.size)
         if sparse_first:
             self.model.prefill(remaining, session.cache)
             if policy is not None:
@@ -632,7 +913,10 @@ class SpeContextServer:
             if policy is not None:
                 policy.begin_generation(prefill_ids, session.cache)
             session.prefill_token = self._sample(session, logits)
+        session.prefill_pos = int(prefill_ids.size)
+        session.prefill_done = True
         self._publish_prefix(session, prompt, prefill_ids.size)
+        session.published_blocks = prefill_ids.size // self.pool.block_size
 
     def _acquire_prefix(
         self, session: _Session, prompt: np.ndarray, prefill_len: int
@@ -669,19 +953,9 @@ class SpeContextServer:
         self._extend_blocks(session, session.current_len, prefill=True)
         if not self.config.enable_prefix_cache:
             return
-        block = self.pool.block_size
-        n_full = prefill_len // block
-        reused_blocks = session.prefix_reused_tokens // block
-        for i in range(reused_blocks, n_full):
-            payload = [
-                (
-                    layer.keys[:, :, i * block : (i + 1) * block, :],
-                    layer.values[:, :, i * block : (i + 1) * block, :],
-                )
-                for layer in session.cache.layers
-            ]
-            self.pool.write_block(session.block_table, i, payload)
-        self.pool.publish_prefix(prompt, session.block_table, n_full)
+        n_full = prefill_len // self.pool.block_size
+        reused = session.prefix_reused_tokens // self.pool.block_size
+        self._write_and_publish_blocks(session, prompt, reused, n_full)
 
     def _replay(self, session: _Session) -> None:
         """Rebuild a recompute-preempted session's cache and policy state.
@@ -701,8 +975,23 @@ class SpeContextServer:
         sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
         prefill_ids = prompt[:-1] if sparse_first else prompt
         self.model.prefill(prefill_ids, session.cache)
+        self._step_prefill_tokens += int(prefill_ids.size)
         if policy is not None:
             policy.begin_generation(prefill_ids, session.cache)
+        session.prefill_pos = int(prefill_ids.size)
+        session.prefill_done = True
+        self._replay_decodes(session)
+
+    def _replay_decodes(self, session: _Session) -> None:
+        """Replay every already-generated token as a *forced* decode step.
+
+        The sampler is never consulted, so the request RNG stream is
+        untouched and the continuation is bit-identical for policies
+        whose state is a deterministic function of the replayed inputs.
+        """
+        prompt = session.request.prompt_ids
+        policy = session.policy
+        sparse_first = self.config.sparse_from_first_token and prompt.size >= 2
         session.result.selections.clear()
         pending: int | None = int(prompt[-1]) if sparse_first else None
         for step, token in enumerate(session.result.token_ids):
@@ -742,6 +1031,8 @@ class SpeContextServer:
         """Record one generated token: stats, stop conditions, streaming."""
         session.steps_taken += 1
         session.result.token_ids.append(token)
+        if session.first_token_s is None:
+            session.first_token_s = self._clock + 1.0  # emitted at step's end
         self._advance_memory(session)
         if token in session.sampling.stop_ids:
             session.result.stopped_by_eos = True
@@ -849,4 +1140,5 @@ class SpeContextServer:
         record.state = RequestState.FINISHED
         record.start_s = session.start_s
         record.finish_s = self._clock + 1.0  # this step completes at clock+1
+        record.first_token_s = session.first_token_s
         self.meter.record(record)

@@ -349,6 +349,17 @@ class TestEngineBackCompat:
         )
         assert stats.text_token_ids == direct.token_ids
 
+    def test_engine_rejects_request_past_max_position(
+        self, engine, tiny_tokenizer
+    ):
+        """Regression: the one-shot engine path must also reject a
+        generation that would decode past the cached RoPE table."""
+        rng = np.random.default_rng(14)
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=120)
+        max_position = engine.model.config.max_position
+        with pytest.raises(ValueError, match="max_position"):
+            engine.generate(prompt, max_new_tokens=max_position)
+
     def test_policy_reused_across_calls(self, engine, tiny_tokenizer):
         """The satellite: one policy object serves every generate() call."""
         policy_before = engine.policy

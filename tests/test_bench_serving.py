@@ -21,7 +21,11 @@ class TestBenchServing:
         out = tmp_path / "BENCH_serving.json"
         rc = bench_serving.main([
             "--sessions", "3", "--prompt-len", "24", "--max-new-tokens", "6",
-            "--layers", "2", "--repeats", "1", "--out", str(out), *extra,
+            "--layers", "2", "--repeats", "1",
+            "--short-sessions", "4", "--short-max-new", "6",
+            "--long-prompt-len", "96", "--prefill-chunk-tokens", "16",
+            "--max-step-tokens", "24",
+            "--out", str(out), *extra,
         ])
         return rc, out
 
@@ -38,13 +42,43 @@ class TestBenchServing:
             assert entry["tokens_per_s"] > 0
             assert entry["decode_tokens_per_s"] > 0
             assert set(entry["step_latency_ms"]) == {"mean", "p50", "p95"}
+            assert set(entry["ttft_ms"]) == {"mean", "p50", "p95"}
+            assert entry["ttft_ms"]["p95"] >= entry["ttft_ms"]["p50"] > 0
+            assert set(entry["queueing_delay_steps"]) == {"mean", "p50", "p95"}
+            assert entry["busy_tokens_per_step"] >= entry["tokens_per_step"] > 0
             assert "token_streams" not in entry  # raw streams stay out
         assert "speedup" in capsys.readouterr().out
+
+    def test_chunked_prefill_section_schema(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        section = json.loads(out.read_text())["chunked_prefill"]
+        assert section["streams_identical"] is True
+        assert section["ttft_p95_gain"] > 0
+        assert section["decode_step_p95_gain"] > 0
+        assert section["workload"]["prefill_chunk_tokens"] == 16
+        for mode in ("monolithic", "chunked"):
+            entry = section[mode]
+            assert entry["generated_tokens"] > 0
+            assert set(entry["decode_step_latency_ms"]) == {"p50", "p95"}
+            assert entry["ttft_ms"]["p95"] > 0
+            assert set(entry["step_tokens"]) == {"budget", "mean", "max"}
+            assert "token_streams" not in entry
+        # The token budget is enforced step by step in chunked mode only:
+        # monolithic admission computes a whole prompt inline.
+        assert section["chunked"]["step_tokens"]["budget"] == 24
+        assert section["monolithic"]["step_tokens"]["max"] > 24
+        assert "chunked prefill" in capsys.readouterr().out
 
     def test_min_speedup_gate_fails_when_unmet(self, tmp_path, capsys):
         rc, _ = self.run_bench(tmp_path, extra=("--min-speedup", "1e9"))
         assert rc == 1
         assert "below required" in capsys.readouterr().err
+
+    def test_min_ttft_gain_gate_fails_when_unmet(self, tmp_path, capsys):
+        rc, _ = self.run_bench(tmp_path, extra=("--min-ttft-gain", "1e9"))
+        assert rc == 1
+        assert "TTFT" in capsys.readouterr().err
 
     def test_unknown_policy_rejected(self, tmp_path, capsys):
         rc = bench_serving.main(["--policy", "nope", "--out", str(tmp_path / "x")])

@@ -1,0 +1,436 @@
+"""Chunked prefill bit-identity suite.
+
+The tentpole guarantee: splitting a prompt's prefill into budgeted chunks
+interleaved with the decode wave NEVER changes what is generated. A
+token's KV depends only on the tokens before it (the same argument behind
+the prefix cache), so for every policy, chunk size and step budget the
+chunked server's tokens, selection histories and transfer stats must
+equal the monolithic reference exactly — including with prefix-cache hits
+landing mid-chunk, preemption striking mid-prefill (swap and recompute),
+and the fused batched decode path on top.
+
+With ``prefill_chunk_tokens >= prompt`` and no step budget the chunked
+scheduler degenerates to the monolithic one step for step, so there the
+*entire* observable state is pinned: preemption log, offload events,
+meter timestamps and the clock itself.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, GenerationRequest, SamplingParams
+from repro.serving import SpeContextServer, poisson_trace, replay_trace
+from repro.serving.trace import solo_token_streams
+from tests.test_serving_traces import (
+    ALL_NAMES,
+    assert_outputs_bit_identical,
+    clone,
+    filler_prompt,
+    pool_config,
+)
+
+warnings.filterwarnings("ignore", message="One of the clusters is empty")
+
+# (prefill_chunk_tokens, max_step_tokens): exactly one pool block, an odd
+# size that never aligns with block or prompt boundaries, a budgeted odd
+# size, and a chunk covering any whole prompt (degenerates to monolithic).
+CHUNK_GRID = [
+    pytest.param(8, None, id="one-block"),
+    pytest.param(7, None, id="odd"),
+    pytest.param(13, 24, id="odd-budgeted"),
+    pytest.param(10_000, None, id="ge-prompt"),
+]
+
+
+def eight_policy_requests(tokenizer, max_new_tokens=6):
+    return [
+        GenerationRequest(
+            filler_prompt(tokenizer, 900 + i, 26 + 3 * i),
+            sampling=SamplingParams(max_new_tokens=max_new_tokens),
+            policy=name,
+            budget=48 if i % 2 else 64,
+            priority=i % 3,
+        )
+        for i, name in enumerate(ALL_NAMES)
+    ]
+
+
+def run_trace(model, tokenizer, requests, trace_seed=11, **overrides):
+    config = pool_config(tokenizer, **overrides)
+    server = SpeContextServer(model, config)
+    trace = poisson_trace(
+        np.random.default_rng(trace_seed), [clone(r) for r in requests], 1.5
+    )
+    outputs = replay_trace(server, trace)
+    return server, outputs
+
+
+def assert_generation_identical(chunked_outputs, mono_outputs):
+    """Schedule-independent equality: everything a client can observe
+    about *what was generated* — tokens, stop reasons, selection
+    histories and the transfer accounting derived from them. Timing-
+    dependent stats (preemptions, offload events, prefix reuse) may
+    legitimately differ when chunking stretches prefill across steps."""
+    assert len(chunked_outputs) == len(mono_outputs)
+    for c, m in zip(chunked_outputs, mono_outputs):
+        assert c.request_id == m.request_id
+        assert c.token_ids == m.token_ids, c.request_id
+        assert c.finish_reason == m.finish_reason
+        assert c.stats.budget == m.stats.budget
+        assert c.stats.bytes_transferred == m.stats.bytes_transferred
+        assert c.stats.transfer_reduction == m.stats.transfer_reduction
+        assert c.stats.mean_selection_overlap == m.stats.mean_selection_overlap
+        assert len(c.stats.result.selections) == len(m.stats.result.selections)
+        for step_c, step_m in zip(
+            c.stats.result.selections, m.stats.result.selections
+        ):
+            assert step_c.keys() == step_m.keys()
+            for layer, selection in step_m.items():
+                assert np.array_equal(step_c[layer], selection), (
+                    c.request_id, layer,
+                )
+
+
+class TestChunkedEqualsMonolithic:
+    @pytest.mark.parametrize("chunk,max_step", CHUNK_GRID)
+    def test_all_policies_bit_identical(
+        self, chunk, max_step, tiny_gqa_model, tiny_tokenizer
+    ):
+        requests = eight_policy_requests(tiny_tokenizer)
+        _, mono = run_trace(tiny_gqa_model, tiny_tokenizer, requests)
+        _, chunked = run_trace(
+            tiny_gqa_model,
+            tiny_tokenizer,
+            requests,
+            prefill_chunk_tokens=chunk,
+            max_step_tokens=max_step,
+        )
+        assert_generation_identical(chunked, mono)
+
+    def test_ge_prompt_chunk_degenerates_to_monolithic(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Chunk >= prompt and no budget: the chunked scheduler runs each
+        prefill whole in its admission step, so the complete observable
+        state — preemption log, meter timestamps, clock — is pinned to
+        the monolithic server, not just the generated streams."""
+        requests = eight_policy_requests(tiny_tokenizer, max_new_tokens=12)
+        mono_server, mono = run_trace(
+            tiny_gqa_model, tiny_tokenizer, requests, pool_blocks=14
+        )
+        chunk_server, chunked = run_trace(
+            tiny_gqa_model,
+            tiny_tokenizer,
+            requests,
+            pool_blocks=14,
+            prefill_chunk_tokens=10_000,
+        )
+        assert len(mono_server.preemption_log) > 0  # pressure actually bit
+        assert_outputs_bit_identical(chunked, mono)
+        assert [
+            (e.request_id, e.clock, e.mode, e.blocks_freed, e.kv_bytes)
+            for e in chunk_server.preemption_log
+        ] == [
+            (e.request_id, e.clock, e.mode, e.blocks_freed, e.kv_bytes)
+            for e in mono_server.preemption_log
+        ]
+        assert chunk_server.clock == mono_server.clock
+        assert [
+            (r.request_id, r.arrival_s, r.start_s, r.first_token_s, r.finish_s)
+            for r in chunk_server.meter.finished
+        ] == [
+            (r.request_id, r.arrival_s, r.start_s, r.first_token_s, r.finish_s)
+            for r in mono_server.meter.finished
+        ]
+
+    @pytest.mark.parametrize("chunk,max_step", CHUNK_GRID)
+    def test_solo_engine_stream_unchanged(
+        self, chunk, max_step, tiny_gqa_model, tiny_tokenizer
+    ):
+        """The single-request path (what SpeContextEngine wraps) is
+        chunk-invariant too."""
+        request = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 77, 40),
+            sampling=SamplingParams(max_new_tokens=5),
+            policy="specontext",
+        )
+        solo = solo_token_streams(
+            tiny_gqa_model, pool_config(tiny_tokenizer), [request], clone
+        )[0]
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer,
+                prefill_chunk_tokens=chunk,
+                max_step_tokens=max_step,
+            ),
+        )
+        server.add_request(clone(request))
+        assert server.run()[0].token_ids == solo
+
+
+class TestTokenBudget:
+    def test_prefill_respects_step_budget_and_decodes_keep_ticking(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """The head-of-line fix itself: while a long prompt streams in,
+        (a) no step computes more prompt tokens than the budget allows,
+        (b) already-running sessions emit tokens every step, and (c) the
+        long prefill genuinely spans several steps."""
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer, prefill_chunk_tokens=8, max_step_tokens=12
+            ),
+        )
+        short = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 1, 12),
+            sampling=SamplingParams(max_new_tokens=24),
+            policy="streaming",
+        )
+        server.add_request(short)
+        server.step()  # short is prefilled and decoding
+        long = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 2, 90),
+            sampling=SamplingParams(max_new_tokens=4),
+            policy="streaming",
+        )
+        long_id = server.add_request(long)
+        def still_prefilling() -> bool:
+            return any(
+                not s.prefill_done
+                for s in (*server._active, *server._waiting)
+            )
+
+        prefilling_steps = 0
+        while still_prefilling():
+            server.step()
+            assert server.last_step_prefill_tokens <= 12
+            events = server.pop_stream_events()
+            # the short session's decode never stalls behind the prefill
+            assert any(e.request_id != long_id for e in events)
+            if still_prefilling():
+                # first long token only after its final chunk lands
+                assert all(e.request_id != long_id for e in events)
+            prefilling_steps += 1
+        assert prefilling_steps >= 90 // 12  # spread over many steps
+        server.run()
+        solo = solo_token_streams(
+            tiny_gqa_model,
+            pool_config(tiny_tokenizer),
+            [short, long],
+            clone,
+        )
+        by_id = {o.request_id: o.token_ids for o in server.outputs}
+        assert by_id[0] == solo[0]
+        assert by_id[long_id] == solo[1]
+
+    def test_unbudgeted_chunking_advances_one_chunk_per_step(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(tiny_tokenizer, prefill_chunk_tokens=16),
+        )
+        server.add_request(
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 3, 60),
+                sampling=SamplingParams(max_new_tokens=2),
+                policy="full",
+            )
+        )
+        seen = []
+        while server.has_unfinished:
+            server.step()
+            seen.append(server.last_step_prefill_tokens)
+        assert max(seen) <= 16
+        assert sum(seen) == 60  # every non-reused prompt token computed once
+
+    def test_max_step_tokens_requires_chunking(self):
+        with pytest.raises(ValueError, match="requires prefill_chunk_tokens"):
+            EngineConfig(max_step_tokens=32)
+
+
+class TestMidPrefillPreemption:
+    @pytest.mark.parametrize("mode", ["swap", "recompute"])
+    def test_preempted_mid_prefill_resumes_exactly(
+        self, mode, tiny_gqa_model, tiny_tokenizer
+    ):
+        """A decoder's growth evicts a peer whose prompt is still
+        streaming in; the victim must resume at the correct chunk (swap)
+        or rebuild from scratch (recompute) with streams bit-identical
+        to solo runs. Two established decoders allocate growth blocks
+        while the late long prompt trickles in under a tight budget, so
+        pool exhaustion strikes while it is mid-prefill and fcfs picks
+        it (the latest arrival) as victim."""
+        shorts = [
+            GenerationRequest(
+                filler_prompt(tiny_tokenizer, 40 + i, 12),
+                sampling=SamplingParams(max_new_tokens=24),
+                policy="streaming",
+            )
+            for i in range(2)
+        ]
+        long = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 50, 64),
+            sampling=SamplingParams(max_new_tokens=4),
+            policy="quest",
+        )
+        solo = solo_token_streams(
+            tiny_gqa_model, pool_config(tiny_tokenizer), [*shorts, long], clone
+        )
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer,
+                pool_blocks=14,
+                preempt_mode=mode,
+                prefill_chunk_tokens=4,
+                max_step_tokens=8,
+            ),
+        )
+        for request in shorts:
+            server.add_request(clone(request))
+        server.step()
+        server.step()
+        server.add_request(clone(long))
+        mid_prefill_preemptions = 0
+        while server.has_unfinished:
+            server.step()
+            mid_prefill_preemptions += sum(
+                1
+                for s in server._waiting
+                if s.preemptions and s.prefill_started and not s.prefill_done
+            )
+        assert len(server.preemption_log) > 0
+        assert mid_prefill_preemptions > 0  # pressure hit a PREFILLING session
+        outputs = sorted(server.outputs, key=lambda o: o.request_id)
+        assert [o.token_ids for o in outputs] == solo
+
+    @pytest.mark.parametrize("scheduler", ["fcfs", "priority", "sjf"])
+    def test_batched_equals_sequential_under_chunked_pressure(
+        self, scheduler, tiny_gqa_model, tiny_tokenizer
+    ):
+        """The PR-3 guarantee survives chunking: fused decode and the
+        sequential reference loop stay bit-identical — outputs, stats and
+        the preemption log event for event — while prompts stream in
+        chunk by chunk under pool pressure."""
+        requests = eight_policy_requests(tiny_tokenizer, max_new_tokens=10)[:6]
+        servers, outputs = [], []
+        for batched in (True, False):
+            server, outs = run_trace(
+                tiny_gqa_model,
+                tiny_tokenizer,
+                requests,
+                pool_blocks=11,
+                scheduler=scheduler,
+                batched_decode=batched,
+                prefill_chunk_tokens=6,
+                max_step_tokens=16,
+            )
+            servers.append(server)
+            outputs.append(outs)
+        assert len(servers[0].preemption_log) > 0
+        assert_outputs_bit_identical(outputs[0], outputs[1])
+        assert [
+            (e.request_id, e.clock, e.blocks_freed, e.kv_bytes)
+            for e in servers[0].preemption_log
+        ] == [
+            (e.request_id, e.clock, e.blocks_freed, e.kv_bytes)
+            for e in servers[1].preemption_log
+        ]
+
+
+class TestPrefixCacheDuringPrefill:
+    def test_follower_hits_blocks_of_still_prefilling_peer(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Chunk-aware publishing: full prompt blocks go into the prefix
+        cache as chunks complete, so a request sharing the prefix reuses
+        them while the donor is *still prefilling* — and its stream stays
+        bit-identical to an uncached solo run."""
+        prefix = [
+            int(t)
+            for t in tiny_tokenizer.random_filler_ids(
+                np.random.default_rng(99), 48
+            )
+        ]
+        donor = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 200, 40, prefix=prefix),
+            sampling=SamplingParams(max_new_tokens=4),
+            policy="full",
+        )
+        follower = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 201, 10, prefix=prefix),
+            sampling=SamplingParams(max_new_tokens=4),
+            policy="quest",
+        )
+        solo = solo_token_streams(
+            tiny_gqa_model,
+            pool_config(tiny_tokenizer, enable_prefix_cache=False),
+            [follower],
+            clone,
+        )[0]
+        server = SpeContextServer(
+            tiny_gqa_model,
+            pool_config(
+                tiny_tokenizer, prefill_chunk_tokens=8, max_step_tokens=16
+            ),
+        )
+        server.add_request(clone(donor))
+        server.step()
+        server.step()
+        donor_session = server._active[0]
+        assert not donor_session.prefill_done  # donor genuinely mid-prefill
+        published_at_submit = server.pool.stats.prefix_hits
+        follower_id = server.add_request(clone(follower))
+        outputs = server.run()
+        out = next(o for o in outputs if o.request_id == follower_id)
+        assert out.stats.prefix_reused_tokens > 0
+        assert server.pool.stats.prefix_hits > published_at_submit
+        assert out.token_ids == solo
+
+    @pytest.mark.parametrize("chunk", [7, 8, 13])
+    def test_prefix_reuse_lands_mid_chunk_for_every_policy(
+        self, chunk, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Cache hits advance the chunk cursor to a block boundary that
+        need not align with the chunk size, so the resumed chunk starts
+        mid-block-run; every policy must be unaffected."""
+        prefix = [
+            int(t)
+            for t in tiny_tokenizer.random_filler_ids(
+                np.random.default_rng(7), 32
+            )
+        ]
+        for name in ALL_NAMES:
+            follower = GenerationRequest(
+                filler_prompt(tiny_tokenizer, 300, 20, prefix=prefix),
+                sampling=SamplingParams(max_new_tokens=3),
+                policy=name,
+            )
+            solo = solo_token_streams(
+                tiny_gqa_model,
+                pool_config(tiny_tokenizer, enable_prefix_cache=False),
+                [follower],
+                clone,
+            )[0]
+            server = SpeContextServer(
+                tiny_gqa_model,
+                pool_config(tiny_tokenizer, prefill_chunk_tokens=chunk),
+            )
+            donor = GenerationRequest(
+                filler_prompt(tiny_tokenizer, 301, 16, prefix=prefix),
+                sampling=SamplingParams(max_new_tokens=1),
+                policy="full",
+            )
+            server.add_request(donor)
+            server.run()
+            server.add_request(clone(follower))
+            output = server.run()[0]
+            assert output.stats.prefix_reused_tokens > 0, name
+            assert output.token_ids == solo, name

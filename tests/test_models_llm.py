@@ -162,6 +162,45 @@ class TestGeneration:
         logits2 = tiny_gqa_model.prefill(prompt[50:], c2)
         np.testing.assert_allclose(logits1, logits2, atol=1e-3)
 
+    @pytest.mark.parametrize("chunk", [1, 7, 16, 10_000])
+    def test_prefill_chunked_matches_one_shot(
+        self, chunk, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
+        """Chunked prefill computes the same math as one-shot prefill:
+        KV values and final logits agree to the last ulp of the float32
+        projections (chunk boundaries shift BLAS GEMM blocking, so exact
+        array equality only holds when the chunk covers the prompt), and
+        the next-token argmax — what generation consumes — is identical.
+        Stream-level bit-identity is pinned by tests/test_chunked_prefill.py."""
+        rng = rng_factory.stream(f"chunked-{chunk}")
+        prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=60, n_pairs=3)
+        one_shot = tiny_gqa_model.new_cache()
+        expected = tiny_gqa_model.prefill(prompt, one_shot)
+        chunked = tiny_gqa_model.new_cache()
+        logits = tiny_gqa_model.prefill_chunked(prompt, chunked, chunk)
+        np.testing.assert_allclose(expected, logits, rtol=1e-4, atol=1e-5)
+        assert int(np.argmax(logits)) == int(np.argmax(expected))
+        assert chunked.seq_len == one_shot.seq_len
+        for layer_a, layer_b in zip(one_shot.layers, chunked.layers):
+            np.testing.assert_allclose(
+                layer_a.keys, layer_b.keys, rtol=1e-4, atol=1e-5
+            )
+            np.testing.assert_allclose(
+                layer_a.values, layer_b.values, rtol=1e-4, atol=1e-5
+            )
+        if chunk >= prompt.size:  # single chunk: identical call, exact
+            np.testing.assert_array_equal(expected, logits)
+
+    def test_prefill_chunked_validates_inputs(self, tiny_gqa_model):
+        with pytest.raises(ValueError, match="chunk_tokens"):
+            tiny_gqa_model.prefill_chunked(
+                np.array([1, 2, 3]), tiny_gqa_model.new_cache(), 0
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            tiny_gqa_model.prefill_chunked(
+                np.array([]), tiny_gqa_model.new_cache(), 4
+            )
+
 
 class TestBuilderInternals:
     def test_head_roles_layer0_has_prev(self):

@@ -90,6 +90,88 @@ class TestMeter:
         with pytest.raises(ValueError, match="timestamps"):
             meter.record(bogus)
 
+    def test_busy_period_throughput_on_gapped_trace(self):
+        """Regression: trace replay jumps the clock across arrival gaps,
+        so the makespan-based tokens/s punishes sparse traces for time
+        the server never worked. Two 10-step busy periods of 100 tokens
+        each, separated by an 80-step idle gap: makespan throughput sees
+        100 steps, busy throughput the 20 the server actually served."""
+        meter = ThroughputMeter()
+        for i, (arrival, start, finish) in enumerate(
+            [(0.0, 0.0, 10.0), (90.0, 90.0, 100.0)]
+        ):
+            r = Request(
+                request_id=i, in_len=10, out_len=100, arrival_s=arrival
+            )
+            r.state = RequestState.FINISHED
+            r.start_s = start
+            r.finish_s = finish
+            meter.record(r)
+        assert meter.makespan_s == pytest.approx(100.0)
+        assert meter.tokens_per_second == pytest.approx(2.0)
+        assert meter.busy_s == pytest.approx(20.0)
+        assert meter.busy_tokens_per_second == pytest.approx(10.0)
+
+    def test_busy_period_merges_overlapping_intervals(self):
+        """Concurrent sessions must not double-count their overlap."""
+        meter = ThroughputMeter()
+        for i, (start, finish) in enumerate([(0.0, 6.0), (2.0, 8.0)]):
+            r = Request(request_id=i, in_len=10, out_len=40, arrival_s=start)
+            r.state = RequestState.FINISHED
+            r.start_s = start
+            r.finish_s = finish
+            meter.record(r)
+        assert meter.busy_s == pytest.approx(8.0)
+        assert meter.busy_tokens_per_second == pytest.approx(10.0)
+
+    def test_ttft_and_queueing_delay_percentiles(self):
+        meter = ThroughputMeter()
+        specs = [  # (arrival, start, first_token, finish)
+            (0.0, 0.0, 2.0, 10.0),
+            (1.0, 3.0, 5.0, 12.0),
+            (2.0, 8.0, 16.0, 20.0),
+        ]
+        for i, (arrival, start, first, finish) in enumerate(specs):
+            r = Request(request_id=i, in_len=10, out_len=10, arrival_s=arrival)
+            r.state = RequestState.FINISHED
+            r.start_s = start
+            r.finish_s = finish
+            r.first_token_s = first
+            meter.record(r)
+        # TTFT samples: 2, 4, 14; queueing delays: 0, 2, 6.
+        assert meter.ttft_percentile(50) == pytest.approx(4.0)
+        assert meter.ttft_percentile(100) == pytest.approx(14.0)
+        assert meter.mean_ttft_s == pytest.approx(20.0 / 3)
+        assert meter.queueing_delay_percentile(50) == pytest.approx(2.0)
+        assert meter.mean_queueing_delay_s == pytest.approx(8.0 / 3)
+
+    def test_ttft_skips_records_without_first_token(self):
+        """Legacy/synthetic records never stamped a first-token time;
+        they must drop out of TTFT aggregates instead of polluting them."""
+        meter = ThroughputMeter()
+        legacy = Request(request_id=0, in_len=10, out_len=10, arrival_s=0.0)
+        legacy.state = RequestState.FINISHED
+        legacy.finish_s = 5.0
+        meter.record(legacy)
+        assert meter.ttft_percentile(95) == 0.0
+        assert meter.mean_ttft_s == 0.0
+        stamped = Request(request_id=1, in_len=10, out_len=10, arrival_s=0.0)
+        stamped.state = RequestState.FINISHED
+        stamped.finish_s = 5.0
+        stamped.first_token_s = 3.0
+        meter.record(stamped)
+        assert meter.mean_ttft_s == pytest.approx(3.0)
+
+    def test_first_token_outside_lifetime_rejected(self):
+        meter = ThroughputMeter()
+        bogus = Request(request_id=0, in_len=10, out_len=10, arrival_s=4.0)
+        bogus.state = RequestState.FINISHED
+        bogus.start_s = 4.0
+        bogus.finish_s = 10.0
+        bogus.first_token_s = 2.0  # before arrival
+        with pytest.raises(ValueError, match="first token"):
+            meter.record(bogus)
+
     def test_record_mutated_after_recording_is_excluded_not_crashing(self):
         """A finished record requeued for a retry pass used to make every
         latency aggregate raise (Request.latency_s checks state); now it

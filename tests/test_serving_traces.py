@@ -266,6 +266,31 @@ class TestPoolPressureServing:
             server.add_request(request)
         assert request.request_id is None  # retryable, no id burned
 
+    def test_request_past_max_position_rejected_at_submit(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Regression: prompt + max_new_tokens past the model's RoPE table
+        used to be admitted and decode beyond max_position instead of
+        failing at submission."""
+        server = SpeContextServer(tiny_gqa_model, pool_config(tiny_tokenizer))
+        max_position = tiny_gqa_model.config.max_position
+        request = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 2, 40),
+            SamplingParams(max_new_tokens=max_position),
+            policy="full",
+        )
+        with pytest.raises(ValueError, match="max_position"):
+            server.add_request(request)
+        assert request.request_id is None  # retryable, no id burned
+        # The boundary itself is fine: prompt + max_new == max_position.
+        ok = GenerationRequest(
+            filler_prompt(tiny_tokenizer, 2, 40),
+            SamplingParams(max_new_tokens=max_position - 41),
+            policy="full",
+        )
+        assert server.add_request(ok) == 0
+        assert server.n_waiting == 1
+
 
 class TestPrefixCaching:
     def shared_prefix_requests(self, tokenizer, n=6, prefix_tokens=48):
