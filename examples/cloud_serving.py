@@ -31,7 +31,7 @@ from repro.models.llm import TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
 from repro.perf.capacity import max_fitting_batch
 from repro.perf.engines import FLASHINFER, HF_FLASH_ATTENTION, SPECONTEXT
-from repro.perf.simulate import PerfSimulator, Workload
+from repro.perf.simulate import PerfSimulator
 from repro.serving import SpeContextServer, StaticBatchScheduler
 from repro.serving.request import Request
 from repro.utils.tables import format_table

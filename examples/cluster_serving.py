@@ -1,0 +1,150 @@
+"""Cluster serving walk-through: prefix-affinity routing across replicas.
+
+A shared-system-prompt workload — the classic production shape: many
+users, few distinct system prompts — is served by a
+:class:`~repro.serving.cluster.ClusterFrontend` owning three independent
+:class:`~repro.serving.server.SpeContextServer` replicas, each with its
+own paged KV pool and prefix cache.
+
+Run 1 routes with ``round_robin``: group members scatter across
+replicas, so most requests re-prefill a system prompt some other replica
+already holds. Run 2 routes with ``prefix_affinity``: the frontend
+probes every replica's prefix cache (a read-only blake2b-chain walk) and
+sticks each request to the replica holding the longest match, turning
+three private caches into one cluster-wide asset. Token streams are
+bit-identical between the two runs — placement never changes tokens —
+but the affinity run reuses far more prompt KV and answers faster.
+
+Run:  python examples/cluster_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import (
+    ClusterConfig,
+    EngineConfig,
+    GenerationRequest,
+    SamplingParams,
+)
+from repro.models.builder import build_recall_model
+from repro.models.config import tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.serving import ClusterFrontend
+from repro.serving.trace import TraceEntry, replay_trace_cluster
+from repro.utils.tables import format_table
+
+N_REPLICAS = 3
+N_GROUPS = 4  # distinct system prompts
+GROUP_SIZE = 5  # users per system prompt
+SYSTEM_LEN = 64
+SUFFIX_LEN = 12
+
+
+def shared_prompt_trace(
+    tokenizer: SyntheticTokenizer, seed: int = 0
+) -> list[TraceEntry]:
+    """Interleaved arrivals of N_GROUPS x GROUP_SIZE shared-prefix users."""
+    entries = []
+    systems = [
+        [
+            int(t)
+            for t in tokenizer.random_filler_ids(
+                np.random.default_rng(seed + 50 + g), SYSTEM_LEN
+            )
+        ]
+        for g in range(N_GROUPS)
+    ]
+    step = 0
+    for member in range(GROUP_SIZE):
+        for group in range(N_GROUPS):
+            rng = np.random.default_rng(seed + 100 * group + member)
+            suffix = [int(t) for t in tokenizer.random_filler_ids(rng, SUFFIX_LEN)]
+            entries.append(TraceEntry(
+                arrival_step=step,
+                request=GenerationRequest(
+                    np.array([tokenizer.bos_id] + systems[group] + suffix),
+                    sampling=SamplingParams(max_new_tokens=6),
+                    policy="streaming",
+                    budget=64,
+                ),
+            ))
+            step += 2  # stagger so earlier members publish their prefix
+    return entries
+
+
+def serve(model, tokenizer, router: str) -> ClusterFrontend:
+    frontend = ClusterFrontend(
+        model,
+        EngineConfig(
+            budget=64, bos_id=tokenizer.bos_id, block_size=8, seed=0
+        ),
+        ClusterConfig(
+            n_replicas=N_REPLICAS, router=router, stickiness_tokens=16
+        ),
+    )
+    replay_trace_cluster(frontend, shared_prompt_trace(tokenizer))
+    return frontend
+
+
+def report(frontend: ClusterFrontend, router: str) -> None:
+    routing = frontend.routing
+    rows = [
+        [
+            i,
+            routing.routed[i],
+            routing.affinity_hits[i],
+            routing.affinity_misses[i],
+            routing.cold[i],
+            frontend.replicas[i].pool.stats.prefix_blocks_reused,
+        ]
+        for i in range(frontend.n_replicas)
+    ]
+    print(format_table(
+        ["replica", "routed", "hits", "misses", "cold", "blocks reused"],
+        rows,
+        title=f"{router}: {routing.hit_rate:.0%} affinity hit rate, "
+        f"{frontend.prefix_reused_tokens()} prompt tokens reused "
+        "cluster-wide",
+    ))
+    meter = frontend.stats()
+    print(
+        f"  merged meter: {len(meter.finished)} finished, ttft p95 "
+        f"{meter.ttft_percentile(95):.0f} steps, "
+        f"{meter.busy_tokens_per_second:.2f} tokens/step busy\n"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    tokenizer = SyntheticTokenizer(vocab_size=512)
+    model = TransformerLM(
+        build_recall_model(
+            tiny_test_config(n_layers=2, vocab_size=512), tokenizer, rng
+        )
+    )
+    print(
+        f"{N_GROUPS} system prompts x {GROUP_SIZE} users over "
+        f"{N_REPLICAS} replicas; arrivals interleave the groups\n"
+    )
+    runs = {}
+    for router in ("round_robin", "prefix_affinity"):
+        frontend = serve(model, tokenizer, router)
+        report(frontend, router)
+        runs[router] = frontend
+    blind = runs["round_robin"]
+    sticky = runs["prefix_affinity"]
+    streams_equal = [
+        o.token_ids for o in blind.outputs
+    ] == [o.token_ids for o in sticky.outputs]
+    gain = sticky.prefix_reused_tokens() / max(blind.prefix_reused_tokens(), 1)
+    print(
+        f"prefix_affinity reuses {gain:.2f}x the prompt KV of round_robin; "
+        f"streams bit-identical: {streams_equal}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,10 +23,11 @@ Typical flow::
     outputs = server.run()
 """
 
-from repro.api.config import EngineConfig, SamplingParams
+from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
 from repro.api.request import GenerationOutput, GenerationRequest
 
 __all__ = [
+    "ClusterConfig",
     "EngineConfig",
     "GenerationOutput",
     "GenerationRequest",

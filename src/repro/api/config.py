@@ -7,9 +7,13 @@ continuous-batching :class:`~repro.serving.server.SpeContextServer` needs
 (admission concurrency, seeding). ``SamplingParams`` captures the loose
 ``generate()`` kwargs (token limit, temperature, stop ids).
 
-Both are plain dataclasses with no upward dependencies, so every layer
-(core engine, server, experiments, examples, CLI) can share them without
-import cycles.
+``ClusterConfig`` captures the multi-replica layer's knobs (replica
+count, routing policy, affinity stickiness) for the
+:class:`~repro.serving.cluster.ClusterFrontend`.
+
+All are plain dataclasses with no upward dependencies, so every layer
+(core engine, server, cluster frontend, experiments, examples, CLI) can
+share them without import cycles.
 """
 
 from __future__ import annotations
@@ -195,3 +199,42 @@ class EngineConfig:
                     "monolithic prefill runs inline at admission and "
                     "cannot be budgeted per step"
                 )
+
+
+@dataclass
+class ClusterConfig:
+    """Multi-replica serving knobs for the cluster frontend.
+
+    Attributes:
+        n_replicas: independent :class:`~repro.serving.server
+            .SpeContextServer` replicas, each with its own paged KV pool,
+            scheduler and meter.
+        router: routing-policy name resolved by
+            :func:`repro.serving.policies.make_router` — "round_robin",
+            "least_loaded" or "prefix_affinity".
+        stickiness_tokens: minimum cached-prefix match (in tokens) for
+            the prefix-affinity router to stick a request to a replica;
+            below it placement falls back to least-loaded. Also the
+            threshold the frontend's routing stats count an *affinity
+            hit* against, so hit/miss numbers mean the same thing under
+            every router.
+
+    Name resolution happens when the frontend builds the router (this
+    module must stay import-cycle-free below the serving layer), so an
+    unknown ``router`` raises at :class:`ClusterFrontend` construction,
+    not here.
+    """
+
+    n_replicas: int = 2
+    router: str = "prefix_affinity"
+    stickiness_tokens: int = 16
+
+    def __post_init__(self):
+        if self.n_replicas < 1:
+            raise ValueError(
+                f"n_replicas must be >= 1, got {self.n_replicas}"
+            )
+        if self.stickiness_tokens < 1:
+            raise ValueError(
+                f"stickiness_tokens must be >= 1, got {self.stickiness_tokens}"
+            )

@@ -14,16 +14,16 @@
   three contributions over the functional model + hardware simulator.
 """
 
+from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
+from repro.core.elastic import ElasticKVLoader, ElasticTransferTracker
+from repro.core.engine import GenerationStats, SpeContextEngine
+from repro.core.memory_model import MemoryBreakdown, MemoryModel
+from repro.core.prefetch import AsyncPrefetcher, DataflowKind, StepTimings
 from repro.core.retrieval_head import (
     LightweightRetrievalHead,
     RetrievalHeadConfig,
     SpeContextPolicy,
 )
-from repro.core.elastic import ElasticTransferTracker, ElasticKVLoader
-from repro.core.prefetch import AsyncPrefetcher, StepTimings, DataflowKind
-from repro.core.memory_model import MemoryModel, MemoryBreakdown
-from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
-from repro.core.engine import SpeContextEngine, GenerationStats
 
 __all__ = [
     "LightweightRetrievalHead",

@@ -76,7 +76,9 @@ class MemoryModel:
         """Eq. 6: everything on the GPU at sequence length ``seq_len``."""
         layers_eff = self.model.n_layers + 1 + self._alpha
         kv = KV_COEFF * self.requests * layers_eff * seq_len * self._hd
-        return MemoryBreakdown(weights=self._weights_term, kv_gpu=kv, budget_buffers=0.0)
+        return MemoryBreakdown(
+            weights=self._weights_term, kv_gpu=kv, budget_buffers=0.0
+        )
 
     def m_part(self, seq_len: int, layers_on_gpu: int) -> MemoryBreakdown:
         """Eq. 7: ``layers_on_gpu`` KV-resident layers, the rest offloaded."""
@@ -85,7 +87,10 @@ class MemoryModel:
                 f"layers_on_gpu {layers_on_gpu} outside [0, {self.model.n_layers}]"
             )
         layers_cpu = self.model.n_layers - layers_on_gpu
-        kv = KV_COEFF * self.requests * (layers_on_gpu + 1 + self._alpha) * seq_len * self._hd
+        kv = (
+            KV_COEFF * self.requests * (layers_on_gpu + 1 + self._alpha)
+            * seq_len * self._hd
+        )
         buffers = KV_COEFF * self.requests * layers_cpu * self.budget * self._hd
         return MemoryBreakdown(
             weights=self._weights_term, kv_gpu=kv, budget_buffers=buffers

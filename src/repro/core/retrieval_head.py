@@ -166,7 +166,9 @@ class LightweightRetrievalHead:
             elif role == "sink":
                 new_keys[h] = cur
             elif role == "local":
-                u = np.ones((1, len(token_ids), self.dc), dtype=DTYPE) / np.sqrt(self.dc)
+                u = np.ones(
+                (1, len(token_ids), self.dc), dtype=DTYPE
+            ) / np.sqrt(self.dc)
                 new_keys[h] = self.rope.apply(u, positions)[0]
             else:  # noise
                 new_keys[h] = self._noise_rng.standard_normal(
@@ -198,7 +200,8 @@ class LightweightRetrievalHead:
                 logits[h] = (self._keys[h] @ q) * self.config.sink_sharpness
             elif role == "local":
                 u = np.ones((1, 1, self.dc), dtype=DTYPE) / np.sqrt(self.dc)
-                q = self.rope.apply(u, np.array([min(pos, self.rope.max_position - 1)]))[0, 0]
+                clamped = min(pos, self.rope.max_position - 1)
+                q = self.rope.apply(u, np.array([clamped]))[0, 0]
                 logits[h] = (self._keys[h] @ q) * self.config.local_sharpness
             else:
                 logits[h] = self._keys[h] @ (cur / sqrt_dc)

@@ -15,8 +15,8 @@ processing inequality. This package makes the claim testable:
   face of the Sec. 3.2 DPI argument.
 """
 
-from repro.distill.dlm import DistilledLM, full_dlm_analog, pruning_report
 from repro.distill.dataset import DistillationDataset, DistillationExample
+from repro.distill.dlm import DistilledLM, full_dlm_analog, pruning_report
 from repro.distill.trainer import DistillationTrainer, TrainingCurve
 
 __all__ = [

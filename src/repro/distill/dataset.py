@@ -53,7 +53,9 @@ class DistillationDataset:
         n_filler = self.seq_len - 2 * self.n_pairs - 3  # bos, <q>, query key
         filler = [int(t) for t in tok.random_filler_ids(rng, n_filler)]
         insert_at = sorted(
-            rng.choice(max(n_filler, self.n_pairs), size=self.n_pairs, replace=False).tolist()
+            rng.choice(
+                max(n_filler, self.n_pairs), size=self.n_pairs, replace=False
+            ).tolist()
         )
 
         ids = [tok.bos_id]

@@ -105,7 +105,9 @@ class PruningReport:
         return self.retained_params * 2
 
 
-def pruning_report(teacher: ModelConfig, embedding_shared: bool = True) -> PruningReport:
+def pruning_report(
+    teacher: ModelConfig, embedding_shared: bool = True
+) -> PruningReport:
     """The Sec. 7.4 overhead numbers for a teacher config.
 
     For Llama3-8B-scale teachers this lands at ~40-60MB of retrieval-head

@@ -158,10 +158,14 @@ class DistillationTrainer:
         cache = self.teacher.new_cache()
         ids = example.token_ids
         self.teacher.prefill(ids[:-1], cache)
-        _, _, attn = self.teacher.decode_step(int(ids[-1]), cache, capture_attention=True)
+        _, _, attn = self.teacher.decode_step(
+            int(ids[-1]), cache, capture_attention=True
+        )
         return attn[1][0][:-1]  # drop the query token's own position
 
-    def attention_overlap(self, examples: list[DistillationExample], k: int = 4) -> float:
+    def attention_overlap(
+        self, examples: list[DistillationExample], k: int = 4
+    ) -> float:
         """Mean fraction of student top-k attention inside teacher top-k."""
         overlaps = []
         for ex in examples:

@@ -13,13 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.common import ExperimentResult, make_functional_setup, register
 from repro.workloads.harness import sweep_qa
 from repro.workloads.longbench import generate_examples
-from repro.experiments.common import (
-    ExperimentResult,
-    make_functional_setup,
-    register,
-)
 
 NOISE_LEVELS = (0.2, 1.0, 1.8, 2.6)
 BUDGETS = (64, 128)

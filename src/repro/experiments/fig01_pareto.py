@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.common import ExperimentResult, make_functional_setup, register
 from repro.hardware.spec import DESKTOP_RTX4090
 from repro.models.config import LLAMA_LIKE_8B
 from repro.perf.engines import (
@@ -26,21 +27,16 @@ from repro.perf.engines import (
     FLASHINFER,
     HF_EAGER_OFFLOAD,
     HF_FLASH_OFFLOAD,
-    OffloadPolicy,
     QUEST,
     SHADOWKV,
     SPECONTEXT,
+    OffloadPolicy,
 )
 from repro.perf.simulate import PerfSimulator, Workload
 from repro.workloads.harness import decode_with_policy, prepare_prompt, sweep_qa
 from repro.workloads.judge import judge_generation, mean_scores
 from repro.workloads.longbench import generate_examples
 from repro.workloads.longwriter import generate_writing_examples
-from repro.experiments.common import (
-    ExperimentResult,
-    make_functional_setup,
-    register,
-)
 
 # The RTX 4090 cannot hold 4x16K KV plus the weights, so the
 # full-attention engines run with complete KV offloading (the paper's

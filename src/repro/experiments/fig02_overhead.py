@@ -13,11 +13,11 @@ just below and just above it.
 
 from __future__ import annotations
 
+from repro.experiments.common import ExperimentResult, register
 from repro.hardware.spec import CLOUD_A800
 from repro.models.config import LLAMA_LIKE_8B
-from repro.perf.engines import HF_FLASH_ATTENTION, OffloadPolicy, QUEST
+from repro.perf.engines import HF_FLASH_ATTENTION, QUEST, OffloadPolicy
 from repro.perf.simulate import PerfSimulator, Workload
-from repro.experiments.common import ExperimentResult, register
 
 CLIFF_BATCH = 4
 CLIFF_DELTA = 8 * 1024

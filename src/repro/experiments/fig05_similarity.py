@@ -18,14 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.common import ExperimentResult, make_functional_setup, register
 from repro.models.config import AttentionKind
 from repro.workloads.harness import decode_with_policy, prepare_prompt
 from repro.workloads.longbench import make_trivia
-from repro.experiments.common import (
-    ExperimentResult,
-    make_functional_setup,
-    register,
-)
 
 BUDGETS = (32, 64, 128, 256, 512)
 

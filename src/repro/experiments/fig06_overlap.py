@@ -13,17 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.elastic import ElasticTransferTracker
+from repro.experiments.common import ExperimentResult, make_functional_setup, register
 from repro.hardware.spec import CLOUD_A800
 from repro.models.config import LLAMA_LIKE_8B
 from repro.perf.engines import SPECONTEXT
 from repro.perf.simulate import PerfSimulator
 from repro.workloads.harness import decode_with_policy, prepare_prompt
 from repro.workloads.longwriter import make_writing_example
-from repro.experiments.common import (
-    ExperimentResult,
-    make_functional_setup,
-    register,
-)
 
 ANALYTIC_BUDGETS = (32, 64, 128, 256, 512, 1024, 2048)
 FUNCTIONAL_BUDGETS = (16, 32, 64, 128, 256)

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.harness import sweep_qa
-from repro.workloads.longbench import generate_examples
 from repro.experiments.common import (
     ACCURACY_BUDGETS,
     PAPER_BUDGET_LABELS,
@@ -22,6 +20,8 @@ from repro.experiments.common import (
     make_functional_setup,
     register,
 )
+from repro.workloads.harness import sweep_qa
+from repro.workloads.longbench import generate_examples
 
 ENGINES = ("Quest", "ClusterKV", "ShadowKV", "Ours")
 TASK_PARAMS = {

@@ -14,16 +14,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.config import AttentionKind
-from repro.workloads.harness import decode_with_policy, prepare_prompt
-from repro.workloads.judge import DIMENSIONS, judge_generation, mean_scores
-from repro.workloads.longwriter import generate_writing_examples
 from repro.experiments.common import (
     ExperimentResult,
     FunctionalSetup,
     make_functional_setup,
     register,
 )
+from repro.models.config import AttentionKind
+from repro.workloads.harness import decode_with_policy, prepare_prompt
+from repro.workloads.judge import DIMENSIONS, judge_generation, mean_scores
+from repro.workloads.longwriter import generate_writing_examples
 
 # Scaled budget axis: 32/64/128 here ~ the paper's 1024/2048/4096 (the
 # writing contexts are ~250 tokens vs the paper's multi-thousand).

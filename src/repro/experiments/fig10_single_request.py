@@ -11,6 +11,7 @@ penalizes the baselines' prompt preprocessing in the reasoning mixes.
 
 from __future__ import annotations
 
+from repro.experiments.common import ExperimentResult, register
 from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060_4GB
 from repro.models.config import DEEPSEEK_DISTILL_LIKE_8B, EDGE_LIKE_1B
 from repro.perf.engines import (
@@ -21,7 +22,6 @@ from repro.perf.engines import (
     SPECONTEXT,
 )
 from repro.perf.simulate import PerfSimulator, Workload
-from repro.experiments.common import ExperimentResult, register
 
 WORKLOADS = (
     (2048, 16384),

@@ -10,15 +10,11 @@ design choice DESIGN.md calls out).
 
 from __future__ import annotations
 
+from repro.experiments.common import ExperimentResult, register
 from repro.hardware.spec import CLOUD_A800
 from repro.models.config import DEEPSEEK_DISTILL_LIKE_8B
-from repro.perf.engines import (
-    ABLATION_ENGINES,
-    HF_EAGER,
-    SPECONTEXT,
-)
+from repro.perf.engines import ABLATION_ENGINES, HF_EAGER, SPECONTEXT
 from repro.perf.simulate import PerfSimulator, Workload
-from repro.experiments.common import ExperimentResult, register
 
 WORKLOADS = (
     (2048, 16384, 32),

@@ -9,12 +9,8 @@ about 60MB" for Llama3/Qwen3-scale teachers), the pruning reduction
 from __future__ import annotations
 
 from repro.distill.dlm import full_dlm_analog, pruning_report
+from repro.experiments.common import ExperimentResult, make_functional_setup, register
 from repro.models.config import EDGE_LIKE_1B, LLAMA_LIKE_8B, QWEN_LIKE_8B
-from repro.experiments.common import (
-    ExperimentResult,
-    make_functional_setup,
-    register,
-)
 
 K_CACHE_CONTEXT = 16384
 

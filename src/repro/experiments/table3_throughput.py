@@ -9,11 +9,11 @@ the first non-OOM engine when eager OOMs, as the paper does.
 
 from __future__ import annotations
 
+from repro.experiments.common import ExperimentResult, register
 from repro.hardware.spec import CLOUD_A800
 from repro.models.config import DEEPSEEK_DISTILL_LIKE_8B, QWEN_LIKE_8B, ModelConfig
 from repro.perf.engines import CLOUD_ENGINES, EngineSpec
 from repro.perf.simulate import PerfSimulator, Workload
-from repro.experiments.common import ExperimentResult, register
 
 WORKLOADS = (
     (2048, 16384),

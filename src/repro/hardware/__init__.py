@@ -8,10 +8,10 @@ PCIe-bound KV transfer (Fig. 6a), and the HBM-capacity cliff (Fig. 2a) are
 all properties of the *schedule*, which the simulator models explicitly.
 """
 
-from repro.hardware.spec import HardwareSpec, CLOUD_A800, EDGE_RTX4060, EDGE_RTX4060_4GB
-from repro.hardware.timing import LatencyModel, OpCost
 from repro.hardware.memory import MemoryLedger, MemoryTier, OutOfMemoryError
-from repro.hardware.streams import StreamSimulator, StreamOp
+from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060, EDGE_RTX4060_4GB, HardwareSpec
+from repro.hardware.streams import StreamOp, StreamSimulator
+from repro.hardware.timing import LatencyModel, OpCost
 
 __all__ = [
     "HardwareSpec",

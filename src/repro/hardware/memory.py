@@ -51,7 +51,8 @@ class MemoryLedger:
         if new_used > self.capacity(tier):
             raise OutOfMemoryError(
                 f"{tier.value} OOM allocating {name!r}: need {human_bytes(n_bytes)}, "
-                f"used {human_bytes(self.used(tier))} of {human_bytes(self.capacity(tier))}"
+                f"used {human_bytes(self.used(tier))} of "
+                f"{human_bytes(self.capacity(tier))}"
             )
         self._allocations[name] = _Allocation(name, int(n_bytes), tier)
         self.peak_gpu_bytes = max(self.peak_gpu_bytes, self.used(MemoryTier.GPU))

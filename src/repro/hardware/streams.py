@@ -99,7 +99,11 @@ class StreamSimulator:
                 progress = True
 
         if not all(placed):
-            stuck = [pending[i].label or f"op#{i}" for i in range(len(pending)) if not placed[i]]
+            stuck = [
+                pending[i].label or f"op#{i}"
+                for i in range(len(pending))
+                if not placed[i]
+            ]
             raise ValueError(f"dataflow deadlock; unresolved ops: {stuck}")
         return schedule
 

@@ -79,12 +79,19 @@ class LatencyModel:
         kv_bytes = 2.0 * batch * n_kv_heads * kv_len * head_dim * BYTES_PER_VALUE
         return OpCost(flops=flops, gpu_bytes=kv_bytes, kernels=2)
 
-    def linear_cost(self, batch_tokens: int, in_features: int, out_features: int) -> OpCost:
+    def linear_cost(
+        self, batch_tokens: int, in_features: int, out_features: int
+    ) -> OpCost:
         """Projection applied to ``batch_tokens`` token vectors."""
         flops = 2.0 * batch_tokens * in_features * out_features
-        io = (in_features * out_features + batch_tokens * (in_features + out_features)) * BYTES_PER_VALUE
+        io = (
+            in_features * out_features
+            + batch_tokens * (in_features + out_features)
+        ) * BYTES_PER_VALUE
         return OpCost(flops=flops, gpu_bytes=io)
 
-    def kv_bytes(self, n_tokens: int, n_kv_heads: int, head_dim: int, batch: int = 1) -> float:
+    def kv_bytes(
+        self, n_tokens: int, n_kv_heads: int, head_dim: int, batch: int = 1
+    ) -> float:
         """Bytes of K+V cache for ``n_tokens`` tokens of one layer."""
         return 2.0 * batch * n_tokens * n_kv_heads * head_dim * BYTES_PER_VALUE

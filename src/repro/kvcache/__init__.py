@@ -22,8 +22,8 @@ from repro.kvcache.pool import (
     PoolStats,
     hash_token_prefix,
 )
-from repro.kvcache.tiered import TieredKVStore, TransferLedger
 from repro.kvcache.slots import GpuSlotBuffer
+from repro.kvcache.tiered import TieredKVStore, TransferLedger
 
 __all__ = [
     "BlockTable",

@@ -152,7 +152,10 @@ class LayerKVCache:
 
     def nbytes(self, bytes_per_value: int = 2) -> int:
         """Logical footprint of the valid entries at the given precision."""
-        return 2 * self.batch * self.n_kv_heads * self._len * self.head_dim * bytes_per_value
+        return (
+            2 * self.batch * self.n_kv_heads * self._len * self.head_dim
+            * bytes_per_value
+        )
 
 
 class ModelKVCache:

@@ -334,6 +334,27 @@ class PagedKVPool:
             self.stats.prefix_hits += 1
         return chain
 
+    def longest_prefix_match(
+        self, token_ids: np.ndarray, max_tokens: int | None = None
+    ) -> int:
+        """Tokens of ``token_ids`` covered by the cached block chain.
+
+        A read-only probe for routing decisions (the cluster frontend asks
+        every replica before placing a request): unlike
+        :meth:`match_prefix` it counts no query, scores no hit and does
+        not refresh LRU positions, so probing N replicas leaves all N
+        prefix caches in exactly the state a solo submission would see.
+        """
+        token_ids = np.asarray(token_ids)
+        cap = token_ids.size if max_tokens is None else max_tokens
+        matched = 0
+        for i in range(min(token_ids.size, cap) // self.block_size):
+            key = hash_token_prefix(token_ids, (i + 1) * self.block_size)
+            if key not in self._prefix_index:
+                break
+            matched += self.block_size
+        return matched
+
     def acquire_prefix(self, block_ids: list[int], table: BlockTable) -> None:
         """Attach matched prefix blocks to a sequence's table (refcounted)."""
         for block_id in block_ids:

@@ -11,19 +11,19 @@ genuinely solve the synthetic long-context tasks — making accuracy-vs-budget
 experiments causal rather than cosmetic (see DESIGN.md substitutions).
 """
 
+from repro.models.builder import CircuitPlan, build_recall_model
 from repro.models.config import (
-    AttentionKind,
-    ModelConfig,
-    LLAMA_LIKE_8B,
-    QWEN_LIKE_8B,
     DEEPSEEK_MLA_LIKE_8B,
     EDGE_LIKE_1B,
+    LLAMA_LIKE_8B,
+    QWEN_LIKE_8B,
+    AttentionKind,
+    ModelConfig,
     tiny_test_config,
 )
+from repro.models.llm import DecodeResult, TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
-from repro.models.weights import ModelWeights, LayerWeights
-from repro.models.llm import TransformerLM, DecodeResult
-from repro.models.builder import build_recall_model, CircuitPlan
+from repro.models.weights import LayerWeights, ModelWeights
 
 __all__ = [
     "AttentionKind",

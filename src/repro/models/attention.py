@@ -82,7 +82,9 @@ class AttentionModule:
         out[mask] = rotated[mask]
         return out
 
-    def project_kv(self, x: np.ndarray, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def project_kv(
+        self, x: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """New cache entries for non-MLA attention.
 
         Returns (k, v), each shaped (n_kv_heads, seq, head_dim); keys are
@@ -134,7 +136,9 @@ class AttentionModule:
 
     # ---- prefill -------------------------------------------------------------
 
-    def prefill(self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+    def prefill(
+        self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache
+    ) -> np.ndarray:
         """Full causal attention over the prompt; appends to ``cache``.
 
         ``x`` is (seq, d_model); returns the attention output (seq, d_model).
@@ -169,7 +173,10 @@ class AttentionModule:
         for start in range(0, seq, PREFILL_CHUNK):
             end = min(start + PREFILL_CHUNK, seq)
             limit = base + end  # keys visible to the last row of this chunk
-            scores = np.einsum("hqd,hkd->hqk", q[:, start:end], k[:, :limit]) * self._scale
+            scores = (
+                np.einsum("hqd,hkd->hqk", q[:, start:end], k[:, :limit])
+                * self._scale
+            )
             rows = np.arange(base + start, base + end)[:, None]
             cols = np.arange(limit)[None, :]
             scores = np.where(cols <= rows, scores, -np.inf)
@@ -180,7 +187,9 @@ class AttentionModule:
 
     # ---- decode ----------------------------------------------------------------
 
-    def append_token(self, x_token: np.ndarray, position: int, cache: LayerKVCache) -> None:
+    def append_token(
+        self, x_token: np.ndarray, position: int, cache: LayerKVCache
+    ) -> None:
         """Project and append one new token's KV (or latent) to the cache."""
         cfg = self.config
         x = x_token[None, :]
@@ -206,7 +215,8 @@ class AttentionModule:
         scattered back to full cache length so analyses can compare policies.
         """
         cfg = self.config
-        q = self._project_q(x_token[None, :], np.array([position]))[:, 0, :]  # (Hq, dim)
+        # (Hq, dim)
+        q = self._project_q(x_token[None, :], np.array([position]))[:, 0, :]
 
         if selection is None:
             token_indices = np.arange(len(cache))

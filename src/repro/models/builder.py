@@ -92,7 +92,10 @@ def make_content_vectors(
     assignment = rng.integers(0, n_clusters, size=vocab_size)
     g = rng.standard_normal((vocab_size, dim))
     g /= np.linalg.norm(g, axis=1, keepdims=True)
-    vectors = np.sqrt(max(1.0 - correlation**2, 0.0)) * g + correlation * centers[assignment]
+    vectors = (
+        np.sqrt(max(1.0 - correlation**2, 0.0)) * g
+        + correlation * centers[assignment]
+    )
     vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
     return vectors.astype(DTYPE)
 
@@ -103,7 +106,11 @@ def head_roles(config: ModelConfig, layer: int) -> list[str]:
     Layer 0 carries the previous-token head; every later layer carries an
     induction head; remaining groups cycle through sink/local/noise.
     """
-    n_groups = config.n_kv_heads if config.attention is not AttentionKind.MLA else config.n_q_heads
+    n_groups = (
+        config.n_kv_heads
+        if config.attention is not AttentionKind.MLA
+        else config.n_q_heads
+    )
     primary = "prev" if layer == 0 else "induction"
     filler_cycle = ["sink", "local", "noise"]
     roles = [primary]
@@ -213,7 +220,8 @@ def build_recall_model(
     plan = plan or CircuitPlan()
     if tokenizer.vocab_size != config.vocab_size:
         raise ValueError(
-            f"tokenizer vocab {tokenizer.vocab_size} != config vocab {config.vocab_size}"
+            f"tokenizer vocab {tokenizer.vocab_size} != config vocab "
+            f"{config.vocab_size}"
         )
     dc = content_dim(config)
     maps = _SubspaceMaps(dc, config.d_model)
@@ -292,8 +300,12 @@ def _build_layer(
             rope_mask[q_head] = uses_rope
 
     ffn_scale = plan.ffn_gain
-    w_gate = (ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)).astype(DTYPE)
-    w_up = (ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)).astype(DTYPE)
+    w_gate = (
+        ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)
+    ).astype(DTYPE)
+    w_up = (
+        ffn_scale * rng.standard_normal((config.d_ff, d_model)) / np.sqrt(d_model)
+    ).astype(DTYPE)
     w_down = np.zeros((d_model, config.d_ff), dtype=DTYPE)
 
     common = dict(

@@ -13,7 +13,7 @@ Two kinds of configs coexist:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.utils.units import GB
 
@@ -72,7 +72,8 @@ class ModelConfig:
     def __post_init__(self):
         if self.n_q_heads % max(self.n_kv_heads, 1) != 0:
             raise ValueError(
-                f"n_q_heads={self.n_q_heads} not divisible by n_kv_heads={self.n_kv_heads}"
+                f"n_q_heads={self.n_q_heads} not divisible by "
+                f"n_kv_heads={self.n_kv_heads}"
             )
         if self.attention is AttentionKind.MQA and self.n_kv_heads != 1:
             raise ValueError("MQA requires n_kv_heads == 1")
@@ -99,14 +100,20 @@ class ModelConfig:
 
     def kv_bytes(self, seq_len: int, batch: int = 1, bytes_per_value: int = 2) -> int:
         """Full-model KV footprint at ``seq_len`` (paper's Sec. 6 M_KV)."""
-        return self.n_layers * batch * seq_len * self.kv_bytes_per_token_layer(bytes_per_value)
+        return (
+            self.n_layers * batch * seq_len
+            * self.kv_bytes_per_token_layer(bytes_per_value)
+        )
 
     def parameter_count(self) -> int:
         """Approximate parameter count derived from dimensions."""
         embed = self.vocab_size * self.d_model
         q = self.d_model * self.n_q_heads * self.head_dim
         if self.attention is AttentionKind.MLA:
-            kv = self.d_model * self.mla_latent_dim + 2 * self.mla_latent_dim * self.n_q_heads * self.head_dim
+            kv = (
+                self.d_model * self.mla_latent_dim
+                + 2 * self.mla_latent_dim * self.n_q_heads * self.head_dim
+            )
         else:
             kv = 2 * self.d_model * self.n_kv_heads * self.head_dim
         o = self.n_q_heads * self.head_dim * self.d_model

@@ -15,7 +15,9 @@ from repro.tensor.rope import RotaryEmbedding
 class DecoderLayer:
     """One transformer decoder block."""
 
-    def __init__(self, config: ModelConfig, weights: LayerWeights, rope: RotaryEmbedding):
+    def __init__(
+        self, config: ModelConfig, weights: LayerWeights, rope: RotaryEmbedding
+    ):
         self.config = config
         self.weights = weights
         self.attention = AttentionModule(config, weights, rope)
@@ -33,7 +35,9 @@ class DecoderLayer:
         up = linear(h, self.weights.w_up)
         return linear(gate * up, self.weights.w_down)
 
-    def prefill(self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache) -> np.ndarray:
+    def prefill(
+        self, x: np.ndarray, positions: np.ndarray, cache: LayerKVCache
+    ) -> np.ndarray:
         """Process a prompt chunk; ``x`` is (seq, d_model)."""
         attn_out = self.attention.prefill(self._pre_attn(x), positions, cache)
         x = x + attn_out

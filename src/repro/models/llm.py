@@ -16,7 +16,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.kvcache.cache import LayerKVCache, ModelKVCache
-from repro.models.config import AttentionKind, ModelConfig
+from repro.models.config import AttentionKind
 from repro.models.layers import DecoderLayer
 from repro.models.weights import ModelWeights
 from repro.tensor.ops import linear, linear_rows, rms_norm, softmax
@@ -274,7 +274,9 @@ class TransformerLM:
         if cache is None:
             cache = self.new_cache()
 
-        result = DecodeResult(prompt_len=int(prompt_ids.size), token_ids=[], stopped_by_eos=False)
+        result = DecodeResult(
+            prompt_len=int(prompt_ids.size), token_ids=[], stopped_by_eos=False
+        )
         use_sparse_first = sparse_from_first_token and prompt_ids.size >= 2
         if use_sparse_first:
             self.prefill(prompt_ids[:-1], cache)
@@ -311,7 +313,9 @@ class TransformerLM:
         return result
 
     @staticmethod
-    def _sample(logits: np.ndarray, temperature: float, rng: np.random.Generator | None) -> int:
+    def _sample(
+        logits: np.ndarray, temperature: float, rng: np.random.Generator | None
+    ) -> int:
         if temperature <= 0:
             return int(np.argmax(logits))
         probs = softmax(logits / temperature)

@@ -79,7 +79,9 @@ class SyntheticTokenizer:
     def content_id(self, index: int) -> int:
         """Id of the ``index``-th content word."""
         if index < 0 or index >= self.n_content:
-            raise IndexError(f"content index {index} out of range [0, {self.n_content})")
+            raise IndexError(
+                f"content index {index} out of range [0, {self.n_content})"
+            )
         return len(SPECIAL_TOKENS) + index
 
     def filler_id(self, index: int) -> int:
@@ -92,7 +94,9 @@ class SyntheticTokenizer:
         """True if the id belongs to the content-word pool."""
         return len(SPECIAL_TOKENS) <= token_id < len(SPECIAL_TOKENS) + self.n_content
 
-    def random_content_ids(self, rng: np.random.Generator, n: int, replace: bool = False) -> np.ndarray:
+    def random_content_ids(
+        self, rng: np.random.Generator, n: int, replace: bool = False
+    ) -> np.ndarray:
         """Sample content-word ids."""
         picks = rng.choice(self.n_content, size=n, replace=replace)
         return np.array([self.content_id(int(i)) for i in np.atleast_1d(picks)])
@@ -114,7 +118,9 @@ class SyntheticTokenizer:
         for i in ids:
             i = int(i)
             if i < 0 or i >= self.vocab_size:
-                raise ValueError(f"token id {i} outside vocabulary of {self.vocab_size}")
+                raise ValueError(
+                    f"token id {i} outside vocabulary of {self.vocab_size}"
+                )
             out.append(self._id_to_word[i])
         return " ".join(out)
 

@@ -9,7 +9,7 @@ head pre-rotates keys by +1 position).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -187,7 +187,9 @@ def random_weights(config: ModelConfig, rng: np.random.Generator) -> ModelWeight
             )
     return ModelWeights(
         config=config,
-        embedding=(rng.standard_normal((config.vocab_size, d)) / np.sqrt(d)).astype(DTYPE),
+        embedding=(
+            rng.standard_normal((config.vocab_size, d)) / np.sqrt(d)
+        ).astype(DTYPE),
         layers=layers,
         norm_final=np.ones(d, dtype=DTYPE),
         lm_head=None if config.tie_lm_head else init(config.vocab_size, d),

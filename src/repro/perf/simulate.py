@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.memory_model import KV_COEFF, RUNTIME_OVERHEAD, MemoryModel
-from repro.core.prefetch import AsyncPrefetcher, DataflowKind, StepTimings
+from repro.core.prefetch import AsyncPrefetcher, StepTimings
 from repro.hardware.spec import HardwareSpec
 from repro.hardware.timing import BYTES_PER_VALUE, LatencyModel, OpCost
 from repro.models.config import ModelConfig
@@ -172,15 +172,25 @@ class PerfSimulator:
     def _kv_token_layer_bytes(self) -> int:
         return self.model.kv_bytes_per_token_layer()
 
-    def _full_kv_bytes(self, seq_len: int, batch: int, layers: int | None = None) -> float:
+    def _full_kv_bytes(
+        self, seq_len: int, batch: int, layers: int | None = None
+    ) -> float:
         layers = self.model.n_layers if layers is None else layers
         # The +alpha repeat_kv buffer of Sec. 6.2 applies to GQA/MQA.
         eff = layers + self.model.group_size
-        return KV_COEFF * batch * eff * seq_len * self.model.n_kv_heads * self.model.head_dim
+        return (
+            KV_COEFF * batch * eff * seq_len
+            * self.model.n_kv_heads * self.model.head_dim
+        )
 
-    def _eager_prefill_transient(self, engine: EngineSpec, in_len: int, batch: int) -> float:
+    def _eager_prefill_transient(
+        self, engine: EngineSpec, in_len: int, batch: int
+    ) -> float:
         """Materialized attention-score matrix of one prefill layer."""
-        return float(engine.attn_score_bytes) * batch * self.model.n_q_heads * in_len * in_len
+        return (
+            float(engine.attn_score_bytes) * batch
+            * self.model.n_q_heads * in_len * in_len
+        )
 
     def resident_bytes(
         self,
@@ -277,7 +287,10 @@ class PerfSimulator:
     def _layer_linear_cost(self, batch: int) -> OpCost:
         """QKV/O projections + FFN of one layer for one decode step."""
         cfg = self.model
-        per_layer_params = (cfg.parameter_bytes() // BYTES_PER_VALUE - cfg.vocab_size * cfg.d_model) / cfg.n_layers
+        per_layer_params = (
+            cfg.parameter_bytes() // BYTES_PER_VALUE
+            - cfg.vocab_size * cfg.d_model
+        ) / cfg.n_layers
         flops = 2.0 * per_layer_params * batch
         weight_bytes = per_layer_params * BYTES_PER_VALUE
         act_bytes = batch * cfg.d_model * BYTES_PER_VALUE * 8  # residual traffic
@@ -460,7 +473,10 @@ class PerfSimulator:
         passes = PREPROCESS_PASSES[engine.preprocess]
         if passes:
             k_bytes = batch * in_len * cfg.n_kv_heads * cfg.head_dim * BYTES_PER_VALUE
-            scan = OpCost(flops=2.0 * passes * k_bytes, gpu_bytes=passes * k_bytes * cfg.n_layers)
+            scan = OpCost(
+                flops=2.0 * passes * k_bytes,
+                gpu_bytes=passes * k_bytes * cfg.n_layers,
+            )
             seconds += self.latency.op_seconds(scan)
 
         # Writing offloaded layers' prompt KV back to the host.

@@ -19,19 +19,19 @@ long-context *reasoning* scenario.
 """
 
 from repro.retrieval.base import BudgetedPolicy, RetrievalRecord
-from repro.retrieval.full import FullAttentionPolicy
-from repro.retrieval.sliding import SlidingWindowPolicy
-from repro.retrieval.streaming import StreamingLLMPolicy
-from repro.retrieval.quest import QuestPolicy
 from repro.retrieval.clusterkv import ClusterKVPolicy
-from repro.retrieval.shadowkv import ShadowKVPolicy
+from repro.retrieval.full import FullAttentionPolicy
 from repro.retrieval.h2o import H2OPolicy
+from repro.retrieval.quest import QuestPolicy
 from repro.retrieval.registry import (
     available_policies,
     make_policy,
     register_policy,
     resolve_policy_name,
 )
+from repro.retrieval.shadowkv import ShadowKVPolicy
+from repro.retrieval.sliding import SlidingWindowPolicy
+from repro.retrieval.streaming import StreamingLLMPolicy
 
 __all__ = [
     "BudgetedPolicy",

@@ -43,7 +43,9 @@ class BudgetedPolicy:
     never candidates for eviction.
     """
 
-    def __init__(self, model: TransformerLM, budget: int, retain_generated: bool = True):
+    def __init__(
+        self, model: TransformerLM, budget: int, retain_generated: bool = True
+    ):
         if budget < 1:
             raise ValueError(f"budget must be >= 1, got {budget}")
         self.model = model
@@ -95,7 +97,9 @@ class BudgetedPolicy:
         prompt_sel = self._select_prompt(layer, queries, cache)
         prompt_sel = np.asarray(prompt_sel)
         if prompt_sel.ndim == 1:
-            prompt_sel = np.broadcast_to(prompt_sel, (queries.shape[0], prompt_sel.shape[0]))
+            prompt_sel = np.broadcast_to(
+                prompt_sel, (queries.shape[0], prompt_sel.shape[0])
+            )
         selection = self._append_generated(prompt_sel, len(cache))
         self._step_log[layer] = np.unique(selection)
         return selection

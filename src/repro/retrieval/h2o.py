@@ -60,8 +60,13 @@ class H2OPolicy(BudgetedPolicy):
             merged = np.union1d(heavy[h], recent)
             if merged.size < self.budget:
                 # Union removed duplicates; pad with next-heaviest tokens.
-                pool = top_k_indices(self._accumulated[layer][h], self.budget + n_recent)
+                pool = top_k_indices(
+                    self._accumulated[layer][h], self.budget + n_recent
+                )
                 extra = [t for t in pool if t not in set(merged.tolist())]
-                merged = np.concatenate([merged, np.array(extra[: self.budget - merged.size], dtype=np.int64)])
+                tail = np.array(
+                    extra[: self.budget - merged.size], dtype=np.int64
+                )
+                merged = np.concatenate([merged, tail])
             out[h] = merged[: self.budget]
         return out

@@ -4,41 +4,68 @@
   inference over a shared paged KV pool: concurrent sessions with
   per-request policies, budgets and stop conditions, prefix caching,
   pool-pressure admission and preemption.
+- :class:`ClusterFrontend` — N independent server replicas behind one
+  request-level API, with pluggable routing (``round_robin``,
+  ``least_loaded``, ``prefix_affinity``) and merged stream/meter views.
 - :mod:`repro.serving.policies` — scheduler-policy registry (``fcfs``,
-  ``priority``, ``sjf``) governing admission order and victim selection.
+  ``priority``, ``sjf``) governing admission order and victim selection,
+  plus the cluster router registry.
 - :mod:`repro.serving.trace` — trace-driven harness: seeded Poisson
-  workloads replayed through the server with per-step invariant checks.
+  workloads replayed through the server (or cluster) with per-step
+  invariant checks.
 - :class:`StaticBatchScheduler` — memory-aware FIFO batching over the
   performance *simulator* (Table 3's serving view).
 - :class:`ThroughputMeter` / :class:`Request` — shared accounting.
 """
 
+from repro.serving.cluster import (
+    ClusterFrontend,
+    ClusterPreemptionEvent,
+    ClusterRoutingStats,
+)
 from repro.serving.meter import ThroughputMeter
 from repro.serving.policies import (
+    RouterPolicy,
     SchedulerPolicy,
+    available_routers,
     available_schedulers,
+    make_router,
     make_scheduler,
+    resolve_router_name,
     resolve_scheduler_name,
 )
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
 from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
-from repro.serving.trace import TraceEntry, poisson_trace, replay_trace
+from repro.serving.trace import (
+    TraceEntry,
+    poisson_trace,
+    replay_trace,
+    replay_trace_cluster,
+)
 
 __all__ = [
     "BatchPlan",
+    "ClusterFrontend",
+    "ClusterPreemptionEvent",
+    "ClusterRoutingStats",
     "PreemptionEvent",
     "Request",
     "RequestState",
+    "RouterPolicy",
     "SchedulerPolicy",
     "SpeContextServer",
     "StaticBatchScheduler",
     "StreamEvent",
     "ThroughputMeter",
     "TraceEntry",
+    "available_routers",
     "available_schedulers",
+    "make_router",
     "make_scheduler",
     "poisson_trace",
     "replay_trace",
+    "replay_trace_cluster",
+    "resolve_router_name",
     "resolve_scheduler_name",
 ]

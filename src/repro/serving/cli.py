@@ -10,6 +10,7 @@ Usage::
     specontext-serve --requests 12 --concurrency 4 --budget 96
     specontext-serve --policies specontext,quest --max-new-tokens 8
     specontext-serve --pool-blocks 40 --scheduler priority  # force pressure
+    specontext-serve --replicas 4 --router prefix_affinity  # cluster mode
 """
 
 from __future__ import annotations
@@ -19,14 +20,20 @@ import sys
 
 import numpy as np
 
-from repro.api.config import EngineConfig, SamplingParams
+from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
 from repro.api.request import GenerationRequest
 from repro.models.builder import build_recall_model
 from repro.models.config import tiny_test_config
 from repro.models.llm import TransformerLM
 from repro.models.tokenizer import SyntheticTokenizer
 from repro.retrieval.registry import available_policies, resolve_policy_name
-from repro.serving.policies import available_schedulers, resolve_scheduler_name
+from repro.serving.cluster import ClusterFrontend
+from repro.serving.policies import (
+    available_routers,
+    available_schedulers,
+    resolve_router_name,
+    resolve_scheduler_name,
+)
 from repro.serving.server import SpeContextServer
 from repro.utils.tables import format_table
 from repro.utils.units import human_bytes
@@ -95,11 +102,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-step token budget shared by the decode "
                         "wave and prefill chunks (requires "
                         "--prefill-chunk-tokens)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="server replicas behind the cluster frontend "
+                        "(1 = plain single-server mode)")
+    parser.add_argument("--router", default="prefix_affinity",
+                        help="cluster routing policy, used when --replicas "
+                        f"> 1 (available: {', '.join(available_routers())})")
+    parser.add_argument("--stickiness-tokens", type=int, default=16,
+                        help="minimum cached-prefix match for the "
+                        "prefix-affinity router to stick to a replica")
     args = parser.parse_args(argv)
 
     try:
         policies = [resolve_policy_name(p) for p in args.policies.split(",") if p]
         scheduler = resolve_scheduler_name(args.scheduler)
+        router = resolve_router_name(args.router)
     except KeyError as err:
         print(err.args[0], file=sys.stderr)
         return 2
@@ -111,25 +128,36 @@ def main(argv: list[str] | None = None) -> int:
     tokenizer = SyntheticTokenizer(vocab_size=args.vocab)
     config = tiny_test_config(n_layers=args.layers, vocab_size=args.vocab)
     model = TransformerLM(build_recall_model(config, tokenizer, rng))
+    engine_config = EngineConfig(
+        budget=args.budget,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=args.concurrency,
+        seed=args.seed,
+        block_size=args.block_size,
+        pool_blocks=args.pool_blocks,
+        enable_prefix_cache=not args.no_prefix_cache,
+        preempt_mode=args.preempt_mode,
+        scheduler=scheduler,
+        batched_decode=not args.sequential_decode,
+        kv_dtype=args.kv_dtype,
+        prefill_chunk_tokens=args.prefill_chunk_tokens,
+        max_step_tokens=args.max_step_tokens,
+    )
     try:
-        server = SpeContextServer(
-            model,
-            EngineConfig(
-                budget=args.budget,
-                bos_id=tokenizer.bos_id,
-                max_concurrency=args.concurrency,
-                seed=args.seed,
-                block_size=args.block_size,
-                pool_blocks=args.pool_blocks,
-                enable_prefix_cache=not args.no_prefix_cache,
-                preempt_mode=args.preempt_mode,
-                scheduler=scheduler,
-                batched_decode=not args.sequential_decode,
-                kv_dtype=args.kv_dtype,
-                prefill_chunk_tokens=args.prefill_chunk_tokens,
-                max_step_tokens=args.max_step_tokens,
-            ),
-        )
+        if args.replicas > 1:
+            frontend = ClusterFrontend(
+                model,
+                engine_config,
+                ClusterConfig(
+                    n_replicas=args.replicas,
+                    router=router,
+                    stickiness_tokens=args.stickiness_tokens,
+                ),
+            )
+            server = frontend.replicas[0]
+        else:
+            frontend = None
+            server = SpeContextServer(model, engine_config)
     except ValueError as err:
         print(err, file=sys.stderr)
         return 2
@@ -152,14 +180,20 @@ def main(argv: list[str] | None = None) -> int:
             if args.prefill_chunk_tokens is not None
             else ""
         )
+        + (
+            f"  |  {args.replicas} replicas, {router} routing"
+            if frontend is not None
+            else ""
+        )
     )
 
+    target = frontend if frontend is not None else server
     for i in range(args.requests):
         prompt = _recall_prompt(
             tokenizer, np.random.default_rng(args.seed + 1000 + i), args.prompt_len
         )
         try:
-            server.add_request(
+            target.add_request(
                 GenerationRequest(
                     prompt,
                     sampling=SamplingParams(max_new_tokens=args.max_new_tokens),
@@ -170,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
             print(err, file=sys.stderr)  # e.g. prompt larger than the pool
             return 2
 
-    outputs = server.run()
+    outputs = target.run()
     rows = []
     for output in outputs:
         rows.append([
@@ -191,8 +225,22 @@ def main(argv: list[str] | None = None) -> int:
         rows,
         title=f"{len(outputs)} requests, continuous batching",
     ))
-    meter = server.meter
-    stats = server.pool.stats
+    if frontend is not None:
+        meter = frontend.stats()
+        pools = [r.pool.stats for r in frontend.replicas]
+        allocated = sum(s.allocated for s in pools)
+        prefill = sum(s.prefill_blocks_allocated for s in pools)
+        reused = sum(s.prefix_blocks_reused for s in pools)
+        n_preempted = len(frontend.preemption_log)
+    else:
+        meter = server.meter
+        stats = server.pool.stats
+        allocated, prefill, reused = (
+            stats.allocated,
+            stats.prefill_blocks_allocated,
+            stats.prefix_blocks_reused,
+        )
+        n_preempted = len(server.preemption_log)
     print(
         f"\nmeter: {len(meter.finished)} finished, "
         f"{meter.generated_tokens} tokens over {meter.makespan_s:.0f} steps "
@@ -205,12 +253,29 @@ def main(argv: list[str] | None = None) -> int:
         f"p95 {meter.queueing_delay_percentile(95):.0f} steps"
     )
     print(
-        f"pool: {stats.allocated} blocks allocated "
-        f"({stats.prefill_blocks_allocated} prefill, "
-        f"{stats.prefix_blocks_reused} reused via prefix cache, "
-        f"{stats.prefix_hit_rate:.0%} hit rate), "
-        f"{len(server.preemption_log)} preemptions"
+        f"pool: {allocated} blocks allocated ({prefill} prefill, "
+        f"{reused} reused via prefix cache), {n_preempted} preemptions"
     )
+    if frontend is not None:
+        routing = frontend.routing
+        rows = [
+            [
+                i,
+                routing.routed[i],
+                routing.affinity_hits[i],
+                routing.affinity_misses[i],
+                routing.cold[i],
+                frontend.replicas[i].pool.stats.prefix_blocks_reused,
+            ]
+            for i in range(frontend.n_replicas)
+        ]
+        print()
+        print(format_table(
+            ["replica", "routed", "hits", "misses", "cold", "blocks reused"],
+            rows,
+            title=f"{router} routing, {routing.hit_rate:.0%} affinity hit "
+            "rate (non-cold)",
+        ))
     return 0
 
 

@@ -1,0 +1,320 @@
+"""Multi-replica cluster serving with pluggable request routing.
+
+Scaling *out*: a :class:`ClusterFrontend` owns N independent
+:class:`~repro.serving.server.SpeContextServer` replicas — each with its
+own :class:`~repro.kvcache.pool.PagedKVPool`, scheduler and meter — and
+routes every incoming :class:`~repro.api.request.GenerationRequest`
+through a pluggable router (:func:`repro.serving.policies.make_router`):
+
+- ``round_robin`` — cyclic placement, the locality-blind baseline;
+- ``least_loaded`` — smallest outstanding admission charge (reserved
+  tokens of unfinished sessions) plus queue depth, ties to the lowest
+  replica index;
+- ``prefix_affinity`` — probe every replica's prefix cache (a read-only
+  blake2b-chain walk, :meth:`~repro.kvcache.pool.PagedKVPool
+  .longest_prefix_match`) and stick to the longest match when it reaches
+  the stickiness threshold, falling back to least-loaded otherwise. This
+  turns the per-replica prefix cache into a cluster-wide asset: requests
+  sharing a system prompt land where their prefix KV already lives.
+
+Placement is the *only* cluster-level decision. Once routed, a request
+runs under the replica's own admission, preemption and scheduling — and
+the single-server guarantees carry over verbatim: each request's token
+stream is bit-identical to a solo run of the same request on a fresh
+replica (the exact-streams contract; no cross-replica array-equality is
+asserted anywhere). :meth:`ClusterFrontend.step` drives all replicas one
+wave each in lockstep and merges their per-token
+:class:`~repro.serving.server.StreamEvent`s and
+:class:`~repro.serving.server.PreemptionEvent`s into a single ordered
+client view (replica order within a step, emission order within a
+replica — deterministic at fixed seed).
+
+Request ids are assigned globally by the frontend and passed through to
+the replicas (each replica sees an increasing subsequence, which the
+server's submission contract accepts), so stream events, outputs and
+preemption events all speak global ids without a translation table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.config import ClusterConfig, EngineConfig
+from repro.api.request import GenerationOutput, GenerationRequest
+from repro.core.memory_model import MemoryModel
+from repro.models.llm import TransformerLM
+from repro.serving.meter import ThroughputMeter
+from repro.serving.policies import make_router, resolve_router_name
+from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+
+
+@dataclass(frozen=True)
+class ClusterPreemptionEvent:
+    """One replica-local preemption, tagged with its replica index."""
+
+    replica: int
+    event: PreemptionEvent
+
+
+@dataclass
+class ClusterRoutingStats:
+    """Per-replica placement accounting (one list slot per replica).
+
+    A routed request is an **affinity hit** when the chosen replica's
+    prefix cache covered at least ``stickiness_tokens`` of its prompt at
+    placement time, an **affinity miss** when some *other* replica held
+    such a match but the chosen one did not (locality left on the
+    table — the round-robin failure mode), and **cold** when no replica
+    held a qualifying match (nothing to exploit; every group's first
+    request is cold). Hits + misses + cold = routed.
+    """
+
+    routed: list[int] = field(default_factory=list)
+    affinity_hits: list[int] = field(default_factory=list)
+    affinity_misses: list[int] = field(default_factory=list)
+    cold: list[int] = field(default_factory=list)
+
+    @property
+    def total_routed(self) -> int:
+        return sum(self.routed)
+
+    @property
+    def hit_rate(self) -> float:
+        """Affinity hits over non-cold placements (1.0 when all cold)."""
+        contested = sum(self.affinity_hits) + sum(self.affinity_misses)
+        if contested == 0:
+            return 1.0
+        return sum(self.affinity_hits) / contested
+
+
+class _ReplicaView:
+    """The cheap router-facing surface of one replica."""
+
+    def __init__(self, index: int, server: SpeContextServer):
+        self.index = index
+        self.server = server
+
+    @property
+    def queue_depth(self) -> int:
+        return self.server.n_waiting
+
+    @property
+    def reserved_tokens(self) -> int:
+        return self.server.reserved_tokens
+
+    def prefix_match_tokens(self, prompt_ids: np.ndarray) -> int:
+        return self.server.pool.longest_prefix_match(prompt_ids)
+
+
+class _ProbedView:
+    """A replica view with this request's prefix probe precomputed.
+
+    The frontend probes every replica once per submission (it needs the
+    matches for hit/miss accounting whatever the router); handing the
+    router these memoized views means ``prefix_affinity`` does not walk
+    the blake2b chains a second time.
+    """
+
+    def __init__(self, view: _ReplicaView, match: int):
+        self._view = view
+        self.index = view.index
+        self._match = match
+
+    @property
+    def queue_depth(self) -> int:
+        return self._view.queue_depth
+
+    @property
+    def reserved_tokens(self) -> int:
+        return self._view.reserved_tokens
+
+    def prefix_match_tokens(self, prompt_ids: np.ndarray) -> int:
+        return self._match
+
+
+class ClusterFrontend:
+    """N server replicas behind one request-level API."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        config: EngineConfig | None = None,
+        cluster: ClusterConfig | None = None,
+        memory_model: MemoryModel | None = None,
+    ):
+        self.config = config or EngineConfig()
+        self.cluster = cluster or ClusterConfig()
+        router_opts = {}
+        if resolve_router_name(self.cluster.router) == "prefix_affinity":
+            router_opts["stickiness_tokens"] = self.cluster.stickiness_tokens
+        self.router = make_router(self.cluster.router, **router_opts)
+        self.replicas = [
+            SpeContextServer(model, self.config, memory_model)
+            for _ in range(self.cluster.n_replicas)
+        ]
+        self._views = [
+            _ReplicaView(i, server) for i, server in enumerate(self.replicas)
+        ]
+        self.routing = ClusterRoutingStats(
+            routed=[0] * self.cluster.n_replicas,
+            affinity_hits=[0] * self.cluster.n_replicas,
+            affinity_misses=[0] * self.cluster.n_replicas,
+            cold=[0] * self.cluster.n_replicas,
+        )
+        self._replica_of: dict[int, int] = {}  # request id -> replica index
+        self._stream: list[StreamEvent] = []
+        self._preemption_log: list[ClusterPreemptionEvent] = []
+        self._preemption_cursors = [0] * self.cluster.n_replicas
+        self._next_id = 0
+        self._clock = 0.0
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    # ---- submission ------------------------------------------------------------
+
+    def add_request(self, request: GenerationRequest) -> int:
+        """Route and enqueue one request; returns its global request id.
+
+        The router places the request, then the chosen replica runs its
+        full submission validation. On rejection the request object, the
+        id counter, the routing stats *and the router's own state* (the
+        round-robin cursor) are all restored, so a rejected submission is
+        retryable and placement stays identical to a run that never saw
+        it.
+        """
+        if request.request_id is not None and request.request_id < self._next_id:
+            raise ValueError(
+                f"request_id {request.request_id} already used; ids must be "
+                "unique and increasing"
+            )
+        # One probe per replica feeds both the router (through memoized
+        # views, so prefix_affinity never re-walks the hash chains) and
+        # the hit/miss accounting below.
+        matches = [
+            view.prefix_match_tokens(request.prompt_ids) for view in self._views
+        ]
+        probed = [
+            _ProbedView(view, match)
+            for view, match in zip(self._views, matches)
+        ]
+        cursor = getattr(self.router, "_next", None)
+        chosen = self.router.route(request, probed)
+        if not 0 <= chosen < self.n_replicas:
+            raise ValueError(
+                f"router {self.router.name!r} returned replica {chosen}; "
+                f"cluster has {self.n_replicas}"
+            )
+        preset = request.request_id
+        if preset is None:
+            request.request_id = self._next_id
+        try:
+            request_id = self.replicas[chosen].add_request(request)
+        except Exception:
+            request.request_id = preset
+            if cursor is not None:
+                self.router._next = cursor
+            raise
+        self._next_id = request_id + 1
+        self._replica_of[request_id] = chosen
+        self.routing.routed[chosen] += 1
+        threshold = self.cluster.stickiness_tokens
+        if matches[chosen] >= threshold:
+            self.routing.affinity_hits[chosen] += 1
+        elif max(matches) >= threshold:
+            self.routing.affinity_misses[chosen] += 1
+        else:
+            self.routing.cold[chosen] += 1
+        return request_id
+
+    def replica_of(self, request_id: int) -> int:
+        """Replica index a submitted request was placed on."""
+        return self._replica_of[request_id]
+
+    # ---- stepping --------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """The shared step-count clock (replicas tick in lockstep)."""
+        return self._clock
+
+    def advance_clock_to(self, when: float) -> None:
+        """Jump every replica's idle clock forward (trace replay gaps)."""
+        for server in self.replicas:
+            server.advance_clock_to(when)
+        self._clock = float(when)
+
+    @property
+    def has_unfinished(self) -> bool:
+        return any(server.has_unfinished for server in self.replicas)
+
+    def step(self) -> list[GenerationOutput]:
+        """Drive every replica one wave; merge events into one client view.
+
+        All replicas step every cluster step — idle ones merely tick
+        their clock — so per-replica clocks stay in lockstep and merged
+        meter percentiles are measured on one shared timeline. Stream and
+        preemption events accumulate in replica order within the step,
+        emission order within each replica: a deterministic total order.
+        Returns the requests that finished during this step, sorted by
+        global request id.
+        """
+        finished: list[GenerationOutput] = []
+        for i, server in enumerate(self.replicas):
+            finished.extend(server.step())
+            self._stream.extend(server.pop_stream_events())
+            log = server.preemption_log
+            for event in log[self._preemption_cursors[i]:]:
+                self._preemption_log.append(
+                    ClusterPreemptionEvent(replica=i, event=event)
+                )
+            self._preemption_cursors[i] = len(log)
+        self._clock += 1.0
+        return sorted(finished, key=lambda o: o.request_id)
+
+    def run(self) -> list[GenerationOutput]:
+        """Step until every replica drains; returns outputs by global id."""
+        outputs: list[GenerationOutput] = []
+        while self.has_unfinished:
+            outputs.extend(self.step())
+        return sorted(outputs, key=lambda o: o.request_id)
+
+    # ---- merged views ----------------------------------------------------------
+
+    def pop_stream_events(self) -> list[StreamEvent]:
+        """Drain the merged per-token stream (global request ids)."""
+        events = self._stream
+        self._stream = []
+        return events
+
+    @property
+    def preemption_log(self) -> list[ClusterPreemptionEvent]:
+        """Every preemption on any replica, in merged client order."""
+        return list(self._preemption_log)
+
+    @property
+    def outputs(self) -> list[GenerationOutput]:
+        """All finished outputs across replicas, sorted by global id."""
+        merged: list[GenerationOutput] = []
+        for server in self.replicas:
+            merged.extend(server.outputs)
+        return sorted(merged, key=lambda o: o.request_id)
+
+    def stats(self) -> ThroughputMeter:
+        """Cluster-wide meter: the union of every replica's records.
+
+        Percentiles over the union are not derivable from per-replica
+        aggregates, hence :meth:`ThroughputMeter.merge` rather than any
+        averaging of replica meters.
+        """
+        return ThroughputMeter.merge(*(s.meter for s in self.replicas))
+
+    def prefix_reused_tokens(self) -> int:
+        """Cluster-wide prompt tokens served from prefix caches so far."""
+        return sum(
+            o.stats.prefix_reused_tokens for server in self.replicas
+            for o in server.outputs
+        )

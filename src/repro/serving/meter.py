@@ -24,6 +24,24 @@ class ThroughputMeter:
     finished: list[Request] = field(default_factory=list)
     rejected: list[Request] = field(default_factory=list)
 
+    @classmethod
+    def merge(cls, *meters: "ThroughputMeter") -> "ThroughputMeter":
+        """One meter over the union of several meters' records.
+
+        The cluster frontend keeps one :class:`ThroughputMeter` per
+        replica (each server stamps its own completions); a merged view is
+        needed for cluster-wide percentiles, which are *not* derivable
+        from per-replica aggregates (a p95 of p95s is not the p95 of the
+        union). Records are shared, not copied — the merged meter is a
+        read-side view, and mutating it (``record``/``clear``) does not
+        touch the sources.
+        """
+        merged = cls()
+        for meter in meters:
+            merged.finished.extend(meter.finished)
+            merged.rejected.extend(meter.rejected)
+        return merged
+
     def record(self, request: Request) -> None:
         if request.state is RequestState.FINISHED:
             if request.finish_s < request.start_s or (

@@ -1,27 +1,37 @@
-"""Scheduler-policy registry: pluggable admission and preemption ordering.
+"""Scheduler- and router-policy registries for the serving layer.
 
-Mirrors :mod:`repro.retrieval.registry` for the serving layer: every
-scheduling discipline is registered under a canonical name (plus display
-aliases) and resolved through one factory::
+Mirrors :mod:`repro.retrieval.registry`: every scheduling discipline and
+every cluster routing discipline is registered under a canonical name
+(plus display aliases) and resolved through one factory::
 
     scheduler = make_scheduler("priority")
     waiting.sort(key=scheduler.admission_key)
     victim = min(active, key=scheduler.victim_key)
 
-A policy supplies two sort keys over the server's session view:
+    router = make_router("prefix_affinity", stickiness_tokens=16)
+    replica = router.route(request, replica_views)
+
+A scheduler policy supplies two sort keys over the server's session view:
 
 - ``admission_key``: waiting sessions are admitted in ascending key order;
 - ``victim_key``: under pool pressure the active session with the smallest
   key is preempted first.
 
-Keys must be total orders (ties broken by request id) so scheduling is
-deterministic at fixed seed — the trace tests replay schedules and compare
-token streams bit-for-bit.
+A router policy places one request on one replica of a
+:class:`~repro.serving.cluster.ClusterFrontend`; it sees only the cheap
+:class:`ReplicaView` surface (queue depth, reserved tokens, a read-only
+prefix-cache probe), never the replicas' internals.
+
+Keys and routing decisions must be deterministic at fixed seed (ties
+broken by replica index / request id) — the trace tests replay schedules
+and compare token streams bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
 
 
 class SchedulableSession(Protocol):
@@ -146,3 +156,173 @@ class ShortestPromptFirstScheduler(SchedulerPolicy):
 
     def victim_key(self, session: SchedulableSession):
         return (-session.prompt_len, -session.arrival_s, -session.request_id)
+
+
+# ---- cluster routers ---------------------------------------------------------
+
+
+class ReplicaView(Protocol):
+    """What a router may inspect about one replica (duck-typed).
+
+    ``reserved_tokens`` is the replica's outstanding admission charge —
+    the sum of ``prompt + max_new_tokens`` over every unfinished session,
+    i.e. the KV the replica is committed to if everything runs to length.
+    ``prefix_match_tokens`` is the read-only probe of the replica's
+    prefix cache (:meth:`repro.kvcache.pool.PagedKVPool
+    .longest_prefix_match`); it never mutates cache state, so routers may
+    probe every replica for every request.
+    """
+
+    @property
+    def index(self) -> int: ...
+
+    @property
+    def queue_depth(self) -> int: ...
+
+    @property
+    def reserved_tokens(self) -> int: ...
+
+    def prefix_match_tokens(self, prompt_ids: np.ndarray) -> int: ...
+
+
+class RoutableRequest(Protocol):
+    """What a router may inspect about the request being placed."""
+
+    @property
+    def prompt_ids(self) -> np.ndarray: ...
+
+    @property
+    def prompt_len(self) -> int: ...
+
+
+def _load_key(replica: ReplicaView) -> tuple[int, int]:
+    """Least-loaded total order: reserved tokens + queue depth, then index."""
+    return (replica.reserved_tokens + replica.queue_depth, replica.index)
+
+
+class RouterPolicy:
+    """Base router: round-robin placement (stateful cursor, one per frontend)."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def route(
+        self, request: RoutableRequest, replicas: Sequence[ReplicaView]
+    ) -> int:
+        """Replica index to place ``request`` on (must be deterministic)."""
+        chosen = self._next % len(replicas)
+        self._next += 1
+        return chosen
+
+
+RouterBuilder = Callable[..., RouterPolicy]
+
+# Canonical (registered, display-friendly) name -> builder; the lookup
+# table maps normalized spellings and aliases back to the canonical name,
+# so ``prefix_affinity`` stays ``prefix_affinity`` in banners and reports
+# instead of a squashed ``prefixaffinity``.
+_ROUTER_REGISTRY: dict[str, RouterBuilder] = {}
+_ROUTER_LOOKUP: dict[str, str] = {}
+
+
+def register_router(
+    name: str, *aliases: str
+) -> Callable[[RouterBuilder], RouterBuilder]:
+    """Decorator adding a router under ``name`` (plus aliases)."""
+
+    def deco(builder: RouterBuilder) -> RouterBuilder:
+        if name in _ROUTER_REGISTRY:
+            raise ValueError(f"duplicate router name {name!r}")
+        _ROUTER_REGISTRY[name] = builder
+        for alias in (name, *aliases):
+            _ROUTER_LOOKUP[_normalize(alias)] = name
+        return builder
+
+    return deco
+
+
+def available_routers() -> tuple[str, ...]:
+    """Canonical router names, sorted."""
+    return tuple(sorted(_ROUTER_REGISTRY))
+
+
+def resolve_router_name(name: str) -> str:
+    """Canonical name for ``name`` (alias- and case-insensitive)."""
+    key = _ROUTER_LOOKUP.get(_normalize(name))
+    if key is None:
+        raise KeyError(
+            f"unknown router {name!r}; available: {list(available_routers())}"
+        )
+    return key
+
+
+def make_router(name: str, **opts) -> RouterPolicy:
+    """Build the routing policy registered under ``name``.
+
+    ``opts`` are forwarded to the router's constructor; routers reject
+    options they do not understand (a misspelled knob must not silently
+    fall back to defaults).
+    """
+    return _ROUTER_REGISTRY[resolve_router_name(name)](**opts)
+
+
+@register_router("round_robin", "rr", "roundrobin")
+def _build_round_robin() -> RouterPolicy:
+    return RouterPolicy()
+
+
+@register_router("least_loaded", "ll", "leastloaded")
+class LeastLoadedRouter(RouterPolicy):
+    """Place on the replica with the least outstanding work.
+
+    Load is the admission charge (reserved tokens of unfinished sessions)
+    plus the waiting-queue depth; ties break toward the lowest replica
+    index so placement is deterministic.
+    """
+
+    name = "least_loaded"
+
+    def route(
+        self, request: RoutableRequest, replicas: Sequence[ReplicaView]
+    ) -> int:
+        return min(replicas, key=_load_key).index
+
+
+@register_router("prefix_affinity", "pa", "prefixaffinity")
+class PrefixAffinityRouter(RouterPolicy):
+    """Route to the replica whose prefix cache best covers the prompt.
+
+    Every replica's pool is probed (read-only blake2b-chain walk) for the
+    longest cached prefix of the prompt. When the best match reaches
+    ``stickiness_tokens``, the request sticks to that replica — turning
+    each replica's prefix cache into a cluster-wide asset — with ties
+    broken by load, then index. Below the threshold the match is too
+    small to be worth colocating for (a short shared BOS block, say) and
+    placement falls back to least-loaded, which also spreads the *first*
+    request of every new prefix group across the cluster.
+    """
+
+    name = "prefix_affinity"
+
+    def __init__(self, stickiness_tokens: int = 16):
+        super().__init__()
+        if stickiness_tokens < 1:
+            raise ValueError(
+                f"stickiness_tokens must be >= 1, got {stickiness_tokens}"
+            )
+        self.stickiness_tokens = stickiness_tokens
+
+    def route(
+        self, request: RoutableRequest, replicas: Sequence[ReplicaView]
+    ) -> int:
+        matches = {
+            replica.index: replica.prefix_match_tokens(request.prompt_ids)
+            for replica in replicas
+        }
+        best = max(matches.values())
+        if best < self.stickiness_tokens:
+            return min(replicas, key=_load_key).index
+        contenders = [r for r in replicas if matches[r.index] == best]
+        return min(contenders, key=_load_key).index

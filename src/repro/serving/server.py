@@ -407,6 +407,21 @@ class SpeContextServer:
         return len(self._waiting)
 
     @property
+    def reserved_tokens(self) -> int:
+        """Outstanding admission charge: peak KV tokens of unfinished work.
+
+        Every unfinished session (waiting or active) is charged its full
+        ``prompt + max_new_tokens`` — the commitment :meth:`_can_admit`
+        holds capacity against, not the current partial footprint. The
+        cluster frontend's least-loaded router reads this as the
+        replica's load.
+        """
+        return sum(
+            s.prompt_len + s.sampling.max_new_tokens
+            for s in (*self._waiting, *self._active)
+        )
+
+    @property
     def outputs(self) -> list[GenerationOutput]:
         """All outputs completed over the server's lifetime."""
         return list(self._outputs)

@@ -11,9 +11,13 @@ workload construction to ad-hoc test code:
   when the clock reaches its arrival and stepping until drained, invoking
   an observer after every step (tests assert pool/scheduling invariants
   there);
+- :func:`replay_trace_cluster` does the same through a
+  :class:`~repro.serving.cluster.ClusterFrontend`, with an optional
+  per-replica observer invoked for every replica after every cluster
+  step (per-replica pool invariants, preemption schedules);
 - :func:`solo_token_streams` computes the reference output of every
   request run alone on an identical server — the oracle for the
-  batched == solo and preemption bit-identity guarantees.
+  batched == solo, preemption and cluster bit-identity guarantees.
 
 Everything is deterministic at fixed seed: traces, admission order,
 preemption schedules and token streams replay exactly.
@@ -92,6 +96,34 @@ def replay_trace(
         if observer is not None:
             observer(server)
     return sorted(outputs, key=lambda o: o.request_id)
+
+
+def replay_trace_cluster(
+    frontend,
+    trace: Sequence[TraceEntry],
+    observer: Callable | None = None,
+    replica_observer: Callable[[int, SpeContextServer], None] | None = None,
+) -> list[GenerationOutput]:
+    """Replay a trace through a cluster frontend; outputs by global id.
+
+    The frontend speaks the same submit/step/clock protocol as a single
+    server, so the replay loop is :func:`replay_trace` itself; this
+    wrapper adds the cluster-specific observation surface:
+    ``observer(frontend)`` runs after every cluster step, then
+    ``replica_observer(index, server)`` runs for every replica — the
+    place to assert per-replica pool invariants while a routed schedule
+    is in flight.
+    """
+
+    def observe(front) -> None:
+        if observer is not None:
+            observer(front)
+        if replica_observer is not None:
+            for index, server in enumerate(front.replicas):
+                replica_observer(index, server)
+
+    watched = observe if (observer or replica_observer) else None
+    return replay_trace(frontend, trace, watched)
 
 
 def solo_token_streams(

@@ -7,25 +7,25 @@ used by the ShadowKV baseline.
 """
 
 from repro.tensor.ops import (
-    softmax,
-    log_softmax,
-    rms_norm,
-    layer_norm,
-    silu,
+    cross_entropy,
     gelu,
+    kl_divergence,
+    layer_norm,
     linear,
     linear_rows,
-    kl_divergence,
-    cross_entropy,
+    log_softmax,
+    rms_norm,
+    silu,
+    softmax,
     top_k_indices,
 )
+from repro.tensor.quantization import QuantizedTensor, dequantize, quantize_per_channel
 from repro.tensor.rope import (
     RotaryEmbedding,
     YarnConfig,
     clear_rope_table_cache,
     rope_table_cache_info,
 )
-from repro.tensor.quantization import quantize_per_channel, dequantize, QuantizedTensor
 
 __all__ = [
     "softmax",

@@ -63,7 +63,9 @@ def gelu(x: np.ndarray) -> np.ndarray:
     return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
 
 
-def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+def linear(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
     """Affine projection ``x @ weight.T + bias`` (torch.nn.Linear convention).
 
     ``weight`` has shape (out_features, in_features). A 1-D ``x`` is
@@ -100,7 +102,9 @@ def linear_rows(
     return out + bias
 
 
-def kl_divergence(p_logits: np.ndarray, q_logits: np.ndarray, axis: int = -1) -> np.ndarray:
+def kl_divergence(
+    p_logits: np.ndarray, q_logits: np.ndarray, axis: int = -1
+) -> np.ndarray:
     """KL(P || Q) between distributions given as logits (Eq. 2 in the paper)."""
     log_p = log_softmax(p_logits, axis=axis)
     log_q = log_softmax(q_logits, axis=axis)

@@ -24,10 +24,16 @@ class QuantizedTensor:
     @property
     def nbytes(self) -> int:
         """Storage footprint of the codes at the nominal bit width."""
-        return int(np.ceil(self.codes.size * self.bits / 8)) + self.scale.nbytes + self.zero_point.nbytes
+        return (
+            int(np.ceil(self.codes.size * self.bits / 8))
+            + self.scale.nbytes
+            + self.zero_point.nbytes
+        )
 
 
-def quantize_per_channel(x: np.ndarray, bits: int = 4, axis: int = -1) -> QuantizedTensor:
+def quantize_per_channel(
+    x: np.ndarray, bits: int = 4, axis: int = -1
+) -> QuantizedTensor:
     """Asymmetric per-channel quantization along every axis except ``axis``.
 
     Each slice along ``axis`` (a "channel vector") shares one scale/zero-point

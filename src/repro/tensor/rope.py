@@ -49,9 +49,13 @@ def _yarn_ramp(low: float, high: float, dim_half: int) -> np.ndarray:
     return np.clip(ramp, 0.0, 1.0)
 
 
-def _yarn_correction_index(num_rotations: float, dim: int, base: float, max_position: int) -> float:
+def _yarn_correction_index(
+    num_rotations: float, dim: int, base: float, max_position: int
+) -> float:
     """Dimension index where a frequency completes ``num_rotations`` over the window."""
-    return (dim * math.log(max_position / (num_rotations * 2 * math.pi))) / (2 * math.log(base))
+    return (dim * math.log(max_position / (num_rotations * 2 * math.pi))) / (
+        2 * math.log(base)
+    )
 
 
 # Shared cos/sin tables, keyed by every parameter that determines their
@@ -120,7 +124,9 @@ class RotaryEmbedding:
             self._cos, self._sin = cached
         else:
             _TABLE_CACHE_STATS["misses"] += 1
-            self._cos, self._sin = self._build_tables(dim, max_position, base, yarn, dtype)
+            self._cos, self._sin = self._build_tables(
+                dim, max_position, base, yarn, dtype
+            )
             self._cos.setflags(write=False)
             self._sin.setflags(write=False)
             _TABLE_CACHE[key] = (self._cos, self._sin)
@@ -149,7 +155,10 @@ class RotaryEmbedding:
             # 1 where we extrapolate (high frequency), 0 where we interpolate.
             extrapolation_mask = 1.0 - _yarn_ramp(low, high, half)
             interpolated = inv_freq / yarn.scaling_factor
-            inv_freq = interpolated * (1.0 - extrapolation_mask) + inv_freq * extrapolation_mask
+            inv_freq = (
+                interpolated * (1.0 - extrapolation_mask)
+                + inv_freq * extrapolation_mask
+            )
 
         positions = np.arange(max_position, dtype=np.float64)
         freqs = np.outer(positions, inv_freq)
@@ -165,11 +174,13 @@ class RotaryEmbedding:
         positions = np.asarray(positions)
         if positions.ndim != 1 or positions.shape[0] != x.shape[-2]:
             raise ValueError(
-                f"positions shape {positions.shape} does not match seq len {x.shape[-2]}"
+                f"positions shape {positions.shape} does not match seq "
+                f"len {x.shape[-2]}"
             )
         if np.any(positions >= self.max_position):
             raise ValueError(
-                f"position {int(positions.max())} exceeds table size {self.max_position}"
+                f"position {int(positions.max())} exceeds table size "
+                f"{self.max_position}"
             )
         cos = self._cos[positions]
         sin = self._sin[positions]

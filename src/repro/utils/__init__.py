@@ -5,8 +5,8 @@ subpackage can import them without cycles.
 """
 
 from repro.utils.rng import RngFactory, seeded_rng
-from repro.utils.tables import format_table, format_series
-from repro.utils.units import GB, MB, KB, bytes_to_gb, human_bytes
+from repro.utils.tables import format_series, format_table
+from repro.utils.units import GB, KB, MB, bytes_to_gb, human_bytes
 
 __all__ = [
     "RngFactory",

@@ -81,7 +81,9 @@ def distinct_ratio(tokens: Sequence[int]) -> float:
     return len(set(tokens)) / len(tokens)
 
 
-def bigram_validity(tokens: Sequence[int], valid_bigrams: set[tuple[int, int]]) -> float:
+def bigram_validity(
+    tokens: Sequence[int], valid_bigrams: set[tuple[int, int]]
+) -> float:
     """Fraction of adjacent pairs that are licensed transitions.
 
     The reference chain of a writing task defines the licensed bigrams; a

@@ -28,28 +28,36 @@ def tiny_tokenizer() -> SyntheticTokenizer:
 @pytest.fixture(scope="session")
 def tiny_gqa_model(tiny_tokenizer, rng_factory) -> TransformerLM:
     config = tiny_test_config(AttentionKind.GQA)
-    weights = build_recall_model(config, tiny_tokenizer, rng_factory.stream("gqa-weights"))
+    weights = build_recall_model(
+        config, tiny_tokenizer, rng_factory.stream("gqa-weights")
+    )
     return TransformerLM(weights)
 
 
 @pytest.fixture(scope="session")
 def tiny_mha_model(tiny_tokenizer, rng_factory) -> TransformerLM:
     config = tiny_test_config(AttentionKind.MHA)
-    weights = build_recall_model(config, tiny_tokenizer, rng_factory.stream("mha-weights"))
+    weights = build_recall_model(
+        config, tiny_tokenizer, rng_factory.stream("mha-weights")
+    )
     return TransformerLM(weights)
 
 
 @pytest.fixture(scope="session")
 def tiny_mqa_model(tiny_tokenizer, rng_factory) -> TransformerLM:
     config = tiny_test_config(AttentionKind.MQA)
-    weights = build_recall_model(config, tiny_tokenizer, rng_factory.stream("mqa-weights"))
+    weights = build_recall_model(
+        config, tiny_tokenizer, rng_factory.stream("mqa-weights")
+    )
     return TransformerLM(weights)
 
 
 @pytest.fixture(scope="session")
 def tiny_mla_model(tiny_tokenizer, rng_factory) -> TransformerLM:
     config = tiny_test_config(AttentionKind.MLA)
-    weights = build_recall_model(config, tiny_tokenizer, rng_factory.stream("mla-weights"))
+    weights = build_recall_model(
+        config, tiny_tokenizer, rng_factory.stream("mla-weights")
+    )
     return TransformerLM(weights)
 
 

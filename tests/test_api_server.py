@@ -15,7 +15,6 @@ from repro.hardware.spec import CLOUD_A800, EDGE_RTX4060_4GB
 from repro.models.config import LLAMA_LIKE_8B
 from repro.perf.engines import SPECONTEXT
 from repro.perf.simulate import PerfSimulator
-from repro.retrieval.base import BudgetedPolicy
 from repro.retrieval.registry import (
     available_policies,
     make_policy,

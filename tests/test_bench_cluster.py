@@ -1,0 +1,81 @@
+"""The cluster benchmark harness is part of the tested surface: CI gates
+on its affinity-gain number, so the report schema, the stream-identity
+check and the gate's exit codes are pinned here."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "bench_cluster.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_cluster", BENCH_PATH)
+bench_cluster = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_cluster)
+
+
+class TestBenchCluster:
+    def run_bench(self, tmp_path, extra=()):
+        out = tmp_path / "BENCH_cluster.json"
+        rc = bench_cluster.main([
+            "--replicas", "2", "--groups", "3", "--group-size", "3",
+            "--system-len", "32", "--suffix-len", "8",
+            "--max-new-tokens", "4", "--layers", "2", "--repeats", "1",
+            "--block-size", "8", "--stickiness-tokens", "8",
+            "--out", str(out), *extra,
+        ])
+        return rc, out
+
+    def test_report_schema_and_identical_streams(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "cluster_serving"
+        assert report["streams_identical"] is True
+        assert set(report["routers"]) == {
+            "round_robin", "least_loaded", "prefix_affinity"
+        }
+        for entry in report["routers"].values():
+            assert entry["n_replicas"] == 2
+            assert entry["generated_tokens"] > 0
+            assert sum(entry["per_replica"]["routed"]) == 9
+            per = entry["per_replica"]
+            assert (
+                sum(per["affinity_hits"])
+                + sum(per["affinity_misses"])
+                + sum(per["cold"])
+                == sum(per["routed"])
+            )
+            assert set(entry["ttft_ms"]) == {"mean", "p50", "p95"}
+            assert entry["ttft_ms"]["p95"] >= entry["ttft_ms"]["p50"] > 0
+            assert "token_streams" not in entry  # raw streams stay out
+        affinity = report["routers"]["prefix_affinity"]
+        assert affinity["affinity_hit_rate"] == 1.0
+        assert affinity["prefix_reused_tokens"] > 0
+        assert report["affinity_gain_prefix_tokens"] >= 1.0
+        assert "prefix_affinity vs round_robin" in capsys.readouterr().out
+
+    def test_gate_passes_and_fails(self, tmp_path, capsys):
+        rc, _ = self.run_bench(tmp_path, extra=("--min-affinity-gain", "1.0"))
+        assert rc == 0
+        capsys.readouterr()
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--min-affinity-gain", "1000")
+        )
+        assert rc == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_smoke_flag_shrinks_workload(self, tmp_path):
+        out = tmp_path / "BENCH_cluster.json"
+        rc = bench_cluster.main([
+            "--smoke", "--repeats", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["smoke"] is True
+        assert report["workload"]["replicas"] <= 3
+        assert report["workload"]["system_len"] <= 64

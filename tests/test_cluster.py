@@ -1,0 +1,577 @@
+"""Cluster frontend tests: routing, merged views, bit-identity, meters.
+
+The cluster contract under test:
+
+- placement never changes tokens: every request's stream is bit-identical
+  to a solo run of the same request on a fresh replica, across routers,
+  replica counts and forced preemption (exact streams; no cross-replica
+  array-equality is asserted — the [[bit-identity-semantics]] contract);
+- routers are deterministic total orders over the replica views
+  (stickiness-threshold fallback, least-loaded tie-breaking by index);
+- the frontend's merged stream/preemption/meter views agree with the
+  per-replica ground truth, and merged percentiles equal a single meter
+  fed the union of records (not any average of per-replica aggregates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterConfig,
+    EngineConfig,
+    GenerationRequest,
+    SamplingParams,
+)
+from repro.serving import (
+    ClusterFrontend,
+    SpeContextServer,
+    ThroughputMeter,
+    available_routers,
+    make_router,
+    poisson_trace,
+    replay_trace_cluster,
+    resolve_router_name,
+)
+from repro.serving.request import Request, RequestState
+from repro.serving.trace import solo_token_streams
+
+ALL_NAMES = (
+    "specontext", "quest", "h2o", "shadowkv", "clusterkv",
+    "streaming", "sliding", "full",
+)
+
+# (n_replicas, router) grid for the bit-identity sweep: all three routers,
+# replica counts 1, 2 and 4.
+CLUSTER_GRID = (
+    (1, "round_robin"),
+    (2, "round_robin"),
+    (2, "prefix_affinity"),
+    (4, "least_loaded"),
+    (4, "prefix_affinity"),
+)
+
+
+def cluster_engine_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=64,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=8,
+        seed=0,
+        block_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def shared_prefix_requests(
+    tokenizer, policy: str, n: int = 5, prefix_len: int = 24, max_new: int = 5
+) -> list[GenerationRequest]:
+    """n requests sharing a system prefix ahead of unique suffixes."""
+    prefix_rng = np.random.default_rng(7)
+    prefix = [int(t) for t in tokenizer.random_filler_ids(prefix_rng, prefix_len)]
+    requests = []
+    for i in range(n):
+        rng = np.random.default_rng(300 + i)
+        suffix = [int(t) for t in tokenizer.random_filler_ids(rng, 8 + i)]
+        requests.append(GenerationRequest(
+            np.array([tokenizer.bos_id] + prefix + suffix),
+            sampling=SamplingParams(max_new_tokens=max_new),
+            policy=policy,
+            budget=48,
+        ))
+    return requests
+
+
+def clone(request: GenerationRequest) -> GenerationRequest:
+    return GenerationRequest(
+        request.prompt_ids.copy(),
+        sampling=request.sampling,
+        policy=request.policy,
+        budget=request.budget,
+        priority=request.priority,
+    )
+
+
+# ---- router units (no model needed) -----------------------------------------
+
+
+class StubReplica:
+    """Minimal ReplicaView: fixed load and a canned prefix-match answer."""
+
+    def __init__(self, index, reserved_tokens=0, queue_depth=0, match=0):
+        self.index = index
+        self.reserved_tokens = reserved_tokens
+        self.queue_depth = queue_depth
+        self._match = match
+
+    def prefix_match_tokens(self, prompt_ids) -> int:
+        return self._match
+
+
+def stub_request(n_tokens: int = 16) -> GenerationRequest:
+    return GenerationRequest(np.arange(1, n_tokens + 1))
+
+
+class TestRouterRegistry:
+    def test_available_and_aliases(self):
+        assert available_routers() == (
+            "least_loaded", "prefix_affinity", "round_robin"
+        )
+        assert resolve_router_name("RR") == "round_robin"
+        assert resolve_router_name("prefix-affinity") == "prefix_affinity"
+        assert resolve_router_name("LeastLoaded") == "least_loaded"
+
+    def test_unknown_router_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_router_name("rendezvous")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            make_router("round_robin", stickiness_tokens=4)
+
+    def test_bad_stickiness_rejected(self):
+        with pytest.raises(ValueError, match="stickiness_tokens"):
+            make_router("prefix_affinity", stickiness_tokens=0)
+
+
+class TestRoundRobinRouter:
+    def test_cycles_deterministically(self):
+        router = make_router("round_robin")
+        replicas = [StubReplica(i) for i in range(3)]
+        chosen = [router.route(stub_request(), replicas) for _ in range(7)]
+        assert chosen == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestLeastLoadedRouter:
+    def test_picks_smallest_reserved_plus_queue(self):
+        router = make_router("least_loaded")
+        replicas = [
+            StubReplica(0, reserved_tokens=100, queue_depth=0),
+            StubReplica(1, reserved_tokens=40, queue_depth=2),
+            StubReplica(2, reserved_tokens=60, queue_depth=0),
+        ]
+        assert router.route(stub_request(), replicas) == 1
+
+    def test_queue_depth_counts_toward_load(self):
+        router = make_router("least_loaded")
+        replicas = [
+            StubReplica(0, reserved_tokens=50, queue_depth=10),
+            StubReplica(1, reserved_tokens=55, queue_depth=0),
+        ]
+        assert router.route(stub_request(), replicas) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        router = make_router("least_loaded")
+        replicas = [StubReplica(i, reserved_tokens=64) for i in range(4)]
+        assert router.route(stub_request(), replicas) == 0
+        replicas[0].reserved_tokens = 65
+        assert router.route(stub_request(), replicas) == 1
+
+
+class TestPrefixAffinityRouter:
+    def test_sticks_to_longest_match(self):
+        router = make_router("prefix_affinity", stickiness_tokens=8)
+        replicas = [
+            StubReplica(0, reserved_tokens=0, match=8),
+            StubReplica(1, reserved_tokens=500, match=24),
+            StubReplica(2, reserved_tokens=0, match=0),
+        ]
+        # Replica 1 is the most loaded but holds the longest match.
+        assert router.route(stub_request(), replicas) == 1
+
+    def test_below_stickiness_falls_back_to_least_loaded(self):
+        router = make_router("prefix_affinity", stickiness_tokens=32)
+        replicas = [
+            StubReplica(0, reserved_tokens=90, match=24),
+            StubReplica(1, reserved_tokens=10, match=0),
+        ]
+        # 24 < 32: the match is ignored; load decides.
+        assert router.route(stub_request(), replicas) == 1
+        sticky = make_router("prefix_affinity", stickiness_tokens=24)
+        assert sticky.route(stub_request(), replicas) == 0
+
+    def test_match_ties_break_by_load_then_index(self):
+        router = make_router("prefix_affinity", stickiness_tokens=8)
+        replicas = [
+            StubReplica(0, reserved_tokens=64, match=16),
+            StubReplica(1, reserved_tokens=32, match=16),
+            StubReplica(2, reserved_tokens=32, match=16),
+        ]
+        assert router.route(stub_request(), replicas) == 1
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_replicas"):
+            ClusterConfig(n_replicas=0)
+        with pytest.raises(ValueError, match="stickiness_tokens"):
+            ClusterConfig(stickiness_tokens=0)
+
+    def test_unknown_router_raises_at_frontend_build(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        with pytest.raises(KeyError, match="available"):
+            ClusterFrontend(
+                tiny_gqa_model,
+                cluster_engine_config(tiny_tokenizer),
+                ClusterConfig(router="not-a-router"),
+            )
+
+    def test_stickiness_reaches_the_router(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        frontend = ClusterFrontend(
+            tiny_gqa_model,
+            cluster_engine_config(tiny_tokenizer),
+            ClusterConfig(router="prefix_affinity", stickiness_tokens=40),
+        )
+        assert frontend.router.stickiness_tokens == 40
+
+
+# ---- pool probe --------------------------------------------------------------
+
+
+class TestLongestPrefixMatch:
+    def run_one(self, model, tokenizer, request):
+        server = SpeContextServer(
+            model, cluster_engine_config(tokenizer)
+        )
+        server.add_request(clone(request))
+        server.run()
+        return server
+
+    def test_probe_counts_cached_prefix_without_mutating(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        request = shared_prefix_requests(tiny_tokenizer, "streaming", n=1)[0]
+        server = self.run_one(tiny_gqa_model, tiny_tokenizer, request)
+        pool = server.pool
+        before = (pool.stats.prefix_queries, pool.stats.prefix_hits)
+        lru_before = list(pool._prefix_index)
+        matched = pool.longest_prefix_match(request.prompt_ids)
+        prefill_len = request.prompt_len - 1  # sparse-first prefill
+        assert matched == (prefill_len // pool.block_size) * pool.block_size
+        assert matched > 0
+        # Read-only: no query/hit counted, no LRU refresh.
+        assert (pool.stats.prefix_queries, pool.stats.prefix_hits) == before
+        assert list(pool._prefix_index) == lru_before
+
+    def test_probe_respects_max_tokens_and_misses(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        request = shared_prefix_requests(tiny_tokenizer, "streaming", n=1)[0]
+        server = self.run_one(tiny_gqa_model, tiny_tokenizer, request)
+        pool = server.pool
+        assert pool.longest_prefix_match(
+            request.prompt_ids, pool.block_size
+        ) == pool.block_size
+        other = np.array([tiny_tokenizer.bos_id] + [3, 1, 4, 1, 5, 9, 2, 6])
+        assert pool.longest_prefix_match(other) == 0
+
+
+# ---- bit-identity sweep ------------------------------------------------------
+
+
+class TestClusterBitIdentity:
+    """Streams identical to solo runs across routers and replica counts."""
+
+    @pytest.mark.parametrize("policy", ALL_NAMES)
+    def test_streams_identical_across_grid(
+        self, tiny_gqa_model, tiny_tokenizer, policy
+    ):
+        config = cluster_engine_config(tiny_tokenizer)
+        requests = shared_prefix_requests(tiny_tokenizer, policy)
+        solo = solo_token_streams(tiny_gqa_model, config, requests, clone)
+        trace = poisson_trace(
+            np.random.default_rng(11), [clone(r) for r in requests], 2.0
+        )
+        for n_replicas, router in CLUSTER_GRID:
+            frontend = ClusterFrontend(
+                tiny_gqa_model,
+                config,
+                ClusterConfig(
+                    n_replicas=n_replicas,
+                    router=router,
+                    stickiness_tokens=8,
+                ),
+            )
+            outputs = replay_trace_cluster(frontend, trace)
+            assert [o.token_ids for o in outputs] == solo, (
+                f"{policy} stream diverged on {n_replicas} replicas "
+                f"under {router}"
+            )
+
+    def test_all_policies_identical_under_forced_preemption(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """A pool too small for a replica's share forces preemption on at
+        least one replica; every stream still matches its solo run."""
+        requests = []
+        for i, name in enumerate(ALL_NAMES):
+            requests.extend(
+                shared_prefix_requests(
+                    tiny_tokenizer, name, n=1, max_new=40
+                )
+            )
+        config = cluster_engine_config(tiny_tokenizer)
+        solo = solo_token_streams(tiny_gqa_model, config, requests, clone)
+        # Per-replica pool holds two prompts plus one spare block. The
+        # prompts share three full prefix blocks (refcounted, so two
+        # co-resident sessions occupy less than 2x prompt blocks), hence
+        # the long 40-token decode: growth crosses 5 block boundaries per
+        # session and must overrun the pool, forcing preemption.
+        probe = SpeContextServer(tiny_gqa_model, config).pool
+        prompt_blocks = max(
+            probe.blocks_for_tokens(r.prompt_len) for r in requests
+        )
+        pressured = cluster_engine_config(
+            tiny_tokenizer, pool_blocks=2 * prompt_blocks + 1
+        )
+        frontend = ClusterFrontend(
+            tiny_gqa_model,
+            pressured,
+            ClusterConfig(n_replicas=2, router="round_robin"),
+        )
+        for request in requests:
+            frontend.add_request(clone(request))
+        frontend.run()
+        outputs = frontend.outputs
+        assert len(frontend.preemption_log) > 0
+        preempted_replicas = {e.replica for e in frontend.preemption_log}
+        assert preempted_replicas  # at least one replica hit pressure
+        assert [o.token_ids for o in outputs] == solo
+
+
+# ---- merged views ------------------------------------------------------------
+
+
+class TestClusterFrontendViews:
+    def run_cluster(self, model, tokenizer, router="prefix_affinity", n=6):
+        config = cluster_engine_config(tokenizer)
+        requests = shared_prefix_requests(tokenizer, "streaming", n=n)
+        trace = poisson_trace(np.random.default_rng(5), requests, 2.0)
+        frontend = ClusterFrontend(
+            model,
+            config,
+            ClusterConfig(
+                n_replicas=3, router=router, stickiness_tokens=8
+            ),
+        )
+        outputs = replay_trace_cluster(frontend, trace)
+        return frontend, outputs
+
+    def test_global_ids_and_replica_map(self, tiny_gqa_model, tiny_tokenizer):
+        frontend, outputs = self.run_cluster(tiny_gqa_model, tiny_tokenizer)
+        ids = [o.request_id for o in outputs]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        for rid in ids:
+            replica = frontend.replica_of(rid)
+            assert rid in [
+                o.request_id for o in frontend.replicas[replica].outputs
+            ]
+        assert frontend.routing.total_routed == len(outputs)
+
+    def test_merged_stream_matches_outputs(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        config = cluster_engine_config(tiny_tokenizer)
+        requests = shared_prefix_requests(tiny_tokenizer, "streaming", n=6)
+        frontend = ClusterFrontend(
+            tiny_gqa_model,
+            config,
+            ClusterConfig(n_replicas=3, router="round_robin"),
+        )
+        for request in requests:
+            frontend.add_request(clone(request))
+        events = []
+        while frontend.has_unfinished:
+            frontend.step()
+            events.extend(frontend.pop_stream_events())
+        streamed: dict[int, list[int]] = {}
+        for event in events:
+            assert event.step == len(streamed.setdefault(event.request_id, []))
+            streamed[event.request_id].append(event.token_id)
+        for output in frontend.outputs:
+            assert streamed[output.request_id] == output.token_ids
+
+    def test_affinity_routing_colocates_groups(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        frontend, _ = self.run_cluster(tiny_gqa_model, tiny_tokenizer)
+        routing = frontend.routing
+        # One cold placement (the first request), everything else sticks.
+        assert sum(routing.cold) == 1
+        assert sum(routing.affinity_hits) == routing.total_routed - 1
+        assert sum(routing.affinity_misses) == 0
+        assert routing.hit_rate == 1.0
+        assert frontend.prefix_reused_tokens() > 0
+
+    def test_round_robin_leaves_affinity_on_the_table(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        affinity, _ = self.run_cluster(tiny_gqa_model, tiny_tokenizer)
+        blind, _ = self.run_cluster(
+            tiny_gqa_model, tiny_tokenizer, router="round_robin"
+        )
+        assert sum(blind.routing.affinity_misses) > 0
+        assert (
+            blind.prefix_reused_tokens() < affinity.prefix_reused_tokens()
+        )
+
+    def test_replica_observer_sees_every_replica(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        config = cluster_engine_config(tiny_tokenizer)
+        requests = shared_prefix_requests(tiny_tokenizer, "streaming", n=4)
+        trace = poisson_trace(np.random.default_rng(5), requests, 1.0)
+        frontend = ClusterFrontend(
+            tiny_gqa_model, config, ClusterConfig(n_replicas=2)
+        )
+        seen: list[int] = []
+        stepped: list[float] = []
+
+        def replica_observer(index: int, server: SpeContextServer) -> None:
+            seen.append(index)
+            server.pool.check_consistency()
+            assert server.pool.n_used <= server.pool.capacity
+
+        replay_trace_cluster(
+            frontend,
+            trace,
+            observer=lambda f: stepped.append(f.clock),
+            replica_observer=replica_observer,
+        )
+        assert len(stepped) > 0
+        assert seen.count(0) == len(stepped)
+        assert seen.count(1) == len(stepped)
+
+    def test_rejected_submission_leaves_cluster_untouched(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        frontend = ClusterFrontend(
+            tiny_gqa_model,
+            cluster_engine_config(tiny_tokenizer, pool_blocks=8),
+            ClusterConfig(n_replicas=2),
+        )
+        huge = GenerationRequest(
+            np.arange(1, 200), sampling=SamplingParams(max_new_tokens=4)
+        )
+        with pytest.raises(ValueError, match="KV blocks"):
+            frontend.add_request(huge)
+        assert huge.request_id is None
+        assert frontend.routing.total_routed == 0
+        ok = shared_prefix_requests(tiny_tokenizer, "streaming", n=1)[0]
+        assert frontend.add_request(ok) == 0
+
+    def test_rejection_does_not_advance_round_robin_cursor(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """Placement after a rejection matches a run that never saw it."""
+        frontend = ClusterFrontend(
+            tiny_gqa_model,
+            cluster_engine_config(tiny_tokenizer, pool_blocks=8),
+            ClusterConfig(n_replicas=2, router="round_robin"),
+        )
+        requests = shared_prefix_requests(tiny_tokenizer, "streaming", n=2)
+        first = frontend.add_request(clone(requests[0]))
+        huge = GenerationRequest(
+            np.arange(1, 200), sampling=SamplingParams(max_new_tokens=4)
+        )
+        with pytest.raises(ValueError, match="KV blocks"):
+            frontend.add_request(huge)
+        second = frontend.add_request(clone(requests[1]))
+        # Round robin: 0 -> replica 0, 1 -> replica 1; the rejected
+        # submission in between must not have consumed a cursor slot.
+        assert frontend.replica_of(first) == 0
+        assert frontend.replica_of(second) == 1
+
+
+# ---- merged meter ------------------------------------------------------------
+
+
+def finished_record(rid, arrival, start, first, finish, out_len=4) -> Request:
+    record = Request(
+        request_id=rid, in_len=8, out_len=out_len, arrival_s=arrival
+    )
+    record.state = RequestState.FINISHED
+    record.start_s = start
+    record.first_token_s = first
+    record.finish_s = finish
+    return record
+
+
+class TestMeterMerge:
+    def records(self):
+        rng = np.random.default_rng(3)
+        records = []
+        for rid in range(24):
+            arrival = float(rng.integers(0, 20))
+            start = arrival + float(rng.integers(0, 4))
+            first = start + 1.0
+            finish = first + float(rng.integers(1, 9))
+            records.append(
+                finished_record(
+                    rid, arrival, start, first, finish,
+                    out_len=int(rng.integers(1, 12)),
+                )
+            )
+        return records
+
+    def test_merged_percentiles_match_union(self):
+        records = self.records()
+        union = ThroughputMeter()
+        shards = [ThroughputMeter() for _ in range(3)]
+        for i, record in enumerate(records):
+            union.record(record)
+            shards[i % 3].record(record)
+        merged = ThroughputMeter.merge(*shards)
+        for q in (50, 90, 95, 99):
+            assert merged.latency_percentile(q) == union.latency_percentile(q)
+            assert merged.ttft_percentile(q) == union.ttft_percentile(q)
+            assert merged.queueing_delay_percentile(
+                q
+            ) == union.queueing_delay_percentile(q)
+        assert merged.generated_tokens == union.generated_tokens
+        assert merged.makespan_s == union.makespan_s
+        assert merged.busy_s == union.busy_s
+        assert merged.tokens_per_second == union.tokens_per_second
+
+    def test_merge_counts_rejected_and_empty(self):
+        empty = ThroughputMeter.merge(ThroughputMeter(), ThroughputMeter())
+        assert empty.completion_rate == 1.0
+        shard = ThroughputMeter()
+        rejected = Request(request_id=0, in_len=8, out_len=4)
+        rejected.state = RequestState.REJECTED
+        shard.record(rejected)
+        merged = ThroughputMeter.merge(shard)
+        assert merged.n_rejected == 1
+
+    def test_merge_is_a_view_not_a_deep_copy(self):
+        shard = ThroughputMeter()
+        shard.record(finished_record(0, 0.0, 0.0, 1.0, 4.0))
+        merged = ThroughputMeter.merge(shard)
+        merged.record(finished_record(1, 1.0, 1.0, 2.0, 5.0))
+        assert len(shard.finished) == 1  # source untouched
+        assert len(merged.finished) == 2
+
+    def test_cluster_stats_equal_union_of_replica_meters(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        config = cluster_engine_config(tiny_tokenizer)
+        requests = shared_prefix_requests(tiny_tokenizer, "streaming", n=6)
+        trace = poisson_trace(np.random.default_rng(5), requests, 2.0)
+        frontend = ClusterFrontend(
+            tiny_gqa_model, config, ClusterConfig(n_replicas=3)
+        )
+        replay_trace_cluster(frontend, trace)
+        merged = frontend.stats()
+        union = ThroughputMeter()
+        for replica in frontend.replicas:
+            for record in replica.meter.finished:
+                union.record(record)
+        assert len(merged.finished) == len(requests)
+        for q in (50, 95):
+            assert merged.ttft_percentile(q) == union.ttft_percentile(q)
+            assert merged.latency_percentile(q) == union.latency_percentile(q)

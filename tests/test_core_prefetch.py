@@ -61,7 +61,10 @@ class TestDataflows:
         results = {
             kind: timings(prefetcher, kind).total_s for kind in DataflowKind
         }
-        assert results[DataflowKind.ELASTIC_PREFETCH] <= results[DataflowKind.ASYNC_PREFETCH]
+        assert (
+            results[DataflowKind.ELASTIC_PREFETCH]
+            <= results[DataflowKind.ASYNC_PREFETCH]
+        )
         assert results[DataflowKind.ASYNC_PREFETCH] <= results[DataflowKind.SYNC_FETCH]
 
     def test_sync_overhead_scales_with_depth(self, prefetcher):

@@ -11,7 +11,6 @@ from repro.core.retrieval_head import (
     SpeContextPolicy,
 )
 from repro.distill.dlm import full_dlm_analog
-from repro.models import AttentionKind
 
 
 def make_head(model, tokenizer, noise=0.15, **kwargs):

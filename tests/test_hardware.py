@@ -1,6 +1,5 @@
 """Tests for the hardware substrate: specs, timing, memory ledger, streams."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -147,7 +146,10 @@ class TestStreamSimulator:
         sim.enqueue(StreamOp("transfer", 1.0, signals=("kv0",)))
         for step in range(4):
             sim.enqueue(
-                StreamOp("compute", 2.0, waits_for=(f"kv{step}",), signals=(f"done{step}",))
+                StreamOp(
+                    "compute", 2.0,
+                    waits_for=(f"kv{step}",), signals=(f"done{step}",),
+                )
             )
             sim.enqueue(StreamOp("transfer", 1.0, signals=(f"kv{step+1}",)))
         # 1s initial fill + 4 x 2s compute; transfers hidden.

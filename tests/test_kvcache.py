@@ -156,7 +156,9 @@ class TestTieredKVStore:
         store = TieredKVStore(n_kv_heads=2, head_dim=4)
         rng = np.random.default_rng(0)
         store.append(
-            rng.standard_normal((2, n, 4)), rng.standard_normal((2, n, 4)), MemoryTier.CPU
+            rng.standard_normal((2, n, 4)),
+            rng.standard_normal((2, n, 4)),
+            MemoryTier.CPU,
         )
         return store
 
@@ -204,7 +206,10 @@ class TestTieredKVStore:
         with pytest.raises(IndexError):
             self._store(4).fetch_to_gpu(np.array([10]))
 
-    @given(st.lists(st.sets(st.integers(0, 15), min_size=1, max_size=10), min_size=1, max_size=8))
+    @given(st.lists(
+        st.sets(st.integers(0, 15), min_size=1, max_size=10),
+        min_size=1, max_size=8,
+    ))
     @settings(max_examples=30, deadline=None)
     def test_property_traffic_counts_unique_misses(self, selections):
         """Total h2d bytes == unique first-touches, under fetch-only workload."""
@@ -259,12 +264,16 @@ class TestGpuSlotBuffer:
     def test_property_residency_equals_selection(self, selections):
         """Invariant from DESIGN.md: after update, residents == S_now."""
         buf = GpuSlotBuffer(budget=8, n_kv_heads=1, head_dim=2)
-        fetch = lambda t: (np.full((1, 2), float(t)), np.full((1, 2), float(t)))
+        def fetch(t):
+            return np.full((1, 2), float(t)), np.full((1, 2), float(t))
+
         for sel in selections:
             buf.update(np.array(sorted(sel)), fetch)
             assert buf.resident_tokens == frozenset(sel)
             k, _ = buf.gather(np.array(sorted(sel)))
-            np.testing.assert_array_equal(k[0, :, 0], np.array(sorted(sel), dtype=float))
+            np.testing.assert_array_equal(
+                k[0, :, 0], np.array(sorted(sel), dtype=float)
+            )
 
     @given(
         st.sets(st.integers(0, 40), min_size=4, max_size=8),
@@ -277,7 +286,9 @@ class TestGpuSlotBuffer:
         s_last = set(sorted(s_last)[:size])
         s_now = set(sorted(s_now)[:size])
         buf = GpuSlotBuffer(budget=8, n_kv_heads=1, head_dim=2)
-        fetch = lambda t: (np.zeros((1, 2)), np.zeros((1, 2)))
+        def fetch(t):
+            return np.zeros((1, 2)), np.zeros((1, 2))
+
         buf.update(np.array(sorted(s_last)), fetch)
         loaded, evicted = buf.update(np.array(sorted(s_now)), fetch)
         assert loaded == len(s_now - s_last)

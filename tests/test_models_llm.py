@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.models import AttentionKind, TransformerLM, build_recall_model, tiny_test_config
-from repro.models.builder import CircuitPlan, head_roles, make_content_vectors
+from repro.models import (
+    AttentionKind,
+    TransformerLM,
+    build_recall_model,
+    tiny_test_config,
+)
+from repro.models.builder import head_roles, make_content_vectors
 from repro.models.weights import ModelWeights, random_weights
 
 from tests.conftest import make_recall_prompt
@@ -13,13 +18,18 @@ from tests.conftest import make_recall_prompt
 class TestRecallCircuit:
     """The constructed models must genuinely solve associative recall."""
 
-    @pytest.mark.parametrize("fixture", ["tiny_gqa_model", "tiny_mha_model", "tiny_mqa_model", "tiny_mla_model"])
+    @pytest.mark.parametrize(
+        "fixture",
+        ["tiny_gqa_model", "tiny_mha_model", "tiny_mqa_model", "tiny_mla_model"],
+    )
     def test_single_hop_recall(self, fixture, tiny_tokenizer, rng_factory, request):
         model = request.getfixturevalue(fixture)
         rng = rng_factory.stream(f"recall-{fixture}")
         hits = 0
         for trial in range(5):
-            prompt, expected, _ = make_recall_prompt(tiny_tokenizer, rng, query_pair=trial % 8)
+            prompt, expected, _ = make_recall_prompt(
+                tiny_tokenizer, rng, query_pair=trial % 8
+            )
             result = model.generate(prompt, max_new_tokens=1)
             hits += int(result.token_ids[0] == expected)
         assert hits >= 4, f"{fixture} recalled only {hits}/5"
@@ -31,7 +41,10 @@ class TestRecallCircuit:
         ents = tok.random_content_ids(rng, 3)
         a, b, c = (int(t) for t in ents)
         filler = [int(t) for t in tok.random_filler_ids(rng, 200)]
-        ids = [tok.bos_id] + filler[:80] + [a, b] + filler[80:150] + [b, c] + filler[150:] + [tok.question_id, a]
+        ids = (
+            [tok.bos_id] + filler[:80] + [a, b] + filler[80:150] + [b, c]
+            + filler[150:] + [tok.question_id, a]
+        )
         result = tiny_gqa_model.generate(np.array(ids), max_new_tokens=2)
         assert result.token_ids == [b, c]
 
@@ -40,12 +53,19 @@ class TestRecallCircuit:
         rng = rng_factory.stream("eos-chain")
         a, b = (int(t) for t in tok.random_content_ids(rng, 2))
         filler = [int(t) for t in tok.random_filler_ids(rng, 120)]
-        ids = [tok.bos_id] + filler[:60] + [a, b, tok.eos_id] + filler[60:] + [tok.question_id, a]
-        result = tiny_gqa_model.generate(np.array(ids), max_new_tokens=5, stop_ids=(tok.eos_id,))
+        ids = (
+            [tok.bos_id] + filler[:60] + [a, b, tok.eos_id] + filler[60:]
+            + [tok.question_id, a]
+        )
+        result = tiny_gqa_model.generate(
+            np.array(ids), max_new_tokens=5, stop_ids=(tok.eos_id,)
+        )
         assert result.token_ids[:2] == [b, tok.eos_id]
         assert result.stopped_by_eos
 
-    def test_recall_robust_to_distractors(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_recall_robust_to_distractors(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         """Many other key/value pairs must not confuse retrieval."""
         rng = rng_factory.stream("distractors")
         prompt, expected, _ = make_recall_prompt(
@@ -107,9 +127,13 @@ class TestSparseDecodeHook:
             prompt, max_new_tokens=2, policy=policy, sparse_from_first_token=True
         )
         assert len(result.selections) == 2
-        assert set(result.selections[0].keys()) == set(range(tiny_gqa_model.config.n_layers))
+        assert set(result.selections[0].keys()) == set(
+            range(tiny_gqa_model.config.n_layers)
+        )
 
-    def test_current_token_always_attended(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_current_token_always_attended(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         rng = rng_factory.stream("sparse-cur")
         prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng)
         policy = self._FixedPolicy(np.arange(10))
@@ -129,7 +153,9 @@ class TestGeneration:
         b = tiny_gqa_model.generate(prompt, max_new_tokens=3)
         assert a.token_ids == b.token_ids
 
-    def test_temperature_requires_rng(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_temperature_requires_rng(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         rng = rng_factory.stream("temp")
         prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng)
         with pytest.raises(ValueError):
@@ -139,11 +165,14 @@ class TestGeneration:
         with pytest.raises(ValueError):
             tiny_gqa_model.generate(np.array([], dtype=int), max_new_tokens=1)
 
-    def test_capture_attention_shapes(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_capture_attention_shapes(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         rng = rng_factory.stream("capture")
         prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=60, n_pairs=3)
         result = tiny_gqa_model.generate(
-            prompt, max_new_tokens=2, capture_attention=True, sparse_from_first_token=True
+            prompt, max_new_tokens=2, capture_attention=True,
+            sparse_from_first_token=True,
         )
         assert len(result.attention_trace) == 2
         step0 = result.attention_trace[0]
@@ -152,7 +181,9 @@ class TestGeneration:
         assert weights.shape[0] == tiny_gqa_model.config.n_q_heads
         np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-4)
 
-    def test_incremental_prefill_matches_single_shot(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_incremental_prefill_matches_single_shot(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         rng = rng_factory.stream("incr")
         prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=80, n_pairs=3)
         c1 = tiny_gqa_model.new_cache()
@@ -255,11 +286,14 @@ class TestBuilderInternals:
 class TestAttentionConcentration:
     """Verify the constructed heads attend where the circuit says."""
 
-    def test_prev_head_attends_previous_position(self, tiny_gqa_model, tiny_tokenizer, rng_factory):
+    def test_prev_head_attends_previous_position(
+        self, tiny_gqa_model, tiny_tokenizer, rng_factory
+    ):
         rng = rng_factory.stream("prevhead")
         prompt, _, _ = make_recall_prompt(tiny_tokenizer, rng, n_filler=60, n_pairs=3)
         result = tiny_gqa_model.generate(
-            prompt, max_new_tokens=1, capture_attention=True, sparse_from_first_token=True
+            prompt, max_new_tokens=1, capture_attention=True,
+            sparse_from_first_token=True,
         )
         # Layer 0, kv-head 0 (q heads 0..group) is the prev head. The decode
         # token sits at position len(prompt); previous is len(prompt)-1.
@@ -272,10 +306,14 @@ class TestAttentionConcentration:
         self, tiny_gqa_model, tiny_tokenizer, rng_factory
     ):
         rng = rng_factory.stream("indhead")
-        prompt, expected, value_pos = make_recall_prompt(tiny_tokenizer, rng, n_filler=80, n_pairs=4)
+        prompt, expected, value_pos = make_recall_prompt(
+            tiny_tokenizer, rng, n_filler=80, n_pairs=4
+        )
         cache = tiny_gqa_model.new_cache()
         tiny_gqa_model.prefill(prompt[:-1], cache)
-        _, _, attn = tiny_gqa_model.decode_step(int(prompt[-1]), cache, capture_attention=True)
+        _, _, attn = tiny_gqa_model.decode_step(
+            int(prompt[-1]), cache, capture_attention=True
+        )
         # Layer 1+, q-head 0 is the induction head; it should put most mass
         # on the value position (whose S1 holds the queried key's content).
         weights = attn[1][0]

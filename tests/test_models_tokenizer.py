@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    AttentionKind,
-    LLAMA_LIKE_8B,
-    QWEN_LIKE_8B,
     DEEPSEEK_MLA_LIKE_8B,
     EDGE_LIKE_1B,
+    LLAMA_LIKE_8B,
+    QWEN_LIKE_8B,
+    AttentionKind,
     ModelConfig,
     SyntheticTokenizer,
     tiny_test_config,
@@ -82,7 +82,10 @@ class TestModelConfig:
         assert 3.5 * GB < kv < 4.5 * GB
 
     def test_kv_cache_width_mla_uses_latent(self):
-        assert DEEPSEEK_MLA_LIKE_8B.kv_cache_width == DEEPSEEK_MLA_LIKE_8B.mla_latent_dim
+        assert (
+            DEEPSEEK_MLA_LIKE_8B.kv_cache_width
+            == DEEPSEEK_MLA_LIKE_8B.mla_latent_dim
+        )
 
     def test_mha_requires_equal_heads(self):
         with pytest.raises(ValueError):

@@ -12,12 +12,12 @@ from repro.perf.engines import (
     HF_EAGER,
     HF_EAGER_OFFLOAD,
     HF_FLASH_ATTENTION,
-    OffloadPolicy,
     QUEST,
     SHADOWKV,
     SPECONTEXT,
     SPECONTEXT_C1,
     SPECONTEXT_C1_C2,
+    OffloadPolicy,
     engine_by_name,
 )
 from repro.perf.simulate import PerfSimulator, Workload
@@ -106,7 +106,9 @@ class TestThroughputShapes:
         """Ours > FlashInfer > FlashAttention > Eager on the reasoning mix."""
         mix = Workload(2048, 16384, 4)
         tps = {
-            engine.name: cloud.simulate(engine, mix, n_samples=8).decode_tokens_per_second
+            engine.name: cloud.simulate(
+                engine, mix, n_samples=8
+            ).decode_tokens_per_second
             for engine in (HF_EAGER, HF_FLASH_ATTENTION, FLASHINFER, SPECONTEXT)
         }
         assert (

@@ -125,7 +125,10 @@ class TestTopK:
         assert idx[0, 0] == 1
         assert idx[1, 0] == 0
 
-    @given(arrays(np.float64, st.integers(3, 40), elements=finite_floats), st.integers(1, 10))
+    @given(
+        arrays(np.float64, st.integers(3, 40), elements=finite_floats),
+        st.integers(1, 10),
+    )
     @settings(max_examples=50, deadline=None)
     def test_property_contains_max(self, scores, k):
         k = min(k, scores.size)

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays, array_shapes
+from hypothesis.extra.numpy import array_shapes, arrays
 
-from repro.tensor import QuantizedTensor, dequantize, quantize_per_channel
+from repro.tensor import dequantize, quantize_per_channel
 
 
 class TestQuantization:

@@ -66,7 +66,9 @@ class TestRotaryEmbedding:
 class TestYarn:
     def test_no_scaling_matches_plain(self):
         plain = RotaryEmbedding(dim=16, max_position=64)
-        yarn = RotaryEmbedding(dim=16, max_position=64, yarn=YarnConfig(scaling_factor=1.0))
+        yarn = RotaryEmbedding(
+            dim=16, max_position=64, yarn=YarnConfig(scaling_factor=1.0)
+        )
         x = _rand((1, 5, 16))
         np.testing.assert_allclose(
             plain.apply(x, np.arange(5)), yarn.apply(x, np.arange(5)), atol=1e-6
@@ -106,8 +108,12 @@ class TestYarn:
         rope = RotaryEmbedding(dim=32, max_position=1024, yarn=yarn)
         q = _rand((1, 1, 32), seed=3)
         k = _rand((1, 1, 32), seed=4)
-        d1 = float(np.sum(rope.apply(q, np.array([100])) * rope.apply(k, np.array([90]))))
-        d2 = float(np.sum(rope.apply(q, np.array([600])) * rope.apply(k, np.array([590]))))
+        d1 = float(
+            np.sum(rope.apply(q, np.array([100])) * rope.apply(k, np.array([90])))
+        )
+        d2 = float(
+            np.sum(rope.apply(q, np.array([600])) * rope.apply(k, np.array([590])))
+        )
         assert d1 == pytest.approx(d2, rel=1e-3)
 
 

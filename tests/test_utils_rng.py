@@ -66,7 +66,9 @@ class TestTables:
         assert "3.14" not in text
 
     def test_format_series_has_all_labels(self):
-        text = format_series("budget", [512, 1024], {"ours": [1.0, 2.0], "quest": [0.5, 0.6]})
+        text = format_series(
+            "budget", [512, 1024], {"ours": [1.0, 2.0], "quest": [0.5, 0.6]}
+        )
         assert "ours" in text
         assert "quest" in text
         assert "512" in text

@@ -5,15 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.experiments.common import make_functional_setup
 from repro.workloads.harness import (
-    PolicyBench,
     decode_with_policy,
     prepare_prompt,
     score_qa,
     sweep_qa,
 )
 from repro.workloads.longbench import make_passage_count, make_trivia
-from repro.experiments.common import make_functional_setup
 
 
 @pytest.fixture(scope="module")
