@@ -1,0 +1,269 @@
+"""Engine benchmark: multiprocess worker scaling under modeled dwell.
+
+Replays one seeded mixed-prompt workload through
+:class:`~repro.serving.engine.MultiprocExecutor` at increasing worker
+counts and reports wall-clock throughput per count. Workers charge a
+modeled accelerator dwell of ``pace_s_per_token`` seconds per token they
+process (prefill + decode), slept *inside their own processes* — so the
+executor's begin/end-step fan-out overlaps the dwell across workers and
+the run wall-clock shrinks with the worker count even on one CPU, just
+as N accelerators would overlap real compute.
+
+Determinism is checked, not assumed: every multiprocess run's
+per-request token streams must be bit-identical to an in-process
+single-worker reference run of the same workload (the executor
+bit-identity contract), and the exit status is non-zero if they differ.
+CI gates ``--min-scaling`` on the throughput ratio between the largest
+and smallest worker counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py              # full
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke \
+        --min-scaling 1.3 --out BENCH_engine.json                 # CI gate
+    PYTHONPATH=src python benchmarks/bench_engine.py --workers 1,2,4,8 \
+        --requests 24 --pace-ms 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
+from repro.api.request import GenerationRequest
+from repro.models.builder import build_recall_model
+from repro.models.config import tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.serving.engine import InProcessExecutor, MultiprocExecutor
+
+
+def build_model(args) -> tuple[TransformerLM, SyntheticTokenizer]:
+    rng = np.random.default_rng(args.seed)
+    tokenizer = SyntheticTokenizer(vocab_size=args.vocab)
+    config = tiny_test_config(n_layers=args.layers, vocab_size=args.vocab)
+    return TransformerLM(build_recall_model(config, tokenizer, rng)), tokenizer
+
+
+def build_workload(
+    tokenizer: SyntheticTokenizer, args
+) -> list[GenerationRequest]:
+    """Unique filler prompts: round-robin spreads the dwell evenly."""
+    requests = []
+    for i in range(args.requests):
+        rng = np.random.default_rng(args.seed + 100 + i)
+        filler = [
+            int(t) for t in tokenizer.random_filler_ids(rng, args.prompt_len)
+        ]
+        requests.append(GenerationRequest(
+            np.array([tokenizer.bos_id] + filler),
+            sampling=SamplingParams(max_new_tokens=args.max_new_tokens),
+            policy=args.policy,
+            budget=args.budget,
+        ))
+    return requests
+
+
+def clone(request: GenerationRequest) -> GenerationRequest:
+    return GenerationRequest(
+        request.prompt_ids.copy(),
+        sampling=request.sampling,
+        policy=request.policy,
+        budget=request.budget,
+        priority=request.priority,
+    )
+
+
+def engine_config(tokenizer: SyntheticTokenizer, args) -> EngineConfig:
+    return EngineConfig(
+        budget=args.budget,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=args.concurrency,
+        seed=args.seed,
+        block_size=args.block_size,
+    )
+
+
+def replay(model, tokenizer, requests, args, n_workers, kind, pace) -> dict:
+    """One full submit-and-run through a fresh executor, wall-timed."""
+    cluster = ClusterConfig(
+        n_replicas=n_workers,
+        router="round_robin",
+        pace_s_per_token=pace,
+        executor=kind.kind,
+    )
+    with kind(model, engine_config(tokenizer, args), cluster) as executor:
+        start = time.perf_counter()
+        gids = [executor.add_request(clone(r)) for r in requests]
+        outputs = executor.run()
+        wall_s = time.perf_counter() - start
+        streams: dict[int, list[int]] = {gid: [] for gid in gids}
+        for event in executor.pop_stream_events():
+            streams[event.request_id].append(event.token_id)
+        steps = int(executor.clock)
+    generated = sum(len(o.token_ids) for o in outputs)
+    return {
+        "workers": n_workers,
+        "wall_s": wall_s,
+        "steps": steps,
+        "generated_tokens": generated,
+        "tokens_per_wall_s": generated / wall_s if wall_s > 0 else 0.0,
+        "token_streams": [streams[gid] for gid in sorted(streams)],
+    }
+
+
+def run_best_of(model, tokenizer, requests, args, n_workers, kind, pace):
+    best = None
+    for _ in range(args.repeats):
+        run = replay(model, tokenizer, requests, args, n_workers, kind, pace)
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    return best
+
+
+def bench_engine(model, tokenizer, args) -> dict:
+    requests = build_workload(tokenizer, args)
+    pace = args.pace_ms / 1e3
+    # Unpaced in-process single worker: the determinism reference.
+    reference = replay(
+        model, tokenizer, requests, args, 1, InProcessExecutor, 0.0
+    )
+    scaling = {}
+    for n_workers in args.worker_counts:
+        scaling[n_workers] = run_best_of(
+            model, tokenizer, requests, args, n_workers, MultiprocExecutor,
+            pace,
+        )
+    streams_identical = all(
+        run.pop("token_streams") == reference["token_streams"]
+        for run in scaling.values()
+    )
+    lo, hi = min(args.worker_counts), max(args.worker_counts)
+    ratio = (
+        scaling[hi]["tokens_per_wall_s"] / scaling[lo]["tokens_per_wall_s"]
+        if scaling[lo]["tokens_per_wall_s"] > 0
+        else 0.0
+    )
+    for run in scaling.values():
+        run["throughput_x_vs_min_workers"] = (
+            run["tokens_per_wall_s"] / scaling[lo]["tokens_per_wall_s"]
+            if scaling[lo]["tokens_per_wall_s"] > 0
+            else 0.0
+        )
+    return {
+        "scaling": {str(k): v for k, v in scaling.items()},
+        "throughput_scaling": ratio,
+        "scaling_span": [lo, hi],
+        "streams_identical": streams_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_engine",
+        description="Process-parallel engine benchmark: multiprocess "
+        "worker scaling under modeled per-token accelerator dwell.",
+    )
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts to sweep")
+    parser.add_argument("--requests", type=int, default=12)
+    parser.add_argument("--prompt-len", type=int, default=48,
+                        help="filler prompt length in tokens (excl. BOS)")
+    parser.add_argument("--max-new-tokens", type=int, default=8)
+    parser.add_argument("--policy", default="streaming")
+    parser.add_argument("--budget", type=int, default=64)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--pace-ms", type=float, default=5.0,
+                        help="modeled accelerator dwell per processed "
+                        "token, in milliseconds")
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--vocab", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed replays per worker count; best is kept")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI")
+    parser.add_argument("--min-scaling", type=float, default=None,
+                        help="exit non-zero if the largest worker count's "
+                        "throughput falls below this multiple of the "
+                        "smallest's")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    args.worker_counts = sorted(
+        {int(w) for w in args.workers.split(",") if w}
+    )
+    if args.smoke:
+        args.worker_counts = [w for w in args.worker_counts if w <= 2] or [1, 2]
+        args.requests = min(args.requests, 8)
+        args.max_new_tokens = min(args.max_new_tokens, 6)
+        args.repeats = min(args.repeats, 1)
+
+    model, tokenizer = build_model(args)
+    report = {
+        "benchmark": "engine_scaling",
+        "smoke": args.smoke,
+        "workload": {
+            "worker_counts": args.worker_counts,
+            "requests": args.requests,
+            "prompt_len": args.prompt_len,
+            "max_new_tokens": args.max_new_tokens,
+            "policy": args.policy,
+            "budget": args.budget,
+            "concurrency": args.concurrency,
+            "block_size": args.block_size,
+            "pace_ms": args.pace_ms,
+            "layers": args.layers,
+            "vocab": args.vocab,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        **bench_engine(model, tokenizer, args),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for count in report["workload"]["worker_counts"]:
+        run = report["scaling"][str(count)]
+        print(
+            f"{count:2d} workers: {run['wall_s']:6.2f}s wall "
+            f"| {run['generated_tokens']:4d} tokens "
+            f"| {run['tokens_per_wall_s']:7.1f} tok/s "
+            f"| {run['throughput_x_vs_min_workers']:.2f}x"
+        )
+    lo, hi = report["scaling_span"]
+    print(
+        f"{hi} vs {lo} workers: {report['throughput_scaling']:.2f}x "
+        f"wall-clock throughput  |  streams identical: "
+        f"{report['streams_identical']}"
+    )
+    print(f"wrote {args.out}")
+
+    if not report["streams_identical"]:
+        print(
+            "FAIL: multiprocess streams differ from the in-process "
+            "reference",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_scaling is not None
+        and report["throughput_scaling"] < args.min_scaling
+    ):
+        print(
+            f"FAIL: throughput scaling {report['throughput_scaling']:.2f}x "
+            f"below required {args.min_scaling:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,12 +24,26 @@ Typical flow::
 """
 
 from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
+from repro.api.errors import (
+    EmptyPromptError,
+    EngineUnavailableError,
+    InvalidSamplingError,
+    PromptTooLongError,
+    RequestValidationError,
+    UnknownPolicyError,
+)
 from repro.api.request import GenerationOutput, GenerationRequest
 
 __all__ = [
     "ClusterConfig",
+    "EmptyPromptError",
     "EngineConfig",
+    "EngineUnavailableError",
     "GenerationOutput",
     "GenerationRequest",
+    "InvalidSamplingError",
+    "PromptTooLongError",
+    "RequestValidationError",
     "SamplingParams",
+    "UnknownPolicyError",
 ]

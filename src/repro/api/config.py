@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.api.errors import InvalidSamplingError
 from repro.hardware.spec import EDGE_RTX4060, HardwareSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
@@ -34,22 +35,36 @@ class SamplingParams:
     Attributes:
         max_new_tokens: decode-step cap for the request.
         temperature: 0 is greedy; > 0 samples from the softmax.
+        top_p: nucleus cutoff for temperature sampling — restrict to the
+            smallest probability mass >= top_p, renormalize, then sample.
+            1.0 (default) disables the cutoff; greedy decoding ignores it.
         stop_ids: token ids that terminate generation once emitted.
         seed: RNG seed for temperature sampling (ignored when greedy).
+
+    Out-of-range values raise the typed
+    :class:`repro.api.errors.InvalidSamplingError` (a ``ValueError``), so
+    the HTTP frontend can map them to structured 4xx responses.
     """
 
     max_new_tokens: int = 128
     temperature: float = 0.0
+    top_p: float = 1.0
     stop_ids: tuple[int, ...] = ()
     seed: int | None = None
 
     def __post_init__(self):
         if self.max_new_tokens < 1:
-            raise ValueError(
+            raise InvalidSamplingError(
                 f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
             )
         if self.temperature < 0:
-            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+            raise InvalidSamplingError(
+                f"temperature must be >= 0, got {self.temperature}"
+            )
+        if not 0.0 < self.top_p <= 1.0:
+            raise InvalidSamplingError(
+                f"top_p must be in (0, 1], got {self.top_p}"
+            )
 
 
 @dataclass
@@ -218,6 +233,19 @@ class ClusterConfig:
             threshold the frontend's routing stats count an *affinity
             hit* against, so hit/miss numbers mean the same thing under
             every router.
+        executor: which executor drives the replicas (see
+            :func:`repro.serving.engine.make_executor`) — "inproc" keeps
+            every replica a plain in-process server (the bit-identity
+            reference), "multiproc" wraps each replica in its own worker
+            process driven over pipes, overlapping steps across cores.
+        heartbeat_s: seconds the multiproc executor waits for a worker's
+            step/command reply before declaring it dead and resubmitting
+            its in-flight requests to surviving replicas.
+        pace_s_per_token: modeled accelerator dwell per processed token,
+            slept by each worker after every step. 0.0 (default) disables
+            pacing; the engine benchmark sets it so each worker behaves
+            like one device whose step time scales with its share of the
+            batch — the parallelism the worker/executor split buys.
 
     Name resolution happens when the frontend builds the router (this
     module must stay import-cycle-free below the serving layer), so an
@@ -228,6 +256,9 @@ class ClusterConfig:
     n_replicas: int = 2
     router: str = "prefix_affinity"
     stickiness_tokens: int = 16
+    executor: str = "inproc"
+    heartbeat_s: float = 30.0
+    pace_s_per_token: float = 0.0
 
     def __post_init__(self):
         if self.n_replicas < 1:
@@ -237,4 +268,17 @@ class ClusterConfig:
         if self.stickiness_tokens < 1:
             raise ValueError(
                 f"stickiness_tokens must be >= 1, got {self.stickiness_tokens}"
+            )
+        if self.executor not in ("inproc", "multiproc"):
+            raise ValueError(
+                f"executor must be 'inproc' or 'multiproc', "
+                f"got {self.executor!r}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}"
+            )
+        if self.pace_s_per_token < 0:
+            raise ValueError(
+                f"pace_s_per_token must be >= 0, got {self.pace_s_per_token}"
             )

@@ -1,0 +1,85 @@
+"""Typed request-validation errors shared by the server and HTTP frontend.
+
+One validation vocabulary for every submission surface:
+:meth:`repro.serving.server.SpeContextServer.add_request`, the executor
+layer (:mod:`repro.serving.engine`) and the OpenAI-style HTTP frontend
+(:mod:`repro.serving.http`) all raise (or forward) these instead of bare
+``ValueError``/``KeyError``/asserts, so callers can branch on the *kind*
+of rejection and the HTTP layer can map each one to a structured 4xx
+without string matching.
+
+Every class subclasses :class:`ValueError` (and
+:class:`UnknownPolicyError` additionally :class:`KeyError`), so existing
+callers catching the untyped exceptions keep working unchanged.
+
+Attributes carried by every error:
+
+- ``code``: stable machine-readable slug (OpenAI-style ``error.code``);
+- ``http_status``: the status the HTTP frontend answers with.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RequestValidationError",
+    "EmptyPromptError",
+    "InvalidSamplingError",
+    "PromptTooLongError",
+    "UnknownPolicyError",
+    "EngineUnavailableError",
+]
+
+
+class RequestValidationError(ValueError):
+    """A request was rejected at validation; the engine state is untouched."""
+
+    code = "invalid_request_error"
+    http_status = 400
+
+    @property
+    def message(self) -> str:
+        """The human-readable rejection reason (first positional arg)."""
+        return str(self.args[0]) if self.args else self.__class__.__name__
+
+
+class EmptyPromptError(RequestValidationError):
+    """Prompt missing, empty, whitespace-only, or not a 1-D token array."""
+
+    code = "empty_prompt"
+
+
+class InvalidSamplingError(RequestValidationError):
+    """Sampling parameters out of range (max_new_tokens, temperature, top_p)."""
+
+    code = "invalid_sampling_params"
+
+
+class PromptTooLongError(RequestValidationError):
+    """Request cannot fit the model's positions or the KV pool, even alone."""
+
+    code = "prompt_too_long"
+
+
+class UnknownPolicyError(RequestValidationError, KeyError):
+    """Named KV-selection policy is not in the registry.
+
+    Also a :class:`KeyError` because the policy registry historically
+    raised that; ``str()`` is overridden back to the plain message
+    (``KeyError`` would repr-quote it).
+    """
+
+    code = "unknown_policy"
+
+    def __str__(self) -> str:  # KeyError.__str__ would add quotes
+        return self.message
+
+
+class EngineUnavailableError(RuntimeError):
+    """No healthy worker can take the request (all replicas dead/draining)."""
+
+    code = "engine_unavailable"
+    http_status = 503
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else self.__class__.__name__

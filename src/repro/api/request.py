@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.api.config import SamplingParams
+from repro.api.errors import EmptyPromptError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
     from repro.core.engine import GenerationStats
@@ -53,7 +54,9 @@ class GenerationRequest:
     def __post_init__(self):
         self.prompt_ids = np.asarray(self.prompt_ids)
         if self.prompt_ids.ndim != 1 or self.prompt_ids.size == 0:
-            raise ValueError("prompt_ids must be a non-empty 1-D token array")
+            raise EmptyPromptError(
+                "prompt_ids must be a non-empty 1-D token array"
+            )
         if self.budget is not None and self.budget < 1:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
 

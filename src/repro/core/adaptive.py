@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.memory_model import MemoryModel
 from repro.hardware.memory import MemoryLedger, MemoryTier
-from repro.kvcache.tiered import TieredKVStore
+from repro.kvcache.pool import TieredKVStore
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kvcache.slots import GpuSlotBuffer
-from repro.kvcache.tiered import TieredKVStore
+from repro.kvcache.pool import GpuSlotBuffer, TieredKVStore
 
 
 @dataclass

@@ -1,41 +1,44 @@
-"""KV-cache substrate: dense per-layer caches, paging, tiering, slot buffers.
+"""KV-cache substrate: dense per-layer caches plus the server-wide pool.
 
 The paper's three challenges are all KV-cache lifecycle problems, so the
 cache is a first-class subsystem here rather than an array inside the model:
 
 - ``LayerKVCache``: the dense append/gather cache every attention variant uses.
-- ``PagedKVCache``: fixed-size pages with min/max metadata (Quest's layout).
 - ``PagedKVPool``: the server-wide block pool — refcounted copy-on-write
   blocks, hash-chained prefix caching, deterministic free-list reuse.
 - ``TieredKVStore``: CPU/DRAM-backed cache with an explicit transfer ledger,
   so experiments can count bytes moved over PCIe.
 - ``GpuSlotBuffer``: the fixed-budget on-GPU staging buffer that elastic
   loading updates in place (Sec. 5.4's ``Tensor.copy_()``).
+
+The tiered store and slot buffer live in :mod:`repro.kvcache.pool`
+alongside the pool (the former ``tiered``/``slots``/``paged`` modules
+were consolidated there; Quest's page-metadata layout now lives entirely
+inside :mod:`repro.retrieval.quest`, which never used the standalone
+``PagedKVCache``).
 """
 
 from repro.kvcache.cache import LayerKVCache, ModelKVCache
-from repro.kvcache.paged import PagedKVCache, PageMetadata
 from repro.kvcache.pool import (
     BlockTable,
+    GpuSlotBuffer,
     PagedKVPool,
     PoolExhausted,
     PoolStats,
+    TieredKVStore,
+    TransferLedger,
     hash_token_prefix,
 )
-from repro.kvcache.slots import GpuSlotBuffer
-from repro.kvcache.tiered import TieredKVStore, TransferLedger
 
 __all__ = [
     "BlockTable",
+    "GpuSlotBuffer",
     "LayerKVCache",
     "ModelKVCache",
-    "PagedKVCache",
     "PagedKVPool",
-    "PageMetadata",
     "PoolExhausted",
     "PoolStats",
-    "hash_token_prefix",
     "TieredKVStore",
     "TransferLedger",
-    "GpuSlotBuffer",
+    "hash_token_prefix",
 ]

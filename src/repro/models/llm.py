@@ -314,9 +314,23 @@ class TransformerLM:
 
     @staticmethod
     def _sample(
-        logits: np.ndarray, temperature: float, rng: np.random.Generator | None
+        logits: np.ndarray,
+        temperature: float,
+        rng: np.random.Generator | None,
+        top_p: float = 1.0,
     ) -> int:
         if temperature <= 0:
             return int(np.argmax(logits))
         probs = softmax(logits / temperature)
+        if top_p < 1.0:
+            # Nucleus cutoff: keep the smallest probability mass >= top_p.
+            # Stable sort on (-prob, token id) makes tie-breaking — and
+            # therefore the sampled stream — deterministic at fixed seed.
+            order = np.argsort(-probs, kind="stable")
+            cumulative = np.cumsum(probs[order])
+            keep = int(np.searchsorted(cumulative, top_p, side="left")) + 1
+            nucleus = order[:keep]
+            filtered = np.zeros_like(probs)
+            filtered[nucleus] = probs[nucleus]
+            probs = filtered / filtered.sum()
         return int(rng.choice(probs.size, p=probs))

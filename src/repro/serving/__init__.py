@@ -16,12 +16,27 @@
 - :class:`StaticBatchScheduler` — memory-aware FIFO batching over the
   performance *simulator* (Table 3's serving view).
 - :class:`ThroughputMeter` / :class:`Request` — shared accounting.
+- :mod:`repro.serving.engine` — the process-parallel engine: worker
+  replicas behind a command protocol, driven by an executor
+  (:class:`InProcessExecutor` / :class:`MultiprocExecutor`) that routes,
+  steps with overlap and survives worker deaths by resubmission.
+- :mod:`repro.serving.http` — asyncio OpenAI-style HTTP + SSE frontend
+  over an executor (``POST /v1/completions``, ``GET /v1/models``,
+  ``/healthz``, ``/stats``), stdlib-only.
 """
 
 from repro.serving.cluster import (
     ClusterFrontend,
     ClusterPreemptionEvent,
     ClusterRoutingStats,
+)
+from repro.serving.engine import (
+    ExecutorBase,
+    InProcessExecutor,
+    MultiprocExecutor,
+    StepResult,
+    WorkerHealth,
+    make_executor,
 )
 from repro.serving.meter import ThroughputMeter
 from repro.serving.policies import (
@@ -49,6 +64,9 @@ __all__ = [
     "ClusterFrontend",
     "ClusterPreemptionEvent",
     "ClusterRoutingStats",
+    "ExecutorBase",
+    "InProcessExecutor",
+    "MultiprocExecutor",
     "PreemptionEvent",
     "Request",
     "RequestState",
@@ -56,11 +74,14 @@ __all__ = [
     "SchedulerPolicy",
     "SpeContextServer",
     "StaticBatchScheduler",
+    "StepResult",
     "StreamEvent",
     "ThroughputMeter",
     "TraceEntry",
+    "WorkerHealth",
     "available_routers",
     "available_schedulers",
+    "make_executor",
     "make_router",
     "make_scheduler",
     "poisson_trace",

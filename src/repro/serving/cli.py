@@ -111,6 +111,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stickiness-tokens", type=int, default=16,
                         help="minimum cached-prefix match for the "
                         "prefix-affinity router to stick to a replica")
+    parser.add_argument("--serve-http", action="store_true",
+                        help="serve an OpenAI-style HTTP + SSE frontend "
+                        "instead of running the built-in request queue")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve-http")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="bind port for --serve-http")
+    parser.add_argument("--executor", default="inproc",
+                        choices=("inproc", "multiproc"),
+                        help="engine executor for --serve-http: all "
+                        "workers in-process, or one child process per "
+                        "worker stepped with overlap")
     args = parser.parse_args(argv)
 
     try:
@@ -143,6 +155,26 @@ def main(argv: list[str] | None = None) -> int:
         prefill_chunk_tokens=args.prefill_chunk_tokens,
         max_step_tokens=args.max_step_tokens,
     )
+    if args.serve_http:
+        import asyncio
+
+        from repro.serving.http import build_http_server, serve_async
+
+        cluster = ClusterConfig(
+            n_replicas=args.replicas,
+            router=router,
+            stickiness_tokens=args.stickiness_tokens,
+            executor=args.executor,
+        )
+        http_server = build_http_server(model, tokenizer, engine_config, cluster)
+        print(
+            f"serving {http_server.model_name} on "
+            f"http://{args.host}:{args.port} ({args.executor} executor, "
+            f"{args.replicas} worker(s), {router} routing)"
+        )
+        asyncio.run(serve_async(http_server, args.host, args.port))
+        return 0
+
     try:
         if args.replicas > 1:
             frontend = ClusterFrontend(

@@ -1,0 +1,44 @@
+"""Process-parallel serving engine: worker/executor split.
+
+Three layers (paper-style separation of the serving control plane):
+
+- :mod:`repro.serving.engine.worker` — one
+  :class:`~repro.serving.server.SpeContextServer` replica behind a
+  small command protocol, runnable in-process or as a child process;
+- :mod:`repro.serving.engine.executor` — owns N workers, routes
+  requests through the shared router registry, steps the workers in
+  lockstep with overlap, and survives worker deaths by resubmitting
+  in-flight requests to survivors;
+- :mod:`repro.serving.http` — an asyncio OpenAI-style HTTP + SSE
+  frontend over an executor.
+"""
+
+from repro.serving.engine.executor import (
+    ExecutorBase,
+    InProcessExecutor,
+    MultiprocExecutor,
+    WorkerDied,
+    WorkerHealth,
+    make_executor,
+)
+from repro.serving.engine.worker import (
+    StepResult,
+    WorkerCore,
+    WorkerSnapshot,
+    serve_connection,
+    worker_main,
+)
+
+__all__ = [
+    "ExecutorBase",
+    "InProcessExecutor",
+    "MultiprocExecutor",
+    "StepResult",
+    "WorkerCore",
+    "WorkerDied",
+    "WorkerHealth",
+    "WorkerSnapshot",
+    "make_executor",
+    "serve_connection",
+    "worker_main",
+]

@@ -1,0 +1,758 @@
+"""Executor layer: one request stream fanned out over N worker replicas.
+
+The executor owns worker *handles* — uniform little surfaces exposing
+``call(op, ...)`` plus a split ``begin_step``/``end_step`` — and all the
+cluster-level logic lives once in :class:`ExecutorBase`, operating only
+on that surface:
+
+- **routing** through the shared router registry
+  (:func:`repro.serving.policies.make_router`), with the same probe-once
+  memoization and hit/miss accounting as
+  :class:`~repro.serving.cluster.ClusterFrontend`;
+- **global/local id translation**: the server requires each replica's
+  request ids to be increasing, which a failover resubmission would
+  violate, so the executor assigns global ids and submits clones that
+  let each worker assign its own local id — stream events, outputs and
+  preemption events are translated back at the merge point;
+- **lockstep stepping with overlap**: ``begin_step`` fans the step
+  command out to every live worker, ``end_step`` collects the results in
+  worker-index order. Multiprocess workers therefore run their waves
+  (compute *and* modeled dwell) concurrently, while the in-process
+  executor degenerates to the sequential reference;
+- **fault handling**: a worker that exits, breaks its pipe, or misses
+  the ``heartbeat_s`` reply deadline is quarantined, and its in-flight
+  requests are resubmitted to survivors through the router. Replayed
+  requests are deterministic (portable requests carry seeds, never
+  generator state), so the replayed stream's already-delivered prefix is
+  suppressed by count and clients observe an exactly-once token stream.
+
+Determinism contract: with no worker deaths,
+:class:`MultiprocExecutor` and :class:`InProcessExecutor` produce
+bit-identical per-request token streams, placements and finish reasons
+for the same submission sequence — and with deaths injected at the same
+step (:meth:`ExecutorBase.kill_worker`), the merged client streams stay
+bit-identical too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.api.config import ClusterConfig, EngineConfig
+from repro.api.errors import EngineUnavailableError, RequestValidationError
+from repro.api.request import GenerationOutput, GenerationRequest
+from repro.models.llm import TransformerLM
+from repro.serving.cluster import ClusterPreemptionEvent, ClusterRoutingStats
+from repro.serving.engine.worker import (
+    StepResult,
+    WorkerCore,
+    WorkerSnapshot,
+    worker_main,
+)
+from repro.serving.meter import ThroughputMeter
+from repro.serving.policies import make_router, resolve_router_name
+from repro.serving.server import SpeContextServer, StreamEvent
+
+# Load sentinel for dead workers' router views: large enough that any
+# load-aware router avoids them, finite so key arithmetic stays exact.
+_DEAD_LOAD = 1 << 40
+
+
+class WorkerDied(RuntimeError):
+    """A worker stopped responding or exited; raised by its handle."""
+
+    def __init__(self, index: int, reason: str):
+        super().__init__(f"worker {index} died: {reason}")
+        self.index = index
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class WorkerHealth:
+    """One worker's liveness as the executor sees it."""
+
+    index: int
+    alive: bool
+    inflight: int
+    exitcode: int | None = None
+
+
+class _WorkerView:
+    """Router-facing surface of one worker, fed by a one-shot probe."""
+
+    def __init__(self, index: int, reserved: int, depth: int, match: int):
+        self.index = index
+        self.reserved_tokens = reserved
+        self.queue_depth = depth
+        self._match = match
+
+    def prefix_match_tokens(self, prompt_ids: np.ndarray) -> int:
+        return self._match
+
+
+# ---- worker handles ----------------------------------------------------------
+
+
+class _InProcessHandle:
+    """One server replica driven directly (the reference executor)."""
+
+    def __init__(
+        self,
+        index: int,
+        model: TransformerLM,
+        config: EngineConfig,
+        pace_s_per_token: float,
+    ):
+        self.index = index
+        self._core = WorkerCore(
+            SpeContextServer(model, config), pace_s_per_token
+        )
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def exitcode(self) -> int | None:
+        return None
+
+    def call(self, op: str, *args) -> object:
+        if not self._alive:
+            raise WorkerDied(self.index, "killed")
+        return self._core.handle(op, args)
+
+    def begin_step(self) -> None:
+        if not self._alive:
+            raise WorkerDied(self.index, "killed")
+
+    def end_step(self) -> StepResult:
+        return self.call("step")
+
+    def kill(self) -> None:
+        self._alive = False
+
+    def close(self) -> None:
+        self._alive = False
+
+
+class _MultiprocHandle:
+    """One server replica in a child process, behind a pipe."""
+
+    def __init__(
+        self,
+        index: int,
+        model: TransformerLM,
+        config: EngineConfig,
+        pace_s_per_token: float,
+        heartbeat_s: float,
+        ctx,
+    ):
+        self.index = index
+        self.heartbeat_s = float(heartbeat_s)
+        parent, child = ctx.Pipe()
+        self._conn = parent
+        self._proc = ctx.Process(
+            target=worker_main,
+            args=(child, model, config, pace_s_per_token),
+            daemon=True,
+            name=f"repro-engine-worker-{index}",
+        )
+        self._proc.start()
+        child.close()
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def exitcode(self) -> int | None:
+        return self._proc.exitcode
+
+    def call(self, op: str, *args) -> object:
+        self._send(op, args)
+        return self._recv(op)
+
+    def begin_step(self) -> None:
+        self._send("step", ())
+
+    def end_step(self) -> StepResult:
+        return self._recv("step")
+
+    def _send(self, op: str, args: tuple) -> None:
+        if not self._alive:
+            raise WorkerDied(self.index, "already quarantined")
+        try:
+            self._conn.send((op, args))
+        except (BrokenPipeError, OSError) as err:
+            self._fail(f"pipe broke sending {op!r}: {err}")
+
+    def _recv(self, op: str) -> object:
+        deadline = time.monotonic() + self.heartbeat_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._fail(f"no reply to {op!r} within {self.heartbeat_s}s")
+            try:
+                ready = self._conn.poll(min(remaining, 0.05))
+            except (BrokenPipeError, OSError) as err:
+                self._fail(f"pipe broke awaiting {op!r}: {err}")
+            if ready:
+                try:
+                    status, payload = self._conn.recv()
+                except (EOFError, OSError) as err:
+                    self._fail(f"pipe closed during {op!r}: {err}")
+                if status == "err":
+                    raise payload
+                return payload
+            if self._proc.exitcode is not None:
+                self._fail(f"process exited with code {self._proc.exitcode}")
+
+    def _fail(self, reason: str) -> None:
+        self._alive = False
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        raise WorkerDied(self.index, reason)
+
+    def kill(self) -> None:
+        """Hard-kill the child (fault injection / quarantine cleanup)."""
+        self._alive = False
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():  # pragma: no cover - stuck child
+                self._proc.kill()
+                self._proc.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Graceful shutdown: ask the worker to exit, then reap it."""
+        if self._alive:
+            self._alive = False
+            try:
+                self._conn.send(("shutdown", ()))
+            except (BrokenPipeError, OSError):
+                pass
+        self._proc.join(timeout=self.heartbeat_s)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+# ---- executors ---------------------------------------------------------------
+
+
+class ExecutorBase:
+    """Shared cluster-level logic over a list of worker handles."""
+
+    kind = "base"
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        config: EngineConfig | None = None,
+        cluster: ClusterConfig | None = None,
+    ):
+        self.config = config or EngineConfig()
+        self.cluster = cluster or ClusterConfig()
+        router_opts = {}
+        if resolve_router_name(self.cluster.router) == "prefix_affinity":
+            router_opts["stickiness_tokens"] = self.cluster.stickiness_tokens
+        self.router = make_router(self.cluster.router, **router_opts)
+        self._handles = self._spawn(model)
+        n = len(self._handles)
+        self.routing = ClusterRoutingStats(
+            routed=[0] * n,
+            affinity_hits=[0] * n,
+            affinity_misses=[0] * n,
+            cold=[0] * n,
+        )
+        self._templates: dict[int, GenerationRequest] = {}
+        self._assignment: dict[int, tuple[int, int]] = {}  # gid -> (worker, lid)
+        self._locals: list[dict[int, int]] = [{} for _ in range(n)]
+        self._inflight: set[int] = set()
+        self._delivered: dict[int, int] = {}
+        self._replay_skip: dict[int, int] = {}
+        self._stream: list[StreamEvent] = []
+        self._outputs: dict[int, GenerationOutput] = {}
+        self._preemption_log: list[ClusterPreemptionEvent] = []
+        self._pending_recovery: list[int] = []
+        self.resubmissions: list[tuple[int, int]] = []  # (gid, new worker)
+        self._next_id = 0
+        self._clock = 0.0
+        self._draining = False
+
+    def _spawn(self, model: TransformerLM) -> list:
+        raise NotImplementedError
+
+    # ---- introspection ---------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._handles)
+
+    @property
+    def n_alive(self) -> int:
+        return sum(1 for h in self._handles if h.alive)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any worker has been quarantined."""
+        return self.n_alive < self.n_workers
+
+    def worker_of(self, request_id: int) -> int:
+        """Worker index a submitted request currently lives on."""
+        return self._assignment[request_id][0]
+
+    def health(self) -> list[WorkerHealth]:
+        counts: dict[int, int] = {}
+        for gid, (worker, _) in self._assignment.items():
+            if gid in self._inflight:
+                counts[worker] = counts.get(worker, 0) + 1
+        return [
+            WorkerHealth(
+                index=h.index,
+                alive=h.alive,
+                inflight=counts.get(h.index, 0),
+                exitcode=h.exitcode,
+            )
+            for h in self._handles
+        ]
+
+    # ---- submission ------------------------------------------------------------
+
+    def add_request(self, request: GenerationRequest) -> int:
+        """Validate, route and submit one request; returns its global id.
+
+        On rejection (validation error from the executor or the chosen
+        worker) the request object, the id counter and the router cursor
+        are restored — identical retry semantics to
+        :meth:`repro.serving.cluster.ClusterFrontend.add_request`.
+        """
+        if self._draining:
+            raise EngineUnavailableError(
+                "engine is draining; new requests are not accepted"
+            )
+        if self.n_alive == 0:
+            raise EngineUnavailableError("no live workers")
+        if request.request_id is not None and request.request_id < self._next_id:
+            raise ValueError(
+                f"request_id {request.request_id} already used; ids must be "
+                "unique and increasing"
+            )
+        self._check_portable(request)
+        views, matches = self._probe(request.prompt_ids)
+        cursor = getattr(self.router, "_next", None)
+        chosen = self._route(request, views)
+        gid = request.request_id if request.request_id is not None else (
+            self._next_id
+        )
+        template = self._clone(request)
+        try:
+            lid = self._handles[chosen].call("submit", self._clone(request))
+        except WorkerDied:
+            # The chosen worker died between probe and submit. Quarantine
+            # it (recovering its in-flight work) and re-run placement.
+            self._pending_recovery.append(chosen)
+            self._drain_recovery()
+            return self.add_request(request)
+        except Exception:
+            if cursor is not None:
+                self.router._next = cursor
+            raise
+        request.request_id = gid
+        self._next_id = gid + 1
+        self._templates[gid] = template
+        self._assignment[gid] = (chosen, lid)
+        self._locals[chosen][lid] = gid
+        self._inflight.add(gid)
+        self._delivered[gid] = 0
+        self.routing.routed[chosen] += 1
+        threshold = self.cluster.stickiness_tokens
+        if matches[chosen] >= threshold:
+            self.routing.affinity_hits[chosen] += 1
+        elif max(matches) >= threshold:
+            self.routing.affinity_misses[chosen] += 1
+        else:
+            self.routing.cold[chosen] += 1
+        self._drain_recovery()
+        return gid
+
+    def abort(self, request_id: int) -> bool:
+        """Drop an in-flight request (client disconnect).
+
+        Returns False when the id is unknown or already finished (abort
+        races against completion; that is not an error).
+        """
+        if request_id not in self._inflight:
+            return False
+        worker, lid = self._assignment[request_id]
+        handle = self._handles[worker]
+        if handle.alive:
+            try:
+                handle.call("abort", lid)
+            except WorkerDied:
+                self._pending_recovery.append(worker)
+        self._inflight.discard(request_id)
+        self._assignment.pop(request_id, None)
+        self._locals[worker].pop(lid, None)
+        self._templates.pop(request_id, None)
+        self._drain_recovery()
+        return True
+
+    def _check_portable(self, request: GenerationRequest) -> None:
+        """Reject requests that cannot survive shipment or failover.
+
+        Enforced by *both* executors so acceptance is identical: a
+        prebuilt policy object owns mutable state that cannot be
+        pickled to a worker or replayed after one dies, and a generator
+        object's consumed state cannot be rewound for resubmission
+        (seeds can — ``sampling.seed`` replays bit-identically).
+        """
+        if request.policy is not None and not isinstance(request.policy, str):
+            raise RequestValidationError(
+                "executor requests must name policies by registry name; "
+                "prebuilt policy objects cannot be shipped to workers or "
+                "resubmitted after a worker failure"
+            )
+        if request.rng is not None:
+            raise RequestValidationError(
+                "executor requests must carry sampling.seed rather than an "
+                "rng object; seeds replay bit-identically after worker "
+                "failover, generator state does not"
+            )
+
+    @staticmethod
+    def _clone(request: GenerationRequest) -> GenerationRequest:
+        """A pristine, unsubmitted copy (prompt array shared, read-only)."""
+        return GenerationRequest(
+            prompt_ids=request.prompt_ids,
+            sampling=request.sampling,
+            policy=request.policy,
+            budget=request.budget,
+            policy_opts=dict(request.policy_opts),
+            priority=request.priority,
+            request_id=None,
+            rng=None,
+        )
+
+    def _probe(self, prompt_ids: np.ndarray):
+        """One load/affinity probe per worker; dead workers get sentinels."""
+        views: list[_WorkerView] = []
+        matches: list[int] = []
+        for handle in self._handles:
+            if handle.alive:
+                try:
+                    reserved, depth, match = handle.call("probe", prompt_ids)
+                    views.append(
+                        _WorkerView(handle.index, reserved, depth, match)
+                    )
+                    matches.append(match)
+                    continue
+                except WorkerDied:
+                    self._pending_recovery.append(handle.index)
+            views.append(_WorkerView(handle.index, _DEAD_LOAD, _DEAD_LOAD, 0))
+            matches.append(0)
+        return views, matches
+
+    def _route(self, request, views: list[_WorkerView]) -> int:
+        """Route, skipping quarantined workers.
+
+        Load-aware routers avoid dead workers through the sentinel views;
+        round-robin may land on one, in which case its cursor simply
+        advances to the next worker — deterministic either way. Views for
+        *all* workers (dead ones included) are always passed, so the
+        cursor arithmetic matches the all-alive cluster frontend exactly.
+        """
+        for _ in range(self.n_workers):
+            chosen = self.router.route(request, views)
+            if not 0 <= chosen < self.n_workers:
+                raise ValueError(
+                    f"router {self.router.name!r} returned worker {chosen}; "
+                    f"executor has {self.n_workers}"
+                )
+            if self._handles[chosen].alive:
+                return chosen
+        raise EngineUnavailableError("router found no live worker")
+
+    # ---- stepping --------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """The shared step-count clock (workers tick in lockstep)."""
+        return self._clock
+
+    def advance_clock_to(self, when: float) -> None:
+        """Jump every live worker's idle clock forward (trace gaps)."""
+        for handle in self._handles:
+            if handle.alive:
+                try:
+                    handle.call("advance_clock", when)
+                except WorkerDied:
+                    self._pending_recovery.append(handle.index)
+        self._clock = float(when)
+        self._drain_recovery()
+
+    @property
+    def has_unfinished(self) -> bool:
+        return bool(self._inflight)
+
+    def step(self) -> list[GenerationOutput]:
+        """Drive every live worker one wave; merge into one client view.
+
+        ``begin_step`` is fanned out to all live workers before any
+        ``end_step`` is awaited, so multiprocess workers overlap their
+        waves; results are merged in worker-index order (emission order
+        within a worker) — the same deterministic total order as
+        :meth:`repro.serving.cluster.ClusterFrontend.step`. Workers that
+        die during the wave are quarantined afterwards and their
+        in-flight requests resubmitted to survivors.
+        """
+        self._drain_recovery()
+        stepping = [h for h in self._handles if h.alive]
+        for handle in stepping:
+            try:
+                handle.begin_step()
+            except WorkerDied:
+                pass  # collected below: handle.alive is now False
+        finished: list[GenerationOutput] = []
+        for handle in stepping:
+            if not handle.alive:
+                self._pending_recovery.append(handle.index)
+                continue
+            try:
+                result = handle.end_step()
+            except WorkerDied:
+                self._pending_recovery.append(handle.index)
+                continue
+            finished.extend(self._merge_step(handle.index, result))
+        self._drain_recovery()
+        self._clock += 1.0
+        return sorted(finished, key=lambda o: o.request_id)
+
+    def run(self) -> list[GenerationOutput]:
+        """Step until all in-flight work drains; outputs by global id."""
+        outputs: list[GenerationOutput] = []
+        while self.has_unfinished:
+            outputs.extend(self.step())
+        return sorted(outputs, key=lambda o: o.request_id)
+
+    def _merge_step(
+        self, index: int, result: StepResult
+    ) -> list[GenerationOutput]:
+        """Translate one worker's wave into global ids and accumulate it."""
+        lids = self._locals[index]
+        for event in result.stream_events:
+            gid = lids.get(event.request_id)
+            if gid is None or gid not in self._inflight:
+                continue  # aborted or unknown: drop silently
+            if self._replay_skip.get(gid, 0) > 0:
+                # Replayed prefix of a resubmitted request: the client
+                # already holds these tokens (deterministic replay), so
+                # suppress them by count for exactly-once delivery.
+                self._replay_skip[gid] -= 1
+                continue
+            self._delivered[gid] = self._delivered.get(gid, 0) + 1
+            self._stream.append(replace(event, request_id=gid))
+        for event in result.preemption_events:
+            gid = lids.get(event.request_id)
+            if gid is None:
+                continue
+            self._preemption_log.append(
+                ClusterPreemptionEvent(
+                    replica=index, event=replace(event, request_id=gid)
+                )
+            )
+        finished: list[GenerationOutput] = []
+        for output in result.finished:
+            gid = lids.pop(output.request_id, None)
+            if gid is None or gid not in self._inflight:
+                continue
+            output.request_id = gid
+            self._outputs[gid] = output
+            self._inflight.discard(gid)
+            self._assignment.pop(gid, None)
+            self._replay_skip.pop(gid, None)
+            finished.append(output)
+        return finished
+
+    # ---- fault handling --------------------------------------------------------
+
+    def kill_worker(self, index: int) -> list[int]:
+        """Forcibly kill one worker (fault injection).
+
+        Works identically on both executors, so failover tests can
+        inject the same death at the same step and compare streams.
+        Returns the global ids that were resubmitted to survivors.
+        """
+        self._handles[index].kill()
+        orphans = self._on_worker_death(index)
+        self._drain_recovery()
+        return orphans
+
+    def _drain_recovery(self) -> None:
+        while self._pending_recovery:
+            self._on_worker_death(self._pending_recovery.pop(0))
+
+    def _on_worker_death(self, index: int) -> list[int]:
+        """Quarantine a worker and resubmit its in-flight requests."""
+        self._handles[index].kill()
+        orphans = sorted(
+            gid
+            for gid, (worker, _) in self._assignment.items()
+            if worker == index and gid in self._inflight
+        )
+        self._locals[index].clear()
+        for gid in orphans:
+            self._resubmit(gid)
+        return orphans
+
+    def _resubmit(self, gid: int) -> None:
+        """Re-place one orphaned request on a survivor (fresh replay)."""
+        template = self._templates[gid]
+        while True:
+            if self.n_alive == 0:
+                raise EngineUnavailableError(
+                    f"all workers dead; cannot recover request {gid}"
+                )
+            views, _ = self._probe(template.prompt_ids)
+            chosen = self._route(template, views)
+            try:
+                lid = self._handles[chosen].call(
+                    "submit", self._clone(template)
+                )
+                break
+            except WorkerDied:
+                self._pending_recovery.append(chosen)
+        self._assignment[gid] = (chosen, lid)
+        self._locals[chosen][lid] = gid
+        self._replay_skip[gid] = self._delivered.get(gid, 0)
+        self.resubmissions.append((gid, chosen))
+
+    # ---- merged views ----------------------------------------------------------
+
+    def pop_stream_events(self) -> list[StreamEvent]:
+        """Drain the merged per-token stream (global request ids)."""
+        events = self._stream
+        self._stream = []
+        return events
+
+    @property
+    def preemption_log(self) -> list[ClusterPreemptionEvent]:
+        """Every preemption on any worker, in merged client order."""
+        return list(self._preemption_log)
+
+    @property
+    def outputs(self) -> list[GenerationOutput]:
+        """All finished outputs so far, sorted by global id."""
+        return [self._outputs[gid] for gid in sorted(self._outputs)]
+
+    def stats(self) -> ThroughputMeter:
+        """Engine-wide meter: the union of live workers' records.
+
+        Records held by quarantined workers are unavailable (in the
+        multiprocess case their processes are gone); recovered requests
+        are re-timed from their resubmission.
+        """
+        meters = []
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                snapshot: WorkerSnapshot = handle.call("stats")
+            except WorkerDied:
+                self._pending_recovery.append(handle.index)
+                continue
+            meters.append(snapshot.meter)
+        self._drain_recovery()
+        return ThroughputMeter.merge(*meters)
+
+    # ---- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> list[GenerationOutput]:
+        """Stop accepting new requests and run in-flight work to empty."""
+        self._draining = True
+        return self.run()
+
+    def shutdown(self) -> None:
+        """Release every worker (graceful where possible)."""
+        for handle in self._handles:
+            handle.close()
+
+    def __enter__(self) -> "ExecutorBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class InProcessExecutor(ExecutorBase):
+    """All workers in this process — the zero-IPC reference executor."""
+
+    kind = "inproc"
+
+    def _spawn(self, model: TransformerLM) -> list:
+        return [
+            _InProcessHandle(
+                i, model, self.config, self.cluster.pace_s_per_token
+            )
+            for i in range(self.cluster.n_replicas)
+        ]
+
+
+class MultiprocExecutor(ExecutorBase):
+    """Each worker in its own child process, stepped with overlap."""
+
+    kind = "multiproc"
+
+    def _spawn(self, model: TransformerLM) -> list:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        return [
+            _MultiprocHandle(
+                i,
+                model,
+                self.config,
+                self.cluster.pace_s_per_token,
+                self.cluster.heartbeat_s,
+                ctx,
+            )
+            for i in range(self.cluster.n_replicas)
+        ]
+
+
+_EXECUTORS = {
+    "inproc": InProcessExecutor,
+    "multiproc": MultiprocExecutor,
+}
+
+
+def make_executor(
+    model: TransformerLM,
+    config: EngineConfig | None = None,
+    cluster: ClusterConfig | None = None,
+) -> ExecutorBase:
+    """Build the executor named by ``cluster.executor``."""
+    cluster = cluster or ClusterConfig()
+    try:
+        kind = _EXECUTORS[cluster.executor]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {cluster.executor!r}; "
+            f"available: {sorted(_EXECUTORS)}"
+        ) from None
+    return kind(model, config, cluster)

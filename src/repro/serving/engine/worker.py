@@ -1,0 +1,237 @@
+"""Worker side of the process-parallel engine.
+
+One worker wraps one :class:`~repro.serving.server.SpeContextServer`
+replica behind a tiny command protocol. The same dispatcher
+(:class:`WorkerCore`) backs both executors:
+
+- the in-process executor calls :meth:`WorkerCore.handle` directly
+  (the reference path — no serialization, no processes);
+- the multiprocess executor runs :func:`worker_main` as a child
+  process target and speaks the identical protocol over a
+  ``multiprocessing`` pipe, so any behavioural difference between the
+  two executors is a pipe/pickle bug by construction, never a
+  semantics fork.
+
+Protocol: the executor sends ``(op, args)`` tuples and the worker
+answers ``("ok", payload)`` or ``("err", exception)`` — exceptions
+(e.g. the typed validation errors from :mod:`repro.api.errors`) are
+shipped back and re-raised executor-side; the worker loop survives
+them. A ``shutdown`` op acknowledges and exits the loop.
+
+Each ``step`` command drives exactly one server wave and returns a
+:class:`StepResult` carrying everything the wave produced (stream
+events, new preemptions, finished outputs, queue gauges). With
+``pace_s_per_token`` set, the worker sleeps that long per token it
+processed before replying — modeling per-device accelerator dwell.
+Paced workers sleep *inside their own processes*, so the executor's
+fan-out overlaps the dwell across workers; this is what the engine
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serving.meter import ThroughputMeter
+from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.api.config import EngineConfig
+    from repro.api.request import GenerationOutput, GenerationRequest
+    from repro.kvcache.pool import PoolStats
+    from repro.models.llm import TransformerLM
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything one worker wave produced, shipped back to the executor.
+
+    ``stream_events``/``finished`` speak the worker's *local* request
+    ids; the executor translates them to global ids. ``step_tokens`` is
+    the wave's total forward-pass work (decoded tokens plus prefill
+    tokens), the quantity pacing charges dwell for.
+    """
+
+    stream_events: tuple[StreamEvent, ...]
+    preemption_events: tuple[PreemptionEvent, ...]
+    finished: tuple["GenerationOutput", ...]
+    has_unfinished: bool
+    clock: float
+    n_active: int
+    n_waiting: int
+    step_tokens: int
+
+
+@dataclass(frozen=True)
+class WorkerSnapshot:
+    """Point-in-time worker accounting, shipped back on a ``stats`` op."""
+
+    meter: ThroughputMeter
+    pool: "PoolStats"
+    clock: float
+    n_active: int
+    n_waiting: int
+    reserved_tokens: int
+
+
+class WorkerCore:
+    """Command dispatcher around one server replica.
+
+    Ops (all total, all synchronous):
+
+    - ``submit(request)`` -> local request id (or a validation error);
+    - ``probe(prompt_ids)`` -> ``(reserved_tokens, queue_depth,
+      prefix_match_tokens)`` — the router-facing load/affinity surface;
+    - ``step()`` -> :class:`StepResult` for one wave;
+    - ``advance_clock(when)`` -> jump the idle clock (trace gaps);
+    - ``abort(local_id)`` -> bool, drop an in-flight request;
+    - ``stats()`` -> :class:`WorkerSnapshot`;
+    - ``drain()`` -> step until the replica empties, one merged
+      :class:`StepResult`;
+    - ``ping()`` -> ``"pong"`` (liveness probe).
+    """
+
+    def __init__(self, server: SpeContextServer, pace_s_per_token: float = 0.0):
+        self.server = server
+        self.pace_s_per_token = float(pace_s_per_token)
+        self._preemption_cursor = 0
+
+    def handle(self, op: str, args: tuple) -> object:
+        method = getattr(self, f"_op_{op}", None)
+        if method is None:
+            raise ValueError(f"unknown worker op {op!r}")
+        return method(*args)
+
+    # ---- ops -------------------------------------------------------------------
+
+    def _op_submit(self, request: "GenerationRequest") -> int:
+        return self.server.add_request(request)
+
+    def _op_probe(self, prompt_ids: np.ndarray) -> tuple[int, int, int]:
+        server = self.server
+        return (
+            server.reserved_tokens,
+            server.n_waiting,
+            server.pool.longest_prefix_match(prompt_ids),
+        )
+
+    def _op_step(self) -> StepResult:
+        return self._step()
+
+    def _op_advance_clock(self, when: float) -> None:
+        self.server.advance_clock_to(when)
+
+    def _op_abort(self, request_id: int) -> bool:
+        return self.server.abort(request_id)
+
+    def _op_stats(self) -> WorkerSnapshot:
+        server = self.server
+        return WorkerSnapshot(
+            meter=server.meter,
+            pool=server.pool.stats,
+            clock=server.clock,
+            n_active=server.n_active,
+            n_waiting=server.n_waiting,
+            reserved_tokens=server.reserved_tokens,
+        )
+
+    def _op_drain(self) -> StepResult:
+        results = [self._step()]
+        while self.server.has_unfinished:
+            results.append(self._step())
+        last = results[-1]
+        return StepResult(
+            stream_events=tuple(
+                e for r in results for e in r.stream_events
+            ),
+            preemption_events=tuple(
+                e for r in results for e in r.preemption_events
+            ),
+            finished=tuple(o for r in results for o in r.finished),
+            has_unfinished=last.has_unfinished,
+            clock=last.clock,
+            n_active=last.n_active,
+            n_waiting=last.n_waiting,
+            step_tokens=sum(r.step_tokens for r in results),
+        )
+
+    def _op_ping(self) -> str:
+        return "pong"
+
+    # ---- stepping --------------------------------------------------------------
+
+    def _step(self) -> StepResult:
+        server = self.server
+        finished = server.step()
+        events = server.pop_stream_events()
+        log = server.preemption_log
+        new_preemptions = log[self._preemption_cursor:]
+        self._preemption_cursor = len(log)
+        step_tokens = len(events) + server.last_step_prefill_tokens
+        if self.pace_s_per_token > 0.0 and step_tokens:
+            # Modeled accelerator dwell: the device holding this replica
+            # is busy for time proportional to the tokens it pushed this
+            # wave. Sleeping here (inside the worker process) is what the
+            # executor overlaps across workers.
+            time.sleep(self.pace_s_per_token * step_tokens)
+        return StepResult(
+            stream_events=tuple(events),
+            preemption_events=tuple(new_preemptions),
+            finished=tuple(finished),
+            has_unfinished=server.has_unfinished,
+            clock=server.clock,
+            n_active=server.n_active,
+            n_waiting=server.n_waiting,
+            step_tokens=step_tokens,
+        )
+
+
+def serve_connection(core: WorkerCore, conn) -> None:
+    """Blocking command loop over one pipe endpoint.
+
+    Receives ``(op, args)``, replies ``("ok", payload)`` or
+    ``("err", exception)``. Application errors (validation rejections,
+    bad ops) are shipped back and the loop continues; only ``shutdown``
+    or a closed pipe ends it. A reply that itself fails to pickle is
+    degraded to ``("err", RuntimeError(repr(...)))`` rather than
+    silently killing the worker.
+    """
+    while True:
+        try:
+            op, args = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            reply = ("ok", core.handle(op, args))
+        except Exception as err:  # ship it back; the worker survives
+            reply = ("err", err)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception:
+            conn.send(("err", RuntimeError(repr(reply[1]))))
+
+
+def worker_main(
+    conn,
+    model: "TransformerLM",
+    config: "EngineConfig",
+    pace_s_per_token: float = 0.0,
+) -> None:
+    """Child-process entry point: one server replica behind a pipe."""
+    core = WorkerCore(SpeContextServer(model, config), pace_s_per_token)
+    try:
+        serve_connection(core, conn)
+    finally:
+        conn.close()

@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.config import EngineConfig, SamplingParams
+from repro.api.errors import PromptTooLongError, UnknownPolicyError
 from repro.api.request import GenerationOutput, GenerationRequest
 from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
 from repro.core.elastic import ElasticTransferTracker
@@ -292,7 +293,7 @@ class SpeContextServer:
         if peak_tokens > self.model.config.max_position:
             # Without this check the request is admitted and decodes past
             # the cached RoPE table instead of failing at submission.
-            raise ValueError(
+            raise PromptTooLongError(
                 f"request needs up to {peak_tokens} positions (prompt "
                 f"{request.prompt_len} + max_new_tokens "
                 f"{request.sampling.max_new_tokens}) but the model's "
@@ -301,7 +302,7 @@ class SpeContextServer:
             )
         peak_blocks = self.pool.blocks_for_tokens(peak_tokens)
         if peak_blocks > self.pool.capacity:
-            raise ValueError(
+            raise PromptTooLongError(
                 f"request needs up to {peak_blocks} KV blocks but the pool "
                 f"holds {self.pool.capacity}; raise pool_blocks or shrink "
                 "the request"
@@ -317,7 +318,17 @@ class SpeContextServer:
                         f"{session.request_id}; prebuilt policies can only be "
                         "reused sequentially"
                     )
-        policy = self._resolve_policy(request)
+        try:
+            policy = self._resolve_policy(request)
+        except UnknownPolicyError:
+            raise
+        except KeyError as err:
+            # The registry speaks KeyError; surface the typed error the
+            # HTTP layer maps to a structured 4xx (still a KeyError, so
+            # pre-existing callers keep working).
+            raise UnknownPolicyError(
+                err.args[0] if err.args else str(err)
+            ) from err
         rng = self._resolve_rng(request)
         if request.request_id is None:
             request.request_id = self._next_id
@@ -378,6 +389,23 @@ class SpeContextServer:
         if request.sampling.temperature > 0:
             raise ValueError("temperature sampling requires a seed or rng")
         return None
+
+    def abort(self, request_id: int) -> bool:
+        """Drop an in-flight request (client disconnect, executor abort).
+
+        The session is removed from whichever queue holds it and its pool
+        blocks are freed; no output is produced and the meter records
+        nothing (an abort is neither a completion nor a rejection).
+        Returns False when the id is unknown or already finished — abort
+        races against completion, so that is not an error.
+        """
+        for queue in (self._waiting, self._active):
+            for session in list(queue):
+                if session.request_id == request_id:
+                    queue.remove(session)
+                    self.pool.free_table(session.block_table)
+                    return True
+        return False
 
     # ---- stepping --------------------------------------------------------------
 
@@ -1067,7 +1095,10 @@ class SpeContextServer:
 
     def _sample(self, session: _Session, logits: np.ndarray) -> int:
         return TransformerLM._sample(
-            logits, session.sampling.temperature, session.rng
+            logits,
+            session.sampling.temperature,
+            session.rng,
+            top_p=session.sampling.top_p,
         )
 
     def _advance_memory(self, session: _Session) -> None:

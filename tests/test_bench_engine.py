@@ -1,0 +1,74 @@
+"""The engine benchmark harness is part of the tested surface: CI gates
+on its throughput-scaling number, so the report schema, the
+stream-identity check against the in-process reference and the gate's
+exit codes are pinned here."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "bench_engine.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_engine", BENCH_PATH)
+bench_engine = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_engine)
+
+
+class TestBenchEngine:
+    def run_bench(self, tmp_path, extra=()):
+        out = tmp_path / "BENCH_engine.json"
+        rc = bench_engine.main([
+            "--workers", "1,2", "--requests", "6", "--prompt-len", "24",
+            "--max-new-tokens", "4", "--pace-ms", "4.0", "--repeats", "1",
+            "--block-size", "8", "--out", str(out), *extra,
+        ])
+        return rc, out
+
+    def test_report_schema_and_identical_streams(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "engine_scaling"
+        assert report["streams_identical"] is True
+        assert report["scaling_span"] == [1, 2]
+        assert set(report["scaling"]) == {"1", "2"}
+        for entry in report["scaling"].values():
+            assert entry["generated_tokens"] == 24
+            assert entry["wall_s"] > 0
+            assert entry["tokens_per_wall_s"] > 0
+            assert entry["steps"] > 0
+            assert "token_streams" not in entry  # raw streams stay out
+        assert report["scaling"]["1"]["throughput_x_vs_min_workers"] == 1.0
+        assert report["throughput_scaling"] == (
+            report["scaling"]["2"]["throughput_x_vs_min_workers"]
+        )
+        assert "workers:" in capsys.readouterr().out
+
+    def test_gate_passes_and_fails(self, tmp_path, capsys):
+        # The tiny CI workload's measured ratio is timing-noisy, so the
+        # pass case pins only the exit-code path, not the ratio itself
+        # (the real threshold runs in the benchmark CI job).
+        rc, _ = self.run_bench(tmp_path, extra=("--min-scaling", "0.1"))
+        assert rc == 0
+        capsys.readouterr()
+        rc, _ = self.run_bench(tmp_path, extra=("--min-scaling", "1000"))
+        assert rc == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_smoke_flag_shrinks_workload(self, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        rc = bench_engine.main([
+            "--smoke", "--prompt-len", "24", "--pace-ms", "2.0",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["smoke"] is True
+        assert report["workload"]["worker_counts"] == [1, 2]
+        assert report["workload"]["requests"] <= 8
+        assert report["workload"]["repeats"] == 1

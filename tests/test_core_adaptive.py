@@ -8,7 +8,7 @@ from repro.core.adaptive import AdaptiveMemoryManager
 from repro.core.memory_model import MemoryModel
 from repro.hardware.memory import MemoryTier
 from repro.hardware.spec import HardwareSpec
-from repro.kvcache.tiered import TieredKVStore
+from repro.kvcache.pool import TieredKVStore
 from repro.models.config import tiny_test_config
 from repro.utils.units import GB
 

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core.elastic import ElasticKVLoader, ElasticTransferTracker
 from repro.hardware.memory import MemoryTier
-from repro.kvcache.tiered import TieredKVStore
+from repro.kvcache.pool import TieredKVStore
 
 
 class TestTracker:

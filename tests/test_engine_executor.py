@@ -1,0 +1,504 @@
+"""Engine executor tests: protocol, bit-identity, failover, fault paths.
+
+The executor contract under test:
+
+- the in-process and multiprocess executors produce bit-identical
+  per-request token streams, finish reasons and placements for the same
+  submission sequence, at any worker count — any difference is a
+  pipe/pickle bug by construction;
+- killing a worker mid-trace resubmits its in-flight requests to
+  survivors and the merged client streams stay bit-identical to a run
+  that never saw the death (exactly-once delivery via replayed-prefix
+  suppression);
+- typed validation errors raised worker-side ship back across the pipe
+  and leave the executor retryable (router cursor restored);
+- requests that cannot survive shipment or failover (generator objects,
+  prebuilt policy objects) are rejected identically by both executors.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterConfig,
+    EngineConfig,
+    GenerationRequest,
+    SamplingParams,
+)
+from repro.api.errors import (
+    EngineUnavailableError,
+    RequestValidationError,
+    UnknownPolicyError,
+)
+from repro.serving import ClusterFrontend
+from repro.serving.engine import (
+    InProcessExecutor,
+    MultiprocExecutor,
+    StepResult,
+    WorkerCore,
+    WorkerSnapshot,
+    make_executor,
+    serve_connection,
+)
+from repro.serving.server import SpeContextServer
+
+ALL_NAMES = (
+    "specontext", "quest", "h2o", "shadowkv", "clusterkv",
+    "streaming", "sliding", "full",
+)
+
+EXECUTORS = (InProcessExecutor, MultiprocExecutor)
+
+
+def engine_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=64,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=8,
+        seed=0,
+        block_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def cluster_config(n_workers: int, **overrides) -> ClusterConfig:
+    defaults = dict(n_replicas=n_workers, router="round_robin")
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def mixed_policy_requests(
+    tokenizer, n: int = 8, max_new: int = 4
+) -> list[GenerationRequest]:
+    """One request per KV policy, filler prompts with a shared prefix."""
+    prefix_rng = np.random.default_rng(11)
+    prefix = [int(t) for t in tokenizer.random_filler_ids(prefix_rng, 16)]
+    requests = []
+    for i in range(n):
+        rng = np.random.default_rng(500 + i)
+        suffix = [int(t) for t in tokenizer.random_filler_ids(rng, 10 + i)]
+        requests.append(GenerationRequest(
+            np.array([tokenizer.bos_id] + prefix + suffix),
+            sampling=SamplingParams(max_new_tokens=max_new),
+            policy=ALL_NAMES[i % len(ALL_NAMES)],
+            budget=48,
+        ))
+    return requests
+
+
+def clone(request: GenerationRequest) -> GenerationRequest:
+    return GenerationRequest(
+        request.prompt_ids.copy(),
+        sampling=request.sampling,
+        policy=request.policy,
+        budget=request.budget,
+        priority=request.priority,
+    )
+
+
+def run_trace(executor, requests, kill=None):
+    """Submit everything, step to empty; optionally kill a worker.
+
+    ``kill`` is ``(after_step, worker_index)``. Returns per-request
+    ``(streams, finish_reasons, placements)`` keyed by global id, where
+    streams carry the session-relative ``(step, token_id)`` pairs the
+    client observed.
+    """
+    placements = {}
+    for request in requests:
+        gid = executor.add_request(clone(request))
+        placements[gid] = executor.worker_of(gid)
+    streams: dict[int, list] = {gid: [] for gid in placements}
+    reasons: dict[int, str] = {}
+    steps = 0
+    while executor.has_unfinished:
+        if kill is not None and steps == kill[0]:
+            executor.kill_worker(kill[1])
+        finished = executor.step()
+        steps += 1
+        for event in executor.pop_stream_events():
+            streams[event.request_id].append((event.step, event.token_id))
+        for output in finished:
+            reasons[output.request_id] = output.finish_reason
+    return streams, reasons, placements
+
+
+# ---- worker core (no pipes) --------------------------------------------------
+
+
+class TestWorkerCore:
+    def make_core(self, tiny_gqa_model, tiny_tokenizer) -> WorkerCore:
+        return WorkerCore(
+            SpeContextServer(tiny_gqa_model, engine_config(tiny_tokenizer))
+        )
+
+    def test_ops_roundtrip(self, tiny_gqa_model, tiny_tokenizer):
+        core = self.make_core(tiny_gqa_model, tiny_tokenizer)
+        request = mixed_policy_requests(tiny_tokenizer, n=1)[0]
+        lid = core.handle("submit", (request,))
+        assert lid == 0
+        reserved, depth, match = core.handle("probe", (request.prompt_ids,))
+        assert reserved == request.prompt_len + 4
+        assert depth == 1
+        assert match == 0
+        assert core.handle("ping", ()) == "pong"
+        result = core.handle("step", ())
+        assert isinstance(result, StepResult)
+        assert result.step_tokens > 0  # prefill + first decode charged
+        drained = core.handle("drain", ())
+        assert drained.has_unfinished is False
+        tokens = [e.token_id for r in (result, drained) for e in r.stream_events]
+        assert len(tokens) == 4
+        snapshot = core.handle("stats", ())
+        assert isinstance(snapshot, WorkerSnapshot)
+        assert snapshot.n_active == 0 and snapshot.reserved_tokens == 0
+        assert len(snapshot.meter.finished) == 1
+
+    def test_unknown_op_and_abort(self, tiny_gqa_model, tiny_tokenizer):
+        core = self.make_core(tiny_gqa_model, tiny_tokenizer)
+        with pytest.raises(ValueError, match="unknown worker op"):
+            core.handle("frobnicate", ())
+        assert core.handle("abort", (99,)) is False
+        lid = core.handle(
+            "submit", (mixed_policy_requests(tiny_tokenizer, n=1)[0],)
+        )
+        assert core.handle("abort", (lid,)) is True
+        assert core.handle("step", ()).has_unfinished is False
+
+
+# ---- pipe protocol (serve_connection in a thread) ----------------------------
+
+
+class TestServeConnection:
+    @pytest.fixture()
+    def pipe_worker(self, tiny_gqa_model, tiny_tokenizer):
+        core = WorkerCore(
+            SpeContextServer(tiny_gqa_model, engine_config(tiny_tokenizer))
+        )
+        parent, child = mp.Pipe()
+        thread = threading.Thread(
+            target=serve_connection, args=(core, child), daemon=True
+        )
+        thread.start()
+        yield parent
+        if not parent.closed:
+            try:
+                parent.send(("shutdown", ()))
+                parent.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            parent.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def call(self, conn, op, *args):
+        conn.send((op, args))
+        status, payload = conn.recv()
+        if status == "err":
+            raise payload
+        return payload
+
+    def test_full_request_lifecycle(self, pipe_worker, tiny_tokenizer):
+        request = mixed_policy_requests(tiny_tokenizer, n=1)[0]
+        lid = self.call(pipe_worker, "submit", request)
+        assert lid == 0
+        reserved, depth, match = self.call(
+            pipe_worker, "probe", request.prompt_ids
+        )
+        assert (reserved, depth, match) == (request.prompt_len + 4, 1, 0)
+        tokens = []
+        while True:
+            result = self.call(pipe_worker, "step")
+            tokens.extend(e.token_id for e in result.stream_events)
+            if not result.has_unfinished:
+                break
+        assert len(tokens) == 4
+        snapshot = self.call(pipe_worker, "stats")
+        assert len(snapshot.meter.finished) == 1
+
+    def test_errors_ship_back_and_worker_survives(
+        self, pipe_worker, tiny_tokenizer
+    ):
+        request = clone(mixed_policy_requests(tiny_tokenizer, n=1)[0])
+        request.policy = "not-a-policy"
+        with pytest.raises(UnknownPolicyError, match="unknown policy"):
+            self.call(pipe_worker, "submit", request)
+        with pytest.raises(ValueError, match="unknown worker op"):
+            self.call(pipe_worker, "no_such_op")
+        # The loop survived both errors and still answers.
+        assert self.call(pipe_worker, "ping") == "pong"
+        assert self.call(pipe_worker, "abort", 123) is False
+
+    def test_shutdown_acknowledges(self, pipe_worker):
+        pipe_worker.send(("shutdown", ()))
+        assert pipe_worker.recv() == ("ok", None)
+        pipe_worker.close()
+
+
+# ---- executor bit-identity ---------------------------------------------------
+
+
+class TestExecutorBitIdentity:
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_gqa_model, tiny_tokenizer):
+        """Solo ground truth: every request on a one-worker executor."""
+        requests = mixed_policy_requests(tiny_tokenizer)
+        with InProcessExecutor(
+            tiny_gqa_model, engine_config(tiny_tokenizer), cluster_config(1)
+        ) as executor:
+            streams, reasons, _ = run_trace(executor, requests)
+        return requests, streams, reasons
+
+    @pytest.mark.parametrize("n_workers", (1, 2, 4))
+    def test_executors_agree_at_every_width(
+        self, tiny_gqa_model, tiny_tokenizer, reference, n_workers
+    ):
+        requests, ref_streams, ref_reasons = reference
+        config = engine_config(tiny_tokenizer)
+        runs = {}
+        for kind in EXECUTORS:
+            with kind(
+                tiny_gqa_model, config, cluster_config(n_workers)
+            ) as executor:
+                assert executor.n_workers == n_workers
+                runs[kind.kind] = run_trace(executor, requests)
+        inproc, multiproc = runs["inproc"], runs["multiproc"]
+        # Streams, finish reasons and placements: multiproc == inproc.
+        assert multiproc == inproc
+        # Placement never changes tokens: both equal the solo reference.
+        assert inproc[0] == ref_streams
+        assert inproc[1] == ref_reasons
+        if n_workers > 1:
+            assert len(set(inproc[2].values())) > 1  # actually spread out
+
+    @pytest.mark.parametrize("router", ("least_loaded", "prefix_affinity"))
+    def test_inproc_executor_matches_cluster_frontend(
+        self, tiny_gqa_model, tiny_tokenizer, router
+    ):
+        """Drop-in equivalence with the cluster frontend, per router."""
+        requests = mixed_policy_requests(tiny_tokenizer, n=6)
+        config = engine_config(tiny_tokenizer)
+        cluster = cluster_config(2, router=router, stickiness_tokens=8)
+        frontend = ClusterFrontend(tiny_gqa_model, config, cluster)
+        for request in requests:
+            frontend.add_request(clone(request))
+        frontend.run()
+        frontend_streams: dict[int, list] = {}
+        for event in frontend.pop_stream_events():
+            frontend_streams.setdefault(event.request_id, []).append(
+                (event.step, event.token_id)
+            )
+        with InProcessExecutor(tiny_gqa_model, config, cluster) as executor:
+            streams, _, _ = run_trace(executor, requests)
+        assert streams == frontend_streams
+        assert list(executor.routing.routed) == list(frontend.routing.routed)
+        assert executor.routing.affinity_hits == frontend.routing.affinity_hits
+
+
+# ---- failover ----------------------------------------------------------------
+
+
+class TestExecutorFailover:
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_killed_worker_streams_stay_exactly_once(
+        self, tiny_gqa_model, tiny_tokenizer, kind
+    ):
+        """Death mid-trace: client streams bit-match the no-death run."""
+        requests = mixed_policy_requests(tiny_tokenizer)
+        config = engine_config(tiny_tokenizer)
+        with kind(
+            tiny_gqa_model, config, cluster_config(3)
+        ) as executor:
+            baseline = run_trace(executor, requests)
+        with kind(
+            tiny_gqa_model, config, cluster_config(3)
+        ) as executor:
+            streams, reasons, _ = run_trace(executor, requests, kill=(2, 1))
+            assert executor.degraded
+            assert executor.n_alive == 2
+            health = executor.health()
+            assert [w.alive for w in health] == [True, False, True]
+            assert all(w.inflight == 0 for w in health)
+            # The dead worker's requests were re-placed on survivors.
+            assert executor.resubmissions
+            assert all(w != 1 for _, w in executor.resubmissions)
+        assert streams == baseline[0]
+        assert reasons == baseline[1]
+
+    def test_real_process_death_is_detected_and_recovered(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        """An actual SIGTERM'd child is quarantined on the next wave."""
+        requests = mixed_policy_requests(tiny_tokenizer)
+        config = engine_config(tiny_tokenizer)
+        with MultiprocExecutor(
+            tiny_gqa_model, config, cluster_config(3)
+        ) as executor:
+            baseline = run_trace(executor, requests)
+        with MultiprocExecutor(
+            tiny_gqa_model, config, cluster_config(3, heartbeat_s=30.0)
+        ) as executor:
+            for request in requests:
+                executor.add_request(clone(request))
+            executor.step()
+            victim = executor._handles[2]
+            victim._proc.terminate()
+            victim._proc.join(timeout=10)
+            streams: dict[int, list] = {}
+            reasons = {}
+            while executor.has_unfinished:
+                finished = executor.step()
+                for event in executor.pop_stream_events():
+                    streams.setdefault(event.request_id, []).append(
+                        (event.step, event.token_id)
+                    )
+                for output in finished:
+                    reasons[output.request_id] = output.finish_reason
+            assert executor.degraded
+            assert executor.health()[2].exitcode is not None
+            assert executor.resubmissions
+        # pop_stream_events buffers across steps, so the dict holds the
+        # complete client streams despite the mid-run collection start.
+        assert streams == baseline[0]
+        assert reasons == baseline[1]
+
+    def test_submission_routes_around_dead_workers(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        requests = mixed_policy_requests(tiny_tokenizer, n=4)
+        with InProcessExecutor(
+            tiny_gqa_model,
+            engine_config(tiny_tokenizer),
+            cluster_config(3),
+        ) as executor:
+            assert executor.kill_worker(0) == []  # idle: no orphans
+            gids = [executor.add_request(clone(r)) for r in requests]
+            for gid in gids:
+                assert executor.worker_of(gid) != 0
+            outputs = executor.run()
+            assert [o.request_id for o in outputs] == gids
+            assert executor.has_unfinished is False
+
+    def test_all_workers_dead_is_unavailable(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        request = mixed_policy_requests(tiny_tokenizer, n=1)[0]
+        with InProcessExecutor(
+            tiny_gqa_model, engine_config(tiny_tokenizer), cluster_config(2)
+        ) as executor:
+            executor.add_request(clone(request))
+            executor.kill_worker(1)
+            # Killing the last worker cannot recover its in-flight work.
+            with pytest.raises(EngineUnavailableError, match="all workers"):
+                executor.kill_worker(0)
+            with pytest.raises(EngineUnavailableError, match="no live"):
+                executor.add_request(clone(request))
+
+    def test_abort_and_drain(self, tiny_gqa_model, tiny_tokenizer):
+        requests = mixed_policy_requests(tiny_tokenizer, n=3)
+        with InProcessExecutor(
+            tiny_gqa_model, engine_config(tiny_tokenizer), cluster_config(2)
+        ) as executor:
+            gids = [executor.add_request(clone(r)) for r in requests]
+            assert executor.abort(gids[1]) is True
+            assert executor.abort(gids[1]) is False  # already gone
+            assert executor.abort(999) is False  # unknown id
+            outputs = executor.drain()
+            assert [o.request_id for o in outputs] == [gids[0], gids[2]]
+            with pytest.raises(EngineUnavailableError, match="draining"):
+                executor.add_request(clone(requests[0]))
+
+
+# ---- validation and portability ----------------------------------------------
+
+
+class TestExecutorValidation:
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_worker_side_errors_forward_and_leave_cursor_intact(
+        self, tiny_gqa_model, tiny_tokenizer, kind
+    ):
+        requests = mixed_policy_requests(tiny_tokenizer, n=2)
+        config = engine_config(tiny_tokenizer)
+        with kind(tiny_gqa_model, config, cluster_config(2)) as executor:
+            bad = clone(requests[0])
+            bad.policy = "not-a-policy"
+            with pytest.raises(UnknownPolicyError, match="unknown policy"):
+                executor.add_request(bad)
+            hot = clone(requests[0])
+            hot.sampling = SamplingParams(
+                max_new_tokens=4, temperature=0.7, seed=None
+            )
+            with pytest.raises(ValueError, match="requires a seed"):
+                executor.add_request(hot)
+            placements = [
+                executor.worker_of(executor.add_request(clone(r)))
+                for r in requests
+            ]
+        with kind(tiny_gqa_model, config, cluster_config(2)) as executor:
+            clean = [
+                executor.worker_of(executor.add_request(clone(r)))
+                for r in requests
+            ]
+        # Rejections restored the router cursor: placement is unchanged
+        # versus a run that never saw the bad submissions.
+        assert placements == clean
+
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_non_portable_requests_rejected(
+        self, tiny_gqa_model, tiny_tokenizer, kind
+    ):
+        base = mixed_policy_requests(tiny_tokenizer, n=1)[0]
+        with kind(
+            tiny_gqa_model,
+            engine_config(tiny_tokenizer),
+            cluster_config(1),
+        ) as executor:
+            with_rng = clone(base)
+            with_rng.rng = np.random.default_rng(3)
+            with pytest.raises(RequestValidationError, match="seed"):
+                executor.add_request(with_rng)
+            prebuilt = clone(base)
+            prebuilt.policy = object()  # stands in for a policy instance
+            with pytest.raises(RequestValidationError, match="registry name"):
+                executor.add_request(prebuilt)
+
+    def test_make_executor_dispatch(self, tiny_gqa_model, tiny_tokenizer):
+        config = engine_config(tiny_tokenizer)
+        with make_executor(
+            tiny_gqa_model, config, cluster_config(1, executor="inproc")
+        ) as executor:
+            assert isinstance(executor, InProcessExecutor)
+        with pytest.raises(ValueError, match="must be 'inproc'"):
+            cluster_config(1, executor="warp")  # rejected at config time
+
+
+# ---- merged stats ------------------------------------------------------------
+
+
+class TestExecutorStats:
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    def test_merged_meter_and_routing(
+        self, tiny_gqa_model, tiny_tokenizer, kind
+    ):
+        requests = mixed_policy_requests(tiny_tokenizer, n=6)
+        with kind(
+            tiny_gqa_model, engine_config(tiny_tokenizer), cluster_config(3)
+        ) as executor:
+            streams, reasons, placements = run_trace(executor, requests)
+            meter = executor.stats()
+            assert len(meter.finished) == 6
+            assert meter.generated_tokens == sum(
+                len(s) for s in streams.values()
+            )
+            assert list(executor.routing.routed) == [2, 2, 2]
+            assert executor.outputs == sorted(
+                executor.outputs, key=lambda o: o.request_id
+            )
+            assert len(executor.outputs) == 6
+            assert executor.clock > 0

@@ -1,0 +1,438 @@
+"""HTTP + SSE frontend tests: endpoints, validation, streams, drain.
+
+Drives the real asyncio server over loopback sockets (no test client
+shims): each case boots :class:`~repro.serving.http.HttpServer` on an
+ephemeral port, speaks raw HTTP/1.1, and checks
+
+- the OpenAI completions shape (non-streaming and SSE) returns exactly
+  the tokens a direct :class:`SpeContextServer` run produces;
+- typed validation failures surface as structured 4xx bodies with
+  stable ``code`` values;
+- ``/healthz`` tracks worker quarantine (ok -> degraded -> 503);
+- graceful drain finishes in-flight requests before exiting.
+
+No pytest-asyncio: every test wraps its coroutine in ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+import numpy as np
+
+from repro.api import (
+    ClusterConfig,
+    EngineConfig,
+    GenerationRequest,
+    SamplingParams,
+)
+from repro.serving.engine import InProcessExecutor
+from repro.serving.http import (
+    AsyncEngine,
+    HttpServer,
+    parse_completion_body,
+    serve_async,
+)
+from repro.serving.server import SpeContextServer
+
+
+def engine_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=64,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=8,
+        seed=0,
+        block_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def filler_prompt(tokenizer, n: int = 20, seed: int = 5) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [tokenizer.bos_id] + [
+        int(t) for t in tokenizer.random_filler_ids(rng, n)
+    ]
+
+
+@contextlib.asynccontextmanager
+async def running_server(model, tokenizer, n_workers: int = 2):
+    executor = InProcessExecutor(
+        model,
+        engine_config(tokenizer),
+        ClusterConfig(n_replicas=n_workers, router="round_robin"),
+    )
+    server = HttpServer(AsyncEngine(executor), tokenizer)
+    await server.start("127.0.0.1", 0)
+    try:
+        yield server, server.addresses[0][1]
+    finally:
+        await server.stop()
+        await server.engine.close()
+
+
+async def raw_request(port: int, payload: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+        await writer.wait_closed()
+    return response
+
+
+def http_payload(method: str, path: str, body: bytes = b"") -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        "Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def split_response(response: bytes) -> tuple[int, bytes]:
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+async def request_json(port: int, method: str, path: str, obj=None):
+    body = json.dumps(obj).encode() if obj is not None else b""
+    status, payload = split_response(
+        await raw_request(port, http_payload(method, path, body))
+    )
+    return status, json.loads(payload)
+
+
+def sse_chunks(body: bytes) -> list:
+    chunks = []
+    for block in body.split(b"\n\n"):
+        if not block.startswith(b"data: "):
+            continue
+        data = block[len(b"data: "):]
+        chunks.append(None if data == b"[DONE]" else json.loads(data))
+    return chunks
+
+
+def solo_tokens(model, tokenizer, prompt: list[int], max_new: int) -> list[int]:
+    """Ground truth: the same request on a bare single server."""
+    server = SpeContextServer(model, engine_config(tokenizer))
+    server.add_request(GenerationRequest(
+        np.asarray(prompt, dtype=np.int64),
+        sampling=SamplingParams(
+            max_new_tokens=max_new, stop_ids=(tokenizer.eos_id,)
+        ),
+    ))
+    [output] = server.run()
+    return list(output.token_ids)
+
+
+# ---- endpoints ---------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_models_healthz_stats(self, tiny_gqa_model, tiny_tokenizer):
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (server, port):
+                status, models = await request_json(port, "GET", "/v1/models")
+                assert status == 200
+                assert models["data"][0]["id"] == server.model_name
+                status, health = await request_json(port, "GET", "/healthz")
+                assert status == 200
+                assert health["status"] == "ok"
+                assert [w["alive"] for w in health["workers"]] == [True, True]
+                status, stats = await request_json(port, "GET", "/stats")
+                assert status == 200
+                assert stats["executor"] == "inproc"
+                assert stats["inflight"] == 0
+                assert stats["routing"]["routed"] == [0, 0]
+                status, error = await request_json(port, "GET", "/nope")
+                assert status == 404
+                assert error["error"]["code"] == "not_found"
+        asyncio.run(scenario())
+
+    def test_completion_matches_direct_server(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompt = filler_prompt(tiny_tokenizer)
+        expected = solo_tokens(tiny_gqa_model, tiny_tokenizer, prompt, 6)
+
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                status, body = await request_json(
+                    port, "POST", "/v1/completions",
+                    {"prompt": prompt, "max_tokens": 6},
+                )
+                assert status == 200
+                assert body["object"] == "text_completion"
+                [choice] = body["choices"]
+                assert choice["token_ids"] == expected
+                assert choice["text"] == tiny_tokenizer.decode(expected)
+                assert choice["finish_reason"] in ("stop", "length")
+                assert body["usage"] == {
+                    "prompt_tokens": len(prompt),
+                    "completion_tokens": len(expected),
+                    "total_tokens": len(prompt) + len(expected),
+                }
+        asyncio.run(scenario())
+
+    def test_string_prompt_roundtrips_the_tokenizer(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompt_ids = filler_prompt(tiny_tokenizer, n=12)[1:]  # no bos token
+        text = tiny_tokenizer.decode(prompt_ids)
+        request, stream, _ = parse_completion_body(
+            json.dumps({"prompt": text}).encode(), tiny_tokenizer
+        )
+        assert list(request.prompt_ids) == prompt_ids
+        assert stream is False
+
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                status, body = await request_json(
+                    port, "POST", "/v1/completions",
+                    {"prompt": text, "max_tokens": 4},
+                )
+                assert status == 200
+                assert len(body["choices"][0]["token_ids"]) <= 4
+        asyncio.run(scenario())
+
+    def test_streaming_sse_bit_matches_nonstreaming(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompt = filler_prompt(tiny_tokenizer, seed=9)
+        expected = solo_tokens(tiny_gqa_model, tiny_tokenizer, prompt, 5)
+
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                body = json.dumps({
+                    "prompt": prompt, "max_tokens": 5, "stream": True,
+                }).encode()
+                response = await raw_request(
+                    port, http_payload("POST", "/v1/completions", body)
+                )
+                assert b"text/event-stream" in response
+                chunks = sse_chunks(response.split(b"\r\n\r\n", 1)[1])
+                assert chunks[-1] is None  # [DONE] sentinel closes
+                *tokens, final, _ = chunks
+                streamed = [
+                    t for c in tokens for t in c["choices"][0]["token_ids"]
+                ]
+                assert streamed == expected
+                assert final["choices"][0]["finish_reason"] in (
+                    "stop", "length"
+                )
+                text = "".join(c["choices"][0]["text"] for c in tokens)
+                assert text == tiny_tokenizer.decode(expected)
+        asyncio.run(scenario())
+
+    def test_concurrent_streams_interleave(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompts = [filler_prompt(tiny_tokenizer, seed=s) for s in (21, 22, 23)]
+        expected = [
+            solo_tokens(tiny_gqa_model, tiny_tokenizer, p, 4) for p in prompts
+        ]
+
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                responses = await asyncio.gather(*(
+                    request_json(
+                        port, "POST", "/v1/completions",
+                        {"prompt": p, "max_tokens": 4},
+                    )
+                    for p in prompts
+                ))
+                for (status, body), tokens in zip(responses, expected):
+                    assert status == 200
+                    assert body["choices"][0]["token_ids"] == tokens
+        asyncio.run(scenario())
+
+
+# ---- validation --------------------------------------------------------------
+
+
+BAD_BODIES = (
+    (b"{not json", "invalid_json"),
+    (b'"just a string"', "invalid_json"),
+    (json.dumps({"prompt": 42}).encode(), "invalid_prompt"),
+    (json.dumps({"prompt": [1, 2.5]}).encode(), "invalid_prompt"),
+    (json.dumps({"prompt": ""}).encode(), "empty_prompt"),
+    (json.dumps({"prompt": "   "}).encode(), "empty_prompt"),
+    (
+        json.dumps({"prompt": [1, 2], "max_tokens": 0}).encode(),
+        "invalid_sampling_params",
+    ),
+    (
+        json.dumps({"prompt": [1, 2], "temperature": -1}).encode(),
+        "invalid_sampling_params",
+    ),
+    (
+        json.dumps({"prompt": [1, 2], "top_p": 0}).encode(),
+        "invalid_sampling_params",
+    ),
+    (
+        json.dumps({"prompt": [1, 2], "max_tokens": "lots"}).encode(),
+        "invalid_type",
+    ),
+    (
+        json.dumps({"prompt": [1, 2], "stream": "yes"}).encode(),
+        "invalid_type",
+    ),
+)
+
+
+class TestValidation:
+    def test_structured_4xx_codes(self, tiny_gqa_model, tiny_tokenizer):
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                for body, code in BAD_BODIES:
+                    status, payload = split_response(await raw_request(
+                        port, http_payload("POST", "/v1/completions", body)
+                    ))
+                    error = json.loads(payload)["error"]
+                    assert status == 400, (body, payload)
+                    assert error["code"] == code, (body, error)
+                    assert error["type"] == "invalid_request_error"
+                # Worker-side rejection carries its typed code too.
+                status, payload = await request_json(
+                    port, "POST", "/v1/completions",
+                    {"prompt": [1, 2, 3], "policy": "not-a-policy"},
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "unknown_policy"
+        asyncio.run(scenario())
+
+    def test_oversized_and_malformed_requests(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (_, port):
+                status, payload = split_response(await raw_request(
+                    port,
+                    b"POST /v1/completions HTTP/1.1\r\n"
+                    b"Content-Length: 99999999\r\n\r\n",
+                ))
+                assert status == 413
+                status, payload = split_response(
+                    await raw_request(port, b"GARBAGE\r\n\r\n")
+                )
+                assert status == 400
+        asyncio.run(scenario())
+
+
+# ---- health + lifecycle ------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_health_degrades_with_worker_deaths(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (server, port):
+                engine = server.engine
+                await engine.call(engine.executor.kill_worker, 0)
+                status, health = await request_json(port, "GET", "/healthz")
+                assert status == 200
+                assert health["status"] == "degraded"
+                assert [w["alive"] for w in health["workers"]] == [
+                    False, True,
+                ]
+                await engine.call(engine.executor.kill_worker, 1)
+                status, health = await request_json(port, "GET", "/healthz")
+                assert status == 503
+                assert health["status"] == "dead"
+                status, payload = await request_json(
+                    port, "POST", "/v1/completions", {"prompt": [1, 2]}
+                )
+                assert status == 503
+                assert payload["error"]["code"] == "engine_unavailable"
+        asyncio.run(scenario())
+
+    def test_client_disconnect_aborts_request(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompt = filler_prompt(tiny_tokenizer)
+
+        async def scenario():
+            async with running_server(
+                tiny_gqa_model, tiny_tokenizer
+            ) as (server, port):
+                body = json.dumps({
+                    "prompt": prompt, "max_tokens": 512, "stream": True,
+                }).encode()
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(http_payload("POST", "/v1/completions", body))
+                await writer.drain()
+                await reader.readuntil(b"\n\n")  # first SSE frame arrived
+                writer.close()  # hang up mid-stream
+                with contextlib.suppress(
+                    ConnectionResetError, BrokenPipeError
+                ):
+                    await writer.wait_closed()
+                engine = server.engine
+                for _ in range(200):
+                    inflight = await engine.call(
+                        lambda: len(engine.executor._inflight)
+                    )
+                    if inflight == 0:
+                        break
+                    await asyncio.sleep(0.05)
+                assert inflight == 0  # aborted well before 512 tokens
+        asyncio.run(scenario())
+
+    def test_graceful_drain_finishes_inflight_work(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        prompt = filler_prompt(tiny_tokenizer, seed=17)
+        expected = solo_tokens(tiny_gqa_model, tiny_tokenizer, prompt, 8)
+
+        async def scenario():
+            executor = InProcessExecutor(
+                tiny_gqa_model,
+                engine_config(tiny_tokenizer),
+                ClusterConfig(n_replicas=2, router="round_robin"),
+            )
+            server = HttpServer(AsyncEngine(executor), tiny_tokenizer)
+            stop, ready = asyncio.Event(), asyncio.Event()
+            task = asyncio.create_task(serve_async(
+                server, "127.0.0.1", 0, stop=stop, ready=ready,
+                install_signal_handlers=False,
+            ))
+            await ready.wait()
+            port = server.addresses[0][1]
+            request = asyncio.create_task(request_json(
+                port, "POST", "/v1/completions",
+                {"prompt": prompt, "max_tokens": 8},
+            ))
+            while not executor.has_unfinished:  # request must be in flight
+                await asyncio.sleep(0.01)
+            stop.set()
+            status, body = await request
+            assert status == 200
+            assert body["choices"][0]["token_ids"] == expected
+            await asyncio.wait_for(task, timeout=30)
+            assert server.engine.accepting is False
+        asyncio.run(scenario())

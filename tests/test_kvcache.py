@@ -1,4 +1,10 @@
-"""Tests for the KV-cache substrate: dense, paged, tiered, slot buffer."""
+"""Tests for the KV-cache substrate: dense cache, tiered store, slot buffer.
+
+The former standalone ``PagedKVCache`` (Quest's page-metadata layout) was
+deleted in the kvcache consolidation — :mod:`repro.retrieval.quest` owns
+that layout internally and is covered by the retrieval-policy tests; the
+tiered store and slot buffer now live in :mod:`repro.kvcache.pool`.
+"""
 
 import numpy as np
 import pytest
@@ -10,7 +16,6 @@ from repro.kvcache import (
     GpuSlotBuffer,
     LayerKVCache,
     ModelKVCache,
-    PagedKVCache,
     TieredKVStore,
 )
 
@@ -109,46 +114,6 @@ class TestModelKVCache:
         cache[0].append(k, v)
         cache[1].append(k, v)
         assert cache.nbytes() == 2 * cache[0].nbytes()
-
-
-class TestPagedKVCache:
-    def _filled(self, n=40, page_size=8):
-        cache = PagedKVCache(n_kv_heads=2, head_dim=4, page_size=page_size)
-        rng = np.random.default_rng(0)
-        cache.append(rng.standard_normal((2, n, 4)), rng.standard_normal((2, n, 4)))
-        return cache
-
-    def test_page_count(self):
-        assert self._filled(40, 8).n_pages == 5
-        assert self._filled(41, 8).n_pages == 6
-
-    def test_page_metadata_bounds_keys(self):
-        cache = self._filled()
-        meta = cache.page(2)
-        chunk_k, _ = cache.gather(np.arange(meta.start, meta.start + meta.length))
-        assert np.all(chunk_k >= meta.key_min[:, None, :] - 1e-12)
-        assert np.all(chunk_k <= meta.key_max[:, None, :] + 1e-12)
-
-    def test_upper_bound_dominates_true_scores(self):
-        """Quest's invariant: page bound >= any member key's dot product."""
-        cache = self._filled()
-        rng = np.random.default_rng(1)
-        query = rng.standard_normal((2, 4))
-        bounds = cache.page_upper_bounds(query)
-        for p in range(cache.n_pages):
-            meta = cache.page(p)
-            keys, _ = cache.gather(np.arange(meta.start, meta.start + meta.length))
-            true = np.einsum("hd,hnd->hn", query, keys)
-            assert np.all(true.max(axis=1) <= bounds[:, p] + 1e-9)
-
-    def test_tokens_of_pages(self):
-        cache = self._filled(20, 8)
-        tokens = cache.tokens_of_pages(np.array([0, 2]))
-        assert list(tokens) == list(range(8)) + list(range(16, 20))
-
-    def test_bad_page_index(self):
-        with pytest.raises(IndexError):
-            self._filled().page(99)
 
 
 class TestTieredKVStore:
