@@ -1,7 +1,8 @@
-"""Serving benchmarks: batched decode throughput + chunked-prefill latency.
+"""Serving benchmarks: batched decode, chunked prefill, speculative decode.
 
-Two sub-benchmarks share one timed trace-replay harness and emit a single
-``BENCH_serving.json`` so each PR leaves a recorded perf trajectory:
+Three sub-benchmarks share one timed trace-replay harness and emit a
+single ``BENCH_serving.json`` so each PR leaves a recorded perf
+trajectory:
 
 1. **Batched decode** — replays a seeded Poisson-arrival trace of
    identical-shape sessions through two :class:`SpeContextServer`s that
@@ -19,6 +20,15 @@ Two sub-benchmarks share one timed trace-replay harness and emit a single
    the step budget, so TTFT p95 and decode-step p95 must improve
    (CI gates on ``--min-ttft-gain``).
 
+3. **Speculative decode** — replays a mixed trace (periodic prompts the
+   distilled draft model predicts nearly perfectly, plus unpredictable
+   fillers) with ``spec_decode_k`` off and on; reports the acceptance
+   rate, tokens per verify pass, decode-phase tokens/s and the
+   speculative-over-baseline ``speedup``. Accepted streams are verified
+   bit-identical to the non-speculative run. CI gates on
+   ``--min-accept-rate`` / ``--min-spec-speedup``; ``--spec-smoke``
+   runs only this sub-benchmark as a fast gate lane.
+
 Every mode entry carries the meter's makespan *and* busy-period
 throughput (trace replay jumps the clock across arrival gaps, which
 deflates makespan-based tokens/s on sparse traces) plus step-clock TTFT
@@ -33,6 +43,8 @@ Usage::
         --min-speedup 1.0 --min-ttft-gain 1.0                    # CI gate
     PYTHONPATH=src python benchmarks/bench_serving.py --sessions 16 \
         --policy quest --long-prompt-len 1024 --out BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --spec-smoke \
+        --min-accept-rate 0.5 --min-spec-speedup 1.0    # spec gate lane
 """
 
 from __future__ import annotations
@@ -137,6 +149,54 @@ def build_mixed_workload(
             ),
         )
     )
+    return entries
+
+
+def build_spec_workload(tokenizer: SyntheticTokenizer, args) -> list[TraceEntry]:
+    """Mixed speculative-decoding trace: periodic sessions plus fillers.
+
+    Periodic prompts repeat a short content pattern, so the distilled
+    draft model (an induction head) predicts their continuations almost
+    perfectly; filler prompts are unpredictable and keep the acceptance
+    rate honest. All prompts share one length and the dense ``full``
+    policy so the verify fast path sees aligned rows, mirroring the
+    uniform-shape convention of the Poisson workload.
+    """
+    entries: list[TraceEntry] = []
+    for i in range(args.spec_periodic_sessions):
+        period = 6 + (i % 4) * 2
+        prompt_rng = np.random.default_rng(args.seed + 700 + i)
+        pattern = [int(t) for t in tokenizer.random_content_ids(prompt_rng, period)]
+        reps, rem = divmod(args.spec_prompt_len - 1, period)
+        ids = pattern * reps + pattern[:rem]
+        entries.append(
+            TraceEntry(
+                arrival_step=0,
+                request=GenerationRequest(
+                    np.array([tokenizer.bos_id] + ids),
+                    sampling=SamplingParams(max_new_tokens=args.spec_max_new),
+                    policy="full",
+                ),
+            )
+        )
+    for i in range(args.spec_filler_sessions):
+        prompt_rng = np.random.default_rng(args.seed + 800 + i)
+        ids = [
+            int(t)
+            for t in tokenizer.random_content_ids(
+                prompt_rng, args.spec_prompt_len - 1
+            )
+        ]
+        entries.append(
+            TraceEntry(
+                arrival_step=0,
+                request=GenerationRequest(
+                    np.array([tokenizer.bos_id] + ids),
+                    sampling=SamplingParams(max_new_tokens=args.spec_max_new),
+                    policy="full",
+                ),
+            )
+        )
     return entries
 
 
@@ -285,6 +345,74 @@ def run_best_of(model, trace, config: EngineConfig, repeats: int) -> dict:
     return best
 
 
+def bench_spec_decode(model, tokenizer, args) -> dict:
+    """Sub-benchmark 3: speculative vs plain decode on the mixed spec trace.
+
+    Both modes replay the identical trace; the speculative run drafts
+    with the distilled model and must stream bit-identical tokens — the
+    comparison isolates the verify-wave throughput win, not output
+    drift. Acceptance telemetry comes from the server's own counters.
+    """
+    trace = build_spec_workload(tokenizer, args)
+    base = dict(
+        budget=args.budget,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=len(trace),
+        seed=args.seed,
+        kv_dtype=args.kv_dtype,
+    )
+    results: dict[str, dict] = {}
+    spec_stats = None
+    for mode, k in (("baseline", 0), ("speculative", args.spec_k)):
+        config = EngineConfig(**base, spec_decode_k=k)
+        best = None
+        best_run = None
+        for _ in range(args.repeats):
+            run = replay_timed(model, trace, config)
+            metrics = mode_metrics(run, config)
+            # Best-of selects on the gated metric: decode-phase
+            # throughput is what the speedup ratio compares, and taking
+            # each mode's best run cancels one-sided scheduler noise
+            # that a wall-clock pick would leak into the ratio.
+            if (
+                best is None
+                or metrics["decode_tokens_per_s"] > best["decode_tokens_per_s"]
+            ):
+                best, best_run = metrics, run
+        results[mode] = best
+        if k > 0:
+            spec_stats = best_run["server"].spec_stats
+    streams_identical = (
+        results["baseline"].pop("token_streams")
+        == results["speculative"].pop("token_streams")
+    )
+    speedup = (
+        results["speculative"]["decode_tokens_per_s"]
+        / results["baseline"]["decode_tokens_per_s"]
+        if results["baseline"]["decode_tokens_per_s"] > 0
+        else 0.0
+    )
+    return {
+        "workload": {
+            "periodic_sessions": args.spec_periodic_sessions,
+            "filler_sessions": args.spec_filler_sessions,
+            "prompt_len": args.spec_prompt_len,
+            "max_new_tokens": args.spec_max_new,
+            "policy": "full",
+            "spec_k": args.spec_k,
+        },
+        "baseline": results["baseline"],
+        "speculative": results["speculative"],
+        "acceptance_rate": spec_stats.acceptance_rate,
+        "spec_steps": spec_stats.spec_steps,
+        "drafted": spec_stats.drafted,
+        "accepted": spec_stats.accepted,
+        "tokens_per_spec_step": spec_stats.tokens_per_spec_step,
+        "speedup": speedup,
+        "streams_identical": streams_identical,
+    }
+
+
 def bench_batched_decode(model, tokenizer, args) -> dict:
     """Sub-benchmark 1: batched vs sequential decode on a Poisson trace."""
     trace = build_poisson_workload(model, tokenizer, args)
@@ -377,10 +505,58 @@ def bench_chunked_prefill(model, tokenizer, args) -> dict:
     }
 
 
+def print_spec_report(spec_report: dict) -> None:
+    for mode in ("baseline", "speculative"):
+        r = spec_report[mode]
+        print(
+            f"{mode:>11}: {r['decode_tokens_per_s']:7.0f} decode tok/s | "
+            f"{r['tokens_per_s']:7.0f} end-to-end tok/s | "
+            f"p50 step {r['step_latency_ms']['p50']:.2f} ms"
+        )
+    print(
+        f"spec decode: {spec_report['speedup']:.2f}x decode | "
+        f"acceptance {spec_report['acceptance_rate']:.2f} "
+        f"({spec_report['accepted']}/{spec_report['drafted']} drafted) | "
+        f"{spec_report['tokens_per_spec_step']:.2f} tokens/verify pass | "
+        f"streams identical: {spec_report['streams_identical']}"
+    )
+
+
+def spec_gate(spec_report: dict, args) -> int:
+    if not spec_report["streams_identical"]:
+        print(
+            "FAIL: speculative and baseline token streams differ",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_accept_rate is not None
+        and spec_report["acceptance_rate"] < args.min_accept_rate
+    ):
+        print(
+            f"FAIL: acceptance rate {spec_report['acceptance_rate']:.2f} "
+            f"below required {args.min_accept_rate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_spec_speedup is not None
+        and spec_report["speedup"] < args.min_spec_speedup
+    ):
+        print(
+            f"FAIL: speculative speedup {spec_report['speedup']:.2f}x below "
+            f"required {args.min_spec_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench_serving",
-        description="Serving benchmarks: batched decode + chunked prefill.",
+        description="Serving benchmarks: batched decode, chunked prefill, "
+        "speculative decode.",
     )
     parser.add_argument("--sessions", type=int, default=8)
     parser.add_argument("--prompt-len", type=int, default=64)
@@ -418,6 +594,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit non-zero if monolithic/chunked TTFT p95 "
                         "falls below this ratio (1.0 = chunked must not "
                         "regress)")
+    # ---- speculative-decoding sub-benchmark ----
+    parser.add_argument("--spec-k", type=int, default=4,
+                        help="draft tokens per verify pass in the "
+                        "speculative mode")
+    parser.add_argument("--spec-periodic-sessions", type=int, default=6,
+                        help="draft-friendly periodic prompts in the "
+                        "speculative trace")
+    parser.add_argument("--spec-filler-sessions", type=int, default=2,
+                        help="unpredictable prompts keeping the acceptance "
+                        "rate honest")
+    parser.add_argument("--spec-prompt-len", type=int, default=49)
+    parser.add_argument("--spec-max-new", type=int, default=96)
+    parser.add_argument("--spec-smoke", action="store_true",
+                        help="run only the speculative sub-benchmark "
+                        "(fast CI gate lane)")
+    parser.add_argument("--min-accept-rate", type=float, default=None,
+                        help="exit non-zero if the draft acceptance rate "
+                        "falls below this fraction")
+    parser.add_argument("--min-spec-speedup", type=float, default=None,
+                        help="exit non-zero if the speculative/baseline "
+                        "decode-phase tokens/s ratio falls below this")
     parser.add_argument("--out", default="BENCH_serving.json")
     args = parser.parse_args(argv)
     if args.smoke:
@@ -433,8 +630,23 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     model, tokenizer = build_model(args)
+
+    if args.spec_smoke:
+        spec_report = bench_spec_decode(model, tokenizer, args)
+        report = {
+            "benchmark": "serving_spec_decode_smoke",
+            "spec_decode": spec_report,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print_spec_report(spec_report)
+        print(f"wrote {args.out}")
+        return spec_gate(spec_report, args)
+
     batched_report = bench_batched_decode(model, tokenizer, args)
     chunked_report = bench_chunked_prefill(model, tokenizer, args)
+    spec_report = bench_spec_decode(model, tokenizer, args)
 
     report = {
         "benchmark": "serving_batched_decode",
@@ -454,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         **batched_report,
         "chunked_prefill": chunked_report,
+        "spec_decode": spec_report,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -484,6 +697,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{chunked_report['decode_step_p95_gain']:.2f}x decode step p95  |  "
         f"streams identical: {chunked_report['streams_identical']}"
     )
+    print_spec_report(spec_report)
     print(f"wrote {args.out}")
 
     if not report["streams_identical"]:
@@ -513,7 +727,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return spec_gate(spec_report, args)
 
 
 if __name__ == "__main__":

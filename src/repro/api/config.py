@@ -143,6 +143,18 @@ class EngineConfig:
             (including 0) is used as-is.
         seed: base seed for per-request retrieval-head construction.
         policy_opts: default extra kwargs forwarded to ``make_policy``.
+        spec_decode_k: speculative decoding draft length. 0 (default)
+            disables speculation. With k >= 1 the server builds a
+            :class:`~repro.distill.dlm.DraftModel` from the target model
+            (shared content embedding, identity projections) and, for
+            greedy (temperature == 0) sessions, drafts up to k tokens per
+            step and verifies all of them plus one bonus position in a
+            single fused multi-row target forward pass. Acceptance is a
+            greedy longest-prefix match, so committed token streams are
+            bit-identical to non-speculative runs; sampled sessions are
+            never speculated (their RNG streams stay untouched). A plain
+            int (not a model object) so the config stays picklable for
+            multiprocessing executor workers.
     """
 
     budget: int = 2048
@@ -167,6 +179,7 @@ class EngineConfig:
     dlm_bytes: int | None = None
     seed: int = 0
     policy_opts: dict = field(default_factory=dict)
+    spec_decode_k: int = 0
 
     def __post_init__(self):
         if self.budget < 1:
@@ -214,6 +227,10 @@ class EngineConfig:
                     "monolithic prefill runs inline at admission and "
                     "cannot be budgeted per step"
                 )
+        if self.spec_decode_k < 0:
+            raise ValueError(
+                f"spec_decode_k must be >= 0, got {self.spec_decode_k}"
+            )
 
 
 @dataclass

@@ -180,6 +180,28 @@ class LightweightRetrievalHead:
     def __len__(self) -> int:
         return len(self._token_ids)
 
+    def marker(self) -> tuple[int, int, dict]:
+        """Snapshot of mutable head state, for speculative rollback.
+
+        Captures the K-cache/token lengths and the noise-head RNG state —
+        everything :meth:`observe` mutates — so :meth:`restore` can return
+        the head bit-exactly to this point after rejected draft tokens.
+        """
+        return (
+            self._keys.shape[1],
+            len(self._token_ids),
+            self._noise_rng.bit_generator.state,
+        )
+
+    def restore(self, marker: tuple[int, int, dict]) -> None:
+        """Undo observes made after :meth:`marker` was taken."""
+        keys_len, ids_len, rng_state = marker
+        if keys_len > self._keys.shape[1] or ids_len > len(self._token_ids):
+            raise ValueError("marker is newer than the current head state")
+        self._keys = self._keys[:, :keys_len, :]
+        del self._token_ids[ids_len:]
+        self._noise_rng.bit_generator.state = rng_state
+
     # ---- scoring & selection -----------------------------------------------------
 
     def attention_weights(self, current_token: int) -> np.ndarray:
@@ -287,6 +309,10 @@ class SpeContextPolicy:
         self.level = level
         self.selection_history: list[np.ndarray] = []
         self._current: np.ndarray | None = None
+        self._spec_mode = False
+        self._spec_base: int | None = None
+        self._spec_currents: list[np.ndarray | None] = []
+        self._spec_markers: list[tuple[tuple[int, int, dict], int]] = []
 
     def reset(self) -> None:
         """Clear per-request state so the policy can serve a new request.
@@ -297,6 +323,10 @@ class SpeContextPolicy:
         self.head.reset()
         self.selection_history = []
         self._current = None
+        self._spec_mode = False
+        self._spec_base = None
+        self._spec_currents = []
+        self._spec_markers = []
 
     def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
         self.head.reset()
@@ -305,14 +335,58 @@ class SpeContextPolicy:
 
     def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
         """Run retrieval for this step before the LLM forward pass."""
+        if self._spec_mode:
+            # Marker t captures state *before* pre_step t, so restoring
+            # marker m after committing m positions leaves exactly the
+            # committed pre_steps applied.
+            self._spec_markers.append(
+                (self.head.marker(), len(self.selection_history))
+            )
         if len(self.head) <= self.budget:
             self._current = None
         else:
             self._current = self.head.select(token_id, self.budget, level=self.level)
             self.selection_history.append(self._current)
         self.head.observe(token_id)
+        if self._spec_mode:
+            self._spec_currents.append(self._current)
+
+    def spec_begin(self) -> None:
+        """Arm speculative mode: buffer per-position selections for rollback.
+
+        The per-step selection lives in ``_current`` and is overwritten by
+        every ``pre_step``; a fused multi-position verify runs all pre_steps
+        before any ``select``, so selections are kept per draft offset and
+        ``select`` maps its row position back to the matching offset.
+        """
+        self._spec_mode = True
+        self._spec_base = None
+        self._spec_currents = []
+        self._spec_markers = []
+
+    def spec_commit(self, m: int) -> None:
+        """Keep the first ``m`` speculative pre_steps; undo the rest."""
+        if not self._spec_mode:
+            raise RuntimeError("spec_commit without spec_begin")
+        if m < 1 or m > len(self._spec_currents):
+            raise ValueError(
+                f"commit count {m} outside [1, {len(self._spec_currents)}]"
+            )
+        if m < len(self._spec_currents):
+            marker, hist_len = self._spec_markers[m]
+            self.head.restore(marker)
+            self.selection_history = self.selection_history[:hist_len]
+        self._current = self._spec_currents[m - 1]
+        self._spec_mode = False
+        self._spec_base = None
+        self._spec_currents = []
+        self._spec_markers = []
 
     def select(
         self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
     ) -> np.ndarray | None:
+        if self._spec_mode:
+            if self._spec_base is None:
+                self._spec_base = position
+            return self._spec_currents[position - self._spec_base]
         return self._current

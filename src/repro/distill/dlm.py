@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.models.config import ModelConfig
+from repro.tensor.ops import softmax
 
 
 @dataclass
@@ -103,6 +104,154 @@ class PruningReport:
     @property
     def retained_bytes_fp16(self) -> int:
         return self.retained_params * 2
+
+
+class DraftModel:
+    """Greedy draft head over the distilled student math.
+
+    Runs the :class:`~repro.distill.trainer.DistillationTrainer` student
+    forward (token-shift mixer keys, content-space readout) autoregressively
+    to propose up to ``k`` tokens for speculative decoding. Like EAGLE's
+    truncated-vocab trick, the readout is restricted to ``token_map`` — a
+    draft-index -> target-id array — so the LM-head matmul shrinks with the
+    draft vocabulary. Target tokens outside the map cannot be drafted *from*
+    (the query embedding is unknown to the student): :meth:`draft` returns an
+    empty proposal there, which the verifier treats as an ordinary
+    zero-accepted step — never a ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        content: np.ndarray,
+        token_map: np.ndarray | None = None,
+        G: np.ndarray | None = None,
+        H: np.ndarray | None = None,
+        shift_mix: float = 0.2,
+        sharpness: float = 14.0,
+        readout_gain: float = 8.0,
+    ):
+        self.content = np.asarray(content, dtype=np.float64)
+        if self.content.ndim != 2:
+            raise ValueError(f"content must be (vocab, dc), got {self.content.shape}")
+        vocab, dc = self.content.shape
+        self.vocab_size = vocab
+        if token_map is None:
+            token_map = np.arange(vocab)
+        self.token_map = np.asarray(token_map, dtype=np.int64)
+        if self.token_map.ndim != 1 or self.token_map.size == 0:
+            raise ValueError("token_map must be a non-empty 1-D array")
+        if np.any(self.token_map < 0) or np.any(self.token_map >= vocab):
+            raise ValueError(
+                f"token_map entries outside target vocabulary [0, {vocab})"
+            )
+        if np.unique(self.token_map).size != self.token_map.size:
+            raise ValueError("token_map entries must be unique")
+        # Inverse map: target id -> draft index, -1 where unmapped.
+        self._inverse = np.full(vocab, -1, dtype=np.int64)
+        self._inverse[self.token_map] = np.arange(self.token_map.size)
+        self.content_draft = self.content[self.token_map]
+        self.G = np.eye(dc) if G is None else np.asarray(G, dtype=np.float64)
+        self.H = np.eye(dc) if H is None else np.asarray(H, dtype=np.float64)
+        self.shift_mix = shift_mix
+        self.sharpness = sharpness
+        self.readout_gain = readout_gain
+
+    @classmethod
+    def from_teacher(
+        cls,
+        teacher,
+        token_map: np.ndarray | None = None,
+        shift_mix: float = 0.2,
+        sharpness: float = 14.0,
+        readout_gain: float = 8.0,
+    ) -> "DraftModel":
+        """A perfectly-distilled draft head (identity G/H) for a teacher LM.
+
+        Shares the teacher's content subspace (first ``head_dim`` embedding
+        columns) exactly as the trainer does, so the draft distribution is
+        what distillation converges to on the synthetic recall teachers.
+        """
+        content = np.asarray(
+            teacher.weights.embedding[:, : teacher.config.head_dim],
+            dtype=np.float64,
+        )
+        return cls(
+            content,
+            token_map=token_map,
+            shift_mix=shift_mix,
+            sharpness=sharpness,
+            readout_gain=readout_gain,
+        )
+
+    @classmethod
+    def from_trainer(cls, trainer, token_map: np.ndarray | None = None) -> "DraftModel":
+        """Wrap a trained :class:`DistillationTrainer`'s learned G/H."""
+        return cls(
+            trainer.content,
+            token_map=token_map,
+            G=trainer.params["G"],
+            H=trainer.params["H"],
+            shift_mix=trainer.shift_mix,
+            sharpness=trainer.sharpness,
+            readout_gain=trainer.readout_gain,
+        )
+
+    def knows(self, token_id: int) -> bool:
+        """True if the target token is inside the draft vocabulary."""
+        return 0 <= token_id < self.vocab_size and self._inverse[token_id] >= 0
+
+    def _context_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Content rows for context tokens; unmapped tokens contribute zeros.
+
+        The truncated-vocab student has no representation for out-of-map
+        context tokens, so they act as null evidence rather than faulting.
+        """
+        rows = self.content[ids]
+        unmapped = self._inverse[ids] < 0
+        if np.any(unmapped):
+            rows = rows.copy()
+            rows[unmapped] = 0.0
+        return rows
+
+    def greedy_next(self, context_ids) -> int | None:
+        """Greedy next-token proposal in *target* id space, or None.
+
+        None means the student cannot draft here: context shorter than two
+        tokens (the token-shift mixer needs a previous token) or a query
+        token outside the draft vocabulary.
+        """
+        ids = np.asarray(context_ids, dtype=np.int64)
+        if ids.ndim != 1 or ids.size < 2:
+            return None
+        last = int(ids[-1])
+        if not self.knows(last):
+            return None
+        cur = self._context_rows(ids[:-1])
+        prev = self._context_rows(np.concatenate([ids[:1], ids[:-2]]))
+        mixed = prev + self.shift_mix * cur
+        q = self.G @ self.content[last]
+        keys = mixed @ self.H.T
+        w = softmax(self.sharpness * (keys @ q))
+        logits = self.readout_gain * (self.content_draft @ (w @ cur))
+        return int(self.token_map[int(np.argmax(logits))])
+
+    def draft(self, context_ids, k: int) -> list[int]:
+        """Propose up to ``k`` greedy tokens autoregressively.
+
+        Returns fewer than ``k`` (possibly zero) tokens when drafting is
+        impossible; proposed tokens are always in-map by construction.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        ids = list(int(t) for t in context_ids)
+        out: list[int] = []
+        for _ in range(k):
+            token = self.greedy_next(ids)
+            if token is None:
+                break
+            out.append(token)
+            ids.append(token)
+        return out
 
 
 def pruning_report(

@@ -125,10 +125,19 @@ class LayerKVCache:
         np.take(self._k[0, :, : self._len], indices, axis=1, out=k_out)
         np.take(self._v[0, :, : self._len], indices, axis=1, out=v_out)
 
-    def copy_kv_into(self, k_out: np.ndarray, v_out: np.ndarray) -> None:
-        """Copy all valid K/V entries into caller buffers (full attention)."""
-        np.copyto(k_out, self._k[0, :, : self._len])
-        np.copyto(v_out, self._v[0, :, : self._len])
+    def copy_kv_into(
+        self, k_out: np.ndarray, v_out: np.ndarray, limit: int | None = None
+    ) -> None:
+        """Copy valid K/V entries into caller buffers (full attention).
+
+        ``limit`` caps the visible length: a speculative multi-position
+        verify appends several tokens before attending, so each row must
+        see only the entries at positions below its own (the causal view a
+        sequential decode at that position would have had).
+        """
+        end = self._len if limit is None else limit
+        np.copyto(k_out, self._k[0, :, :end])
+        np.copyto(v_out, self._v[0, :, :end])
 
     def truncate(self, length: int) -> None:
         """Drop all entries at positions >= ``length`` (used by rollbacks)."""
@@ -190,6 +199,16 @@ class ModelKVCache:
     def nbytes(self, bytes_per_value: int = 2) -> int:
         """Total logical KV footprint across layers."""
         return sum(layer.nbytes(bytes_per_value) for layer in self.layers)
+
+    def truncate(self, length: int) -> None:
+        """Drop entries at positions >= ``length`` in every layer.
+
+        Speculative decoding's rollback: rejected draft tokens' KV entries
+        are discarded so the cache holds exactly what a never-drafted run
+        would hold.
+        """
+        for layer in self.layers:
+            layer.truncate(length)
 
     def clone(self) -> "ModelKVCache":
         """Deep copy of every layer's cache."""

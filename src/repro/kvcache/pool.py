@@ -71,6 +71,13 @@ class PoolStats:
     prefix_queries: int = 0
     prefix_hits: int = 0
     prefix_evictions: int = 0
+    # Speculative-decode reservations. Promoted blocks are *also* counted
+    # in ``allocated`` (they stand in for the allocations a never-drafted
+    # run would have made), so allocated/freed match the non-speculative
+    # reference; the spec_* counters are pure observability on top.
+    spec_reserved: int = 0
+    spec_promoted: int = 0
+    spec_released: int = 0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -212,6 +219,72 @@ class PagedKVPool:
         for block_id in table.block_ids:
             self.release(block_id)
         table.block_ids.clear()
+
+    # ---- speculative reservations ----------------------------------------------
+
+    def reserve_spec(self, n: int) -> list[int]:
+        """Take up to ``n`` blocks off the free stack for a draft-verify step.
+
+        Speculation is strictly opportunistic: this never evicts prefix-cache
+        blocks, never preempts anyone and never raises — it returns however
+        many blocks the free stack could supply (possibly zero) and the
+        caller trims its draft length to match. Reserved blocks are held at
+        refcount 1 outside any table until :meth:`promote_spec` moves them
+        into a sequence (accepted tokens) or :meth:`release_spec` puts them
+        back. Neither ``stats.allocated`` nor ``stats.freed`` move here, so
+        a fully rejected speculation leaves the pool counters exactly as a
+        never-drafted run would.
+        """
+        if n < 0:
+            raise ValueError(f"reserve count must be non-negative, got {n}")
+        taken: list[int] = []
+        while len(taken) < n and self._free:
+            block_id = self._free.pop()
+            block = self._blocks[block_id]
+            assert block.ref_count == 0
+            block.ref_count = 1
+            block.payload = None
+            block.prefix_key = None
+            taken.append(block_id)
+            self.stats.spec_reserved += 1
+        return taken
+
+    def promote_spec(self, table: BlockTable, block_ids: list[int]) -> None:
+        """Move reserved blocks into a sequence's table (accepted tokens).
+
+        Each promotion counts as an ordinary allocation: it is the block the
+        non-speculative run would have allocated for the same token growth,
+        so final :class:`PoolStats` match the never-drafted reference.
+        """
+        for block_id in block_ids:
+            block = self._blocks[block_id]
+            if block.ref_count != 1:
+                raise ValueError(
+                    f"block {block_id} is not a live spec reservation "
+                    f"(ref_count={block.ref_count})"
+                )
+            table.block_ids.append(block_id)
+            self.stats.allocated += 1
+            self.stats.spec_promoted += 1
+
+    def release_spec(self, block_ids: list[int]) -> None:
+        """Return unused reservations, restoring the exact free-stack order.
+
+        Blocks are pushed back in reverse reservation order, so the stack —
+        and therefore every future allocation's block id — is bit-identical
+        to the state before :meth:`reserve_spec` (minus any promoted
+        blocks, which the reference run would have consumed too).
+        """
+        for block_id in reversed(block_ids):
+            block = self._blocks[block_id]
+            if block.ref_count != 1:
+                raise ValueError(
+                    f"block {block_id} is not a live spec reservation "
+                    f"(ref_count={block.ref_count})"
+                )
+            block.ref_count = 0
+            self._free.append(block_id)
+            self.stats.spec_released += 1
 
     # ---- payload access & copy-on-write ----------------------------------------
 

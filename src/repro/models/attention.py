@@ -37,6 +37,14 @@ class AttentionModule:
         self.layer = layer
         self.rope = rope
         self._scale = 1.0 / np.sqrt(config.head_dim)
+        # Reused backing store for speculative-verify gather buffers: a
+        # verify wave stacks (k+1) rows per session, and allocating those
+        # multi-MB K/V temporaries fresh every layer-step pushes glibc
+        # past its mmap threshold — every np.take then page-faults its
+        # way through never-touched pages. One growing scratch keeps the
+        # pages warm. (See _attend_rows_kv; values are fully overwritten
+        # before every use, so reuse cannot leak state across steps.)
+        self._spec_kv_scratch: np.ndarray | None = None
         # RoPE masks are pure functions of the layer weights; precompute
         # them once instead of rebuilding boolean arrays on every
         # projection of every decode step.
@@ -313,6 +321,40 @@ class AttentionModule:
         q = self._apply_rope_masked(q, np.asarray(positions), self._q_mask)
         return q.transpose(1, 0, 2)
 
+    def project_kv_rows(
+        self, x_rows: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """New cache entries for ``n`` single-token rows, fused.
+
+        Non-MLA: returns (k, v) shaped (Hkv, n, dim), keys RoPE-rotated at
+        each row's own position. MLA: returns (latents, latents) with
+        latents shaped (n, latent) — the latent is both key and value.
+        Row ``j`` is bit-identical to :meth:`project_kv` /
+        :meth:`project_latent` on that row alone (per-row GEMM slices).
+        """
+        cfg = self.config
+        n = x_rows.shape[0]
+        if cfg.attention is AttentionKind.MLA:
+            latents = linear_rows(x_rows, self.layer.w_dkv)  # (n, latent)
+            return latents, latents
+        k = linear_rows(x_rows, self.layer.wk, self.layer.bk)
+        v = linear_rows(x_rows, self.layer.wv)
+        k = k.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        v = v.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        key_positions = np.asarray(positions) + self.layer.rope_key_offset
+        k = self._apply_rope_masked(k, key_positions, self._kv_mask)
+        return k, v
+
+    def append_projected_row(
+        self, cache: LayerKVCache, k: np.ndarray, v: np.ndarray, row: int
+    ) -> None:
+        """Append row ``row`` of a :meth:`project_kv_rows` result."""
+        if self.config.attention is AttentionKind.MLA:
+            entry = k[row][None, None, None, :]
+            cache.append(entry, entry)
+        else:
+            cache.append(k[None, :, row : row + 1, :], v[None, :, row : row + 1, :])
+
     def append_token_rows(
         self,
         x_rows: np.ndarray,
@@ -321,22 +363,9 @@ class AttentionModule:
     ) -> None:
         """Project and append one new token per session, K/V fused into
         single row-batched GEMMs over the shared weights."""
-        cfg = self.config
-        n = x_rows.shape[0]
-        if cfg.attention is AttentionKind.MLA:
-            latents = linear_rows(x_rows, self.layer.w_dkv)  # (n, latent)
-            for j in range(n):
-                entry = latents[j][None, None, None, :]
-                caches[j].append(entry, entry)
-            return
-        k = linear_rows(x_rows, self.layer.wk, self.layer.bk)
-        v = linear_rows(x_rows, self.layer.wv)
-        k = k.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
-        v = v.reshape(n, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
-        key_positions = np.asarray(positions) + self.layer.rope_key_offset
-        k = self._apply_rope_masked(k, key_positions, self._kv_mask)
-        for j in range(n):
-            caches[j].append(k[None, :, j : j + 1, :], v[None, :, j : j + 1, :])
+        k, v = self.project_kv_rows(x_rows, positions)
+        for j in range(x_rows.shape[0]):
+            self.append_projected_row(caches[j], k, v, j)
 
     def decode_rows(
         self,
@@ -344,6 +373,7 @@ class AttentionModule:
         positions: np.ndarray,
         caches: list[LayerKVCache],
         selections: list[np.ndarray | None],
+        limits: np.ndarray | None = None,
     ) -> np.ndarray:
         """One decode step for ``n`` sessions at once; returns (n, d_model).
 
@@ -354,6 +384,14 @@ class AttentionModule:
         projection runs as a single row-batched GEMM over all sessions.
         MLA sessions fall back to the per-session expansion loop — the
         projections around them still batch.
+
+        ``limits`` (speculative verify) caps each row's full-attention
+        view at ``limits[j]`` cache entries: rows of one session verify
+        several consecutive positions after all their KV was appended, so
+        row ``j`` must attend exactly the prefix a sequential decode at
+        its position would have seen. Rows with an explicit selection are
+        unaffected — their indices were chosen at select time, when only
+        the visible prefix existed.
         """
         cfg = self.config
         n = x_rows.shape[0]
@@ -361,19 +399,24 @@ class AttentionModule:
         if cfg.attention is AttentionKind.MLA:
             out_heads = np.empty((n, cfg.n_q_heads, cfg.head_dim), dtype=q.dtype)
             for j in range(n):
-                idx, per_head = self._selection_indices(selections[j], caches[j])
+                limit = None if limits is None else int(limits[j])
+                idx, per_head = self._selection_indices(
+                    selections[j], caches[j], limit
+                )
                 out_heads[j], _ = self._attend_mla(q[j], caches[j], idx, per_head)
         else:
-            out_heads = self._attend_rows_kv(q, caches, selections)
+            out_heads = self._attend_rows_kv(q, caches, selections, limits)
         flat = out_heads.reshape(n, cfg.n_q_heads * cfg.head_dim)
         return linear_rows(flat, self.layer.wo)
 
     @staticmethod
     def _selection_indices(
-        selection: np.ndarray | None, cache: LayerKVCache
+        selection: np.ndarray | None,
+        cache: LayerKVCache,
+        limit: int | None = None,
     ) -> tuple[np.ndarray, bool]:
         if selection is None:
-            return np.arange(len(cache)), False
+            return np.arange(len(cache) if limit is None else limit), False
         selection = np.asarray(selection)
         return selection, selection.ndim == 2
 
@@ -382,6 +425,7 @@ class AttentionModule:
         q: np.ndarray,
         caches: list[LayerKVCache],
         selections: list[np.ndarray | None],
+        limits: np.ndarray | None = None,
     ) -> np.ndarray:
         """Grouped-by-selection-shape attention; returns (n, Hq, dim)."""
         cfg = self.config
@@ -389,10 +433,27 @@ class AttentionModule:
         n = q.shape[0]
         q_g = q.reshape(n, cfg.n_kv_heads, group, cfg.head_dim)
         out = np.empty((n, cfg.n_kv_heads, group, cfg.head_dim), dtype=q.dtype)
+        if limits is not None and all(s is None for s in selections):
+            # Speculative verify over dense rows: every row attends a
+            # causal prefix of its own cache, so instead of copying each
+            # prefix into a stacked buffer we matmul straight against a
+            # view of the cache storage. The per-kv-head 2-D GEMM slices
+            # have exactly the (group, width) shapes of the sequential
+            # decode at that position, over identical values — the copy
+            # was pure memory traffic.
+            for j in range(n):
+                width = int(limits[j])
+                k = caches[j].keys[0, :, :width]
+                v = caches[j].values[0, :, :width]
+                scores = np.matmul(q_g[j], k.transpose(0, 2, 1)) * self._scale
+                w = softmax(scores, axis=-1)
+                out[j] = np.matmul(w, v)
+            return out.reshape(n, cfg.n_q_heads, cfg.head_dim)
         buckets: dict[tuple, list[int]] = {}
         for j, selection in enumerate(selections):
             if selection is None:
-                key = ("full", len(caches[j]))
+                width = len(caches[j]) if limits is None else int(limits[j])
+                key = ("full", width)
             else:
                 selection = np.asarray(selection)
                 if selection.ndim == 2:
@@ -413,12 +474,29 @@ class AttentionModule:
                 v = np.stack(vs)
             else:
                 # Gather straight into the stacked buffers — one copy, not
-                # a per-session temporary plus a stack copy.
-                k = np.empty((g, cfg.n_kv_heads, width, cfg.head_dim), dtype=kv_dtype)
-                v = np.empty_like(k)
+                # a per-session temporary plus a stack copy. Verify waves
+                # carve the buffers out of the persistent scratch (see
+                # __init__) so their (k+1)-fold size never churns the
+                # allocator; ordinary decode keeps plain allocations.
+                shape = (g, cfg.n_kv_heads, width, cfg.head_dim)
+                if limits is not None:
+                    count = int(np.prod(shape))
+                    scratch = self._spec_kv_scratch
+                    if (
+                        scratch is None
+                        or scratch.size < 2 * count
+                        or scratch.dtype != kv_dtype
+                    ):
+                        scratch = np.empty(2 * count, dtype=kv_dtype)
+                        self._spec_kv_scratch = scratch
+                    k = scratch[:count].reshape(shape)
+                    v = scratch[count : 2 * count].reshape(shape)
+                else:
+                    k = np.empty(shape, dtype=kv_dtype)
+                    v = np.empty_like(k)
                 for gi, j in enumerate(members):
                     if kind == "full":
-                        caches[j].copy_kv_into(k[gi], v[gi])
+                        caches[j].copy_kv_into(k[gi], v[gi], limit=width)
                     else:
                         caches[j].gather_into(selections[j], k[gi], v[gi])
             whole_batch = g == n  # skip fancy-index copies for one bucket

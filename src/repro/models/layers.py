@@ -83,6 +83,40 @@ class DecoderLayer:
         x = x_rows + attn_out
         return x + self._ffn_rows(x)
 
+    def decode_rows_spec(
+        self,
+        x_rows: np.ndarray,
+        positions: np.ndarray,
+        caches: list[LayerKVCache],
+        limits: np.ndarray,
+        select_fn,
+    ) -> np.ndarray:
+        """Multi-position decode for speculative verify; returns (n, d_model).
+
+        Unlike :meth:`decode_rows`, consecutive rows may belong to one
+        session verifying several drafted positions: ``caches[r]`` is the
+        row's (possibly shared) layer cache and ``limits[r]`` the KV
+        length visible to it (its position + 1). ``select_fn(r)`` is the
+        policy hook for row ``r``; it is invoked in row order *before*
+        the row's own KV entry is appended — exactly the select-time cache
+        state (``len(cache) == position``) the sequential :meth:`decode`
+        path presents — so rows must arrive session-major in ascending
+        position order. Row ``r`` is bit-identical to :meth:`decode` run
+        sequentially at its position: projections and FFN are per-row GEMM
+        slices, and attention sees only the causal prefix via ``limits``.
+        """
+        h = self._pre_attn(x_rows)
+        k, v = self.attention.project_kv_rows(h, positions)
+        selections: list[np.ndarray | None] = []
+        for r in range(x_rows.shape[0]):
+            selections.append(select_fn(r))
+            self.attention.append_projected_row(caches[r], k, v, r)
+        attn_out = self.attention.decode_rows(
+            h, positions, caches, selections, limits=limits
+        )
+        x = x_rows + attn_out
+        return x + self._ffn_rows(x)
+
     def _ffn_rows(self, x: np.ndarray) -> np.ndarray:
         """SwiGLU over (n, d_model) rows with per-row GEMM semantics."""
         h = x

@@ -226,6 +226,89 @@ class TransformerLM:
             x = layer.decode_rows(x, position_rows, layer_caches, step_selections)
         return self.logits_from_hidden_rows(x), selections
 
+    def decode_spec_batch(
+        self,
+        token_seqs: list[list[int]],
+        caches: list[ModelKVCache],
+        policies: list[SelectionPolicy | None] | None = None,
+    ) -> tuple[list[np.ndarray], list[list[dict[int, np.ndarray]]]]:
+        """Speculative verify: feed several tokens per session, fused.
+
+        Session ``j`` feeds ``token_seqs[j]`` — its pending token followed
+        by draft tokens — at the consecutive cache positions they would
+        occupy. All (session, position) rows run through each layer as one
+        row-batched pass; per-session policy hooks interleave with KV
+        appends in position order, so at every ``select`` call the cache
+        holds exactly the entries a sequential :meth:`decode_step` at that
+        position would have held, and attention caps each row's
+        full-attention view at its own position + 1. Position ``t`` of
+        session ``j`` is therefore bit-identical to ``decode_step`` run
+        sequentially *given the same fed tokens* — which is how greedy
+        longest-prefix acceptance makes accepted streams provably equal to
+        a never-drafted run. All fed tokens' KV entries are appended; the
+        caller truncates the rejected suffix (see
+        :meth:`repro.kvcache.cache.ModelKVCache.truncate`).
+
+        Returns ``(logits, selections)`` where ``logits[j]`` is
+        ``(len(token_seqs[j]), vocab)`` and ``selections[j][t]`` is the
+        per-layer selection dict position ``t`` used. A batch of
+        single-token sequences is bit-identical to
+        :meth:`decode_step_batch`.
+        """
+        n = len(caches)
+        if policies is None:
+            policies = [None] * n
+        if not (len(token_seqs) == len(policies) == n):
+            raise ValueError(
+                f"batch size mismatch: {len(token_seqs)} sequences, "
+                f"{n} caches, {len(policies)} policies"
+            )
+        lens = [len(seq) for seq in token_seqs]
+        if any(length < 1 for length in lens):
+            raise ValueError("every session must feed at least one token")
+        row_session: list[int] = []
+        row_offset: list[int] = []
+        positions: list[int] = []
+        for j, seq in enumerate(token_seqs):
+            base = caches[j].seq_len
+            for t in range(len(seq)):
+                row_session.append(j)
+                row_offset.append(t)
+                positions.append(base + t)
+        position_rows = np.asarray(positions)
+        limits = position_rows + 1
+        x = self.embed(np.asarray([t for seq in token_seqs for t in seq]))
+        selections: list[list[dict[int, np.ndarray]]] = [
+            [{} for _ in seq] for seq in token_seqs
+        ]
+        for i, layer in enumerate(self.layers):
+            row_caches = [caches[j][i] for j in row_session]
+            layer_input = x
+
+            def select_fn(r, i=i, layer_input=layer_input):
+                j = row_session[r]
+                if policies[j] is None:
+                    return None
+                position = int(position_rows[r])
+                selection = policies[j].select(
+                    i, layer_input[r], position, row_caches[r]
+                )
+                if selection is not None:
+                    selection = self._ensure_current(selection, position)
+                    selections[j][row_offset[r]][i] = selection
+                return selection
+
+            x = layer.decode_rows_spec(
+                x, position_rows, row_caches, limits, select_fn
+            )
+        logits = self.logits_from_hidden_rows(x)
+        out: list[np.ndarray] = []
+        start = 0
+        for length in lens:
+            out.append(logits[start : start + length])
+            start += length
+        return out, selections
+
     @staticmethod
     def _ensure_current(selection: np.ndarray, position: int) -> np.ndarray:
         """Union the current token's index into the selection."""

@@ -55,6 +55,12 @@ class BudgetedPolicy:
         self.prompt_len = 0
         self.record = RetrievalRecord()
         self._step_log: dict[int, np.ndarray] = {}
+        self._spec_mode = False
+        self._spec_base: int | None = None
+        self._spec_t = 0
+        self._spec_flushed = False
+        self._spec_log: dict[int, dict[int, np.ndarray]] = {}
+        self._spec_ops: dict[int, int] = {}
         if self.config.attention is AttentionKind.MLA and not self.supports_mla():
             raise NotImplementedError(
                 f"{type(self).__name__} operates on the K cache and does not "
@@ -75,6 +81,12 @@ class BudgetedPolicy:
         self.prompt_len = 0
         self.record = RetrievalRecord()
         self._step_log = {}
+        self._spec_mode = False
+        self._spec_base = None
+        self._spec_t = 0
+        self._spec_flushed = False
+        self._spec_log = {}
+        self._spec_ops = {}
 
     def begin_generation(self, prompt_ids: np.ndarray, cache: ModelKVCache) -> None:
         """Capture the prompt boundary and run subclass preprocessing."""
@@ -82,18 +94,80 @@ class BudgetedPolicy:
         self._prepare(cache)
 
     def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
+        if self._spec_mode:
+            # Only the first speculative pre_step performs the ordinary flush
+            # of the previous (committed) step's log; row 0 of a verify batch
+            # always commits, so this flush is never rolled back. Later rows'
+            # flushes are deferred to spec_commit, which knows how many
+            # positions survived.
+            if not self._spec_flushed:
+                self._spec_flushed = True
+                if self._step_log:
+                    self.record.selection_history.append(self._step_log)
+                    self._step_log = {}
+            return
         if self._step_log:
             self.record.selection_history.append(self._step_log)
             self._step_log = {}
+
+    def spec_begin(self) -> None:
+        """Arm speculative mode: route logging per-position until commit.
+
+        Between ``spec_begin`` and ``spec_commit`` the policy sees the usual
+        ``pre_step``/``select`` call sequence for every verified position, but
+        buffers all state mutations keyed by draft offset so the rejected
+        suffix can be undone bit-exactly.
+        """
+        self._spec_mode = True
+        self._spec_base = None
+        self._spec_t = 0
+        self._spec_flushed = False
+        self._spec_log = {}
+        self._spec_ops = {}
+
+    def spec_commit(self, m: int) -> None:
+        """Keep the first ``m`` speculative positions' effects; undo the rest.
+
+        After this call the policy state is bit-identical to having decoded
+        the ``m`` committed tokens sequentially and never drafted at all:
+        positions ``0..m-2`` flush into the record (as their successors'
+        pre_steps would have), position ``m-1`` becomes the pending step log,
+        and rejected positions' retrieval ops are subtracted.
+        """
+        if not self._spec_mode:
+            raise RuntimeError("spec_commit without spec_begin")
+        if m < 1:
+            raise ValueError(f"must commit at least the verified row 0, got m={m}")
+        for t in range(m - 1):
+            log = self._spec_log.get(t)
+            if log:
+                self.record.selection_history.append(log)
+        self._step_log = self._spec_log.get(m - 1, {})
+        self.record.retrieval_ops -= sum(
+            ops for t, ops in self._spec_ops.items() if t >= m
+        )
+        self._spec_mode = False
+        self._spec_base = None
+        self._spec_flushed = False
+        self._spec_log = {}
+        self._spec_ops = {}
 
     def select(
         self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
     ) -> np.ndarray | None:
         """Per-layer selection: budgeted prompt tokens + retained new tokens."""
+        if self._spec_mode:
+            # Fused verify calls selects layer-major, ascending position; the
+            # first call is the session's base position (cache length at
+            # verify entry, == select-time cache length, same as sequential).
+            if self._spec_base is None:
+                self._spec_base = position
+            self._spec_t = position - self._spec_base
         prompt_candidates = min(self.prompt_len, len(cache))
         if prompt_candidates <= self.budget:
             return None  # the whole prompt fits in the budget: full attention
         queries = self.model.layers[layer].attention.selection_queries(hidden, position)
+        ops_before = self.record.retrieval_ops
         prompt_sel = self._select_prompt(layer, queries, cache)
         prompt_sel = np.asarray(prompt_sel)
         if prompt_sel.ndim == 1:
@@ -101,7 +175,14 @@ class BudgetedPolicy:
                 prompt_sel, (queries.shape[0], prompt_sel.shape[0])
             )
         selection = self._append_generated(prompt_sel, len(cache))
-        self._step_log[layer] = np.unique(selection)
+        if self._spec_mode:
+            t = self._spec_t
+            self._spec_log.setdefault(t, {})[layer] = np.unique(selection)
+            self._spec_ops[t] = self._spec_ops.get(t, 0) + (
+                self.record.retrieval_ops - ops_before
+            )
+        else:
+            self._step_log[layer] = np.unique(selection)
         return selection
 
     # ---- subclass hooks --------------------------------------------------------

@@ -22,6 +22,12 @@ class FullAttentionPolicy:
     def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
         pass
 
+    def spec_begin(self) -> None:
+        """Full attention holds no selection state; nothing to arm."""
+
+    def spec_commit(self, m: int) -> None:
+        """Nothing to roll back."""
+
     def select(
         self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
     ) -> np.ndarray | None:

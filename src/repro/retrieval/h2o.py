@@ -33,6 +33,8 @@ class H2OPolicy(BudgetedPolicy):
             raise ValueError("recent_fraction must be in [0, 1)")
         self.recent_fraction = recent_fraction
         self._accumulated: list[np.ndarray] = []  # per layer: (Hkv, prompt_len)
+        self._spec_acc_base: list[np.ndarray] = []
+        self._spec_contribs: list[list[tuple[int, np.ndarray]]] = []
 
     def _prepare(self, cache: ModelKVCache) -> None:
         self._accumulated = [
@@ -40,13 +42,36 @@ class H2OPolicy(BudgetedPolicy):
             for layer_cache in cache.layers
         ]
 
+    def spec_begin(self) -> None:
+        super().spec_begin()
+        self._spec_acc_base = [acc.copy() for acc in self._accumulated]
+        self._spec_contribs = [[] for _ in self._accumulated]
+
+    def spec_commit(self, m: int) -> None:
+        # Rebuild each layer's accumulator from the pre-speculation snapshot
+        # by replaying only the committed positions' softmax contributions in
+        # their original order — the exact float-add sequence a sequential
+        # never-drafted run would have performed.
+        for layer, base in enumerate(self._spec_acc_base):
+            acc = base
+            for t, contrib in self._spec_contribs[layer]:
+                if t < m:
+                    acc += contrib
+            self._accumulated[layer] = acc
+        self._spec_acc_base = []
+        self._spec_contribs = []
+        super().spec_commit(m)
+
     def _select_prompt(
         self, layer: int, queries: np.ndarray, cache: LayerKVCache
     ) -> np.ndarray:
         keys = self.prompt_keys(cache)
         scores = np.einsum("hnd,hd->hn", keys, queries) / np.sqrt(keys.shape[-1])
         self.count_ops(keys.size)
-        self._accumulated[layer] += softmax(scores, axis=-1)
+        contrib = softmax(scores, axis=-1)
+        self._accumulated[layer] += contrib
+        if self._spec_mode:
+            self._spec_contribs[layer].append((self._spec_t, contrib))
 
         n_recent = int(self.budget * self.recent_fraction)
         n_heavy = self.budget - n_recent

@@ -27,6 +27,12 @@ class StreamingLLMPolicy:
     def pre_step(self, step: int, token_id: int, cache: ModelKVCache) -> None:
         pass
 
+    def spec_begin(self) -> None:
+        """Position-only selection holds no mutable state; nothing to arm."""
+
+    def spec_commit(self, m: int) -> None:
+        """Nothing to roll back."""
+
     def select(
         self, layer: int, hidden: np.ndarray, position: int, cache: LayerKVCache
     ) -> np.ndarray | None:

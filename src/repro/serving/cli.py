@@ -102,6 +102,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-step token budget shared by the decode "
                         "wave and prefill chunks (requires "
                         "--prefill-chunk-tokens)")
+    parser.add_argument("--spec-decode-k", type=int, default=0,
+                        help="speculative decoding draft length: draft up "
+                        "to K tokens per step with the distilled model "
+                        "and verify them in one fused target pass "
+                        "(greedy sessions only; 0 disables)")
     parser.add_argument("--replicas", type=int, default=1,
                         help="server replicas behind the cluster frontend "
                         "(1 = plain single-server mode)")
@@ -154,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         kv_dtype=args.kv_dtype,
         prefill_chunk_tokens=args.prefill_chunk_tokens,
         max_step_tokens=args.max_step_tokens,
+        spec_decode_k=args.spec_decode_k,
     )
     if args.serve_http:
         import asyncio
@@ -210,6 +216,11 @@ def main(argv: list[str] | None = None) -> int:
             )
             + ")"
             if args.prefill_chunk_tokens is not None
+            else ""
+        )
+        + (
+            f"  |  speculative decode (k={args.spec_decode_k})"
+            if args.spec_decode_k > 0
             else ""
         )
         + (
@@ -288,6 +299,21 @@ def main(argv: list[str] | None = None) -> int:
         f"pool: {allocated} blocks allocated ({prefill} prefill, "
         f"{reused} reused via prefix cache), {n_preempted} preemptions"
     )
+    if args.spec_decode_k > 0:
+        if frontend is not None:
+            stats_list = [r.spec_stats for r in frontend.replicas]
+            steps = sum(s.spec_steps for s in stats_list)
+            drafted = sum(s.drafted for s in stats_list)
+            accepted = sum(s.accepted for s in stats_list)
+            rate = accepted / drafted if drafted else 0.0
+        else:
+            spec = server.spec_stats
+            steps, drafted, accepted = spec.spec_steps, spec.drafted, spec.accepted
+            rate = spec.acceptance_rate
+        print(
+            f"spec: {steps} verify passes, {drafted} drafted, "
+            f"{accepted} accepted ({rate:.0%} acceptance)"
+        )
     if frontend is not None:
         routing = frontend.routing
         rows = [

@@ -62,6 +62,7 @@ from repro.core.elastic import ElasticTransferTracker
 from repro.core.engine import GenerationStats
 from repro.core.memory_model import MemoryModel
 from repro.core.retrieval_head import SpeContextPolicy
+from repro.distill.dlm import DraftModel
 from repro.kvcache.cache import ModelKVCache
 from repro.kvcache.pool import BlockTable, PagedKVPool, PoolExhausted
 from repro.models.config import AttentionKind
@@ -80,6 +81,35 @@ class StreamEvent:
     step: int
     token_id: int
     finished: bool
+
+
+@dataclass
+class SpecDecodeStats:
+    """Server-wide speculative-decoding counters.
+
+    Kept on the server (not on per-request :class:`GenerationStats`) so
+    speculative runs produce per-request stats bit-identical to
+    non-speculative references; acceptance telemetry is observability on
+    the side, mirroring how the pool keeps its own counters.
+    """
+
+    spec_steps: int = 0  # fused draft-verify passes executed
+    drafted: int = 0  # draft tokens proposed to the verifier
+    accepted: int = 0  # draft tokens accepted (excludes bonus tokens)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens the target model accepted."""
+        if self.drafted == 0:
+            return 0.0
+        return self.accepted / self.drafted
+
+    @property
+    def tokens_per_spec_step(self) -> float:
+        """Mean tokens committed per verify pass (>= 1.0; 1.0 = no wins)."""
+        if self.spec_steps == 0:
+            return 0.0
+        return (self.spec_steps + self.accepted) / self.spec_steps
 
 
 @dataclass(frozen=True)
@@ -190,9 +220,19 @@ class SpeContextServer:
         model: TransformerLM,
         config: EngineConfig | None = None,
         memory_model: MemoryModel | None = None,
+        draft_model: DraftModel | None = None,
     ):
         self.model = model
         self.config = config or EngineConfig()
+        # Draft model for speculative decoding: built from the target's own
+        # embedding when enabled and not injected (tests inject truncated-
+        # vocab variants). Plumbed here rather than via EngineConfig so the
+        # config stays picklable for multiprocessing executor workers.
+        if self.config.spec_decode_k > 0:
+            self._draft = draft_model or DraftModel.from_teacher(model)
+        else:
+            self._draft = None
+        self.spec_stats = SpecDecodeStats()
         if memory_model is None:
             memory_model = MemoryModel(
                 model.config,
@@ -517,7 +557,8 @@ class SpeContextServer:
             if session.state != _SessionState.READY:
                 continue  # still prefilling; no token to decode yet
             self._ensure_decode_capacity(session)
-            self._decode_one(session)
+            if not self._spec_decode_one(session):
+                self._decode_one(session)
             if session.done:
                 self._active.remove(session)
                 self.pool.free_table(session.block_table)
@@ -575,8 +616,18 @@ class SpeContextServer:
             for s in wave
             if not (s.steps_taken == 0 and s.prefill_token is not None)
         ]
-        tokens: dict[int, int] = {}
-        if forward:
+        committed: dict[int, list[int]] = {}
+        specs: dict[int, tuple[list[int], list[int]]] = {}
+        if forward and self._draft is not None:
+            # Draft + reserve after the whole wave has its decode blocks,
+            # so speculation never changes which sessions the wave rule
+            # admitted or the eviction/preemption decisions made above.
+            for session in forward:
+                if self._spec_eligible(session):
+                    drafts, reserved = self._spec_propose(session)
+                    if drafts:
+                        specs[id(session)] = (drafts, reserved)
+        if forward and not specs:
             for session in forward:
                 if session.policy is not None:
                     session.policy.pre_step(
@@ -589,15 +640,52 @@ class SpeContextServer:
             )
             for row, session in enumerate(forward):
                 session.result.selections.append(selections[row])
-                tokens[id(session)] = self._sample(session, logits[row])
+                committed[id(session)] = [self._sample(session, logits[row])]
+        elif forward:
+            seqs: list[list[int]] = []
+            for session in forward:
+                drafts = specs.get(id(session), ([], []))[0]
+                seq = [int(session.pending)] + drafts
+                seqs.append(seq)
+                policy = session.policy
+                if policy is None:
+                    continue
+                if id(session) in specs:
+                    policy.spec_begin()
+                    for t, token in enumerate(seq):
+                        policy.pre_step(
+                            session.steps_taken + t, int(token), session.cache
+                        )
+                else:
+                    policy.pre_step(
+                        session.steps_taken, int(session.pending), session.cache
+                    )
+            logits_list, selections_list = self.model.decode_spec_batch(
+                seqs, [s.cache for s in forward], [s.policy for s in forward]
+            )
+            for row, session in enumerate(forward):
+                if id(session) in specs:
+                    reserved = specs[id(session)][1]
+                    committed[id(session)] = self._spec_finalize(
+                        session,
+                        seqs[row],
+                        logits_list[row],
+                        selections_list[row],
+                        reserved,
+                    )
+                else:
+                    session.result.selections.append(selections_list[row][0])
+                    committed[id(session)] = [
+                        self._sample(session, logits_list[row][0])
+                    ]
 
         finished: list[GenerationOutput] = []
         for session in wave:
-            if id(session) in tokens:
-                token = tokens[id(session)]
-            else:
-                token = session.prefill_token
-            self._commit_token(session, int(token))
+            tokens = committed.get(id(session))
+            if tokens is None:
+                tokens = [int(session.prefill_token)]
+            for token in tokens:
+                self._commit_token(session, int(token))
             if session.done:
                 self._active.remove(session)
                 self.pool.free_table(session.block_table)
@@ -1050,6 +1138,153 @@ class SpeContextServer:
             pending = int(token)
         if pending is not None:
             session.pending = pending
+
+    # ---- speculative decoding --------------------------------------------------
+
+    def _spec_eligible(self, session: _Session) -> bool:
+        """Whether a ready session may run a draft-verify step.
+
+        Speculation is restricted to greedy sessions: acceptance is a
+        longest-prefix match against argmax, which is only provably
+        stream-preserving at temperature 0 (and sampled sessions' RNG
+        streams must not be touched out of step order). Prebuilt policies
+        must implement the spec_begin/spec_commit rollback protocol; at
+        least two tokens must remain so a draft plus its verifier row fit
+        under ``max_new_tokens``.
+        """
+        if self._draft is None:
+            return False
+        if session.sampling.temperature > 0:
+            return False
+        if session.steps_taken == 0 and session.prefill_token is not None:
+            return False  # step-0 shortcut commits without a forward pass
+        policy = session.policy
+        if policy is not None and not (
+            hasattr(policy, "spec_begin") and hasattr(policy, "spec_commit")
+        ):
+            return False
+        return session.sampling.max_new_tokens - session.steps_taken >= 2
+
+    def _spec_propose(
+        self, session: _Session
+    ) -> tuple[list[int], list[int]]:
+        """Draft tokens and reserve their pool blocks for one session.
+
+        The draft length is capped so a fully accepted run (k drafts + one
+        bonus token) lands exactly on ``max_new_tokens``, then trimmed to
+        the blocks the free stack can supply — speculation never evicts
+        prefix-cache blocks and never preempts a peer, so it cannot change
+        scheduling decisions relative to a non-speculative run. Returns
+        ``(drafts, reserved_block_ids)``; both empty when the session
+        cannot speculate this step (out-of-map token, no free blocks).
+        """
+        k = min(
+            self.config.spec_decode_k,
+            session.sampling.max_new_tokens - session.steps_taken - 1,
+        )
+        if k < 1:
+            return [], []
+        stream = np.concatenate(
+            [
+                np.asarray(session.request.prompt_ids, dtype=np.int64),
+                np.asarray(session.result.token_ids, dtype=np.int64),
+            ]
+        )
+        drafts = self._draft.draft(stream, k)
+        if not drafts:
+            return [], []
+        base_blocks = len(session.block_table)  # covers current_len + 1
+
+        def extra(n_drafts: int) -> int:
+            return max(
+                0,
+                self.pool.blocks_for_tokens(session.current_len + 1 + n_drafts)
+                - base_blocks,
+            )
+
+        reserved = self.pool.reserve_spec(extra(len(drafts)))
+        while drafts and extra(len(drafts)) > len(reserved):
+            drafts.pop()
+        if not drafts:
+            self.pool.release_spec(reserved)
+            return [], []
+        need = extra(len(drafts))
+        if need < len(reserved):
+            self.pool.release_spec(reserved[need:])
+            reserved = reserved[:need]
+        return drafts, reserved
+
+    def _spec_finalize(
+        self,
+        session: _Session,
+        seq: list[int],
+        logits: np.ndarray,
+        selections: list[dict[int, np.ndarray]],
+        reserved: list[int],
+    ) -> list[int]:
+        """Greedy longest-prefix acceptance + rollback of the rejected tail.
+
+        ``seq`` is ``[pending, d1..dk]`` and ``logits[t]`` the target's
+        output at position t. The target's greedy token at row t-1 is what
+        a sequential run would have fed at row t, so drafts are accepted
+        while they match it — and every accepted row's inputs (and policy
+        pre-steps) then exactly equal the sequential run's, making the
+        committed stream bit-identical by induction. Full acceptance earns
+        the bonus token from the last row. Rejected suffix state — cache
+        entries, policy mutations, unused block reservations — is undone
+        so nothing distinguishes the session from a never-drafted one.
+        Returns the tokens to commit (always at least one).
+        """
+        d = len(seq) - 1
+        greedy = [self._sample(session, logits[t]) for t in range(d + 1)]
+        m = 1
+        while (
+            m <= d
+            and seq[m] == greedy[m - 1]
+            and greedy[m - 1] not in session.sampling.stop_ids
+            and session.steps_taken + m < session.sampling.max_new_tokens
+        ):
+            m += 1
+        base_len = session.cache.seq_len - len(seq)
+        session.cache.truncate(base_len + m)
+        if session.policy is not None:
+            session.policy.spec_commit(m)
+        need = max(
+            0,
+            self.pool.blocks_for_tokens(session.current_len + m)
+            - len(session.block_table),
+        )
+        self.pool.promote_spec(session.block_table, reserved[:need])
+        self.pool.release_spec(reserved[need:])
+        for t in range(m):
+            session.result.selections.append(selections[t])
+        self.spec_stats.spec_steps += 1
+        self.spec_stats.drafted += d
+        self.spec_stats.accepted += m - 1
+        return greedy[:m]
+
+    def _spec_decode_one(self, session: _Session) -> bool:
+        """Sequential-path draft-verify step; True when it committed tokens."""
+        if not self._spec_eligible(session):
+            return False
+        drafts, reserved = self._spec_propose(session)
+        if not drafts:
+            return False
+        seq = [int(session.pending)] + drafts
+        policy = session.policy
+        if policy is not None:
+            policy.spec_begin()
+            for t, token in enumerate(seq):
+                policy.pre_step(session.steps_taken + t, int(token), session.cache)
+        logits_list, selections_list = self.model.decode_spec_batch(
+            [seq], [session.cache], [policy]
+        )
+        committed = self._spec_finalize(
+            session, seq, logits_list[0], selections_list[0], reserved
+        )
+        for token in committed:
+            self._commit_token(session, int(token))
+        return True
 
     # ---- decode ----------------------------------------------------------------
 

@@ -25,6 +25,8 @@ class TestBenchServing:
             "--short-sessions", "4", "--short-max-new", "6",
             "--long-prompt-len", "96", "--prefill-chunk-tokens", "16",
             "--max-step-tokens", "24",
+            "--spec-periodic-sessions", "2", "--spec-filler-sessions", "1",
+            "--spec-prompt-len", "25", "--spec-max-new", "8",
             "--out", str(out), *extra,
         ])
         return rc, out
@@ -69,6 +71,56 @@ class TestBenchServing:
         assert section["chunked"]["step_tokens"]["budget"] == 24
         assert section["monolithic"]["step_tokens"]["max"] > 24
         assert "chunked prefill" in capsys.readouterr().out
+
+    def test_spec_decode_section_schema(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        section = json.loads(out.read_text())["spec_decode"]
+        assert section["streams_identical"] is True
+        assert section["speedup"] > 0
+        assert 0.0 <= section["acceptance_rate"] <= 1.0
+        assert section["spec_steps"] > 0
+        assert 0 <= section["accepted"] <= section["drafted"]
+        assert 1.0 <= section["tokens_per_spec_step"] <= section["workload"][
+            "spec_k"
+        ] + 1
+        assert section["workload"]["policy"] == "full"
+        assert section["workload"]["periodic_sessions"] == 2
+        for mode in ("baseline", "speculative"):
+            entry = section[mode]
+            assert entry["generated_tokens"] > 0
+            assert entry["decode_tokens_per_s"] > 0
+            assert "token_streams" not in entry
+        # Identical trace, identical acceptance rule: both modes must
+        # emit the same number of tokens.
+        assert (
+            section["baseline"]["generated_tokens"]
+            == section["speculative"]["generated_tokens"]
+        )
+        assert "spec decode" in capsys.readouterr().out
+
+    def test_spec_smoke_lane_runs_only_spec(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path, extra=("--spec-smoke",))
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "serving_spec_decode_smoke"
+        assert set(report) == {"benchmark", "spec_decode"}
+        assert report["spec_decode"]["streams_identical"] is True
+        assert "spec decode" in capsys.readouterr().out
+
+    def test_min_accept_rate_gate_fails_when_unmet(self, tmp_path, capsys):
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--spec-smoke", "--min-accept-rate", "1.1")
+        )
+        assert rc == 1
+        assert "acceptance rate" in capsys.readouterr().err
+
+    def test_min_spec_speedup_gate_fails_when_unmet(self, tmp_path, capsys):
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--spec-smoke", "--min-spec-speedup", "1e9")
+        )
+        assert rc == 1
+        assert "speculative speedup" in capsys.readouterr().err
 
     def test_min_speedup_gate_fails_when_unmet(self, tmp_path, capsys):
         rc, _ = self.run_bench(tmp_path, extra=("--min-speedup", "1e9"))
