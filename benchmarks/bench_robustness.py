@@ -1,0 +1,379 @@
+"""Robustness benchmark: goodput under bursty overload with deadlines.
+
+Replays one seeded bursty (on/off) trace of deadline-carrying requests —
+bursts arrive faster than the server can drain, so queues build and
+total deadlines become infeasible for late burst members — through
+identical :class:`~repro.serving.server.SpeContextServer`s that differ
+only in the admission policy, and reports per-policy:
+
+- **goodput** (tokens of requests that finished *within their deadline*
+  per server step — the paper-level robustness currency): the server
+  cancels any request whose deadline expires, so every finished request
+  met its SLO by construction, and goodput is finished work over time;
+- SLO attainment (finished / offered), shed rate (admission rejections),
+  expiry rate (typed ``deadline_exceeded`` failures), wasted tokens
+  (streamed to requests that later expired mid-flight);
+- TTFT / latency percentiles on the step clock.
+
+``accept_all`` admits everything: doomed requests occupy batch slots and
+pool blocks until their deadline kills them, and the tokens they
+streamed are pure waste. ``queue_depth`` and ``deadline_feasible`` shed
+early — infeasible work never reaches the batch — so the server spends
+its steps on requests that can still win. CI gates
+``--min-goodput-gain`` on the best-policy/accept_all goodput ratio.
+
+A second section exercises stall-tolerant failover: the same seeded
+trace replayed on the process-parallel engine, clean vs a worker-kill
+chaos plan, asserting per-request streams stay bit-identical (the
+exactly-once failover contract) and reporting the failover tax in extra
+steps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py          # full
+    PYTHONPATH=src python benchmarks/bench_robustness.py --smoke \
+        --min-goodput-gain 1.0 --out BENCH_robustness.json        # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
+from repro.api.request import GenerationRequest
+from repro.models.builder import build_recall_model
+from repro.models.config import tiny_test_config
+from repro.models.llm import TransformerLM
+from repro.models.tokenizer import SyntheticTokenizer
+from repro.serving.chaos import Fault, FaultPlan, run_chaos
+from repro.serving.engine import make_executor
+from repro.serving.server import SpeContextServer
+from repro.serving.trace import TraceEntry, bursty_trace, replay_trace
+
+POLICIES = ("accept_all", "queue_depth", "deadline_feasible")
+
+
+def build_model(args) -> tuple[TransformerLM, SyntheticTokenizer]:
+    rng = np.random.default_rng(args.seed)
+    tokenizer = SyntheticTokenizer(vocab_size=args.vocab)
+    config = tiny_test_config(n_layers=args.layers, vocab_size=args.vocab)
+    return TransformerLM(build_recall_model(config, tokenizer, rng)), tokenizer
+
+
+def build_overload_trace(
+    tokenizer: SyntheticTokenizer, args
+) -> list[TraceEntry]:
+    """Bursty deadline workload: every request must finish in ``deadline``.
+
+    Bursts of ``burst_size`` land nearly at once, far above what
+    ``concurrency`` slots can start, then an off gap gives slack. Every
+    request carries the same total deadline, sized so early burst
+    members are comfortably feasible and late members are not.
+    """
+    rng = np.random.default_rng(args.seed)
+    requests = []
+    for i in range(args.requests):
+        prompt_rng = np.random.default_rng(args.seed + 30_000 + i)
+        prompt = [int(tokenizer.bos_id)] + [
+            int(t)
+            for t in tokenizer.random_filler_ids(prompt_rng, args.prompt_len)
+        ]
+        requests.append(
+            GenerationRequest(
+                np.array(prompt),
+                sampling=SamplingParams(
+                    max_new_tokens=args.max_new_tokens,
+                    total_deadline_s=args.deadline,
+                ),
+            )
+        )
+    return bursty_trace(
+        rng,
+        requests,
+        burst_size=args.burst_size,
+        on_mean_interarrival_steps=args.on_interarrival,
+        off_steps=args.off_steps,
+    )
+
+
+def clone_entry(entry: TraceEntry) -> TraceEntry:
+    return TraceEntry(
+        arrival_step=entry.arrival_step,
+        request=GenerationRequest(
+            entry.request.prompt_ids.copy(),
+            sampling=entry.request.sampling,
+        ),
+    )
+
+
+def replay_policy(model, trace, args, admission: str) -> dict:
+    """Replay the trace under one admission policy; aggregate the run."""
+    opts = {}
+    if admission == "queue_depth":
+        opts["max_waiting"] = args.max_waiting
+    elif admission == "deadline_feasible":
+        opts["queue_delay_per_waiting"] = args.queue_delay_per_waiting
+    config = EngineConfig(
+        budget=args.budget,
+        bos_id=args.bos_id,
+        max_concurrency=args.concurrency,
+        seed=args.seed,
+        admission=admission,
+        admission_opts=opts,
+    )
+    server = SpeContextServer(model, config)
+    shed: list[str] = []
+    events = []
+    steps = 0
+
+    def on_reject(request, err):
+        shed.append(err.code)
+
+    def observer(stepped):
+        nonlocal steps
+        steps += 1
+        events.extend(stepped.pop_stream_events())
+
+    clones = [clone_entry(e) for e in trace]
+    outputs = replay_trace(
+        server, clones, observer=observer, on_reject=on_reject,
+    )
+    # Admission shedding shifts id assignment (shed requests never consume
+    # an id), so cross-policy comparison must key streams by *trace
+    # position*, not request id. The server stamps ids onto admitted
+    # clones in place; shed clones keep request_id=None.
+    rid_to_index = {
+        c.request.request_id: i
+        for i, c in enumerate(clones)
+        if c.request.request_id is not None
+    }
+    failures = server.pop_failures()
+    # Tokens streamed to requests that later expired: work the server
+    # did and then threw away. (Finished requests met their deadline by
+    # construction — expiry would have cancelled them first.)
+    expired_ids = {f.request_id for f in failures}
+    wasted_tokens = sum(
+        1
+        for e in events
+        if e.request_id in expired_ids and e.error is None
+    )
+    meter = server.meter
+    goodput_tokens = sum(len(o.token_ids) for o in outputs)
+    return {
+        "admission": admission,
+        "offered": len(trace),
+        "finished_in_slo": len(outputs),
+        "shed": len(shed),
+        "expired": len(failures),
+        "steps": steps,
+        "goodput_tokens": goodput_tokens,
+        "goodput_tokens_per_step": goodput_tokens / steps if steps else 0.0,
+        "slo_attainment": len(outputs) / len(trace) if trace else 1.0,
+        "shed_rate": len(shed) / len(trace) if trace else 0.0,
+        "wasted_tokens": wasted_tokens,
+        "ttft_steps_p50": meter.ttft_percentile(50),
+        "ttft_steps_p95": meter.ttft_percentile(95),
+        "latency_steps_p95": meter.latency_percentile(95),
+        "token_streams": sorted(
+            (rid_to_index[o.request_id], list(o.token_ids)) for o in outputs
+        ),
+    }
+
+
+def bench_failover(model, tokenizer, args) -> dict:
+    """Clean vs worker-kill replay on the engine: streams must match."""
+    config = EngineConfig(
+        budget=args.budget,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    cluster = ClusterConfig(n_replicas=2, executor="inproc")
+
+    def fresh_trace():
+        rng = np.random.default_rng(args.seed)
+        requests = [
+            GenerationRequest(
+                np.array(
+                    [int(tokenizer.bos_id)]
+                    + [
+                        int(t)
+                        for t in tokenizer.random_filler_ids(
+                            np.random.default_rng(args.seed + 40_000 + i),
+                            args.prompt_len,
+                        )
+                    ]
+                ),
+                sampling=SamplingParams(max_new_tokens=args.max_new_tokens),
+            )
+            for i in range(min(args.requests, 12))
+        ]
+        return bursty_trace(
+            rng, requests, args.burst_size, args.on_interarrival,
+            args.off_steps,
+        )
+
+    reports = {}
+    for name, plan in (
+        ("clean", FaultPlan("clean")),
+        ("kill", FaultPlan("kill", (Fault(step=2, kind="kill", worker=0),))),
+    ):
+        executor = make_executor(model, config, cluster)
+        try:
+            reports[name] = run_chaos(executor, fresh_trace(), plan)
+        finally:
+            executor.shutdown()
+    clean, kill = reports["clean"], reports["kill"]
+    return {
+        "streams_identical": (
+            kill.foreground_streams == clean.foreground_streams
+        ),
+        "clean_steps": clean.steps,
+        "kill_steps": kill.steps,
+        "failover_extra_steps": kill.steps - clean.steps,
+        "resubmissions": len(kill.resubmissions),
+    }
+
+
+def bench_robustness(model, tokenizer, args) -> dict:
+    args.bos_id = tokenizer.bos_id
+    trace = build_overload_trace(tokenizer, args)
+    policies = {}
+    for admission in POLICIES:
+        policies[admission] = replay_policy(model, trace, args, admission)
+    streams = {
+        name: dict(p.pop("token_streams")) for name, p in policies.items()
+    }
+    # Shedding changes *which* requests run, never the tokens of those
+    # that do: every stream a policy produced must be bit-identical to
+    # accept_all's stream for the same request id.
+    reference = streams["accept_all"]
+    streams_consistent = all(
+        tokens == reference[rid]
+        for name in POLICIES
+        for rid, tokens in streams[name].items()
+        if rid in reference
+    )
+    baseline = policies["accept_all"]["goodput_tokens_per_step"]
+    best_name = max(
+        POLICIES, key=lambda p: policies[p]["goodput_tokens_per_step"]
+    )
+    best = policies[best_name]["goodput_tokens_per_step"]
+    goodput_gain = best / baseline if baseline > 0 else float("inf")
+    return {
+        "policies": policies,
+        "best_policy": best_name,
+        "goodput_gain": goodput_gain,
+        "streams_consistent": streams_consistent,
+        "failover": bench_failover(model, tokenizer, args),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_robustness",
+        description="Overload-safe serving benchmark: goodput under bursty "
+        "deadline load across admission policies, plus failover bit-identity.",
+    )
+    parser.add_argument("--requests", type=int, default=48)
+    parser.add_argument("--burst-size", type=int, default=12,
+                        help="requests per on-burst")
+    parser.add_argument("--on-interarrival", type=float, default=0.2,
+                        help="mean inter-arrival steps inside a burst")
+    parser.add_argument("--off-steps", type=float, default=8.0,
+                        help="mean idle gap between bursts in steps")
+    parser.add_argument("--deadline", type=float, default=16.0,
+                        help="per-request total deadline in steps")
+    parser.add_argument("--prompt-len", type=int, default=12)
+    parser.add_argument("--max-new-tokens", type=int, default=8)
+    parser.add_argument("--budget", type=int, default=64)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--max-waiting", type=int, default=4,
+                        help="queue_depth admission cap")
+    parser.add_argument("--queue-delay-per-waiting", type=float, default=2.0,
+                        help="deadline_feasible queue-delay estimate "
+                        "(steps per waiting request)")
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--vocab", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI")
+    parser.add_argument("--min-goodput-gain", type=float, default=None,
+                        help="exit non-zero if the best admission policy's "
+                        "goodput falls below this multiple of accept_all's")
+    parser.add_argument("--out", default="BENCH_robustness.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 24)
+        args.burst_size = min(args.burst_size, 8)
+        args.layers = min(args.layers, 2)
+
+    model, tokenizer = build_model(args)
+    report = {
+        "benchmark": "robustness_overload",
+        "smoke": args.smoke,
+        "workload": {
+            "requests": args.requests,
+            "burst_size": args.burst_size,
+            "on_interarrival": args.on_interarrival,
+            "off_steps": args.off_steps,
+            "deadline_steps": args.deadline,
+            "prompt_len": args.prompt_len,
+            "max_new_tokens": args.max_new_tokens,
+            "budget": args.budget,
+            "concurrency": args.concurrency,
+            "max_waiting": args.max_waiting,
+            "queue_delay_per_waiting": args.queue_delay_per_waiting,
+            "layers": args.layers,
+            "vocab": args.vocab,
+            "seed": args.seed,
+        },
+        **bench_robustness(model, tokenizer, args),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for name in POLICIES:
+        p = report["policies"][name]
+        print(
+            f"{name:>18}: goodput {p['goodput_tokens_per_step']:5.2f} tok/step"
+            f" | SLO {p['slo_attainment']:4.0%} | shed {p['shed']:3d}"
+            f" | expired {p['expired']:3d} | wasted {p['wasted_tokens']:3d} tok"
+        )
+    failover = report["failover"]
+    print(
+        f"best policy {report['best_policy']} at "
+        f"{report['goodput_gain']:.2f}x accept_all goodput | "
+        f"failover: +{failover['failover_extra_steps']} steps, "
+        f"{failover['resubmissions']} resubmissions, streams identical: "
+        f"{failover['streams_identical']}"
+    )
+    print(f"wrote {args.out}")
+
+    if not report["streams_consistent"]:
+        print("FAIL: admitted streams differ across admission policies",
+              file=sys.stderr)
+        return 1
+    if not failover["streams_identical"]:
+        print("FAIL: failover streams differ from clean run", file=sys.stderr)
+        return 1
+    if (
+        args.min_goodput_gain is not None
+        and report["goodput_gain"] < args.min_goodput_gain
+    ):
+        print(
+            f"FAIL: goodput gain {report['goodput_gain']:.2f}x below "
+            f"required {args.min_goodput_gain:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

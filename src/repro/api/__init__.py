@@ -25,9 +25,12 @@ Typical flow::
 
 from repro.api.config import ClusterConfig, EngineConfig, SamplingParams
 from repro.api.errors import (
+    ConfigValidationError,
+    DeadlineExceededError,
     EmptyPromptError,
     EngineUnavailableError,
     InvalidSamplingError,
+    OverloadedError,
     PromptTooLongError,
     RequestValidationError,
     UnknownPolicyError,
@@ -36,12 +39,15 @@ from repro.api.request import GenerationOutput, GenerationRequest
 
 __all__ = [
     "ClusterConfig",
+    "ConfigValidationError",
+    "DeadlineExceededError",
     "EmptyPromptError",
     "EngineConfig",
     "EngineUnavailableError",
     "GenerationOutput",
     "GenerationRequest",
     "InvalidSamplingError",
+    "OverloadedError",
     "PromptTooLongError",
     "RequestValidationError",
     "SamplingParams",

@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.api.errors import InvalidSamplingError
+import math
+
+from repro.api.errors import ConfigValidationError, InvalidSamplingError
 from repro.hardware.spec import EDGE_RTX4060, HardwareSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
@@ -40,6 +42,14 @@ class SamplingParams:
             1.0 (default) disables the cutoff; greedy decoding ignores it.
         stop_ids: token ids that terminate generation once emitted.
         seed: RNG seed for temperature sampling (ignored when greedy).
+        ttft_deadline_s: cancel the request (typed
+            :class:`~repro.api.errors.DeadlineExceededError`, HTTP 408)
+            if its first token has not been produced within this many
+            seconds of arrival on the server clock. None disables.
+        total_deadline_s: cancel the request (HTTP 504) if it has not
+            finished within this many seconds of arrival. None disables.
+            The server clock is virtual (one unit per engine step), so
+            deadlines are deterministic and replayable at a fixed seed.
 
     Out-of-range values raise the typed
     :class:`repro.api.errors.InvalidSamplingError` (a ``ValueError``), so
@@ -51,6 +61,8 @@ class SamplingParams:
     top_p: float = 1.0
     stop_ids: tuple[int, ...] = ()
     seed: int | None = None
+    ttft_deadline_s: float | None = None
+    total_deadline_s: float | None = None
 
     def __post_init__(self):
         if self.max_new_tokens < 1:
@@ -64,6 +76,23 @@ class SamplingParams:
         if not 0.0 < self.top_p <= 1.0:
             raise InvalidSamplingError(
                 f"top_p must be in (0, 1], got {self.top_p}"
+            )
+        for name in ("ttft_deadline_s", "total_deadline_s"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not math.isfinite(value) or value <= 0:
+                raise InvalidSamplingError(
+                    f"{name} must be a finite value > 0 or None, got {value}"
+                )
+        if (
+            self.ttft_deadline_s is not None
+            and self.total_deadline_s is not None
+            and self.ttft_deadline_s > self.total_deadline_s
+        ):
+            raise InvalidSamplingError(
+                f"ttft_deadline_s ({self.ttft_deadline_s}) cannot exceed "
+                f"total_deadline_s ({self.total_deadline_s})"
             )
 
 
@@ -155,6 +184,18 @@ class EngineConfig:
             never speculated (their RNG streams stay untouched). A plain
             int (not a model object) so the config stays picklable for
             multiprocessing executor workers.
+        admission: admission-control policy name resolved by
+            :func:`repro.serving.policies.make_admission` — "accept_all"
+            (default, the historical behavior), "queue_depth",
+            "token_backlog" or "deadline_feasible". Anything but
+            accept_all sheds doomed requests at ``add_request`` with a
+            typed :class:`~repro.api.errors.OverloadedError` (HTTP 429 +
+            ``Retry-After``) instead of letting them queue past their
+            deadlines.
+        admission_opts: extra kwargs forwarded to ``make_admission``
+            (e.g. ``max_waiting`` for queue_depth, ``max_backlog_tokens``
+            for token_backlog). A plain dict so the config stays
+            picklable for multiprocessing executor workers.
     """
 
     budget: int = 2048
@@ -180,56 +221,71 @@ class EngineConfig:
     seed: int = 0
     policy_opts: dict = field(default_factory=dict)
     spec_decode_k: int = 0
+    admission: str = "accept_all"
+    admission_opts: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.budget < 1:
-            raise ValueError(f"budget must be >= 1, got {self.budget}")
+            raise ConfigValidationError(f"budget must be >= 1, got {self.budget}")
         if self.max_concurrency < 1:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"max_concurrency must be >= 1, got {self.max_concurrency}"
             )
         if self.selection_level not in ("head", "batch"):
-            raise ValueError(
+            raise ConfigValidationError(
                 f"selection_level must be 'head' or 'batch', "
                 f"got {self.selection_level!r}"
             )
         if self.requests < 1:
-            raise ValueError(f"requests must be >= 1, got {self.requests}")
+            raise ConfigValidationError(
+                f"requests must be >= 1, got {self.requests}"
+            )
         if self.block_size < 1:
-            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+            raise ConfigValidationError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
         if self.pool_blocks is not None and self.pool_blocks < 1:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"pool_blocks must be >= 1 or None, got {self.pool_blocks}"
             )
         if self.preempt_mode not in ("swap", "recompute"):
-            raise ValueError(
+            raise ConfigValidationError(
                 f"preempt_mode must be 'swap' or 'recompute', "
                 f"got {self.preempt_mode!r}"
             )
         if self.kv_dtype not in ("float32", "float64"):
-            raise ValueError(
+            raise ConfigValidationError(
                 f"kv_dtype must be 'float32' or 'float64', got {self.kv_dtype!r}"
             )
         if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"prefill_chunk_tokens must be >= 1 or None, "
                 f"got {self.prefill_chunk_tokens}"
             )
         if self.max_step_tokens is not None:
             if self.max_step_tokens < 1:
-                raise ValueError(
+                raise ConfigValidationError(
                     f"max_step_tokens must be >= 1 or None, "
                     f"got {self.max_step_tokens}"
                 )
             if self.prefill_chunk_tokens is None:
-                raise ValueError(
+                raise ConfigValidationError(
                     "max_step_tokens requires prefill_chunk_tokens: a "
                     "monolithic prefill runs inline at admission and "
                     "cannot be budgeted per step"
                 )
         if self.spec_decode_k < 0:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"spec_decode_k must be >= 0, got {self.spec_decode_k}"
+            )
+        if not isinstance(self.admission, str) or not self.admission:
+            raise ConfigValidationError(
+                f"admission must be a policy name, got {self.admission!r}"
+            )
+        if not isinstance(self.admission_opts, dict):
+            raise ConfigValidationError(
+                f"admission_opts must be a dict, got "
+                f"{type(self.admission_opts).__name__}"
             )
 
 
@@ -257,12 +313,21 @@ class ClusterConfig:
             process driven over pipes, overlapping steps across cores.
         heartbeat_s: seconds the multiproc executor waits for a worker's
             step/command reply before declaring it dead and resubmitting
-            its in-flight requests to surviving replicas.
+            its in-flight requests to surviving replicas. Workers also
+            stamp a shared per-step progress counter; any advance of the
+            counter resets this deadline, so a slow-but-progressing
+            worker survives while a *stalled* one (alive but frozen) is
+            quarantined after ``heartbeat_s`` without progress.
         pace_s_per_token: modeled accelerator dwell per processed token,
             slept by each worker after every step. 0.0 (default) disables
             pacing; the engine benchmark sets it so each worker behaves
             like one device whose step time scales with its share of the
             batch — the parallelism the worker/executor split buys.
+        pipe_retries: transient pipe-send failures (``OSError`` short of
+            a closed pipe) tolerated per command before the executor
+            declares the worker dead and fails over. Each retry backs
+            off ``pipe_retry_backoff_s * attempt`` seconds.
+        pipe_retry_backoff_s: base backoff between pipe-send retries.
 
     Name resolution happens when the frontend builds the router (this
     module must stay import-cycle-free below the serving layer), so an
@@ -276,26 +341,41 @@ class ClusterConfig:
     executor: str = "inproc"
     heartbeat_s: float = 30.0
     pace_s_per_token: float = 0.0
+    pipe_retries: int = 2
+    pipe_retry_backoff_s: float = 0.05
 
     def __post_init__(self):
         if self.n_replicas < 1:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"n_replicas must be >= 1, got {self.n_replicas}"
             )
         if self.stickiness_tokens < 1:
-            raise ValueError(
+            raise ConfigValidationError(
                 f"stickiness_tokens must be >= 1, got {self.stickiness_tokens}"
             )
         if self.executor not in ("inproc", "multiproc"):
-            raise ValueError(
+            raise ConfigValidationError(
                 f"executor must be 'inproc' or 'multiproc', "
                 f"got {self.executor!r}"
             )
-        if self.heartbeat_s <= 0:
-            raise ValueError(
-                f"heartbeat_s must be > 0, got {self.heartbeat_s}"
+        if not math.isfinite(self.heartbeat_s) or self.heartbeat_s <= 0:
+            raise ConfigValidationError(
+                f"heartbeat_s must be finite and > 0, got {self.heartbeat_s}"
             )
-        if self.pace_s_per_token < 0:
-            raise ValueError(
-                f"pace_s_per_token must be >= 0, got {self.pace_s_per_token}"
+        if not math.isfinite(self.pace_s_per_token) or self.pace_s_per_token < 0:
+            raise ConfigValidationError(
+                f"pace_s_per_token must be finite and >= 0, "
+                f"got {self.pace_s_per_token}"
+            )
+        if self.pipe_retries < 0:
+            raise ConfigValidationError(
+                f"pipe_retries must be >= 0, got {self.pipe_retries}"
+            )
+        if (
+            not math.isfinite(self.pipe_retry_backoff_s)
+            or self.pipe_retry_backoff_s < 0
+        ):
+            raise ConfigValidationError(
+                f"pipe_retry_backoff_s must be finite and >= 0, "
+                f"got {self.pipe_retry_backoff_s}"
             )

@@ -26,6 +26,9 @@ __all__ = [
     "InvalidSamplingError",
     "PromptTooLongError",
     "UnknownPolicyError",
+    "ConfigValidationError",
+    "OverloadedError",
+    "DeadlineExceededError",
     "EngineUnavailableError",
 ]
 
@@ -74,11 +77,71 @@ class UnknownPolicyError(RequestValidationError, KeyError):
         return self.message
 
 
+class ConfigValidationError(RequestValidationError):
+    """An ``EngineConfig``/``ClusterConfig`` numeric field is out of range.
+
+    Raised at config construction instead of letting a negative heartbeat
+    or NaN pace crash deep inside a worker loop. Still a ``ValueError``
+    (via :class:`RequestValidationError`), so callers catching the old
+    untyped rejections keep working.
+    """
+
+    code = "invalid_config"
+
+
+class OverloadedError(RuntimeError):
+    """Admission control shed the request; retry after backoff.
+
+    Raised by :meth:`repro.serving.server.SpeContextServer.add_request`
+    when the configured :class:`~repro.serving.policies
+    .AdmissionController` judges the request doomed (queue too deep,
+    token backlog too large, deadline infeasible). The engine state is
+    untouched; the HTTP layer answers 429 with a ``Retry-After`` header
+    built from :attr:`retry_after_s`.
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else self.__class__.__name__
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request blew its TTFT or total deadline and was cancelled.
+
+    ``kind`` is ``"ttft"`` (the first token never arrived in time; the
+    HTTP layer answers 408) or ``"total"`` (generation started but could
+    not finish in time; 504). The server frees the request's pool blocks
+    and emits one terminal :class:`~repro.serving.server.StreamEvent`
+    when it raises/records this.
+    """
+
+    code = "deadline_exceeded"
+
+    def __init__(self, message: str, kind: str = "total"):
+        super().__init__(message)
+        if kind not in ("ttft", "total"):
+            raise ValueError(f"deadline kind must be 'ttft' or 'total', got {kind!r}")
+        self.kind = kind
+        self.http_status = 408 if kind == "ttft" else 504
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else self.__class__.__name__
+
+
 class EngineUnavailableError(RuntimeError):
     """No healthy worker can take the request (all replicas dead/draining)."""
 
     code = "engine_unavailable"
     http_status = 503
+    retry_after_s = 1.0
 
     @property
     def message(self) -> str:

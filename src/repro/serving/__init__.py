@@ -10,9 +10,12 @@
 - :mod:`repro.serving.policies` — scheduler-policy registry (``fcfs``,
   ``priority``, ``sjf``) governing admission order and victim selection,
   plus the cluster router registry.
-- :mod:`repro.serving.trace` — trace-driven harness: seeded Poisson
-  workloads replayed through the server (or cluster) with per-step
-  invariant checks.
+- :mod:`repro.serving.trace` — trace-driven harness: seeded Poisson,
+  bursty (on/off) and heavy-tailed (Pareto) workloads replayed through
+  the server (or cluster) with per-step invariant checks.
+- :mod:`repro.serving.chaos` — deterministic fault-injection harness:
+  scripted kill/stall/slow-step/pipe-drop/pool-burst plans replayed
+  against an executor, reporting exactly-once streams and typed errors.
 - :class:`StaticBatchScheduler` — memory-aware FIFO batching over the
   performance *simulator* (Table 3's serving view).
 - :class:`ThroughputMeter` / :class:`Request` — shared accounting.
@@ -25,6 +28,7 @@
   ``/healthz``, ``/stats``), stdlib-only.
 """
 
+from repro.serving.chaos import ChaosReport, Fault, FaultPlan, run_chaos
 from repro.serving.cluster import (
     ClusterFrontend,
     ClusterPreemptionEvent,
@@ -40,35 +44,51 @@ from repro.serving.engine import (
 )
 from repro.serving.meter import ThroughputMeter
 from repro.serving.policies import (
+    AdmissionController,
     RouterPolicy,
     SchedulerPolicy,
+    available_admissions,
     available_routers,
     available_schedulers,
+    make_admission,
     make_router,
     make_scheduler,
+    resolve_admission_name,
     resolve_router_name,
     resolve_scheduler_name,
 )
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
-from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+from repro.serving.server import (
+    PreemptionEvent,
+    RequestFailure,
+    SpeContextServer,
+    StreamEvent,
+)
 from repro.serving.trace import (
     TraceEntry,
+    bursty_trace,
+    heavy_tailed_trace,
     poisson_trace,
     replay_trace,
     replay_trace_cluster,
 )
 
 __all__ = [
+    "AdmissionController",
     "BatchPlan",
+    "ChaosReport",
     "ClusterFrontend",
     "ClusterPreemptionEvent",
     "ClusterRoutingStats",
     "ExecutorBase",
+    "Fault",
+    "FaultPlan",
     "InProcessExecutor",
     "MultiprocExecutor",
     "PreemptionEvent",
     "Request",
+    "RequestFailure",
     "RequestState",
     "RouterPolicy",
     "SchedulerPolicy",
@@ -79,14 +99,20 @@ __all__ = [
     "ThroughputMeter",
     "TraceEntry",
     "WorkerHealth",
+    "available_admissions",
     "available_routers",
     "available_schedulers",
+    "bursty_trace",
+    "heavy_tailed_trace",
+    "make_admission",
     "make_executor",
     "make_router",
     "make_scheduler",
     "poisson_trace",
     "replay_trace",
     "replay_trace_cluster",
+    "resolve_admission_name",
     "resolve_router_name",
     "resolve_scheduler_name",
+    "run_chaos",
 ]

@@ -1,0 +1,233 @@
+"""Chaos fault-injection harness for the process-parallel engine.
+
+Robustness claims are only as good as the faults they were tested
+against, so the serving layer ships a deterministic chaos harness
+instead of leaving fault scripts to ad-hoc test code. A
+:class:`FaultPlan` names *what* goes wrong and *when* on the executor's
+step-count virtual clock; :func:`run_chaos` replays a seeded trace
+through an executor while firing the plan, and returns a
+:class:`ChaosReport` with everything a test needs to check the two
+contracts that define overload-safe serving:
+
+- every request that was admitted and not expired streams **bit-identical**
+  tokens to a fault-free run (compare ``report.streams`` across runs);
+- every request that was shed or expired surfaces **exactly one** typed
+  terminal error (``report.shed`` + ``report.failures``), never a hang,
+  never a duplicate.
+
+Fault kinds (``Fault.kind``):
+
+- ``"kill"`` — hard-kill the worker at the given step (exitcode death);
+- ``"stall"`` — the worker freezes without progress beats; the
+  executor's progress watchdog must quarantine it;
+- ``"slow_step"`` — the worker's wave takes ``duration_s`` longer but
+  keeps beating; the watchdog must let it finish (no false positive);
+- ``"pipe_drop"`` — the next ``drops`` pipe sends fail transiently;
+  bounded retry-with-backoff must absorb them (multiproc only — an
+  in-process worker has no pipe, so the fault is a no-op there);
+- ``"pool_burst"`` — ``n_requests`` filler requests slam the executor at
+  the given step, driving pool pressure and queue depth up so admission
+  control and preemption fire. Fillers ride the normal submit path;
+  their ids are reported separately so foreground accounting stays clean.
+
+Everything is deterministic at fixed seed: the trace, the plan, the
+resubmission schedule and the merged streams replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.api.config import SamplingParams
+from repro.api.errors import OverloadedError
+from repro.api.request import GenerationOutput, GenerationRequest
+from repro.serving.server import RequestFailure
+from repro.serving.trace import TraceEntry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.serving.engine import ExecutorBase
+
+_FAULT_KINDS = ("kill", "stall", "slow_step", "pipe_drop", "pool_burst")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault: what happens, to whom, at which executor step.
+
+    ``step`` counts executor waves from the start of the replay (fault 0
+    fires before the first wave). ``duration_s`` parameterizes
+    stall/slow_step sleeps, ``drops`` the pipe-drop count, and
+    ``n_requests``/``prompt_len``/``max_new_tokens`` the pool burst.
+    """
+
+    step: int
+    kind: str
+    worker: int = 0
+    duration_s: float = 0.0
+    drops: int = 1
+    n_requests: int = 4
+    prompt_len: int = 12
+    max_new_tokens: int = 4
+
+    def __post_init__(self):
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{_FAULT_KINDS}"
+            )
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered fault script (replayable chaos scenario)."""
+
+    name: str
+    faults: tuple[Fault, ...] = ()
+
+    def at_step(self, step: int) -> list[Fault]:
+        return [f for f in self.faults if f.step == step]
+
+    @property
+    def last_step(self) -> int:
+        return max((f.step for f in self.faults), default=-1)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos replay produced, keyed by global request id.
+
+    ``streams`` holds the exactly-once merged token stream of every
+    request that produced tokens (fillers included — subtract
+    ``filler_ids`` for foreground-only views). ``failures`` are the
+    typed terminal errors (deadline expiries), ``shed`` the admission
+    rejections that never got an id (``(trace index, error code)``).
+    """
+
+    plan: str
+    outputs: list[GenerationOutput] = field(default_factory=list)
+    streams: dict[int, list[int]] = field(default_factory=dict)
+    request_ids: dict[int, int] = field(default_factory=dict)
+    failures: list[RequestFailure] = field(default_factory=list)
+    shed: list[tuple[int, str]] = field(default_factory=list)
+    filler_ids: set[int] = field(default_factory=set)
+    filler_shed: int = 0
+    resubmissions: list[tuple[int, int]] = field(default_factory=list)
+    faults_fired: list[Fault] = field(default_factory=list)
+    steps: int = 0
+
+    @property
+    def foreground_streams(self) -> dict[int, list[int]]:
+        """Streams of admitted trace requests, keyed by *trace index*.
+
+        Keyed by position in the trace (not global id) so streams stay
+        comparable across runs even when fault-injected fillers shift
+        the id sequence.
+        """
+        return {
+            index: self.streams[gid]
+            for index, gid in self.request_ids.items()
+            if gid in self.streams
+        }
+
+    @property
+    def terminal_errors(self) -> dict[int, list[RequestFailure]]:
+        """Failures grouped by request id (each list must have length 1)."""
+        grouped: dict[int, list[RequestFailure]] = {}
+        for failure in self.failures:
+            grouped.setdefault(failure.request_id, []).append(failure)
+        return grouped
+
+
+def _filler_request(fault: Fault, index: int, vocab_size: int) -> GenerationRequest:
+    """Deterministic filler for a pool burst (no RNG, no wall clock)."""
+    span = max(2, vocab_size - 2)
+    ids = ((np.arange(fault.prompt_len, dtype=np.int64) * 7 + index * 13) % span) + 1
+    return GenerationRequest(
+        prompt_ids=ids,
+        sampling=SamplingParams(max_new_tokens=fault.max_new_tokens),
+    )
+
+
+def run_chaos(
+    executor: "ExecutorBase",
+    trace: Sequence[TraceEntry],
+    plan: FaultPlan,
+    vocab_size: int = 512,
+) -> ChaosReport:
+    """Replay ``trace`` through ``executor`` while firing ``plan``.
+
+    The loop mirrors :func:`repro.serving.trace.replay_trace` — submit
+    every entry whose arrival step the clock has reached, jump idle gaps
+    — with two additions: faults scheduled for the current wave count
+    fire *before* the wave runs, and admission rejections are recorded
+    (not raised). The executor keeps running until the trace is spent,
+    all in-flight work drained, and every planned fault has fired.
+
+    The caller owns the executor (and its shutdown); a fresh executor
+    per run is what makes cross-run stream comparison meaningful.
+    """
+    entries = sorted(trace, key=lambda e: e.arrival_step)
+    report = ChaosReport(plan=plan.name)
+    submitted = 0
+    step_no = 0
+    while (
+        submitted < len(entries)
+        or executor.has_unfinished
+        or step_no <= plan.last_step
+    ):
+        while (
+            submitted < len(entries)
+            and entries[submitted].arrival_step <= executor.clock
+        ):
+            index = submitted
+            entry = entries[index]
+            submitted += 1
+            try:
+                report.request_ids[index] = executor.add_request(entry.request)
+            except OverloadedError as err:
+                report.shed.append((index, err.code))
+        for fault in plan.at_step(step_no):
+            if fault.kind == "pool_burst":
+                for i in range(fault.n_requests):
+                    filler = _filler_request(fault, i, vocab_size)
+                    try:
+                        gid = executor.add_request(filler)
+                    except OverloadedError:
+                        report.filler_shed += 1
+                    else:
+                        report.filler_ids.add(gid)
+            else:
+                executor.inject_fault(
+                    fault.worker % executor.n_workers,
+                    fault.kind,
+                    duration_s=fault.duration_s,
+                    drops=fault.drops,
+                )
+            report.faults_fired.append(fault)
+        if not executor.has_unfinished:
+            if submitted < len(entries):
+                executor.advance_clock_to(entries[submitted].arrival_step)
+                continue
+            if step_no > plan.last_step:
+                break
+            step_no += 1
+            continue
+        report.outputs.extend(executor.step())
+        for event in executor.pop_stream_events():
+            if event.error is None:
+                report.streams.setdefault(event.request_id, []).append(
+                    event.token_id
+                )
+        report.failures.extend(executor.pop_failures())
+        step_no += 1
+    report.resubmissions = list(executor.resubmissions)
+    report.steps = step_no
+    report.outputs.sort(key=lambda o: o.request_id)
+    return report

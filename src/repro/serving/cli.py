@@ -29,8 +29,10 @@ from repro.models.tokenizer import SyntheticTokenizer
 from repro.retrieval.registry import available_policies, resolve_policy_name
 from repro.serving.cluster import ClusterFrontend
 from repro.serving.policies import (
+    available_admissions,
     available_routers,
     available_schedulers,
+    resolve_admission_name,
     resolve_router_name,
     resolve_scheduler_name,
 )
@@ -83,6 +85,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scheduler", default="fcfs",
                         help="admission/preemption policy "
                         f"(available: {', '.join(available_schedulers())})")
+    parser.add_argument("--admission", default="accept_all",
+                        help="overload admission controller; anything but "
+                        "accept_all sheds excess load with typed 429s "
+                        f"(available: {', '.join(available_admissions())})")
     parser.add_argument("--preempt-mode", default="swap",
                         choices=("swap", "recompute"))
     parser.add_argument("--no-prefix-cache", action="store_true",
@@ -134,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         policies = [resolve_policy_name(p) for p in args.policies.split(",") if p]
         scheduler = resolve_scheduler_name(args.scheduler)
         router = resolve_router_name(args.router)
+        admission = resolve_admission_name(args.admission)
     except KeyError as err:
         print(err.args[0], file=sys.stderr)
         return 2
@@ -160,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         prefill_chunk_tokens=args.prefill_chunk_tokens,
         max_step_tokens=args.max_step_tokens,
         spec_decode_k=args.spec_decode_k,
+        admission=admission,
     )
     if args.serve_http:
         import asyncio

@@ -290,6 +290,18 @@ class ClusterFrontend:
         self._stream = []
         return events
 
+    def pop_failures(self):
+        """Drain typed per-request failures across every replica."""
+        failures = []
+        for server in self.replicas:
+            failures.extend(server.pop_failures())
+        return failures
+
+    @property
+    def shedding(self) -> bool:
+        """True when any replica's admission policy is shedding."""
+        return any(server.shedding for server in self.replicas)
+
     @property
     def preemption_log(self) -> list[ClusterPreemptionEvent]:
         """Every preemption on any replica, in merged client order."""

@@ -55,11 +55,17 @@ from repro.serving.engine.worker import (
 )
 from repro.serving.meter import ThroughputMeter
 from repro.serving.policies import make_router, resolve_router_name
-from repro.serving.server import SpeContextServer, StreamEvent
+from repro.serving.server import RequestFailure, SpeContextServer, StreamEvent
 
 # Load sentinel for dead workers' router views: large enough that any
 # load-aware router avoids them, finite so key arithmetic stays exact.
 _DEAD_LOAD = 1 << 40
+
+# A freshly spawned worker is silent while it forks and builds its
+# server replica, so the no-progress watchdog would misread boot as a
+# stall under a tight heartbeat. Until the first progress beat is
+# observed, the reply deadline is at least this wide.
+_BOOT_GRACE_S = 30.0
 
 
 class WorkerDied(RuntimeError):
@@ -112,6 +118,7 @@ class _InProcessHandle:
             SpeContextServer(model, config), pace_s_per_token
         )
         self._alive = True
+        self._stalled = False
 
     @property
     def alive(self) -> bool:
@@ -121,17 +128,31 @@ class _InProcessHandle:
     def exitcode(self) -> int | None:
         return None
 
-    def call(self, op: str, *args) -> object:
+    def _check(self) -> None:
+        if self._stalled:
+            # Injected stall: in-process there is no watchdog to time the
+            # worker out, so the stall manifests directly as the death the
+            # watchdog would have declared — same observable outcome, same
+            # deterministic step, as the multiprocess path.
+            self._stalled = False
+            self._alive = False
+            raise WorkerDied(self.index, "stalled")
         if not self._alive:
             raise WorkerDied(self.index, "killed")
+
+    def call(self, op: str, *args) -> object:
+        self._check()
         return self._core.handle(op, args)
 
     def begin_step(self) -> None:
-        if not self._alive:
-            raise WorkerDied(self.index, "killed")
+        self._check()
 
     def end_step(self) -> StepResult:
         return self.call("step")
+
+    def inject_stall(self) -> None:
+        """Arm a stall: the next command quarantines this worker."""
+        self._stalled = True
 
     def kill(self) -> None:
         self._alive = False
@@ -151,14 +172,30 @@ class _MultiprocHandle:
         pace_s_per_token: float,
         heartbeat_s: float,
         ctx,
+        pipe_retries: int = 2,
+        pipe_retry_backoff_s: float = 0.05,
     ):
         self.index = index
         self.heartbeat_s = float(heartbeat_s)
+        self.pipe_retries = int(pipe_retries)
+        self.pipe_retry_backoff_s = float(pipe_retry_backoff_s)
+        self._drop_pending = 0  # chaos-injected transient send failures
         parent, child = ctx.Pipe()
         self._conn = parent
+        # Shared per-step progress counter: the worker bumps it on every
+        # command and dwell slice, and _recv treats any advance as
+        # liveness — heartbeat_s becomes a *no-progress* deadline rather
+        # than a hard reply deadline, so slow-but-progressing waves
+        # survive while a frozen worker is still caught.
+        self._progress = ctx.Value("Q", 0, lock=False)
+        # The counter stays 0 until the child finishes booting (forking,
+        # building its server replica) and handles its first command, so
+        # the no-progress deadline only applies once the worker has
+        # beaten at least once; before that, a boot grace window governs.
+        self._booted = False
         self._proc = ctx.Process(
             target=worker_main,
-            args=(child, model, config, pace_s_per_token),
+            args=(child, model, config, pace_s_per_token, self._progress),
             daemon=True,
             name=f"repro-engine-worker-{index}",
         )
@@ -184,20 +221,62 @@ class _MultiprocHandle:
     def end_step(self) -> StepResult:
         return self._recv("step")
 
+    def inject_pipe_drops(self, drops: int) -> None:
+        """Arm chaos: the next ``drops`` sends fail with a transient OSError."""
+        self._drop_pending += int(drops)
+
     def _send(self, op: str, args: tuple) -> None:
         if not self._alive:
             raise WorkerDied(self.index, "already quarantined")
-        try:
-            self._conn.send((op, args))
-        except (BrokenPipeError, OSError) as err:
-            self._fail(f"pipe broke sending {op!r}: {err}")
+        attempt = 0
+        while True:
+            try:
+                if self._drop_pending > 0:
+                    self._drop_pending -= 1
+                    raise OSError("injected transient pipe drop")
+                self._conn.send((op, args))
+                return
+            except BrokenPipeError as err:
+                # A broken pipe means the far end is gone — retrying
+                # cannot help, fail over immediately.
+                self._fail(f"pipe broke sending {op!r}: {err}")
+            except OSError as err:
+                attempt += 1
+                if attempt > self.pipe_retries:
+                    self._fail(
+                        f"pipe error sending {op!r} persisted through "
+                        f"{attempt} attempts: {err}"
+                    )
+                # Transient error (EINTR, spurious EAGAIN, injected chaos
+                # drop): back off linearly and retry before declaring the
+                # worker dead.
+                time.sleep(self.pipe_retry_backoff_s * attempt)
 
     def _recv(self, op: str) -> object:
-        deadline = time.monotonic() + self.heartbeat_s
+        last_progress = self._progress.value
+        if last_progress != 0:
+            self._booted = True
+        window = (
+            self.heartbeat_s
+            if self._booted
+            else max(self.heartbeat_s, _BOOT_GRACE_S)
+        )
+        deadline = time.monotonic() + window
         while True:
+            progress = self._progress.value
+            if progress != last_progress:
+                # The worker advanced (command dispatch or a dwell-slice
+                # beat): it is slow, not stalled — restart the deadline.
+                last_progress = progress
+                self._booted = True
+                window = self.heartbeat_s
+                deadline = time.monotonic() + window
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                self._fail(f"no reply to {op!r} within {self.heartbeat_s}s")
+                self._fail(
+                    f"no reply to {op!r} and no progress within "
+                    f"{window}s"
+                )
             try:
                 ready = self._conn.poll(min(remaining, 0.05))
             except (BrokenPipeError, OSError) as err:
@@ -288,6 +367,7 @@ class ExecutorBase:
         self._delivered: dict[int, int] = {}
         self._replay_skip: dict[int, int] = {}
         self._stream: list[StreamEvent] = []
+        self._failures: list[RequestFailure] = []
         self._outputs: dict[int, GenerationOutput] = {}
         self._preemption_log: list[ClusterPreemptionEvent] = []
         self._pending_recovery: list[int] = []
@@ -313,6 +393,21 @@ class ExecutorBase:
     def degraded(self) -> bool:
         """True once any worker has been quarantined."""
         return self.n_alive < self.n_workers
+
+    def shedding(self) -> bool:
+        """True when any live worker's admission policy is shedding."""
+        result = False
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                snapshot = handle.call("stats")
+            except WorkerDied:
+                self._pending_recovery.append(handle.index)
+                continue
+            result = result or snapshot.shedding
+        self._drain_recovery()
+        return result
 
     def worker_of(self, request_id: int) -> int:
         """Worker index a submitted request currently lives on."""
@@ -560,6 +655,12 @@ class ExecutorBase:
             gid = lids.get(event.request_id)
             if gid is None or gid not in self._inflight:
                 continue  # aborted or unknown: drop silently
+            if event.error is not None:
+                # Terminal error event: not a token — never counts toward
+                # delivered/replay accounting (a resubmitted request that
+                # expires again must still surface exactly one of these).
+                self._stream.append(replace(event, request_id=gid))
+                continue
             if self._replay_skip.get(gid, 0) > 0:
                 # Replayed prefix of a resubmitted request: the client
                 # already holds these tokens (deterministic replay), so
@@ -577,6 +678,18 @@ class ExecutorBase:
                     replica=index, event=replace(event, request_id=gid)
                 )
             )
+        for failure in result.failures:
+            gid = lids.pop(failure.request_id, None)
+            if gid is None or gid not in self._inflight:
+                continue  # aborted or already terminal: drop silently
+            # A failed request leaves the in-flight set immediately, so a
+            # later death of any worker can never resubmit it — exactly
+            # one typed failure reaches the client.
+            self._failures.append(replace(failure, request_id=gid))
+            self._inflight.discard(gid)
+            self._assignment.pop(gid, None)
+            self._templates.pop(gid, None)
+            self._replay_skip.pop(gid, None)
         finished: list[GenerationOutput] = []
         for output in result.finished:
             gid = lids.pop(output.request_id, None)
@@ -603,6 +716,48 @@ class ExecutorBase:
         orphans = self._on_worker_death(index)
         self._drain_recovery()
         return orphans
+
+    def inject_fault(
+        self,
+        index: int,
+        kind: str,
+        *,
+        duration_s: float = 0.0,
+        drops: int = 1,
+    ) -> None:
+        """Arm one fault on one worker (the chaos harness's entry point).
+
+        Kinds:
+
+        - ``"kill"``: hard-kill now (same as :meth:`kill_worker`);
+        - ``"stall"``: the worker freezes during its next wave without
+          progress beats. Multiprocess workers sleep ``duration_s``
+          un-beating (set it past ``heartbeat_s`` so the watchdog fires);
+          in-process workers are quarantined at their next command — the
+          same observable outcome at the same step, since there is no
+          watchdog to time out in-process;
+        - ``"slow_step"``: the worker's next wave takes ``duration_s``
+          longer but beats throughout — it must *survive* the watchdog;
+        - ``"pipe_drop"``: the next ``drops`` sends to a multiprocess
+          worker fail transiently (retry-with-backoff must absorb drops
+          up to ``pipe_retries``); a no-op for in-process workers, which
+          have no pipe.
+        """
+        handle = self._handles[index]
+        if kind == "kill":
+            self.kill_worker(index)
+        elif kind == "stall":
+            if hasattr(handle, "inject_stall"):
+                handle.inject_stall()
+            else:
+                handle.call("chaos", "stall", duration_s)
+        elif kind == "slow_step":
+            handle.call("chaos", "slow_step", duration_s)
+        elif kind == "pipe_drop":
+            if hasattr(handle, "inject_pipe_drops"):
+                handle.inject_pipe_drops(drops)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
 
     def _drain_recovery(self) -> None:
         while self._pending_recovery:
@@ -650,6 +805,12 @@ class ExecutorBase:
         events = self._stream
         self._stream = []
         return events
+
+    def pop_failures(self) -> list[RequestFailure]:
+        """Drain typed per-request failures (global request ids)."""
+        failures = self._failures
+        self._failures = []
+        return failures
 
     @property
     def preemption_log(self) -> list[ClusterPreemptionEvent]:
@@ -730,6 +891,8 @@ class MultiprocExecutor(ExecutorBase):
                 self.cluster.pace_s_per_token,
                 self.cluster.heartbeat_s,
                 ctx,
+                pipe_retries=self.cluster.pipe_retries,
+                pipe_retry_backoff_s=self.cluster.pipe_retry_backoff_s,
             )
             for i in range(self.cluster.n_replicas)
         ]

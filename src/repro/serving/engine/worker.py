@@ -32,12 +32,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.serving.meter import ThroughputMeter
-from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+from repro.serving.server import (
+    PreemptionEvent,
+    RequestFailure,
+    SpeContextServer,
+    StreamEvent,
+)
+
+# Progress beats and cooperative chaos sleeps tick in slices this long,
+# so a slow-but-alive worker keeps advancing its progress counter often
+# enough for any sane heartbeat to observe.
+_BEAT_SLICE_S = 0.05
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.api.config import EngineConfig
@@ -64,6 +74,7 @@ class StepResult:
     n_active: int
     n_waiting: int
     step_tokens: int
+    failures: tuple[RequestFailure, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -76,6 +87,8 @@ class WorkerSnapshot:
     n_active: int
     n_waiting: int
     reserved_tokens: int
+    shedding: bool = False
+    n_rejected: int = 0
 
 
 class WorkerCore:
@@ -95,16 +108,35 @@ class WorkerCore:
     - ``ping()`` -> ``"pong"`` (liveness probe).
     """
 
-    def __init__(self, server: SpeContextServer, pace_s_per_token: float = 0.0):
+    def __init__(
+        self,
+        server: SpeContextServer,
+        pace_s_per_token: float = 0.0,
+        beat: Callable[[], None] | None = None,
+    ):
         self.server = server
         self.pace_s_per_token = float(pace_s_per_token)
+        # Progress beat: called at every command and in slices during
+        # modeled dwell, so the executor's watchdog can tell a *slow*
+        # worker (beats keep coming) from a *stalled* one (they stop).
+        self._beat = beat or (lambda: None)
         self._preemption_cursor = 0
+        self._chaos_fault: tuple[str, float] | None = None
 
     def handle(self, op: str, args: tuple) -> object:
+        self._beat()
         method = getattr(self, f"_op_{op}", None)
         if method is None:
             raise ValueError(f"unknown worker op {op!r}")
         return method(*args)
+
+    def _sleep_with_beats(self, total_s: float) -> None:
+        """Sleep ``total_s`` in short slices, beating after each slice."""
+        remaining = float(total_s)
+        while remaining > 0:
+            time.sleep(min(_BEAT_SLICE_S, remaining))
+            remaining -= _BEAT_SLICE_S
+            self._beat()
 
     # ---- ops -------------------------------------------------------------------
 
@@ -137,6 +169,8 @@ class WorkerCore:
             n_active=server.n_active,
             n_waiting=server.n_waiting,
             reserved_tokens=server.reserved_tokens,
+            shedding=server.shedding,
+            n_rejected=len(server.meter.rejected),
         )
 
     def _op_drain(self) -> StepResult:
@@ -157,27 +191,58 @@ class WorkerCore:
             n_active=last.n_active,
             n_waiting=last.n_waiting,
             step_tokens=sum(r.step_tokens for r in results),
+            failures=tuple(f for r in results for f in r.failures),
         )
 
     def _op_ping(self) -> str:
         return "pong"
 
+    def _op_chaos(self, kind: str, duration_s: float) -> str:
+        """Arm a one-shot cooperative fault, executed at the next step.
+
+        ``slow_step`` sleeps ``duration_s`` *with* progress beats — the
+        worker is slow but demonstrably alive, and the executor's
+        watchdog must let it finish. ``stall`` sleeps *without* beats —
+        alive but frozen, exactly the failure mode the progress watchdog
+        (not the exitcode check) has to catch. Arming is synchronous and
+        cheap; the fault itself fires inside the next wave.
+        """
+        if kind not in ("slow_step", "stall"):
+            raise ValueError(f"unknown chaos fault kind {kind!r}")
+        self._chaos_fault = (kind, float(duration_s))
+        return "armed"
+
     # ---- stepping --------------------------------------------------------------
 
     def _step(self) -> StepResult:
+        fault = self._chaos_fault
+        self._chaos_fault = None
+        if fault is not None:
+            kind, duration_s = fault
+            if kind == "slow_step":
+                self._sleep_with_beats(duration_s)
+            else:  # stall: no beats — the progress watchdog must fire
+                time.sleep(duration_s)
         server = self.server
         finished = server.step()
         events = server.pop_stream_events()
+        failures = server.pop_failures()
         log = server.preemption_log
         new_preemptions = log[self._preemption_cursor:]
         self._preemption_cursor = len(log)
-        step_tokens = len(events) + server.last_step_prefill_tokens
+        # Terminal error events are not generated tokens; dwell is only
+        # charged for real forward-pass work.
+        step_tokens = (
+            sum(1 for e in events if e.error is None)
+            + server.last_step_prefill_tokens
+        )
         if self.pace_s_per_token > 0.0 and step_tokens:
             # Modeled accelerator dwell: the device holding this replica
             # is busy for time proportional to the tokens it pushed this
             # wave. Sleeping here (inside the worker process) is what the
-            # executor overlaps across workers.
-            time.sleep(self.pace_s_per_token * step_tokens)
+            # executor overlaps across workers; beating through the sleep
+            # keeps a heavily paced worker distinguishable from a stall.
+            self._sleep_with_beats(self.pace_s_per_token * step_tokens)
         return StepResult(
             stream_events=tuple(events),
             preemption_events=tuple(new_preemptions),
@@ -187,6 +252,7 @@ class WorkerCore:
             n_active=server.n_active,
             n_waiting=server.n_waiting,
             step_tokens=step_tokens,
+            failures=tuple(failures),
         )
 
 
@@ -228,9 +294,23 @@ def worker_main(
     model: "TransformerLM",
     config: "EngineConfig",
     pace_s_per_token: float = 0.0,
+    progress=None,
 ) -> None:
-    """Child-process entry point: one server replica behind a pipe."""
-    core = WorkerCore(SpeContextServer(model, config), pace_s_per_token)
+    """Child-process entry point: one server replica behind a pipe.
+
+    ``progress`` is a shared ``multiprocessing.Value`` counter the worker
+    bumps on every command and dwell slice; the parent's watchdog treats
+    any advance as liveness, so only a worker that stops *progressing*
+    (not one that is merely slow) misses the heartbeat deadline.
+    """
+    if progress is not None:
+
+        def beat() -> None:
+            progress.value += 1
+
+    else:
+        beat = None
+    core = WorkerCore(SpeContextServer(model, config), pace_s_per_token, beat=beat)
     try:
         serve_connection(core, conn)
     finally:

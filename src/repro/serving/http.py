@@ -17,8 +17,16 @@ Endpoints:
   from :mod:`repro.api.errors`.
 - ``GET /v1/models`` — the single served model.
 - ``GET /healthz`` — ``ok`` (all workers live), ``degraded`` (some
-  quarantined; still 200), or 503 once no worker survives.
-- ``GET /stats`` — merged meter, routing and per-worker gauges.
+  quarantined; still 200), or 503 once no worker survives; reports
+  ``shedding`` when any worker's admission policy is rejecting load.
+- ``GET /stats`` — merged meter, routing and per-worker gauges; stays
+  responsive (reporting ``degraded``) while a worker is quarantined.
+
+Overload and deadline failures map to typed statuses: admission
+rejections answer 429 with a ``Retry-After`` header, draining answers
+503 (also with ``Retry-After``), and requests cancelled by their own
+``ttft_deadline_s``/``total_deadline_s`` answer 408/504 (non-stream)
+or a final structured error chunk before ``data: [DONE]`` (stream).
 
 Graceful drain: SIGTERM/SIGINT stops accepting connections, finishes
 every in-flight request, then exits — streaming clients see their
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 import time
 from collections import deque
@@ -154,8 +163,10 @@ class AsyncEngine:
                     if not fut.cancelled():
                         fut.set_result(result)
             if executor.has_unfinished:
-                finished, events = await asyncio.to_thread(self._step_sync)
-                self._dispatch(finished, events)
+                finished, events, failures = await asyncio.to_thread(
+                    self._step_sync
+                )
+                self._dispatch(finished, events, failures)
                 continue
             if self._stopping:
                 break
@@ -166,10 +177,18 @@ class AsyncEngine:
 
     def _step_sync(self):
         finished = self.executor.step()
-        return finished, self.executor.pop_stream_events()
+        return (
+            finished,
+            self.executor.pop_stream_events(),
+            self.executor.pop_failures(),
+        )
 
-    def _dispatch(self, finished, events) -> None:
+    def _dispatch(self, finished, events, failures=()) -> None:
         for event in events:
+            if event.error is not None:
+                # Terminal error marker; the typed failure record carries
+                # the client-facing story.
+                continue
             queue = self._queues.get(event.request_id)
             if queue is not None:
                 queue.put_nowait(("token", event))
@@ -177,27 +196,47 @@ class AsyncEngine:
             queue = self._queues.pop(output.request_id, None)
             if queue is not None:
                 queue.put_nowait(("done", output))
+        for failure in failures:
+            queue = self._queues.pop(failure.request_id, None)
+            if queue is not None:
+                queue.put_nowait(("error", failure))
 
 
 # ---- request parsing / validation --------------------------------------------
+
+
+def _error_type_for(status: int) -> str:
+    if status == 429:
+        return "overloaded_error"
+    if status in (408, 504):
+        return "timeout_error"
+    if status >= 500:
+        return "server_error"
+    return "invalid_request_error"
 
 
 class _HttpError(Exception):
     """Maps straight to one structured error response."""
 
     def __init__(self, status: int, message: str, code: str,
-                 error_type: str = "invalid_request_error"):
+                 error_type: str = "invalid_request_error",
+                 headers: dict[str, str] | None = None):
         super().__init__(message)
         self.status = status
         self.message = message
         self.code = code
         self.error_type = error_type
+        self.headers = dict(headers or {})
 
     @classmethod
     def from_exception(cls, err: Exception) -> "_HttpError":
         status = getattr(err, "http_status", None)
         code = getattr(err, "code", None)
         message = getattr(err, "message", None) or str(err)
+        headers = {}
+        retry_after = getattr(err, "retry_after_s", None)
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
         if status is None:
             if isinstance(err, (ValueError, KeyError, TypeError)):
                 status, code = 400, code or "invalid_request_error"
@@ -206,11 +245,8 @@ class _HttpError(Exception):
                     500, f"internal error: {err}", "internal_error",
                     error_type="server_error",
                 )
-        error_type = (
-            "server_error" if status >= 500 else "invalid_request_error"
-        )
         return cls(status, message, code or "invalid_request_error",
-                   error_type=error_type)
+                   error_type=_error_type_for(status), headers=headers)
 
     def body(self) -> dict:
         return {
@@ -262,12 +298,18 @@ def parse_completion_body(
             "invalid_prompt",
         )
 
+    ttft_deadline = _field(body, "ttft_deadline_s", (int, float), None)
+    total_deadline = _field(body, "total_deadline_s", (int, float), None)
     sampling = SamplingParams(
         max_new_tokens=_field(body, "max_tokens", int, 16),
         temperature=float(_field(body, "temperature", (int, float), 0.0)),
         top_p=float(_field(body, "top_p", (int, float), 1.0)),
         seed=_field(body, "seed", int, None),
         stop_ids=(tokenizer.eos_id,),
+        ttft_deadline_s=None if ttft_deadline is None else float(ttft_deadline),
+        total_deadline_s=(
+            None if total_deadline is None else float(total_deadline)
+        ),
     )
     policy = _field(body, "policy", str, None)
     request = GenerationRequest(
@@ -329,7 +371,8 @@ class HttpServer:
             method, path, headers, body = parsed
             await self._route(writer, method, path, body)
         except _HttpError as err:
-            await self._send_json(writer, err.status, err.body())
+            await self._send_json(writer, err.status, err.body(),
+                                  headers=err.headers)
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         except Exception as err:  # last-ditch 500; never kill the acceptor
@@ -428,6 +471,11 @@ class HttpServer:
             kind, payload = await queue.get()
             if kind == "token":
                 tokens.append(payload.token_id)
+            elif kind == "error":
+                raise _HttpError(
+                    payload.http_status, payload.message, payload.code,
+                    error_type=_error_type_for(payload.http_status),
+                )
             else:
                 output = payload
         await self._send_json(writer, 200, {
@@ -463,6 +511,30 @@ class HttpServer:
             await writer.drain()
             while True:
                 kind, payload = await queue.get()
+                if kind == "error":
+                    # Headers already went out as 200; the error rides the
+                    # stream as a final structured chunk, then the
+                    # terminator — clients always see exactly one ending.
+                    chunk = {
+                        "id": f"cmpl-{gid}",
+                        "object": "text_completion",
+                        "model": model_name,
+                        "error": {
+                            "message": payload.message,
+                            "type": _error_type_for(payload.http_status),
+                            "code": payload.code,
+                        },
+                        "choices": [{
+                            "index": 0,
+                            "text": "",
+                            "token_ids": [],
+                            "finish_reason": payload.code,
+                        }],
+                    }
+                    writer.write(_sse(chunk))
+                    writer.write(b"data: [DONE]\n\n")
+                    await writer.drain()
+                    return
                 if kind == "done":
                     chunk = {
                         "id": f"cmpl-{gid}",
@@ -499,7 +571,12 @@ class HttpServer:
             await self.engine.abort(gid)
 
     async def _handle_health(self, writer) -> None:
-        health = await self.engine.call(self.engine.executor.health)
+        executor = self.engine.executor
+
+        def snapshot():
+            return executor.health(), executor.shedding()
+
+        health, shedding = await self.engine.call(snapshot)
         n_alive = sum(1 for w in health if w.alive)
         if n_alive == 0:
             status, state = 503, "dead"
@@ -510,6 +587,7 @@ class HttpServer:
         await self._send_json(writer, status, {
             "status": state,
             "accepting": self.engine.accepting,
+            "shedding": shedding,
             "workers": [
                 {
                     "index": w.index,
@@ -532,8 +610,11 @@ class HttpServer:
         return {
             "executor": executor.kind,
             "clock": executor.clock,
+            "degraded": executor.degraded,
+            "alive_workers": executor.n_alive,
             "inflight": len(executor._inflight),
             "finished": len(meter.finished),
+            "rejected": len(meter.rejected),
             "generated_tokens": meter.generated_tokens,
             "tokens_per_step": meter.busy_tokens_per_second,
             "ttft_p50_steps": meter.ttft_percentile(50),
@@ -553,17 +634,27 @@ class HttpServer:
             ],
         }
 
-    async def _send_json(self, writer, status: int, obj: dict) -> None:
+    async def _send_json(
+        self, writer, status: int, obj: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         payload = json.dumps(obj).encode("utf-8")
         reason = {
             200: "OK", 400: "Bad Request", 404: "Not Found",
-            413: "Payload Too Large", 431: "Request Header Fields Too Large",
+            408: "Request Timeout", 413: "Payload Too Large",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
             500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout",
         }.get(status, "Error")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n".encode("latin-1") + payload
         )
@@ -638,6 +729,7 @@ def main(argv: Iterable[str] | None = None) -> int:
                         choices=("inproc", "multiproc"))
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--router", default="least_loaded")
+    parser.add_argument("--admission", default="accept_all")
     parser.add_argument("--budget", type=int, default=96)
     parser.add_argument("--concurrency", type=int, default=4)
     parser.add_argument("--vocab", type=int, default=512)
@@ -659,6 +751,7 @@ def main(argv: Iterable[str] | None = None) -> int:
         bos_id=tokenizer.bos_id,
         max_concurrency=args.concurrency,
         seed=args.seed,
+        admission=args.admission,
     )
     cluster = ClusterConfig(
         n_replicas=args.workers,

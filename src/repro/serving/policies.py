@@ -1,8 +1,9 @@
-"""Scheduler- and router-policy registries for the serving layer.
+"""Scheduler-, router- and admission-policy registries for the serving layer.
 
-Mirrors :mod:`repro.retrieval.registry`: every scheduling discipline and
-every cluster routing discipline is registered under a canonical name
-(plus display aliases) and resolved through one factory::
+Mirrors :mod:`repro.retrieval.registry`: every scheduling discipline,
+every cluster routing discipline and every admission-control discipline
+is registered under a canonical name (plus display aliases) and resolved
+through one factory::
 
     scheduler = make_scheduler("priority")
     waiting.sort(key=scheduler.admission_key)
@@ -10,6 +11,9 @@ every cluster routing discipline is registered under a canonical name
 
     router = make_router("prefix_affinity", stickiness_tokens=16)
     replica = router.route(request, replica_views)
+
+    admission = make_admission("queue_depth", max_waiting=8)
+    reason = admission.should_admit(request, server_view)  # None = admit
 
 A scheduler policy supplies two sort keys over the server's session view:
 
@@ -326,3 +330,250 @@ class PrefixAffinityRouter(RouterPolicy):
             return min(replicas, key=_load_key).index
         contenders = [r for r in replicas if matches[r.index] == best]
         return min(contenders, key=_load_key).index
+
+
+# ---- admission control -------------------------------------------------------
+
+
+class AdmissionView(Protocol):
+    """What an admission controller may inspect about the server (duck-typed).
+
+    A cheap snapshot surface: queue depth, co-running session count, the
+    outstanding token charge and the concurrency cap. All counts are taken
+    *before* the candidate request is added, and the server clock is
+    virtual (one unit per step), so admission decisions are deterministic
+    and replayable.
+    """
+
+    @property
+    def n_waiting(self) -> int: ...
+
+    @property
+    def n_active(self) -> int: ...
+
+    @property
+    def reserved_tokens(self) -> int: ...
+
+    @property
+    def max_concurrency(self) -> int: ...
+
+
+class AdmissibleRequest(Protocol):
+    """What an admission controller may inspect about the candidate request."""
+
+    @property
+    def prompt_len(self) -> int: ...
+
+    @property
+    def sampling(self): ...  # SamplingParams: max_new_tokens, deadlines
+
+
+class AdmissionController:
+    """Base: accept everything (the historical behavior).
+
+    ``should_admit`` returns ``None`` to admit or a human-readable shed
+    reason; the server wraps a reason in a typed
+    :class:`~repro.api.errors.OverloadedError` (HTTP 429) without
+    touching engine state. ``retry_after_s`` sizes the ``Retry-After``
+    hint; ``is_shedding`` is the cheap health probe ``/healthz`` reports.
+    """
+
+    name = "accept_all"
+
+    def should_admit(
+        self, request: AdmissibleRequest, view: AdmissionView
+    ) -> str | None:
+        return None
+
+    def retry_after_s(self, view: AdmissionView) -> float:
+        return 1.0
+
+    def is_shedding(self, view: AdmissionView) -> bool:
+        return False
+
+
+AdmissionBuilder = Callable[..., AdmissionController]
+
+_ADMISSION_REGISTRY: dict[str, AdmissionBuilder] = {}
+_ADMISSION_LOOKUP: dict[str, str] = {}
+
+
+def register_admission(
+    name: str, *aliases: str
+) -> Callable[[AdmissionBuilder], AdmissionBuilder]:
+    """Decorator adding an admission controller under ``name`` (plus aliases)."""
+
+    def deco(builder: AdmissionBuilder) -> AdmissionBuilder:
+        if name in _ADMISSION_REGISTRY:
+            raise ValueError(f"duplicate admission policy name {name!r}")
+        _ADMISSION_REGISTRY[name] = builder
+        for alias in (name, *aliases):
+            _ADMISSION_LOOKUP[_normalize(alias)] = name
+        return builder
+
+    return deco
+
+
+def available_admissions() -> tuple[str, ...]:
+    """Canonical admission-policy names, sorted."""
+    return tuple(sorted(_ADMISSION_REGISTRY))
+
+
+def resolve_admission_name(name: str) -> str:
+    """Canonical name for ``name`` (alias- and case-insensitive)."""
+    key = _ADMISSION_LOOKUP.get(_normalize(name))
+    if key is None:
+        raise KeyError(
+            f"unknown admission policy {name!r}; available: "
+            f"{list(available_admissions())}"
+        )
+    return key
+
+
+def make_admission(name: str, **opts) -> AdmissionController:
+    """Build the admission controller registered under ``name``.
+
+    ``opts`` are forwarded to the controller's constructor; controllers
+    reject options they do not understand (a misspelled knob must not
+    silently fall back to defaults).
+    """
+    return _ADMISSION_REGISTRY[resolve_admission_name(name)](**opts)
+
+
+@register_admission("accept_all", "none", "acceptall")
+def _build_accept_all() -> AdmissionController:
+    return AdmissionController()
+
+
+@register_admission("queue_depth", "qd", "queuedepth")
+class QueueDepthAdmission(AdmissionController):
+    """Shed once the waiting queue reaches ``max_waiting`` requests.
+
+    The simplest backpressure signal: a deep queue means every admit
+    waits behind everyone already queued, so refusing early converts
+    guaranteed deadline blowouts into fast, typed 429s the client can
+    retry against another replica or later.
+    """
+
+    name = "queue_depth"
+
+    def __init__(self, max_waiting: int = 16):
+        if max_waiting < 1:
+            raise ValueError(f"max_waiting must be >= 1, got {max_waiting}")
+        self.max_waiting = max_waiting
+
+    def should_admit(
+        self, request: AdmissibleRequest, view: AdmissionView
+    ) -> str | None:
+        if view.n_waiting >= self.max_waiting:
+            return (
+                f"waiting queue full ({view.n_waiting} >= "
+                f"max_waiting={self.max_waiting})"
+            )
+        return None
+
+    def retry_after_s(self, view: AdmissionView) -> float:
+        # Rough drain time: one queued request per active slot per step.
+        return max(1.0, view.n_waiting / max(1, view.max_concurrency))
+
+    def is_shedding(self, view: AdmissionView) -> bool:
+        return view.n_waiting >= self.max_waiting
+
+
+@register_admission("token_backlog", "tb", "tokenbacklog")
+class TokenBacklogAdmission(AdmissionController):
+    """Shed once the outstanding token charge would exceed a cap.
+
+    ``reserved_tokens`` (sum of ``prompt + max_new_tokens`` over every
+    unfinished session) is the KV the server is committed to if
+    everything runs to length — the same charge the least-loaded router
+    balances on. Capping it bounds worst-case queueing delay by *work*,
+    not request count, so one giant prompt can't hide behind a short
+    queue.
+    """
+
+    name = "token_backlog"
+
+    def __init__(self, max_backlog_tokens: int = 4096):
+        if max_backlog_tokens < 1:
+            raise ValueError(
+                f"max_backlog_tokens must be >= 1, got {max_backlog_tokens}"
+            )
+        self.max_backlog_tokens = max_backlog_tokens
+
+    def _cost(self, request: AdmissibleRequest) -> int:
+        return request.prompt_len + request.sampling.max_new_tokens
+
+    def should_admit(
+        self, request: AdmissibleRequest, view: AdmissionView
+    ) -> str | None:
+        total = view.reserved_tokens + self._cost(request)
+        if total > self.max_backlog_tokens:
+            return (
+                f"token backlog full ({view.reserved_tokens} reserved + "
+                f"{self._cost(request)} requested > "
+                f"max_backlog_tokens={self.max_backlog_tokens})"
+            )
+        return None
+
+    def retry_after_s(self, view: AdmissionView) -> float:
+        overflow = view.reserved_tokens - self.max_backlog_tokens
+        return max(1.0, overflow / max(1, self.max_backlog_tokens))
+
+    def is_shedding(self, view: AdmissionView) -> bool:
+        return view.reserved_tokens >= self.max_backlog_tokens
+
+
+@register_admission("deadline_feasible", "df", "deadlinefeasible", "edf_admit")
+class DeadlineFeasibleAdmission(AdmissionController):
+    """Shed requests whose deadline cannot plausibly be met.
+
+    Uses an *optimistic* service estimate on the server's virtual clock:
+    the first token needs at least one step plus
+    ``queue_delay_per_waiting`` steps per request already waiting, and
+    finishing needs ``max_new_tokens`` further steps (co-running greedy
+    sessions decode one token per step). A request that misses its
+    deadline even under this best case is doomed; admitting it would only
+    burn pool blocks and queue slots that push *feasible* requests past
+    their own deadlines. Requests without deadlines are always admitted —
+    they can't be doomed.
+    """
+
+    name = "deadline_feasible"
+
+    def __init__(self, queue_delay_per_waiting: float = 1.0):
+        if queue_delay_per_waiting < 0:
+            raise ValueError(
+                f"queue_delay_per_waiting must be >= 0, "
+                f"got {queue_delay_per_waiting}"
+            )
+        self.queue_delay_per_waiting = queue_delay_per_waiting
+
+    def should_admit(
+        self, request: AdmissibleRequest, view: AdmissionView
+    ) -> str | None:
+        sampling = request.sampling
+        ttft = getattr(sampling, "ttft_deadline_s", None)
+        total = getattr(sampling, "total_deadline_s", None)
+        if ttft is None and total is None:
+            return None
+        est_ttft = 1.0 + self.queue_delay_per_waiting * view.n_waiting
+        if ttft is not None and est_ttft > ttft:
+            return (
+                f"TTFT deadline infeasible (estimated first token at "
+                f"step {est_ttft:g} > deadline {ttft:g})"
+            )
+        if total is not None and est_ttft + sampling.max_new_tokens > total:
+            return (
+                f"total deadline infeasible (estimated finish at step "
+                f"{est_ttft + sampling.max_new_tokens:g} > deadline {total:g})"
+            )
+        return None
+
+    def retry_after_s(self, view: AdmissionView) -> float:
+        return max(1.0, self.queue_delay_per_waiting * view.n_waiting)
+
+    def is_shedding(self, view: AdmissionView) -> bool:
+        # Feasibility depends on each request's own deadline; report
+        # shedding once any queueing delay exists at all.
+        return view.n_waiting > 0

@@ -55,7 +55,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.api.config import EngineConfig, SamplingParams
-from repro.api.errors import PromptTooLongError, UnknownPolicyError
+from repro.api.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    PromptTooLongError,
+    UnknownPolicyError,
+)
 from repro.api.request import GenerationOutput, GenerationRequest
 from repro.core.adaptive import AdaptiveMemoryManager, OffloadEvent
 from repro.core.elastic import ElasticTransferTracker
@@ -69,18 +74,44 @@ from repro.models.config import AttentionKind
 from repro.models.llm import DecodeResult, SelectionPolicy, TransformerLM
 from repro.retrieval.registry import make_policy, resolve_policy_name
 from repro.serving.meter import ThroughputMeter
-from repro.serving.policies import make_scheduler
+from repro.serving.policies import make_admission, make_scheduler
 from repro.serving.request import Request, RequestState
 
 
 @dataclass(frozen=True)
 class StreamEvent:
-    """One generated token, emitted at the step that produced it."""
+    """One generated token, emitted at the step that produced it.
+
+    A terminal *error* event (deadline expiry) carries ``token_id == -1``,
+    ``finished=True`` and the error code in ``error``; it is not a
+    generated token and consumers comparing token streams must exclude it.
+    """
 
     request_id: int
     step: int
     token_id: int
     finished: bool
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """One request terminated with a typed error instead of an output.
+
+    The in-band error record paired with a terminal
+    :class:`StreamEvent`: the server appends one per expired request,
+    executors forward them (translated to global ids) and the HTTP layer
+    turns them into structured 408/504 responses. Exactly one failure is
+    recorded per failed request — failover resubmission drops failed
+    requests from the in-flight set, so a replayed worker cannot re-fail
+    them.
+    """
+
+    request_id: int
+    code: str
+    message: str
+    http_status: int
+    clock: float
 
 
 @dataclass
@@ -251,11 +282,15 @@ class SpeContextServer:
             self._pool_blocks(), block_size=self.config.block_size
         )
         self.scheduler = make_scheduler(self.config.scheduler)
+        self.admission = make_admission(
+            self.config.admission, **self.config.admission_opts
+        )
         self.meter = ThroughputMeter()
         self._waiting: deque[_Session] = deque()
         self._active: list[_Session] = []
         self._outputs: list[GenerationOutput] = []
         self._stream: list[StreamEvent] = []
+        self._failures: list[RequestFailure] = []
         self._preemption_log: list[PreemptionEvent] = []
         self._next_id = 0
         self._clock = 0.0
@@ -310,6 +345,7 @@ class SpeContextServer:
         """
         self._outputs.clear()
         self._stream.clear()
+        self._failures.clear()
         self._preemption_log.clear()
         self.meter.finished.clear()
         self.meter.rejected.clear()
@@ -358,6 +394,17 @@ class SpeContextServer:
                         f"{session.request_id}; prebuilt policies can only be "
                         "reused sequentially"
                     )
+        reason = self.admission.should_admit(request, self)
+        if reason is not None:
+            # Shed before policy/RNG resolution: a doomed request must not
+            # pay for retrieval-head construction, and the request object
+            # stays untouched and retryable (no id is consumed).
+            self._record_shed(request)
+            raise OverloadedError(
+                f"request shed by admission policy "
+                f"{self.admission.name!r}: {reason}",
+                retry_after_s=self.admission.retry_after_s(self),
+            )
         try:
             policy = self._resolve_policy(request)
         except UnknownPolicyError:
@@ -430,6 +477,25 @@ class SpeContextServer:
             raise ValueError("temperature sampling requires a seed or rng")
         return None
 
+    def _record_shed(self, request: GenerationRequest) -> None:
+        """Meter a shed submission as rejected.
+
+        Shed requests never consume a request id (they stay retryable), so
+        the record carries a synthetic negative id unique among rejections.
+        """
+        record = Request(
+            request_id=(
+                request.request_id
+                if request.request_id is not None
+                else -(len(self.meter.rejected) + 1)
+            ),
+            in_len=request.prompt_len,
+            out_len=request.sampling.max_new_tokens,
+            arrival_s=self._clock,
+        )
+        record.state = RequestState.REJECTED
+        self.meter.record(record)
+
     def abort(self, request_id: int) -> bool:
         """Drop an in-flight request (client disconnect, executor abort).
 
@@ -475,6 +541,16 @@ class SpeContextServer:
         return len(self._waiting)
 
     @property
+    def max_concurrency(self) -> int:
+        """Hard cap on co-running sessions (part of the admission view)."""
+        return self.config.max_concurrency
+
+    @property
+    def shedding(self) -> bool:
+        """Whether the admission controller is currently refusing load."""
+        return self.admission.is_shedding(self)
+
+    @property
     def reserved_tokens(self) -> int:
         """Outstanding admission charge: peak KV tokens of unfinished work.
 
@@ -510,6 +586,17 @@ class SpeContextServer:
         self._stream = []
         return events
 
+    def pop_failures(self) -> list[RequestFailure]:
+        """Drain typed per-request failures accumulated since the last call.
+
+        One :class:`RequestFailure` per request the server terminated with
+        an error (deadline expiry); executors forward these alongside
+        stream events so the HTTP layer can answer 408/504.
+        """
+        failures = self._failures
+        self._failures = []
+        return failures
+
     @property
     def last_step_prefill_tokens(self) -> int:
         """Prompt tokens computed by the most recent ``step``.
@@ -539,6 +626,7 @@ class SpeContextServer:
         during this step.
         """
         self._step_prefill_tokens = 0
+        self._expire_deadlines()
         self._admit()
         self._prefill_phase()
         if self.config.batched_decode:
@@ -698,6 +786,96 @@ class SpeContextServer:
         while self.has_unfinished:
             outputs.extend(self.step())
         return sorted(outputs, key=lambda o: o.request_id)
+
+    # ---- deadlines -------------------------------------------------------------
+
+    def _deadline_blown(self, session: _Session) -> str | None:
+        """Which deadline (if any) the session can no longer meet.
+
+        Checked against the *earliest* clock any token produced this step
+        can land at (``clock + 1``): a session is expired only once even
+        an immediate token would arrive late, so a request that makes its
+        deadline exactly is never cancelled. Deterministic on the virtual
+        clock — replaying the same trace expires the same requests at the
+        same steps.
+        """
+        sampling = session.sampling
+        earliest = self._clock + 1.0
+        ttft = sampling.ttft_deadline_s
+        if (
+            ttft is not None
+            and session.first_token_s is None
+            and earliest - session.arrival_s > ttft
+        ):
+            return "ttft"
+        total = sampling.total_deadline_s
+        if total is not None and earliest - session.arrival_s > total:
+            return "total"
+        return None
+
+    def _expire_deadlines(self) -> None:
+        """Cancel waiting/active sessions that already missed a deadline.
+
+        Each expired session frees its pool blocks immediately — the
+        whole point of deadline enforcement is that doomed work stops
+        occupying capacity feasible requests need — and terminates with
+        exactly one terminal error StreamEvent plus one
+        :class:`RequestFailure` (408 for a blown TTFT deadline, 504 for a
+        blown total deadline).
+        """
+        for queue in (self._waiting, self._active):
+            for session in list(queue):
+                kind = self._deadline_blown(session)
+                if kind is None:
+                    continue
+                queue.remove(session)
+                self.pool.free_table(session.block_table)
+                deadline = (
+                    session.sampling.ttft_deadline_s
+                    if kind == "ttft"
+                    else session.sampling.total_deadline_s
+                )
+                self._fail_session(
+                    session,
+                    DeadlineExceededError(
+                        f"request {session.request_id} missed its {kind} "
+                        f"deadline ({deadline:g} on the step clock; arrived "
+                        f"at {session.arrival_s:g}, cancelled at "
+                        f"{self._clock:g})",
+                        kind=kind,
+                    ),
+                )
+
+    def _fail_session(
+        self, session: _Session, error: DeadlineExceededError
+    ) -> None:
+        """Terminate a session with a typed error: stream, failure, meter."""
+        self._stream.append(
+            StreamEvent(
+                request_id=session.request_id,
+                step=session.steps_taken,
+                token_id=-1,
+                finished=True,
+                error=error.code,
+            )
+        )
+        self._failures.append(
+            RequestFailure(
+                request_id=session.request_id,
+                code=error.code,
+                message=error.message,
+                http_status=error.http_status,
+                clock=self._clock,
+            )
+        )
+        record = Request(
+            request_id=session.request_id,
+            in_len=session.prompt_len,
+            out_len=session.sampling.max_new_tokens,
+            arrival_s=session.arrival_s,
+        )
+        record.state = RequestState.REJECTED
+        self.meter.record(record)
 
     # ---- admission -------------------------------------------------------------
 

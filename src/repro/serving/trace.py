@@ -6,6 +6,11 @@ workload construction to ad-hoc test code:
 
 - :func:`poisson_trace` draws seeded Poisson (exponential inter-arrival)
   request traces on the server's step-count virtual clock;
+- :func:`bursty_trace` draws an on/off arrival process (dense bursts
+  separated by idle gaps) — the canonical overload shape for admission
+  control experiments;
+- :func:`heavy_tailed_trace` draws Pareto inter-arrivals, whose rare
+  huge gaps and dense clumps stress deadline feasibility;
 - :func:`replay_trace` feeds a trace through a
   :class:`~repro.serving.server.SpeContextServer`, submitting each request
   when the clock reaches its arrival and stepping until drained, invoking
@@ -31,6 +36,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.api.config import EngineConfig
+from repro.api.errors import OverloadedError
 from repro.api.request import GenerationOutput, GenerationRequest
 from repro.serving.server import SpeContextServer
 
@@ -66,10 +72,72 @@ def poisson_trace(
     return entries
 
 
+def bursty_trace(
+    rng: np.random.Generator,
+    requests: Sequence[GenerationRequest],
+    burst_size: int,
+    on_mean_interarrival_steps: float,
+    off_steps: float,
+) -> list[TraceEntry]:
+    """On/off arrival process: dense bursts separated by idle gaps.
+
+    Requests arrive in bursts of ``burst_size`` with exponential
+    inter-arrival gaps of mean ``on_mean_interarrival_steps`` inside a
+    burst; between bursts the clock jumps by an exponential gap of mean
+    ``off_steps``. This is the canonical overload shape: queues build
+    fast during a burst, then the system gets slack to drain — exactly
+    what admission control and deadline scheduling must survive.
+    Deterministic at fixed seed.
+    """
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+    if on_mean_interarrival_steps < 0 or off_steps < 0:
+        raise ValueError(
+            "on_mean_interarrival_steps and off_steps must be >= 0, got "
+            f"{on_mean_interarrival_steps} and {off_steps}"
+        )
+    entries: list[TraceEntry] = []
+    clock = 0.0
+    for i, request in enumerate(requests):
+        if i > 0 and i % burst_size == 0 and off_steps > 0:
+            clock += rng.exponential(off_steps)
+        entries.append(TraceEntry(arrival_step=int(clock), request=request))
+        if on_mean_interarrival_steps > 0:
+            clock += rng.exponential(on_mean_interarrival_steps)
+    return entries
+
+
+def heavy_tailed_trace(
+    rng: np.random.Generator,
+    requests: Sequence[GenerationRequest],
+    shape: float = 1.5,
+    scale: float = 1.0,
+) -> list[TraceEntry]:
+    """Pareto (heavy-tailed) inter-arrival gaps.
+
+    Gaps are classical Pareto with tail index ``shape`` and minimum
+    ``scale`` — most arrivals clump at the minimum gap while rare draws
+    open huge idle stretches. Small ``shape`` (close to 1) means heavier
+    tails. Deterministic at fixed seed.
+    """
+    if shape <= 0 or scale < 0:
+        raise ValueError(
+            f"shape must be > 0 and scale >= 0, got {shape} and {scale}"
+        )
+    entries: list[TraceEntry] = []
+    clock = 0.0
+    for request in requests:
+        entries.append(TraceEntry(arrival_step=int(clock), request=request))
+        if scale > 0:
+            clock += scale * (1.0 + rng.pareto(shape))
+    return entries
+
+
 def replay_trace(
     server: SpeContextServer,
     trace: Sequence[TraceEntry],
     observer: Callable[[SpeContextServer], None] | None = None,
+    on_reject: Callable[[GenerationRequest, Exception], None] | None = None,
 ) -> list[GenerationOutput]:
     """Replay a trace to completion; returns outputs sorted by request id.
 
@@ -77,7 +145,10 @@ def replay_trace(
     step; across idle gaps the clock jumps to the next arrival. The
     ``observer`` runs after every step with the server as argument — the
     place to assert invariants (pool occupancy, starvation bounds) while
-    the schedule is in flight.
+    the schedule is in flight. With ``on_reject`` set, admission-control
+    rejections (:class:`~repro.api.errors.OverloadedError`) are routed to
+    it instead of aborting the replay — the shed request is dropped from
+    the schedule and the replay continues; without it they propagate.
     """
     entries = sorted(trace, key=lambda e: e.arrival_step)
     submitted = 0
@@ -87,9 +158,17 @@ def replay_trace(
             submitted < len(entries)
             and entries[submitted].arrival_step <= server.clock
         ):
-            server.add_request(entries[submitted].request)
+            entry = entries[submitted]
             submitted += 1
+            try:
+                server.add_request(entry.request)
+            except OverloadedError as err:
+                if on_reject is None:
+                    raise
+                on_reject(entry.request, err)
         if not server.has_unfinished:
+            if submitted >= len(entries):
+                break
             server.advance_clock_to(entries[submitted].arrival_step)
             continue
         outputs.extend(server.step())
@@ -103,6 +182,7 @@ def replay_trace_cluster(
     trace: Sequence[TraceEntry],
     observer: Callable | None = None,
     replica_observer: Callable[[int, SpeContextServer], None] | None = None,
+    on_reject: Callable[[GenerationRequest, Exception], None] | None = None,
 ) -> list[GenerationOutput]:
     """Replay a trace through a cluster frontend; outputs by global id.
 
@@ -123,7 +203,7 @@ def replay_trace_cluster(
                 replica_observer(index, server)
 
     watched = observe if (observer or replica_observer) else None
-    return replay_trace(frontend, trace, watched)
+    return replay_trace(frontend, trace, watched, on_reject=on_reject)
 
 
 def solo_token_streams(

@@ -1,0 +1,63 @@
+"""The robustness benchmark harness is part of the tested surface: CI
+gates on its goodput-gain number, so the report schema, the cross-policy
+stream-consistency check, the failover bit-identity check and the gate's
+exit codes are pinned here."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "bench_robustness.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_robustness", BENCH_PATH)
+bench_robustness = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_robustness)
+
+
+class TestBenchRobustness:
+    def run_bench(self, tmp_path, extra=()):
+        out = tmp_path / "BENCH_robustness.json"
+        rc = bench_robustness.main(["--smoke", "--out", str(out), *extra])
+        return rc, out
+
+    def test_report_schema_and_invariants(self, tmp_path, capsys):
+        rc, out = self.run_bench(tmp_path)
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "robustness_overload"
+        assert report["smoke"] is True
+        assert set(report["policies"]) == {
+            "accept_all", "queue_depth", "deadline_feasible"
+        }
+        for name, entry in report["policies"].items():
+            assert entry["finished_in_slo"] + entry["shed"] + entry[
+                "expired"
+            ] == report["workload"]["requests"]
+            assert entry["goodput_tokens_per_step"] >= 0
+            assert 0.0 <= entry["slo_attainment"] <= 1.0
+            if name == "accept_all":
+                assert entry["shed"] == 0
+        # The whole point: shedding converts deadline blowouts into
+        # typed rejections and recovers goodput.
+        assert report["goodput_gain"] >= 1.0
+        assert report["best_policy"] != "accept_all"
+        assert report["streams_consistent"] is True
+        failover = report["failover"]
+        assert failover["streams_identical"] is True
+        assert failover["resubmissions"] >= 1
+        assert "goodput" in capsys.readouterr().out
+
+    def test_goodput_gate_exit_codes(self, tmp_path):
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--min-goodput-gain", "1.0")
+        )
+        assert rc == 0
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--min-goodput-gain", "1000.0")
+        )
+        assert rc == 1

@@ -1,0 +1,292 @@
+"""Chaos-harness tests: scripted faults replay with exactly-once semantics.
+
+The acceptance bar for overload-safe serving, checked per seeded plan:
+
+- every admitted, non-expired request streams tokens **bit-identical**
+  to the fault-free run (fresh executor + fresh trace per run, streams
+  compared by trace index);
+- every shed or expired request surfaces **exactly one** typed terminal
+  error — never a hang, never a duplicate;
+- plans replay on both executors at 1, 2 and 4 workers, and the whole
+  report is deterministic at fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterConfig,
+    EngineConfig,
+    GenerationRequest,
+    SamplingParams,
+)
+from repro.serving import (
+    Fault,
+    FaultPlan,
+    bursty_trace,
+    heavy_tailed_trace,
+    run_chaos,
+)
+from repro.serving.engine import InProcessExecutor, MultiprocExecutor
+
+EXECUTORS = (InProcessExecutor, MultiprocExecutor)
+
+
+def engine_config(tokenizer, **overrides) -> EngineConfig:
+    defaults = dict(
+        budget=64,
+        bos_id=tokenizer.bos_id,
+        max_concurrency=8,
+        seed=0,
+        block_size=8,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def fresh_trace(tokenizer, n=6, max_new=4, seed=7, **sampling):
+    """A fresh bursty trace (unsubmitted request objects) per call.
+
+    Requests are mutated by submission (they get ids), so every chaos
+    run needs its own copies for cross-run comparison to be meaningful.
+    """
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(n):
+        prompt = [tokenizer.bos_id] + [
+            int(t) for t in tokenizer.random_filler_ids(rng, 8)
+        ]
+        requests.append(
+            GenerationRequest(
+                prompt_ids=np.array(prompt, dtype=np.int64),
+                sampling=SamplingParams(max_new_tokens=max_new, **sampling),
+            )
+        )
+    return bursty_trace(
+        np.random.default_rng(seed + 1),
+        requests,
+        burst_size=3,
+        on_mean_interarrival_steps=0.5,
+        off_steps=4.0,
+    )
+
+
+def run_plan(kind, model, tokenizer, n_workers, plan, config=None, trace=None):
+    executor = kind(
+        model,
+        config or engine_config(tokenizer),
+        ClusterConfig(
+            n_replicas=n_workers, router="round_robin", heartbeat_s=1.0
+        ),
+    )
+    try:
+        return run_chaos(
+            executor,
+            trace if trace is not None else fresh_trace(tokenizer),
+            plan,
+        )
+    finally:
+        executor.shutdown()
+
+
+def plan_for(n_workers: int) -> FaultPlan:
+    """The densest plan a cell survives: lethal faults need a spare worker."""
+    if n_workers == 1:
+        return FaultPlan(
+            "nonlethal",
+            (
+                Fault(step=1, kind="slow_step", duration_s=0.2),
+                Fault(step=2, kind="pipe_drop", drops=2),
+                Fault(step=3, kind="pool_burst", n_requests=3),
+            ),
+        )
+    if n_workers == 2:
+        return FaultPlan(
+            "kill+burst",
+            (
+                Fault(step=2, kind="kill", worker=0),
+                Fault(step=3, kind="pool_burst", n_requests=3),
+            ),
+        )
+    return FaultPlan(
+        "kill+stall+burst",
+        (
+            Fault(step=2, kind="kill", worker=0),
+            Fault(step=3, kind="stall", worker=1, duration_s=4.0),
+            Fault(step=4, kind="pool_burst", n_requests=3),
+        ),
+    )
+
+
+# ---- fault and plan validation -----------------------------------------------
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(step=0, kind="meteor")
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            Fault(step=-1, kind="kill")
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ValueError, match="worker"):
+            Fault(step=0, kind="kill", worker=-2)
+
+    def test_plan_lookup_and_last_step(self):
+        faults = (
+            Fault(step=3, kind="kill"),
+            Fault(step=1, kind="pipe_drop"),
+            Fault(step=3, kind="pool_burst"),
+        )
+        plan = FaultPlan("p", faults)
+        assert plan.at_step(3) == [faults[0], faults[2]]
+        assert plan.at_step(0) == []
+        assert plan.last_step == 3
+        assert FaultPlan("empty").last_step == -1
+
+
+# ---- trace generators --------------------------------------------------------
+
+
+class TestTraceGenerators:
+    def requests(self, n=8):
+        return [
+            GenerationRequest(
+                prompt_ids=np.array([2, 3, 4], dtype=np.int64),
+                sampling=SamplingParams(max_new_tokens=2),
+            )
+            for _ in range(n)
+        ]
+
+    def test_bursty_is_seed_deterministic(self):
+        a = bursty_trace(np.random.default_rng(3), self.requests(), 3, 0.5, 6.0)
+        b = bursty_trace(np.random.default_rng(3), self.requests(), 3, 0.5, 6.0)
+        assert [e.arrival_step for e in a] == [e.arrival_step for e in b]
+        arrivals = [e.arrival_step for e in a]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0
+
+    def test_bursty_has_idle_gaps_between_bursts(self):
+        trace = bursty_trace(
+            np.random.default_rng(3), self.requests(12), 4, 0.0, 50.0
+        )
+        arrivals = [e.arrival_step for e in trace]
+        # Within a burst arrivals coincide; across bursts the clock jumps.
+        assert arrivals[0] == arrivals[3]
+        assert arrivals[4] - arrivals[3] > 1
+
+    def test_bursty_validates(self):
+        with pytest.raises(ValueError, match="burst_size"):
+            bursty_trace(np.random.default_rng(0), self.requests(), 0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="must be >= 0"):
+            bursty_trace(np.random.default_rng(0), self.requests(), 2, -1.0, 1.0)
+
+    def test_heavy_tailed_is_seed_deterministic(self):
+        a = heavy_tailed_trace(np.random.default_rng(5), self.requests())
+        b = heavy_tailed_trace(np.random.default_rng(5), self.requests())
+        assert [e.arrival_step for e in a] == [e.arrival_step for e in b]
+        gaps = np.diff([e.arrival_step for e in a])
+        assert (gaps >= 1).all()  # scale floors every gap
+
+    def test_heavy_tailed_validates(self):
+        with pytest.raises(ValueError, match="shape"):
+            heavy_tailed_trace(np.random.default_rng(0), self.requests(), 0.0)
+
+
+# ---- the chaos matrix: both executors, 1/2/4 workers -------------------------
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("kind", EXECUTORS)
+    @pytest.mark.parametrize("n_workers", (1, 2, 4))
+    def test_streams_bit_identical_under_faults(
+        self, kind, n_workers, tiny_gqa_model, tiny_tokenizer
+    ):
+        plan = plan_for(n_workers)
+        clean = run_plan(
+            kind, tiny_gqa_model, tiny_tokenizer, n_workers, FaultPlan("clean")
+        )
+        chaos = run_plan(
+            kind, tiny_gqa_model, tiny_tokenizer, n_workers, plan
+        )
+        assert len(chaos.faults_fired) == len(plan.faults)
+        # Every trace request finished (no shedding configured)...
+        assert len(clean.foreground_streams) == len(chaos.foreground_streams)
+        assert all(clean.foreground_streams.values())
+        # ...and its stream is bit-identical to the fault-free run.
+        assert chaos.foreground_streams == clean.foreground_streams
+        # Terminal errors, when any, are exactly-once per request.
+        assert all(len(v) == 1 for v in chaos.terminal_errors.values())
+        if any(f.kind == "kill" for f in plan.faults):
+            assert chaos.resubmissions
+
+    def test_chaos_report_is_deterministic(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        plan = plan_for(2)
+        reports = [
+            run_plan(InProcessExecutor, tiny_gqa_model, tiny_tokenizer, 2, plan)
+            for _ in range(2)
+        ]
+        first, second = reports
+        assert first.foreground_streams == second.foreground_streams
+        assert first.shed == second.shed
+        assert first.resubmissions == second.resubmissions
+        assert [o.token_ids for o in first.outputs] == [
+            o.token_ids for o in second.outputs
+        ]
+
+
+# ---- chaos under overload: deadlines + admission + bursts --------------------
+
+
+class TestChaosOverload:
+    def test_shed_and_expired_get_exactly_one_typed_error(
+        self, tiny_gqa_model, tiny_tokenizer
+    ):
+        config = engine_config(
+            tiny_tokenizer,
+            max_concurrency=2,
+            admission="queue_depth",
+            admission_opts={"max_waiting": 2},
+        )
+        trace = fresh_trace(
+            tiny_tokenizer,
+            n=10,
+            max_new=6,
+            seed=11,
+            total_deadline_s=8.0,
+        )
+        plan = FaultPlan(
+            "burst", (Fault(step=1, kind="pool_burst", n_requests=4),)
+        )
+        executor = InProcessExecutor(
+            tiny_gqa_model, config, ClusterConfig(n_replicas=1)
+        )
+        try:
+            report = run_chaos(executor, trace, plan)
+        finally:
+            executor.shutdown()
+        admitted = set(report.request_ids.values())
+        finished = {o.request_id for o in report.outputs}
+        expired = {f.request_id for f in report.failures}
+        # The overload produced all three fates.
+        assert report.shed and expired and finished
+        # Shed requests never got an id; expiries are admitted requests,
+        # and every admitted request has exactly one fate.
+        assert all(code == "overloaded" for _, code in report.shed)
+        foreground_expired = expired & admitted
+        foreground_finished = (finished | set(report.streams)) & admitted
+        assert foreground_expired.isdisjoint(foreground_finished - expired)
+        assert all(len(v) == 1 for v in report.terminal_errors.values())
+        for failure in report.failures:
+            assert failure.code == "deadline_exceeded"
+            assert failure.http_status in (408, 504)
+        # Shed trace entries are disjoint from admitted ones.
+        shed_indices = {index for index, _ in report.shed}
+        assert shed_indices.isdisjoint(report.request_ids)
+        assert len(shed_indices) + len(report.request_ids) == len(trace)
