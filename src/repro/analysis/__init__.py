@@ -1,0 +1,34 @@
+"""Static invariant analysis for the reproduction (``python -m repro.analysis``).
+
+Four AST-based passes enforce, at lint time, the invariants the test
+suite otherwise only catches after the fact:
+
+1. **determinism** (:mod:`repro.analysis.determinism`) — wall-clock
+   reads, unseeded RNGs, set-order iteration and unblessed matmuls in
+   the bit-identity-critical packages;
+2. **resource pairing** (:mod:`repro.analysis.resources`) — a CFG walk
+   proving ``reserve_spec`` reaches ``promote_spec``/``release_spec``
+   on every path, and that pool frees are exception-safe;
+3. **worker protocol** (:mod:`repro.analysis.protocol`) — the ops the
+   executor issues vs the ops ``WorkerCore`` dispatches, with arity;
+4. **error contract** (:mod:`repro.analysis.contract`) — every
+   ``http_status``-carrying error type vs the HTTP layer's mapper.
+
+Findings are filtered by inline ``# repro: allow(<rule>)`` suppressions
+and the committed ``baseline.json`` (see
+:mod:`repro.analysis.findings`). The runner lives in
+:mod:`repro.analysis.runner`; the CLI in ``__main__``.
+"""
+
+from repro.analysis.findings import Baseline, Finding, Suppressions
+from repro.analysis.runner import ALL_RULES, DEFAULT_BASELINE, Report, run
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "Report",
+    "Suppressions",
+    "run",
+]

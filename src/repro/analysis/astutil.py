@@ -1,0 +1,138 @@
+"""Shared AST helpers: parsing, import-alias resolution, name matching.
+
+The passes all need the same three primitives:
+
+- :class:`Module` — a parsed file plus its source lines and suppression
+  map, so passes can attach snippets and the runner can filter.
+- :class:`ImportMap` — resolve local names through ``import``/``from``
+  aliases to fully-qualified dotted names (``t.monotonic`` with
+  ``import time as t`` resolves to ``time.monotonic``), which is what
+  the determinism rules match against.
+- :func:`dotted_name` / :func:`call_name` — syntactic dotted paths for
+  attribute chains and call targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Suppressions
+
+
+@dataclass
+class Module:
+    """One parsed source file, ready for the passes."""
+
+    path: str  # posix-style path the findings will carry
+    tree: ast.Module
+    lines: list[str]
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str | None = None) -> "Module":
+        source = path.read_text()
+        return cls.from_source(source, display_path or path.as_posix())
+
+    @classmethod
+    def from_source(cls, source: str, display_path: str) -> "Module":
+        return cls(
+            path=display_path,
+            tree=ast.parse(source, filename=display_path),
+            lines=source.splitlines(),
+            suppressions=Suppressions.parse(source),
+        )
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col + 1,
+            rule=rule,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(Path(self.path).parts)
+
+
+class ImportMap:
+    """Local name -> fully-qualified dotted name, from a module's imports."""
+
+    def __init__(self, tree: ast.Module):
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds c->a.b.
+                    target = alias.name if alias.asname else local
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str | None) -> str | None:
+        """Expand the first component through the import aliases."""
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        expanded = self._aliases.get(head)
+        if expanded is None:
+            return dotted
+        return f"{expanded}.{rest}" if rest else expanded
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+def attr_tail(node: ast.AST) -> str | None:
+    """The final attribute/name component (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def mentions_name(node: ast.AST, name: str) -> bool:
+    """Whether ``name`` is loaded anywhere inside ``node``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )
+
+
+def int_literals(node: ast.AST) -> list[int]:
+    """Every plain int constant inside ``node`` (bools excluded)."""
+    return [
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant)
+        and isinstance(sub.value, int)
+        and not isinstance(sub.value, bool)
+    ]

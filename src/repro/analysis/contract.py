@@ -1,0 +1,226 @@
+"""Pass 4 — HTTP error contract: errors.py statuses vs http.py mapping.
+
+:mod:`repro.api.errors` is the single validation vocabulary: every
+error type carries ``code`` and ``http_status``, and
+:mod:`repro.serving.http` maps statuses to OpenAI-style ``error.type``
+strings in ``_error_type_for``. The two files can drift silently — a
+new error class with a fresh status falls through to the mapper's
+default branch and ships with the wrong ``type``. This pass pins them
+together:
+
+- ``unmapped-error-status``: an error class carries an ``http_status``
+  the HTTP mapper never names explicitly (literal equality/membership
+  comparison, or a ``>=``/``>`` range arm).
+- ``unknown-contract-status``: the mapper explicitly names a status no
+  error class carries — dead mapping arms that suggest a deleted or
+  renamed error type.
+- ``error-missing-code``: a class carrying ``http_status`` without a
+  (possibly inherited) ``code`` slug — it would serialize as the
+  generic ``invalid_request_error``.
+- ``duplicate-error-code``: two classes sharing one ``code`` slug;
+  clients branching on ``error.code`` cannot tell them apart.
+
+``http_status`` is read from class-level assignments *and* from
+``self.http_status = ...`` in ``__init__`` (conditional statuses like
+DeadlineExceededError's 408/504 contribute every int literal in the
+assigned expression). Inheritance inside the module is resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import Module, int_literals
+from repro.analysis.findings import Finding
+
+RULES = (
+    "unmapped-error-status",
+    "unknown-contract-status",
+    "error-missing-code",
+    "duplicate-error-code",
+)
+
+MAPPER_NAME = "_error_type_for"
+
+
+@dataclass
+class ErrorClass:
+    name: str
+    node: ast.ClassDef
+    bases: list[str]
+    own_statuses: set[int] = field(default_factory=set)
+    own_code: str | None = None
+    statuses: set[int] = field(default_factory=set)  # after inheritance
+    code: str | None = None
+
+
+def collect_error_classes(module: Module) -> list[ErrorClass]:
+    classes: dict[str, ErrorClass] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = ErrorClass(
+            name=node.name,
+            node=node,
+            bases=[b.id for b in node.bases if isinstance(b, ast.Name)],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if target.id == "http_status":
+                        info.own_statuses.update(int_literals(stmt.value))
+                    elif target.id == "code" and isinstance(
+                        stmt.value, ast.Constant
+                    ):
+                        info.own_code = str(stmt.value.value)
+            elif (
+                isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ):
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Assign)
+                        and len(sub.targets) == 1
+                        and isinstance(sub.targets[0], ast.Attribute)
+                        and sub.targets[0].attr == "http_status"
+                        and isinstance(sub.targets[0].value, ast.Name)
+                        and sub.targets[0].value.id == "self"
+                    ):
+                        info.own_statuses.update(int_literals(sub.value))
+        classes[node.name] = info
+
+    def resolve(info: ErrorClass, seen: frozenset[str]) -> tuple[set[int], str | None]:
+        statuses = set(info.own_statuses)
+        code = info.own_code
+        for base in info.bases:
+            parent = classes.get(base)
+            if parent is None or base in seen:
+                continue
+            p_statuses, p_code = resolve(parent, seen | {base})
+            if not statuses:
+                statuses = set(p_statuses)
+            if code is None:
+                code = p_code
+        return statuses, code
+
+    result = []
+    for info in classes.values():
+        info.statuses, info.code = resolve(info, frozenset({info.name}))
+        if info.statuses:
+            result.append(info)
+    return result
+
+
+@dataclass
+class MapperSurface:
+    """Statuses the HTTP mapper names, split exact vs range-covered."""
+
+    exact: set[int] = field(default_factory=set)
+    exact_nodes: dict[int, ast.AST] = field(default_factory=dict)
+    range_floors: set[int] = field(default_factory=set)
+
+    def covers(self, status: int) -> bool:
+        return status in self.exact or any(
+            status >= floor for floor in self.range_floors
+        )
+
+
+def collect_mapper(module: Module) -> tuple[MapperSurface | None, ast.AST | None]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == MAPPER_NAME
+        ):
+            surface = MapperSurface()
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Compare) or len(sub.ops) != 1:
+                    continue
+                op = sub.ops[0]
+                comparator = sub.comparators[0]
+                if isinstance(op, ast.Eq):
+                    for lit in int_literals(comparator):
+                        surface.exact.add(lit)
+                        surface.exact_nodes.setdefault(lit, sub)
+                elif isinstance(op, ast.In):
+                    for lit in int_literals(comparator):
+                        surface.exact.add(lit)
+                        surface.exact_nodes.setdefault(lit, sub)
+                elif isinstance(op, (ast.GtE, ast.Gt)):
+                    for lit in int_literals(comparator):
+                        surface.range_floors.add(
+                            lit if isinstance(op, ast.GtE) else lit + 1
+                        )
+            return surface, node
+    return None, None
+
+
+def check_contract(errors: Module, http: Module) -> list[Finding]:
+    findings: list[Finding] = []
+    classes = collect_error_classes(errors)
+    surface, mapper_node = collect_mapper(http)
+    if surface is None:
+        findings.append(
+            Finding(
+                path=http.path,
+                line=1,
+                col=1,
+                rule="unmapped-error-status",
+                message=(
+                    f"no {MAPPER_NAME}() mapper found in {http.path}; the "
+                    "HTTP layer cannot type its error responses"
+                ),
+                snippet="",
+            )
+        )
+        return findings
+
+    carried: set[int] = set()
+    codes: dict[str, str] = {}
+    for info in classes:
+        carried.update(info.statuses)
+        for status in sorted(info.statuses):
+            if not surface.covers(status):
+                findings.append(
+                    errors.finding(
+                        info.node,
+                        "unmapped-error-status",
+                        f"{info.name} carries http_status {status} but "
+                        f"{http.path}::{MAPPER_NAME} never maps it; the "
+                        "response would ship a default error type",
+                    )
+                )
+        if info.code is None:
+            findings.append(
+                errors.finding(
+                    info.node,
+                    "error-missing-code",
+                    f"{info.name} carries http_status but no code slug; "
+                    "clients cannot branch on error.code",
+                )
+            )
+        elif info.own_code is not None:
+            if info.own_code in codes:
+                findings.append(
+                    errors.finding(
+                        info.node,
+                        "duplicate-error-code",
+                        f"code {info.own_code!r} on {info.name} is already "
+                        f"used by {codes[info.own_code]}",
+                    )
+                )
+            else:
+                codes[info.own_code] = info.name
+
+    for status in sorted(surface.exact):
+        if status not in carried:
+            node = surface.exact_nodes[status]
+            findings.append(
+                http.finding(
+                    node,
+                    "unknown-contract-status",
+                    f"{MAPPER_NAME} maps status {status} but no error type "
+                    f"in {errors.path} carries it; dead mapping arm",
+                )
+            )
+    return sorted(findings)

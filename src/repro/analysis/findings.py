@@ -1,0 +1,169 @@
+"""Finding records, inline suppressions and the grandfathering baseline.
+
+Every pass reports :class:`Finding`s; the runner then subtracts two
+overlays before anything reaches the user:
+
+- **inline suppressions** — ``# repro: allow(<rule>[, <rule>...])``
+  comments, optionally followed by ``: reason``. A suppression on a code
+  line covers that line; a suppression on a standalone comment line
+  covers the next code line (for statements too long to share a line
+  with their justification). ``allow(*)`` covers every rule.
+- **the baseline** — a committed JSON file of grandfathered findings
+  keyed by ``(rule, path, stripped source line)`` with a count, so
+  line-number drift does not invalidate entries but *new* occurrences of
+  the same pattern still fail.
+
+Comments are read with :mod:`tokenize`, not a regex over raw lines, so
+string literals that merely *contain* the marker text never suppress
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([*\w\-, ]+?)\s*\)(?::.*)?$"
+)
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # posix-style, as scanned (relative to the scan root)
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""  # stripped source line, the stable part of identity
+
+    @property
+    def baseline_key(self) -> str:
+        """Identity that survives line-number drift: rule + path + code."""
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class Suppressions:
+    """Per-file map of which rules are allowed on which lines."""
+
+    def __init__(self, allowed: dict[int, set[str]]):
+        self._allowed = allowed
+
+    @classmethod
+    def parse(cls, source: str) -> "Suppressions":
+        allowed: dict[int, set[str]] = {}
+        # line -> True when any non-comment, non-NL token lives there
+        code_lines: set[int] = set()
+        comments: list[tuple[int, str, bool]] = []  # (line, text, standalone)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls({})
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                line = tok.start[0]
+                standalone = line not in code_lines
+                comments.append((line, tok.string, standalone))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                for ln in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(ln)
+        for line, text, standalone in comments:
+            match = SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            if standalone:
+                # Cover the next code line below the comment.
+                target = line + 1
+                while target not in code_lines and target <= line + 50:
+                    target += 1
+            else:
+                target = line
+            allowed.setdefault(target, set()).update(rules)
+        return cls(allowed)
+
+    def covers(self, line: int, rule: str) -> bool:
+        rules = self._allowed.get(line)
+        return rules is not None and (rule in rules or "*" in rules)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts, keyed by :attr:`Finding.baseline_key`."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        counts = data.get("findings", {})
+        if not all(
+            isinstance(k, str) and isinstance(v, int) for k, v in counts.items()
+        ):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(dict(counts))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+        return cls(counts)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered) against the baseline budget."""
+        budget = dict(self.counts)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.baseline_key, 0) > 0:
+                budget[finding.baseline_key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

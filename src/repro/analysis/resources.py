@@ -1,0 +1,359 @@
+"""Pass 2 — resource pairing: spec reservations and exception-safe frees.
+
+Two rules, both about pool blocks escaping their owner:
+
+- ``spec-reservation-leak``: an intraprocedural CFG walk proving that
+  every ``<name> = ...reserve_spec(...)`` reaches a consumer on *all*
+  paths out of the function. Consumers are ``promote_spec`` /
+  ``release_spec`` calls taking the name (or a slice of it), or an
+  *escape* — the name returned, yielded, stored into an attribute /
+  subscript, or passed whole to a non-builtin call (ownership moves to
+  the callee). Pure reads (``len(name)``, ``name[i]``, iteration,
+  membership) do not discharge the obligation: a path that only ever
+  *measures* the reservation has still leaked it.
+
+  The walk is a bounded path interpretation of the statement list:
+  branches fork, loop bodies run zero-or-once, ``break``/``continue``
+  propagate, ``try`` contributes the body path plus one path per
+  handler (handler paths restart from the state at try entry — the
+  conservative reading when the raise point is unknown), and
+  ``finally`` runs on every path.
+
+- ``free-in-try-body``: in ``serving/`` a pool free (``free_table`` /
+  ``release`` / ``release_spec``) must not sit in a ``try`` body that
+  has except handlers, unless the attached ``finally`` frees too — an
+  exception raised before the free skips it and the blocks leak. Frees
+  belong in ``finally``/except paths or outside the ``try`` entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+
+from repro.analysis.astutil import Module, attr_tail, mentions_name
+from repro.analysis.findings import Finding
+
+RULES = ("spec-reservation-leak", "free-in-try-body")
+
+RESERVE_FUNCS = frozenset({"reserve_spec"})
+CONSUME_FUNCS = frozenset({"promote_spec", "release_spec"})
+FREE_FUNCS = frozenset({"free_table", "release", "release_spec"})
+FREE_SCOPE_SEGMENTS = frozenset({"serving"})
+
+# Builtins that read a value without taking ownership of it.
+PURE_READERS = frozenset(
+    {
+        "len", "bool", "list", "tuple", "sorted", "reversed", "enumerate",
+        "sum", "min", "max", "any", "all", "str", "repr", "print", "iter",
+        "next", "set", "frozenset", "zip", "map", "filter", "id", "type",
+        "isinstance", "range",
+    }
+)
+
+# The subset whose result carries no block ids at all: returning or
+# storing these is still just a *measurement* of the reservation, so it
+# never discharges the obligation (``return len(reserved)`` leaks).
+SCALAR_READERS = frozenset(
+    {
+        "len", "bool", "sum", "any", "all", "str", "repr", "print", "id",
+        "type", "isinstance",
+    }
+)
+
+
+def _exposes_name(expr: ast.AST | None, name: str) -> bool:
+    """Does ``expr``'s *value* carry the reservation (not just measure it)?"""
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id == name
+    if isinstance(expr, ast.Call) and attr_tail(expr.func) in SCALAR_READERS:
+        return False
+    return any(_exposes_name(c, name) for c in ast.iter_child_nodes(expr))
+
+
+# ---- spec-reservation-leak ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    """Path state: does the obligation exist, and was it discharged?"""
+
+    live: bool = False  # reserve_spec executed on this path
+    consumed: bool = False
+
+
+@dataclass(frozen=True)
+class _Exit:
+    kind: str  # "fall" | "return" | "break" | "continue" | "raise"
+    state: _State
+
+
+def _is_reserve_assign(stmt: ast.stmt) -> str | None:
+    """The bound name when ``stmt`` is ``<name> = ...reserve_spec(...)``."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = stmt.value
+    if isinstance(value, ast.Call) and attr_tail(value.func) in RESERVE_FUNCS:
+        return target.id
+    return None
+
+
+def _name_passed_whole(call: ast.Call, name: str) -> bool:
+    """The tracked name (or a slice/star of it) appears as a direct arg."""
+
+    def is_name_ish(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == name
+        if isinstance(node, ast.Subscript):
+            # Only slices of the name count as "the reservation"; an
+            # index read (name[0]) is a block id, but passing even one
+            # reserved id onward moves ownership, so keep both.
+            return is_name_ish(node.value)
+        if isinstance(node, ast.Starred):
+            return is_name_ish(node.value)
+        return False
+
+    return any(is_name_ish(arg) for arg in call.args) or any(
+        is_name_ish(kw.value) for kw in call.keywords
+    )
+
+
+def _classify_use(stmt: ast.stmt, name: str) -> str:
+    """'consume' | 'escape' | 'kill' | 'none' for one statement."""
+    if not mentions_name(stmt, name):
+        # Rebinding the name to something unrelated kills the tracked
+        # alias: the reservation is no longer reachable through it, and
+        # that is itself a leak we cannot see past — treat as kill.
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name for t in stmt.targets
+        ):
+            return "kill"
+        return "none"
+    result = "none"
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            tail = attr_tail(node.func)
+            if tail in CONSUME_FUNCS and _name_passed_whole(node, name):
+                return "consume"
+            if (
+                tail not in PURE_READERS
+                and tail not in RESERVE_FUNCS
+                and _name_passed_whole(node, name)
+            ):
+                result = "escape"
+    if isinstance(stmt, (ast.Return, ast.Expr)) and isinstance(
+        getattr(stmt, "value", None), (ast.expr,)
+    ):
+        value = stmt.value
+        if isinstance(stmt, ast.Return) and _exposes_name(value, name):
+            return "escape"
+        if isinstance(value, (ast.Yield, ast.YieldFrom)) and _exposes_name(
+            value, name
+        ):
+            return "escape"
+    if isinstance(stmt, ast.Assign):
+        if _exposes_name(stmt.value, name):
+            targets_self = all(
+                isinstance(t, ast.Name) and t.id == name for t in stmt.targets
+            )
+            if not targets_self:
+                # Aliased or stored somewhere persistent; tracking ends.
+                return "escape"
+        for target in stmt.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                mentions_name(target, name)
+            ):
+                return "escape"
+    return result
+
+
+class _PathWalker:
+    """Bounded all-paths walk of one function body for one obligation."""
+
+    def __init__(self, reserve_stmt: ast.stmt, name: str):
+        self.reserve_stmt = reserve_stmt
+        self.name = name
+        self.leaky = False
+
+    def walk(self, body: list[ast.stmt]) -> None:
+        for exit_ in self._run_block(body, _State()):
+            if exit_.kind in ("fall", "return") and (
+                exit_.state.live and not exit_.state.consumed
+            ):
+                self.leaky = True
+
+    # The walker returns the set of exits from a block given an entry
+    # state. Path count is bounded by deduplication at every join: the
+    # state space is 4 values, so sets stay tiny even in big functions.
+
+    def _run_block(self, body: list[ast.stmt], state: _State) -> set[_Exit]:
+        states = {state}
+        exits: set[_Exit] = set()
+        for stmt in body:
+            next_states: set[_State] = set()
+            for st in states:
+                for exit_ in self._run_stmt(stmt, st):
+                    if exit_.kind == "fall":
+                        next_states.add(exit_.state)
+                    else:
+                        exits.add(exit_)
+            states = next_states
+            if not states:
+                return exits
+        exits.update(_Exit("fall", st) for st in states)
+        return exits
+
+    def _run_stmt(self, stmt: ast.stmt, state: _State) -> set[_Exit]:
+        if stmt is self.reserve_stmt:
+            return {_Exit("fall", _State(live=True, consumed=False))}
+
+        if state.live and not state.consumed:
+            use = _classify_use(stmt, self.name)
+            if use in ("consume", "escape"):
+                state = replace(state, consumed=True)
+            elif use == "kill":
+                # Alias destroyed without consumption: leak at this point.
+                self.leaky = True
+                state = replace(state, consumed=True)
+
+        if isinstance(stmt, ast.Return):
+            return {_Exit("return", state)}
+        if isinstance(stmt, ast.Raise):
+            return {_Exit("raise", state)}
+        if isinstance(stmt, ast.Break):
+            return {_Exit("break", state)}
+        if isinstance(stmt, ast.Continue):
+            return {_Exit("continue", state)}
+
+        if isinstance(stmt, ast.If):
+            return self._run_block(stmt.body, state) | self._run_block(
+                stmt.orelse, state
+            )
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            exits: set[_Exit] = {_Exit("fall", state)}  # zero iterations
+            for exit_ in self._run_block(stmt.body, state):
+                if exit_.kind in ("break", "continue", "fall"):
+                    exits.add(_Exit("fall", exit_.state))
+                else:
+                    exits.add(exit_)
+            for exit_ in self._run_block(stmt.orelse, state):
+                exits.add(exit_)
+            return exits
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._run_block(stmt.body, state)
+
+        if isinstance(stmt, ast.Try):
+            exits = set()
+            # Normal path: body (+ else), then finally.
+            for exit_ in self._run_block(stmt.body, state):
+                if exit_.kind == "fall":
+                    for else_exit in self._run_block(stmt.orelse, exit_.state):
+                        exits.update(self._through_finally(stmt, else_exit))
+                else:
+                    exits.update(self._through_finally(stmt, exit_))
+            # Handler paths: entered from the state at try entry (the
+            # raise point inside the body is unknown; assuming nothing in
+            # the body ran is the conservative choice for obligations
+            # created before the try).
+            for handler in stmt.handlers:
+                for exit_ in self._run_block(handler.body, state):
+                    exits.update(self._through_finally(stmt, exit_))
+            return exits
+
+        return {_Exit("fall", state)}
+
+    def _through_finally(self, stmt: ast.Try, exit_: _Exit) -> set[_Exit]:
+        if not stmt.finalbody:
+            return {exit_}
+        results: set[_Exit] = set()
+        for fin_exit in self._run_block(stmt.finalbody, exit_.state):
+            if fin_exit.kind == "fall":
+                results.add(_Exit(exit_.kind, fin_exit.state))
+            else:
+                results.add(fin_exit)  # finally overrides the exit
+        return results
+
+
+def _check_function(
+    module: Module, func: ast.FunctionDef | ast.AsyncFunctionDef
+) -> list[Finding]:
+    findings = []
+    reserves = [
+        (stmt, name)
+        for stmt in ast.walk(func)
+        if (name := _is_reserve_assign(stmt)) is not None
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for stmt, name in reserves:
+        walker = _PathWalker(stmt, name)
+        walker.walk(func.body)
+        if walker.leaky:
+            findings.append(
+                module.finding(
+                    stmt,
+                    "spec-reservation-leak",
+                    f"reservation {name!r} from reserve_spec() does not "
+                    "reach promote_spec()/release_spec() on every path out "
+                    f"of {func.name}(); a rejected draft would leak pool "
+                    "blocks",
+                )
+            )
+    return findings
+
+
+# ---- free-in-try-body --------------------------------------------------------
+
+
+def _is_free_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and attr_tail(node.func) in FREE_FUNCS
+
+
+def _block_frees(body: list[ast.stmt]) -> bool:
+    return any(_is_free_call(n) for stmt in body for n in ast.walk(stmt))
+
+
+def _check_frees(module: Module) -> list[Finding]:
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try) or not node.handlers:
+            continue
+        # A free in the try body is fine when the exception path frees
+        # too: a freeing finally, or every handler freeing on its own.
+        if _block_frees(node.finalbody) or all(
+            _block_frees(handler.body) for handler in node.handlers
+        ):
+            continue
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Try):
+                    # Nested trys get their own visit.
+                    break
+                if _is_free_call(sub):
+                    findings.append(
+                        module.finding(
+                            sub,
+                            "free-in-try-body",
+                            "pool free inside a try body with except "
+                            "handlers: an exception raised earlier in the "
+                            "body skips it and leaks blocks — move the free "
+                            "to a finally/except path or out of the try",
+                        )
+                    )
+    return findings
+
+
+def check_module(module: Module) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_check_function(module, node))
+    if FREE_SCOPE_SEGMENTS & set(module.segments):
+        findings.extend(_check_frees(module))
+    return sorted(findings)

@@ -54,6 +54,10 @@ class PoolExhausted(RuntimeError):
     """No free block available (after evicting unreferenced cached blocks)."""
 
 
+class PoolAuditError(AssertionError):
+    """Internal pool bookkeeping disagrees with itself (see audit())."""
+
+
 @dataclass
 class PoolStats:
     """Counters the serving layer and the trace tests read.
@@ -138,6 +142,10 @@ class PagedKVPool:
         # prefix key -> block id, in insertion order (dict preserves it);
         # re-publication moves a key to the back, giving LRU eviction.
         self._prefix_index: dict[bytes, int] = {}
+        # Block ids taken by reserve_spec and not yet promoted/released.
+        # A draft-verify step must zero this before the wave ends; audit()
+        # treats anything left here between waves as an orphaned leak.
+        self._spec_outstanding: set[int] = set()
         self.stats = PoolStats()
 
     # ---- capacity --------------------------------------------------------------
@@ -246,6 +254,7 @@ class PagedKVPool:
             block.payload = None
             block.prefix_key = None
             taken.append(block_id)
+            self._spec_outstanding.add(block_id)
             self.stats.spec_reserved += 1
         return taken
 
@@ -263,6 +272,7 @@ class PagedKVPool:
                     f"block {block_id} is not a live spec reservation "
                     f"(ref_count={block.ref_count})"
                 )
+            self._spec_outstanding.discard(block_id)
             table.block_ids.append(block_id)
             self.stats.allocated += 1
             self.stats.spec_promoted += 1
@@ -282,6 +292,7 @@ class PagedKVPool:
                     f"block {block_id} is not a live spec reservation "
                     f"(ref_count={block.ref_count})"
                 )
+            self._spec_outstanding.discard(block_id)
             block.ref_count = 0
             self._free.append(block_id)
             self.stats.spec_released += 1
@@ -464,27 +475,128 @@ class PagedKVPool:
             n += 1
         return n
 
-    # ---- invariant check (tests) -----------------------------------------------
+    # ---- invariant audit (tests + chaos harness) -------------------------------
 
-    def check_consistency(self) -> None:
-        """Raise AssertionError if internal bookkeeping disagrees.
+    @property
+    def spec_outstanding(self) -> frozenset[int]:
+        """Block ids reserved by reserve_spec and not yet promoted/released."""
+        return frozenset(self._spec_outstanding)
 
-        Free blocks must have refcount 0 and no payload/key; used blocks a
-        positive refcount; the prefix index must point at live blocks whose
-        back-pointer matches; allocated + free must equal capacity.
+    def audit(
+        self,
+        tables: "list[BlockTable] | None" = None,
+        allow_spec_outstanding: bool = False,
+    ) -> None:
+        """Raise :class:`PoolAuditError` if internal bookkeeping disagrees.
+
+        Always checked:
+
+        - free-stack integrity: unique ids, refcount 0, no payload or
+          prefix key attached;
+        - every non-free block has a positive refcount (no limbo blocks);
+        - the prefix index points at live blocks whose back-pointer
+          matches, and is disjoint from the free stack;
+        - counter identity: ``n_used == allocated - freed + outstanding``
+          (promotions count as allocations, so outstanding spec
+          reservations are the only used-but-uncounted blocks), and the
+          spec counters themselves balance;
+        - no orphaned spec reservations: outstanding reservations must
+          be refcount 1, unpublished, and — unless
+          ``allow_spec_outstanding`` (mid-wave callers) — empty, since
+          every draft-verify step promotes or releases before it ends.
+
+        With ``tables`` (every live sequence's :class:`BlockTable`), also
+        cross-checks full reference accounting: each block's refcount must
+        equal its appearances across tables + 1 if published + 1 if an
+        outstanding reservation, and every chained block must be off the
+        free stack.
         """
+
+        def ensure(cond: bool, message: str) -> None:
+            if not cond:
+                raise PoolAuditError(f"pool audit: {message}")
+
         free_set = set(self._free)
-        assert len(free_set) == len(self._free), "duplicate ids on free stack"
+        ensure(len(free_set) == len(self._free), "duplicate ids on free stack")
         for block in self._blocks:
             if block.block_id in free_set:
-                assert block.ref_count == 0, f"free block {block.block_id} ref'd"
+                ensure(
+                    block.ref_count == 0,
+                    f"free block {block.block_id} has refcount "
+                    f"{block.ref_count}",
+                )
+                ensure(
+                    block.payload is None and block.prefix_key is None,
+                    f"free block {block.block_id} still carries payload/key",
+                )
             else:
-                assert block.ref_count > 0, f"leaked block {block.block_id}"
+                ensure(
+                    block.ref_count > 0,
+                    f"block {block.block_id} is neither free nor referenced",
+                )
         for key, block_id in self._prefix_index.items():
             block = self._blocks[block_id]
-            assert block.block_id not in free_set, f"cached block {block_id} free"
-            assert block.prefix_key == key, f"stale prefix key on {block_id}"
-        assert self.n_used + self.n_free == self.capacity
+            ensure(block_id not in free_set, f"cached block {block_id} is free")
+            ensure(
+                block.prefix_key == key,
+                f"stale prefix back-pointer on block {block_id}",
+            )
+
+        outstanding = self._spec_outstanding
+        ensure(
+            len(outstanding)
+            == self.stats.spec_reserved
+            - self.stats.spec_promoted
+            - self.stats.spec_released,
+            "spec counters disagree with outstanding reservations",
+        )
+        ensure(
+            self.n_used == self.stats.allocated - self.stats.freed
+            + len(outstanding),
+            f"{self.n_used} used blocks but allocated-freed+outstanding = "
+            f"{self.stats.allocated - self.stats.freed + len(outstanding)}",
+        )
+        for block_id in sorted(outstanding):
+            block = self._blocks[block_id]
+            ensure(
+                block_id not in free_set,
+                f"spec reservation {block_id} sits on the free stack",
+            )
+            ensure(
+                block.ref_count == 1 and block.prefix_key is None,
+                f"spec reservation {block_id} was shared or published",
+            )
+        if not allow_spec_outstanding:
+            ensure(
+                not outstanding,
+                f"orphaned spec reservations {sorted(outstanding)}: a "
+                "draft-verify step ended without promote/release",
+            )
+
+        if tables is not None:
+            expected = [0] * self.capacity
+            for table in tables:
+                for block_id in table.block_ids:
+                    ensure(
+                        block_id not in free_set,
+                        f"chained block {block_id} sits on the free stack",
+                    )
+                    expected[block_id] += 1
+            for block_id in self._prefix_index.values():
+                expected[block_id] += 1
+            for block_id in outstanding:
+                expected[block_id] += 1
+            for block in self._blocks:
+                ensure(
+                    block.ref_count == expected[block.block_id],
+                    f"block {block.block_id} refcount {block.ref_count} != "
+                    f"{expected[block.block_id]} references "
+                    "(tables + prefix cache + spec reservations)",
+                )
+
+    def check_consistency(self) -> None:
+        """Back-compat alias for :meth:`audit` without table cross-checks."""
+        self.audit(allow_spec_outstanding=True)
 
 
 # ---- CPU/GPU tiered store + slot buffers (consolidated seed-era substrate) ---

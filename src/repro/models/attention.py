@@ -111,6 +111,9 @@ class AttentionModule:
 
     def project_latent(self, x: np.ndarray) -> np.ndarray:
         """MLA latent cache entries, shape (1, seq, latent)."""
+        # repro: allow(row-fused-matmul): MLA runs per-session in every
+        # decode mode (batched falls back per session), so this GEMM's
+        # shapes are mode-invariant and the reduction order never forks.
         c = x @ self.layer.w_dkv.T
         return c[None, :, :]
 
@@ -120,7 +123,10 @@ class AttentionModule:
         """Up-project latents (n, latent) to per-head K and V (heads, n, dim)."""
         cfg = self.config
         n = latents.shape[0]
+        # repro: allow(row-fused-matmul): per-session MLA up-projection;
+        # n is the selected-token count, identical across decode modes.
         k = (latents @ self.layer.w_uk.T).reshape(n, cfg.n_q_heads, cfg.head_dim)
+        # repro: allow(row-fused-matmul): same up-projection, value side.
         v = (latents @ self.layer.w_uv.T).reshape(n, cfg.n_q_heads, cfg.head_dim)
         k = k.transpose(1, 0, 2)
         v = v.transpose(1, 0, 2)
@@ -273,8 +279,12 @@ class AttentionModule:
             k_sel = keys[kv_head, idx]  # (k, dim)
             v_sel = values[kv_head, idx]
             q_group = q[kv_head * group : (kv_head + 1) * group]  # (group, dim)
+            # repro: allow(row-fused-matmul): per-kv-head score/output
+            # GEMMs; (group, k) shapes depend only on config and the
+            # policy's selection, both mode-invariant (PR 3 argument).
             scores = (q_group @ k_sel.T) * self._scale
             w = softmax(scores, axis=-1)
+            # repro: allow(row-fused-matmul): same per-kv-head slice shape.
             out_heads[kv_head * group : (kv_head + 1) * group] = w @ v_sel
             weights_list.append(w)
         weights = np.concatenate(weights_list, axis=0)
@@ -298,9 +308,11 @@ class AttentionModule:
             k_all, v_all = self._mla_expand(c_sel, np.asarray(idx))
             k_sel = k_all[head]
             v_sel = v_all[head]
+            # repro: allow(row-fused-matmul): per-head MLA scores; 1-D q
+            # row against (k, dim) keys, shapes mode-invariant.
             scores = (q[head] @ k_sel.T) * self._scale
             w = softmax(scores, axis=-1)
-            out_heads[head] = w @ v_sel
+            out_heads[head] = w @ v_sel  # repro: allow(row-fused-matmul)
             weights_rows.append(w)
         weights = np.stack(weights_rows, axis=0)
         return out_heads, weights
@@ -445,9 +457,12 @@ class AttentionModule:
                 width = int(limits[j])
                 k = caches[j].keys[0, :, :width]
                 v = caches[j].values[0, :, :width]
+                # repro: allow(row-fused-matmul): 3-D matmul = one GEMM
+                # per kv-head slice; per-slice reduction shapes match
+                # the sequential path exactly (dense verify rows).
                 scores = np.matmul(q_g[j], k.transpose(0, 2, 1)) * self._scale
                 w = softmax(scores, axis=-1)
-                out[j] = np.matmul(w, v)
+                out[j] = np.matmul(w, v)  # repro: allow(row-fused-matmul)
             return out.reshape(n, cfg.n_q_heads, cfg.head_dim)
         buckets: dict[tuple, list[int]] = {}
         for j, selection in enumerate(selections):
@@ -501,10 +516,14 @@ class AttentionModule:
                         caches[j].gather_into(selections[j], k[gi], v[gi])
             whole_batch = g == n  # skip fancy-index copies for one bucket
             qg = q_g if whole_batch else q_g[members]  # (g, Hkv, group, dim)
+            # repro: allow(row-fused-matmul): 4-D matmul dispatches one
+            # GEMM per (session, kv-head) slice — the per-slice shapes
+            # equal the sequential per-session scores, so reduction
+            # order (and therefore every bit) matches (PR 3 argument).
             scores = np.matmul(qg, k.transpose(0, 1, 3, 2)) * self._scale
             w = softmax(scores, axis=-1)
             if whole_batch:
-                out[:] = np.matmul(w, v)
+                out[:] = np.matmul(w, v)  # repro: allow(row-fused-matmul)
             else:
-                out[members] = np.matmul(w, v)
+                out[members] = np.matmul(w, v)  # repro: allow(row-fused-matmul)
         return out.reshape(n, cfg.n_q_heads, cfg.head_dim)

@@ -121,6 +121,9 @@ class ChaosReport:
     resubmissions: list[tuple[int, int]] = field(default_factory=list)
     faults_fired: list[Fault] = field(default_factory=list)
     steps: int = 0
+    # Replicas whose pool passed the post-plan invariant audit (dead
+    # workers are unreachable and excluded).
+    pools_audited: int = 0
 
     @property
     def foreground_streams(self) -> dict[int, list[int]]:
@@ -230,4 +233,10 @@ def run_chaos(
     report.resubmissions = list(executor.resubmissions)
     report.steps = step_no
     report.outputs.sort(key=lambda o: o.request_id)
+    # Post-plan pool audit on every surviving replica: after the trace
+    # drains, no block may be leaked, shared inconsistently, or left as
+    # an orphaned speculative reservation — faults included. A violation
+    # raises PoolAuditError out of run_chaos rather than letting a leak
+    # masquerade as a passing plan.
+    report.pools_audited = executor.audit_pools()
     return report

@@ -261,6 +261,11 @@ class _MultiprocHandle:
             if self._booted
             else max(self.heartbeat_s, _BOOT_GRACE_S)
         )
+        # The watchdog times out *real* child processes, so it must run
+        # on real time; it never feeds the deterministic step clock —
+        # death detection resolves to the same deterministic step either
+        # way (see test_engine_executor.py failover bit-identity).
+        # repro: allow(wall-clock): no-progress watchdog deadline
         deadline = time.monotonic() + window
         while True:
             progress = self._progress.value
@@ -270,8 +275,9 @@ class _MultiprocHandle:
                 last_progress = progress
                 self._booted = True
                 window = self.heartbeat_s
+                # repro: allow(wall-clock): watchdog deadline restart
                 deadline = time.monotonic() + window
-            remaining = deadline - time.monotonic()
+            remaining = deadline - time.monotonic()  # repro: allow(wall-clock)
             if remaining <= 0:
                 self._fail(
                     f"no reply to {op!r} and no progress within "
@@ -841,6 +847,29 @@ class ExecutorBase:
             meters.append(snapshot.meter)
         self._drain_recovery()
         return ThroughputMeter.merge(*meters)
+
+    def audit_pools(self) -> int:
+        """Run the pool-invariant audit on every live worker's replica.
+
+        Fans the ``audit`` op out to alive workers (it runs inside the
+        worker process, where the pool lives) and returns how many
+        replicas were audited. A violation ships back as
+        :class:`~repro.kvcache.pool.PoolAuditError` and is re-raised
+        here; a worker dying during the audit is treated like any other
+        death (quarantine + recovery), not an audit failure.
+        """
+        audited = 0
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                handle.call("audit")
+            except WorkerDied:
+                self._pending_recovery.append(handle.index)
+                continue
+            audited += 1
+        self._drain_recovery()
+        return audited
 
     # ---- lifecycle -------------------------------------------------------------
 

@@ -105,6 +105,8 @@ class WorkerCore:
     - ``stats()`` -> :class:`WorkerSnapshot`;
     - ``drain()`` -> step until the replica empties, one merged
       :class:`StepResult`;
+    - ``audit()`` -> run the pool-invariant audit in-process (raises
+      :class:`~repro.kvcache.pool.PoolAuditError` on violation);
     - ``ping()`` -> ``"pong"`` (liveness probe).
     """
 
@@ -194,8 +196,20 @@ class WorkerCore:
             failures=tuple(f for r in results for f in r.failures),
         )
 
-    def _op_ping(self) -> str:
+    # Liveness probe addressed to tests and external tooling; the
+    # executor's watchdog reads the shared progress counter instead.
+    def _op_ping(self) -> str:  # repro: allow(unused-op): test liveness probe
         return "pong"
+
+    def _op_audit(self) -> bool:
+        """Run the pool-invariant audit inside the worker process.
+
+        Raises (and ships back) PoolAuditError on violation, so the
+        chaos harness can audit every replica's pool — including child
+        processes the executor cannot reach directly — after each plan.
+        """
+        self.server.audit_pool()
+        return True
 
     def _op_chaos(self, kind: str, duration_s: float) -> str:
         """Arm a one-shot cooperative fault, executed at the next step.

@@ -212,6 +212,11 @@ def _error_type_for(status: int) -> str:
         return "timeout_error"
     if status >= 500:
         return "server_error"
+    if status == 400:
+        return "invalid_request_error"
+    # Unknown 4xx: client fault by default. The invariant linter
+    # (repro.analysis, error-contract pass) keeps the arms above in
+    # lockstep with the http_status values api/errors.py declares.
     return "invalid_request_error"
 
 
@@ -481,7 +486,8 @@ class HttpServer:
         await self._send_json(writer, 200, {
             "id": f"cmpl-{gid}",
             "object": "text_completion",
-            "created": int(time.time()),
+            # OpenAI-protocol response metadata, never token state.
+            "created": int(time.time()),  # repro: allow(wall-clock): protocol timestamp
             "model": model_name,
             "choices": [{
                 "index": 0,

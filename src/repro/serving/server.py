@@ -565,6 +565,21 @@ class SpeContextServer:
             for s in (*self._waiting, *self._active)
         )
 
+    def audit_pool(self) -> None:
+        """Full pool-invariant audit against every live session's chains.
+
+        Called between waves (tests, chaos harness), so no speculative
+        reservation may be outstanding: every draft-verify step promotes
+        or releases before its wave ends. Raises
+        :class:`~repro.kvcache.pool.PoolAuditError` on any violation.
+        """
+        self.pool.audit(
+            tables=[
+                s.block_table for s in (*self._waiting, *self._active)
+            ],
+            allow_spec_outstanding=False,
+        )
+
     @property
     def outputs(self) -> list[GenerationOutput]:
         """All outputs completed over the server's lifetime."""

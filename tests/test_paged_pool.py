@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.kvcache.pool import (
     BlockTable,
     PagedKVPool,
+    PoolAuditError,
     PoolExhausted,
     hash_token_prefix,
 )
@@ -87,7 +88,9 @@ class PoolModel:
         self.expected[t] = []
 
     def check(self) -> None:
-        self.pool.check_consistency()
+        # Full invariant audit against the live tables: refcount totals,
+        # free-stack disjointness, prefix-index health, spec accounting.
+        self.pool.audit(tables=self.tables)
         held = sum(len(t) for t in self.tables)
         # Every held reference is backed by an in-use block and vice versa
         # (no cached blocks in this walk, so refs come only from tables).
@@ -279,7 +282,7 @@ class TestPrefixCache:
         assert pool.match_prefix(np.arange(100, 108), 8) == []
         for block_id in held:
             pool.release(block_id)
-        pool.check_consistency()
+        pool.audit(tables=[])
 
     def test_referenced_cached_blocks_never_evicted(self):
         pool = PagedKVPool(3, block_size=4)
@@ -296,3 +299,57 @@ class TestPrefixCache:
         table.block_ids.append(pool.allocate())
         with pytest.raises(ValueError, match="payload"):
             pool.publish_prefix(np.arange(4), table, 1)
+
+
+class TestPoolAudit:
+    """The audit must *fail* on seeded corruption, not just pass clean."""
+
+    def test_clean_pool_passes_with_tables(self):
+        pool = PagedKVPool(8, block_size=4)
+        table = BlockTable()
+        table.block_ids.extend(pool.allocate() for _ in range(3))
+        pool.audit(tables=[table])
+        pool.free_table(table)
+        pool.audit(tables=[])
+
+    def test_orphaned_spec_reservation_is_caught(self):
+        pool = PagedKVPool(8, block_size=4)
+        reserved = pool.reserve_spec(2)
+        assert len(reserved) == 2
+        # Mid-wave callers may carry reservations across the check...
+        pool.audit(allow_spec_outstanding=True)
+        # ...but a wave that ends without promote/release is a leak.
+        with pytest.raises(PoolAuditError, match="orphaned spec"):
+            pool.audit()
+        pool.release_spec(reserved)
+        pool.audit()
+
+    def test_refcount_drift_vs_tables_is_caught(self):
+        pool = PagedKVPool(8, block_size=4)
+        table = BlockTable()
+        table.block_ids.append(pool.allocate())
+        # Simulate a lost-reference bug: a table chains a block the pool
+        # no longer counts a holder for.
+        pool._blocks[table.block_ids[0]].ref_count += 1
+        with pytest.raises(PoolAuditError, match="refcount"):
+            pool.audit(tables=[table])
+
+    def test_free_stack_corruption_is_caught(self):
+        pool = PagedKVPool(8, block_size=4)
+        block_id = pool.allocate()
+        # Simulate a double-free: a live block pushed back on the stack.
+        pool._free.append(block_id)
+        with pytest.raises(PoolAuditError):
+            pool.audit()
+
+    def test_spec_counter_identity_is_checked(self):
+        pool = PagedKVPool(8, block_size=4)
+        reserved = pool.reserve_spec(1)
+        table = BlockTable()
+        pool.promote_spec(table, reserved)
+        pool.audit(tables=[table])
+        # Promotions count as allocations; the identity must notice if
+        # the counters drift from the outstanding set.
+        pool.stats.spec_promoted += 1
+        with pytest.raises(PoolAuditError, match="spec counters"):
+            pool.audit(tables=[table])
