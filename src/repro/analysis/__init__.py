@@ -1,6 +1,6 @@
 """Static invariant analysis for the reproduction (``python -m repro.analysis``).
 
-Four AST-based passes enforce, at lint time, the invariants the test
+Five AST-based passes enforce, at lint time, the invariants the test
 suite otherwise only catches after the fact:
 
 1. **determinism** (:mod:`repro.analysis.determinism`) — wall-clock
@@ -12,7 +12,10 @@ suite otherwise only catches after the fact:
 3. **worker protocol** (:mod:`repro.analysis.protocol`) — the ops the
    executor issues vs the ops ``WorkerCore`` dispatches, with arity;
 4. **error contract** (:mod:`repro.analysis.contract`) — every
-   ``http_status``-carrying error type vs the HTTP layer's mapper.
+   ``http_status``-carrying error type vs the HTTP layer's mapper;
+5. **HTTP schema** (:mod:`repro.analysis.schema`) — the completions
+   request allowlist vs the fields the parser reads, and serialized
+   response key sets vs the committed ``http_schema.json`` table.
 
 Findings are filtered by inline ``# repro: allow(<rule>)`` suppressions
 and the committed ``baseline.json`` (see

@@ -26,7 +26,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.analysis",
         description=(
             "Static invariant linter: determinism, pool resource pairing, "
-            "worker wire protocol, HTTP error contract."
+            "worker wire protocol, HTTP error contract, HTTP schema."
         ),
     )
     parser.add_argument(

@@ -1,11 +1,11 @@
-"""Orchestrates the four passes over a file tree and applies overlays.
+"""Orchestrates the five passes over a file tree and applies overlays.
 
 The flow: discover ``*.py`` files, parse each once into a
 :class:`~repro.analysis.astutil.Module`, run the per-file passes
 (determinism, resource pairing), locate the cross-file pass inputs by
-path suffix (worker/executor for the protocol pass, errors/http for the
-contract pass), then subtract inline suppressions and the committed
-baseline. :func:`run` returns a :class:`Report`; the CLI in
+path suffix (worker/executor for the protocol pass, errors/http for
+the contract pass, http alone for the schema pass), then subtract
+inline suppressions and the committed baseline. :func:`run` returns a :class:`Report`; the CLI in
 :mod:`repro.analysis.__main__` turns it into text or JSON and an exit
 code.
 """
@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis import contract, determinism, protocol, resources
+from repro.analysis import contract, determinism, protocol, resources, schema
 from repro.analysis.astutil import Module
 from repro.analysis.findings import Baseline, Finding
 
@@ -27,7 +27,11 @@ ERRORS_SUFFIX = ("api", "errors.py")
 HTTP_SUFFIX = ("serving", "http.py")
 
 ALL_RULES: tuple[str, ...] = (
-    determinism.RULES + resources.RULES + protocol.RULES + contract.RULES
+    determinism.RULES
+    + resources.RULES
+    + protocol.RULES
+    + contract.RULES
+    + schema.RULES
 )
 
 RULE_DOCS: dict[str, str] = {
@@ -44,6 +48,10 @@ RULE_DOCS: dict[str, str] = {
     "unknown-contract-status": "mapped status no error type carries",
     "error-missing-code": "http_status without a code slug",
     "duplicate-error-code": "two error types share a code slug",
+    "unknown-fields-accepted": "completions parser skips the allowlist check",
+    "schema-field-unlisted": "parsed body field the allowlist omits",
+    "schema-field-unread": "allowlisted body field never parsed",
+    "schema-response-drift": "response keys vs the committed schema table",
 }
 
 
@@ -152,6 +160,8 @@ def run(
     for errors_mod in errors_mods:
         for http_mod in http_mods:
             raw.extend(contract.check_contract(errors_mod, http_mod))
+    for http_mod in http_mods:
+        raw.extend(schema.check_schema(http_mod))
 
     if rules is not None:
         raw = [f for f in raw if f.rule in rules]

@@ -328,6 +328,30 @@ class ClusterConfig:
             declares the worker dead and fails over. Each retry backs
             off ``pipe_retry_backoff_s * attempt`` seconds.
         pipe_retry_backoff_s: base backoff between pipe-send retries.
+        roles: per-replica serving role for disaggregated prefill/decode
+            — a tuple of ``"prefill"``, ``"decode"`` and ``"mixed"``
+            entries, one per replica. New requests are only *placed* on
+            prefill-capable replicas (``prefill``/``mixed``), and a
+            session whose prefill completes on a ``prefill`` replica is
+            handed off (live KV migration) to the least-loaded
+            decode-capable replica after the step. None (default) makes
+            every replica ``mixed``: placement, stepping and routing are
+            byte-for-byte the historical behavior. Roles bias placement
+            only — every replica remains a full server, so a missing
+            decode target degrades to local decode, never to an error.
+        rebalance_every: run a live-migration rebalance pass every this
+            many cluster steps (0, the default, disables periodic
+            rebalancing; an explicit ``rebalance()`` call always works).
+            A pass drains whole sessions — KV blocks, policy state, RNG
+            — from the most loaded replica to the least loaded one; the
+            migrated stream stays bit-identical to a never-migrated run.
+        rebalance_ratio: load skew that triggers a migration: a session
+            moves only while the source's load exceeds
+            ``rebalance_ratio`` times the destination's (load is the
+            reserved-token charge plus queue depth, the same quantity
+            the least-loaded router balances).
+        max_migrations_per_pass: cap on sessions moved per rebalance
+            pass, bounding per-step migration work.
 
     Name resolution happens when the frontend builds the router (this
     module must stay import-cycle-free below the serving layer), so an
@@ -343,6 +367,10 @@ class ClusterConfig:
     pace_s_per_token: float = 0.0
     pipe_retries: int = 2
     pipe_retry_backoff_s: float = 0.05
+    roles: tuple[str, ...] | None = None
+    rebalance_every: int = 0
+    rebalance_ratio: float = 1.5
+    max_migrations_per_pass: int = 4
 
     def __post_init__(self):
         if self.n_replicas < 1:
@@ -378,4 +406,43 @@ class ClusterConfig:
             raise ConfigValidationError(
                 f"pipe_retry_backoff_s must be finite and >= 0, "
                 f"got {self.pipe_retry_backoff_s}"
+            )
+        if self.roles is not None:
+            roles = tuple(self.roles)
+            if len(roles) != self.n_replicas:
+                raise ConfigValidationError(
+                    f"roles must name one role per replica: got "
+                    f"{len(roles)} roles for {self.n_replicas} replicas"
+                )
+            for role in roles:
+                if role not in ("prefill", "decode", "mixed"):
+                    raise ConfigValidationError(
+                        f"roles entries must be 'prefill', 'decode' or "
+                        f"'mixed', got {role!r}"
+                    )
+            if not any(r in ("prefill", "mixed") for r in roles):
+                raise ConfigValidationError(
+                    "roles must include at least one prefill-capable "
+                    "replica ('prefill' or 'mixed'); nothing could accept "
+                    "new requests otherwise"
+                )
+            # Normalize to a tuple so the config stays hashable-ish and
+            # picklable regardless of what sequence the caller passed.
+            object.__setattr__(self, "roles", roles)
+        if self.rebalance_every < 0:
+            raise ConfigValidationError(
+                f"rebalance_every must be >= 0, got {self.rebalance_every}"
+            )
+        if (
+            not math.isfinite(self.rebalance_ratio)
+            or self.rebalance_ratio < 1.0
+        ):
+            raise ConfigValidationError(
+                f"rebalance_ratio must be finite and >= 1.0, "
+                f"got {self.rebalance_ratio}"
+            )
+        if self.max_migrations_per_pass < 1:
+            raise ConfigValidationError(
+                f"max_migrations_per_pass must be >= 1, "
+                f"got {self.max_migrations_per_pass}"
             )

@@ -220,19 +220,10 @@ class DraftModel:
         tokens (the token-shift mixer needs a previous token) or a query
         token outside the draft vocabulary.
         """
-        ids = np.asarray(context_ids, dtype=np.int64)
-        if ids.ndim != 1 or ids.size < 2:
+        vec = self._pooled(np.asarray(context_ids, dtype=np.int64))
+        if vec is None:
             return None
-        last = int(ids[-1])
-        if not self.knows(last):
-            return None
-        cur = self._context_rows(ids[:-1])
-        prev = self._context_rows(np.concatenate([ids[:1], ids[:-2]]))
-        mixed = prev + self.shift_mix * cur
-        q = self.G @ self.content[last]
-        keys = mixed @ self.H.T
-        w = softmax(self.sharpness * (keys @ q))
-        logits = self.readout_gain * (self.content_draft @ (w @ cur))
+        logits = self.readout_gain * (self.content_draft @ vec)
         return int(self.token_map[int(np.argmax(logits))])
 
     def draft(self, context_ids, k: int) -> list[int]:
@@ -252,6 +243,65 @@ class DraftModel:
             out.append(token)
             ids.append(token)
         return out
+
+    def _pooled(self, ids: np.ndarray) -> np.ndarray | None:
+        """The attention-pooled content vector behind one greedy step.
+
+        ``greedy_next`` factors as readout(pooled(context)); batching
+        shares the readout matmul across contexts, so the pooling half is
+        exposed separately. None under the same conditions ``greedy_next``
+        returns None.
+        """
+        if ids.ndim != 1 or ids.size < 2:
+            return None
+        last = int(ids[-1])
+        if not self.knows(last):
+            return None
+        cur = self._context_rows(ids[:-1])
+        prev = self._context_rows(np.concatenate([ids[:1], ids[:-2]]))
+        mixed = prev + self.shift_mix * cur
+        q = self.G @ self.content[last]
+        keys = mixed @ self.H.T
+        w = softmax(self.sharpness * (keys @ q))
+        return w @ cur
+
+    def draft_batch(self, contexts, k: int) -> list[list[int]]:
+        """Propose up to ``k`` greedy tokens for every context at once.
+
+        Equivalent to ``[self.draft(ctx, k) for ctx in contexts]`` but the
+        truncated-vocab readout — the dominant cost, one
+        ``(draft_vocab, dc)`` matvec per context per step in :meth:`draft`
+        — is fused into a single ``(batch, dc) x (dc, draft_vocab)``
+        matmul over all still-drafting contexts per step. The attention
+        pooling stays per-context (contexts are ragged). A context that
+        cannot draft contributes an empty (or truncated) proposal without
+        stalling its batch peers.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        ids_list = [[int(t) for t in ctx] for ctx in contexts]
+        outs: list[list[int]] = [[] for _ in ids_list]
+        active = list(range(len(ids_list)))
+        for _ in range(k):
+            pooled: list[np.ndarray] = []
+            keep: list[int] = []
+            for i in active:
+                vec = self._pooled(np.asarray(ids_list[i], dtype=np.int64))
+                if vec is None:
+                    continue
+                pooled.append(vec)
+                keep.append(i)
+            if not keep:
+                break
+            logits = self.readout_gain * (
+                np.stack(pooled) @ self.content_draft.T
+            )
+            for row, i in enumerate(keep):
+                token = int(self.token_map[int(np.argmax(logits[row]))])
+                outs[i].append(token)
+                ids_list[i].append(token)
+            active = keep
+        return outs
 
 
 def pruning_report(

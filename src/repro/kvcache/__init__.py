@@ -20,6 +20,7 @@ inside :mod:`repro.retrieval.quest`, which never used the standalone
 
 from repro.kvcache.cache import LayerKVCache, ModelKVCache
 from repro.kvcache.pool import (
+    BlockChainExport,
     BlockTable,
     GpuSlotBuffer,
     PagedKVPool,
@@ -31,6 +32,7 @@ from repro.kvcache.pool import (
 )
 
 __all__ = [
+    "BlockChainExport",
     "BlockTable",
     "GpuSlotBuffer",
     "LayerKVCache",

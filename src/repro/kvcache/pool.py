@@ -82,6 +82,10 @@ class PoolStats:
     spec_reserved: int = 0
     spec_promoted: int = 0
     spec_released: int = 0
+    # Live-migration chain traffic (export_chain / import_chain).
+    chain_exports: int = 0
+    chain_blocks_exported: int = 0
+    chain_blocks_imported: int = 0
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -101,6 +105,30 @@ class BlockTable:
 
     def __iter__(self):
         return iter(self.block_ids)
+
+
+@dataclass
+class BlockChainExport:
+    """Portable snapshot of one sequence's full-block chain.
+
+    Produced by :meth:`PagedKVPool.export_chain`, consumed by
+    :meth:`PagedKVPool.import_chain` on another replica's pool. Payloads
+    are deep copies, so the export stays valid after the source frees the
+    blocks; everything here pickles, so the chain can ride a worker pipe.
+
+    ``token_ids`` covers the whole prefix up to the last exported block
+    (prefix keys hash the *entire* covered prefix); ``start_block`` is
+    the logical index of ``payloads[0]`` within that prefix.
+    """
+
+    block_size: int
+    token_ids: np.ndarray
+    start_block: int
+    payloads: list[BlockPayload]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.payloads)
 
 
 def hash_token_prefix(token_ids: np.ndarray, n_tokens: int) -> bytes:
@@ -455,6 +483,93 @@ class PagedKVPool:
             self.retain(block_id)
             table.block_ids.append(block_id)
         self.stats.prefix_blocks_reused += len(block_ids)
+
+    # ---- live migration: block-chain export / import ----------------------------
+
+    def export_chain(
+        self,
+        token_ids: np.ndarray,
+        table: BlockTable,
+        n_full_blocks: int,
+        start_block: int = 0,
+    ) -> "BlockChainExport":
+        """Snapshot a sequence's published-eligible block chain for migration.
+
+        Deep-copies the payloads of the table's blocks in
+        ``[start_block, n_full_blocks)`` together with the token prefix
+        that keys them, producing a picklable :class:`BlockChainExport` a
+        destination pool can :meth:`import_chain`. The walk stops at the
+        first block without an attached payload (only written blocks —
+        prefix-cache entries and CoW forks — carry transferable data).
+
+        Read-only on this pool: refcounts, the free stack and the prefix
+        index are untouched; the caller frees the source table separately
+        (via the ordinary preempt/abort paths) once the move commits.
+        """
+        payloads: list[BlockPayload] = []
+        end = min(n_full_blocks, len(table.block_ids))
+        for i in range(start_block, end):
+            payload = self.read_block(table.block_ids[i])
+            if payload is None:
+                break
+            payloads.append([(k.copy(), v.copy()) for k, v in payload])
+        n_tokens = (start_block + len(payloads)) * self.block_size
+        export = BlockChainExport(
+            block_size=self.block_size,
+            token_ids=np.ascontiguousarray(
+                np.asarray(token_ids[:n_tokens], dtype=np.int64)
+            ),
+            start_block=start_block,
+            payloads=payloads,
+        )
+        self.stats.chain_exports += 1
+        self.stats.chain_blocks_exported += len(payloads)
+        return export
+
+    def import_chain(self, export: "BlockChainExport") -> int:
+        """Re-publish an exported block chain into this pool's prefix cache.
+
+        Each exported block is keyed exactly as :meth:`publish_prefix`
+        would key it (chained hash of the full covered prefix), so a chain
+        that migrates with a session warms the destination's prefix cache
+        for every later request sharing the prefix. Blocks whose key is
+        already cached are deduplicated (LRU position refreshed, no new
+        allocation). Import is opportunistic like any cache warm: it stops
+        quietly when the pool cannot produce another block, and returns
+        the number of blocks newly published.
+
+        Imported blocks are held by the prefix cache alone (refcount 1),
+        indistinguishable from locally published entries: evictable under
+        pressure, acquirable by later sequences, visible to audit().
+        """
+        if export.block_size != self.block_size:
+            raise ValueError(
+                f"chain block_size {export.block_size} != pool block_size "
+                f"{self.block_size}"
+            )
+        imported = 0
+        for i, payload in enumerate(export.payloads):
+            logical = export.start_block + i
+            key = hash_token_prefix(
+                export.token_ids, (logical + 1) * self.block_size
+            )
+            if key in self._prefix_index:
+                # Already resident here: refresh LRU, keep the local copy.
+                self._prefix_index[key] = self._prefix_index.pop(key)
+                continue
+            if not self.can_allocate(1):
+                break
+            block_id = self.allocate()
+            block = self._blocks[block_id]
+            # allocate() hands back refcount 1; that single reference is
+            # the prefix cache's own hold, exactly as a locally published
+            # block ends up once its table releases it.
+            block.payload = [(k.copy(), v.copy()) for k, v in payload]
+            block.prefix_key = key
+            self._prefix_index[key] = block_id
+            imported += 1
+        self.stats.chain_blocks_imported += imported
+        return imported
 
     def _evict_one_unreferenced(self) -> bool:
         """Drop the least-recently-used cache-only block; True on success."""

@@ -43,6 +43,7 @@ from repro.serving.engine import (
     make_executor,
 )
 from repro.serving.meter import ThroughputMeter
+from repro.serving.placement import MigrationPlan, Placement, PlacementEngine
 from repro.serving.policies import (
     AdmissionController,
     RouterPolicy,
@@ -57,11 +58,17 @@ from repro.serving.policies import (
     resolve_router_name,
     resolve_scheduler_name,
 )
+from repro.serving.registry import (
+    UnknownAdmissionError,
+    UnknownRouterError,
+    UnknownSchedulerError,
+)
 from repro.serving.request import Request, RequestState
 from repro.serving.scheduler import BatchPlan, StaticBatchScheduler
 from repro.serving.server import (
     PreemptionEvent,
     RequestFailure,
+    SessionExport,
     SpeContextServer,
     StreamEvent,
 )
@@ -85,19 +92,26 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "InProcessExecutor",
+    "MigrationPlan",
     "MultiprocExecutor",
+    "Placement",
+    "PlacementEngine",
     "PreemptionEvent",
     "Request",
     "RequestFailure",
     "RequestState",
     "RouterPolicy",
     "SchedulerPolicy",
+    "SessionExport",
     "SpeContextServer",
     "StaticBatchScheduler",
     "StepResult",
     "StreamEvent",
     "ThroughputMeter",
     "TraceEntry",
+    "UnknownAdmissionError",
+    "UnknownRouterError",
+    "UnknownSchedulerError",
     "WorkerHealth",
     "available_admissions",
     "available_routers",

@@ -122,6 +122,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stickiness-tokens", type=int, default=16,
                         help="minimum cached-prefix match for the "
                         "prefix-affinity router to stick to a replica")
+    parser.add_argument("--roles", default=None,
+                        help="comma-separated per-replica roles "
+                        "(prefill/decode/mixed), one per replica; enables "
+                        "disaggregated serving with prefill->decode "
+                        "handoffs (default: all mixed)")
+    parser.add_argument("--rebalance-every", type=int, default=0,
+                        help="run a live-migration rebalance pass every N "
+                        "cluster steps (0 disables)")
+    parser.add_argument("--rebalance-ratio", type=float, default=1.5,
+                        help="load imbalance ratio (max/min) that triggers "
+                        "a migration during a rebalance pass")
+    parser.add_argument("--max-migrations-per-pass", type=int, default=4,
+                        help="cap on sessions moved per rebalance pass")
     parser.add_argument("--serve-http", action="store_true",
                         help="serve an OpenAI-style HTTP + SSE frontend "
                         "instead of running the built-in request queue")
@@ -169,17 +182,27 @@ def main(argv: list[str] | None = None) -> int:
         spec_decode_k=args.spec_decode_k,
         admission=admission,
     )
-    if args.serve_http:
-        import asyncio
-
-        from repro.serving.http import build_http_server, serve_async
-
+    roles = None
+    if args.roles:
+        roles = tuple(r.strip() for r in args.roles.split(",") if r.strip())
+    try:
         cluster = ClusterConfig(
             n_replicas=args.replicas,
             router=router,
             stickiness_tokens=args.stickiness_tokens,
             executor=args.executor,
+            roles=roles,
+            rebalance_every=args.rebalance_every,
+            rebalance_ratio=args.rebalance_ratio,
+            max_migrations_per_pass=args.max_migrations_per_pass,
         )
+    except ValueError as err:
+        print(err, file=sys.stderr)
+        return 2
+    if args.serve_http:
+        import asyncio
+
+        from repro.serving.http import build_http_server, serve_async
         http_server = build_http_server(model, tokenizer, engine_config, cluster)
         print(
             f"serving {http_server.model_name} on "
@@ -191,15 +214,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.replicas > 1:
-            frontend = ClusterFrontend(
-                model,
-                engine_config,
-                ClusterConfig(
-                    n_replicas=args.replicas,
-                    router=router,
-                    stickiness_tokens=args.stickiness_tokens,
-                ),
-            )
+            frontend = ClusterFrontend(model, engine_config, cluster)
             server = frontend.replicas[0]
         else:
             frontend = None
@@ -342,6 +357,16 @@ def main(argv: list[str] | None = None) -> int:
             title=f"{router} routing, {routing.hit_rate:.0%} affinity hit "
             "rate (non-cold)",
         ))
+        if frontend.migrations:
+            handoffs = sum(
+                1 for m in frontend.migrations
+                if m.reason == "prefill_handoff"
+            )
+            print(
+                f"migrations: {len(frontend.migrations)} sessions moved "
+                f"live ({handoffs} prefill handoffs, "
+                f"{len(frontend.migrations) - handoffs} rebalance)"
+            )
     return 0
 
 

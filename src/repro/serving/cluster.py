@@ -33,11 +33,22 @@ Request ids are assigned globally by the frontend and passed through to
 the replicas (each replica sees an increasing subsequence, which the
 server's submission contract accepts), so stream events, outputs and
 preemption events all speak global ids without a translation table.
+
+Placement decisions are made by the shared
+:class:`~repro.serving.placement.PlacementEngine` (the same surface the
+process-parallel executor speaks), which also plans **live KV
+migrations**: a ``rebalance()`` pass drains whole sessions — KV blocks,
+policy state, RNG — from the most loaded replica to the least loaded
+one, and in disaggregated mode (``cluster.roles``) sessions that finish
+prefill on a ``prefill``-role replica hand off to a decode-capable
+replica after every step. Migration moves the session object wholesale
+(:meth:`~repro.serving.server.SpeContextServer.export_session`), so the
+continued stream is bit-identical to a never-migrated run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,8 +57,19 @@ from repro.api.request import GenerationOutput, GenerationRequest
 from repro.core.memory_model import MemoryModel
 from repro.models.llm import TransformerLM
 from repro.serving.meter import ThroughputMeter
-from repro.serving.policies import make_router, resolve_router_name
+from repro.serving.placement import (
+    ClusterRoutingStats,
+    MigrationPlan,
+    PlacementEngine,
+)
 from repro.serving.server import PreemptionEvent, SpeContextServer, StreamEvent
+
+__all__ = [
+    "ClusterFrontend",
+    "ClusterPreemptionEvent",
+    "ClusterRoutingStats",
+    "MigrationPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -56,37 +78,6 @@ class ClusterPreemptionEvent:
 
     replica: int
     event: PreemptionEvent
-
-
-@dataclass
-class ClusterRoutingStats:
-    """Per-replica placement accounting (one list slot per replica).
-
-    A routed request is an **affinity hit** when the chosen replica's
-    prefix cache covered at least ``stickiness_tokens`` of its prompt at
-    placement time, an **affinity miss** when some *other* replica held
-    such a match but the chosen one did not (locality left on the
-    table — the round-robin failure mode), and **cold** when no replica
-    held a qualifying match (nothing to exploit; every group's first
-    request is cold). Hits + misses + cold = routed.
-    """
-
-    routed: list[int] = field(default_factory=list)
-    affinity_hits: list[int] = field(default_factory=list)
-    affinity_misses: list[int] = field(default_factory=list)
-    cold: list[int] = field(default_factory=list)
-
-    @property
-    def total_routed(self) -> int:
-        return sum(self.routed)
-
-    @property
-    def hit_rate(self) -> float:
-        """Affinity hits over non-cold placements (1.0 when all cold)."""
-        contested = sum(self.affinity_hits) + sum(self.affinity_misses)
-        if contested == 0:
-            return 1.0
-        return sum(self.affinity_hits) / contested
 
 
 class _ReplicaView:
@@ -108,32 +99,6 @@ class _ReplicaView:
         return self.server.pool.longest_prefix_match(prompt_ids)
 
 
-class _ProbedView:
-    """A replica view with this request's prefix probe precomputed.
-
-    The frontend probes every replica once per submission (it needs the
-    matches for hit/miss accounting whatever the router); handing the
-    router these memoized views means ``prefix_affinity`` does not walk
-    the blake2b chains a second time.
-    """
-
-    def __init__(self, view: _ReplicaView, match: int):
-        self._view = view
-        self.index = view.index
-        self._match = match
-
-    @property
-    def queue_depth(self) -> int:
-        return self._view.queue_depth
-
-    @property
-    def reserved_tokens(self) -> int:
-        return self._view.reserved_tokens
-
-    def prefix_match_tokens(self, prompt_ids: np.ndarray) -> int:
-        return self._match
-
-
 class ClusterFrontend:
     """N server replicas behind one request-level API."""
 
@@ -146,10 +111,11 @@ class ClusterFrontend:
     ):
         self.config = config or EngineConfig()
         self.cluster = cluster or ClusterConfig()
-        router_opts = {}
-        if resolve_router_name(self.cluster.router) == "prefix_affinity":
-            router_opts["stickiness_tokens"] = self.cluster.stickiness_tokens
-        self.router = make_router(self.cluster.router, **router_opts)
+        self.placement = PlacementEngine(
+            self.cluster, self.cluster.n_replicas
+        )
+        self.router = self.placement.router  # historical alias
+        self.routing = self.placement.routing
         self.replicas = [
             SpeContextServer(model, self.config, memory_model)
             for _ in range(self.cluster.n_replicas)
@@ -157,16 +123,12 @@ class ClusterFrontend:
         self._views = [
             _ReplicaView(i, server) for i, server in enumerate(self.replicas)
         ]
-        self.routing = ClusterRoutingStats(
-            routed=[0] * self.cluster.n_replicas,
-            affinity_hits=[0] * self.cluster.n_replicas,
-            affinity_misses=[0] * self.cluster.n_replicas,
-            cold=[0] * self.cluster.n_replicas,
-        )
         self._replica_of: dict[int, int] = {}  # request id -> replica index
         self._stream: list[StreamEvent] = []
         self._preemption_log: list[ClusterPreemptionEvent] = []
         self._preemption_cursors = [0] * self.cluster.n_replicas
+        self.migrations: list[MigrationPlan] = []  # applied, in order
+        self._steps_since_rebalance = 0
         self._next_id = 0
         self._clock = 0.0
 
@@ -191,23 +153,8 @@ class ClusterFrontend:
                 f"request_id {request.request_id} already used; ids must be "
                 "unique and increasing"
             )
-        # One probe per replica feeds both the router (through memoized
-        # views, so prefix_affinity never re-walks the hash chains) and
-        # the hit/miss accounting below.
-        matches = [
-            view.prefix_match_tokens(request.prompt_ids) for view in self._views
-        ]
-        probed = [
-            _ProbedView(view, match)
-            for view, match in zip(self._views, matches)
-        ]
-        cursor = getattr(self.router, "_next", None)
-        chosen = self.router.route(request, probed)
-        if not 0 <= chosen < self.n_replicas:
-            raise ValueError(
-                f"router {self.router.name!r} returned replica {chosen}; "
-                f"cluster has {self.n_replicas}"
-            )
+        placement = self.placement.place(request, self._views)
+        chosen = placement.target
         preset = request.request_id
         if preset is None:
             request.request_id = self._next_id
@@ -215,19 +162,11 @@ class ClusterFrontend:
             request_id = self.replicas[chosen].add_request(request)
         except Exception:
             request.request_id = preset
-            if cursor is not None:
-                self.router._next = cursor
+            self.placement.rollback(placement)
             raise
+        self.placement.commit(placement)
         self._next_id = request_id + 1
         self._replica_of[request_id] = chosen
-        self.routing.routed[chosen] += 1
-        threshold = self.cluster.stickiness_tokens
-        if matches[chosen] >= threshold:
-            self.routing.affinity_hits[chosen] += 1
-        elif max(matches) >= threshold:
-            self.routing.affinity_misses[chosen] += 1
-        else:
-            self.routing.cold[chosen] += 1
         return request_id
 
     def replica_of(self, request_id: int) -> int:
@@ -273,6 +212,16 @@ class ClusterFrontend:
                 )
             self._preemption_cursors[i] = len(log)
         self._clock += 1.0
+        if self.placement.disaggregated:
+            self._apply_plans(
+                self.placement.plan_handoffs(self._loads(), self._migratable())
+            )
+        every = self.cluster.rebalance_every
+        if every > 0:
+            self._steps_since_rebalance += 1
+            if self._steps_since_rebalance >= every:
+                self._steps_since_rebalance = 0
+                self.rebalance()
         return sorted(finished, key=lambda o: o.request_id)
 
     def run(self) -> list[GenerationOutput]:
@@ -281,6 +230,82 @@ class ClusterFrontend:
         while self.has_unfinished:
             outputs.extend(self.step())
         return sorted(outputs, key=lambda o: o.request_id)
+
+    # ---- live migration --------------------------------------------------------
+
+    def rebalance(self) -> list[MigrationPlan]:
+        """Drain sessions from overloaded replicas onto idle ones.
+
+        Plans via the shared :meth:`~repro.serving.placement
+        .PlacementEngine.plan_rebalance` and applies each move as a live
+        KV migration (:meth:`~repro.serving.server.SpeContextServer
+        .export_session` -> ``import_session``); the migrated request's
+        remaining stream is bit-identical to a never-migrated run.
+        Returns the plans actually applied (a session that finished
+        between planning and export is skipped, not an error). Must be
+        called between steps, never mid-wave.
+        """
+        return self._apply_plans(
+            self.placement.plan_rebalance(self._loads(), self._migratable())
+        )
+
+    def migrate(self, request_id: int, target: int) -> bool:
+        """Migrate one in-flight request to ``target`` (manual override).
+
+        Returns False when the request is unknown or already finished;
+        raises :class:`IndexError` for an out-of-range target.
+        """
+        if not 0 <= target < self.n_replicas:
+            raise IndexError(
+                f"target replica {target} out of range "
+                f"(cluster has {self.n_replicas})"
+            )
+        source = self._replica_of.get(request_id)
+        if source is None or source == target:
+            return False
+        export = self.replicas[source].export_session(request_id)
+        if export is None:
+            return False
+        self.replicas[target].import_session(export)
+        self._replica_of[request_id] = target
+        self.migrations.append(
+            MigrationPlan(
+                request_id=request_id,
+                source=source,
+                target=target,
+                charge=export.request.prompt_len
+                + export.request.sampling.max_new_tokens,
+                reason="manual",
+            )
+        )
+        return True
+
+    def _loads(self) -> list[int]:
+        return [
+            view.reserved_tokens + view.queue_depth for view in self._views
+        ]
+
+    def _migratable(self) -> dict[int, list[tuple[int, int, bool]]]:
+        return {
+            i: server.migratable_requests()
+            for i, server in enumerate(self.replicas)
+        }
+
+    def _apply_plans(
+        self, plans: list[MigrationPlan]
+    ) -> list[MigrationPlan]:
+        applied: list[MigrationPlan] = []
+        for plan in plans:
+            export = self.replicas[plan.source].export_session(
+                plan.request_id
+            )
+            if export is None:
+                continue  # finished between planning and export
+            self.replicas[plan.target].import_session(export)
+            self._replica_of[plan.request_id] = plan.target
+            self.migrations.append(plan)
+            applied.append(plan)
+        return applied
 
     # ---- merged views ----------------------------------------------------------
 

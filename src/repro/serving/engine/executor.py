@@ -46,7 +46,7 @@ from repro.api.config import ClusterConfig, EngineConfig
 from repro.api.errors import EngineUnavailableError, RequestValidationError
 from repro.api.request import GenerationOutput, GenerationRequest
 from repro.models.llm import TransformerLM
-from repro.serving.cluster import ClusterPreemptionEvent, ClusterRoutingStats
+from repro.serving.cluster import ClusterPreemptionEvent
 from repro.serving.engine.worker import (
     StepResult,
     WorkerCore,
@@ -54,12 +54,17 @@ from repro.serving.engine.worker import (
     worker_main,
 )
 from repro.serving.meter import ThroughputMeter
-from repro.serving.policies import make_router, resolve_router_name
+from repro.serving.placement import MigrationPlan, PlacementEngine
 from repro.serving.server import RequestFailure, SpeContextServer, StreamEvent
 
 # Load sentinel for dead workers' router views: large enough that any
 # load-aware router avoids them, finite so key arithmetic stays exact.
 _DEAD_LOAD = 1 << 40
+
+# Prompt placeholder for load-only probes (rebalance planning): the
+# prefix match against an empty prompt is always 0, so the probe costs
+# no hash-chain walk.
+_EMPTY_PROMPT = np.zeros(0, dtype=np.int64)
 
 # A freshly spawned worker is silent while it forks and builds its
 # server replica, so the no-progress watchdog would misread boot as a
@@ -354,18 +359,13 @@ class ExecutorBase:
     ):
         self.config = config or EngineConfig()
         self.cluster = cluster or ClusterConfig()
-        router_opts = {}
-        if resolve_router_name(self.cluster.router) == "prefix_affinity":
-            router_opts["stickiness_tokens"] = self.cluster.stickiness_tokens
-        self.router = make_router(self.cluster.router, **router_opts)
         self._handles = self._spawn(model)
         n = len(self._handles)
-        self.routing = ClusterRoutingStats(
-            routed=[0] * n,
-            affinity_hits=[0] * n,
-            affinity_misses=[0] * n,
-            cold=[0] * n,
-        )
+        self.placement = PlacementEngine(self.cluster, n)
+        self.router = self.placement.router  # historical alias
+        self.routing = self.placement.routing
+        self.migrations: list[MigrationPlan] = []  # applied, in order
+        self._steps_since_rebalance = 0
         self._templates: dict[int, GenerationRequest] = {}
         self._assignment: dict[int, tuple[int, int]] = {}  # gid -> (worker, lid)
         self._locals: list[dict[int, int]] = [{} for _ in range(n)]
@@ -456,9 +456,11 @@ class ExecutorBase:
                 "unique and increasing"
             )
         self._check_portable(request)
-        views, matches = self._probe(request.prompt_ids)
-        cursor = getattr(self.router, "_next", None)
-        chosen = self._route(request, views)
+        views, _ = self._probe(request.prompt_ids)
+        placement = self.placement.place(
+            request, views, [h.alive for h in self._handles]
+        )
+        chosen = placement.target
         gid = request.request_id if request.request_id is not None else (
             self._next_id
         )
@@ -467,14 +469,16 @@ class ExecutorBase:
             lid = self._handles[chosen].call("submit", self._clone(request))
         except WorkerDied:
             # The chosen worker died between probe and submit. Quarantine
-            # it (recovering its in-flight work) and re-run placement.
+            # it (recovering its in-flight work) and re-run placement;
+            # the router cursor stays advanced, matching how a cursor
+            # router simply walks past a dead worker.
             self._pending_recovery.append(chosen)
             self._drain_recovery()
             return self.add_request(request)
         except Exception:
-            if cursor is not None:
-                self.router._next = cursor
+            self.placement.rollback(placement)
             raise
+        self.placement.commit(placement)
         request.request_id = gid
         self._next_id = gid + 1
         self._templates[gid] = template
@@ -482,14 +486,6 @@ class ExecutorBase:
         self._locals[chosen][lid] = gid
         self._inflight.add(gid)
         self._delivered[gid] = 0
-        self.routing.routed[chosen] += 1
-        threshold = self.cluster.stickiness_tokens
-        if matches[chosen] >= threshold:
-            self.routing.affinity_hits[chosen] += 1
-        elif max(matches) >= threshold:
-            self.routing.affinity_misses[chosen] += 1
-        else:
-            self.routing.cold[chosen] += 1
         self._drain_recovery()
         return gid
 
@@ -570,26 +566,6 @@ class ExecutorBase:
             matches.append(0)
         return views, matches
 
-    def _route(self, request, views: list[_WorkerView]) -> int:
-        """Route, skipping quarantined workers.
-
-        Load-aware routers avoid dead workers through the sentinel views;
-        round-robin may land on one, in which case its cursor simply
-        advances to the next worker — deterministic either way. Views for
-        *all* workers (dead ones included) are always passed, so the
-        cursor arithmetic matches the all-alive cluster frontend exactly.
-        """
-        for _ in range(self.n_workers):
-            chosen = self.router.route(request, views)
-            if not 0 <= chosen < self.n_workers:
-                raise ValueError(
-                    f"router {self.router.name!r} returned worker {chosen}; "
-                    f"executor has {self.n_workers}"
-                )
-            if self._handles[chosen].alive:
-                return chosen
-        raise EngineUnavailableError("router found no live worker")
-
     # ---- stepping --------------------------------------------------------------
 
     @property
@@ -643,6 +619,17 @@ class ExecutorBase:
             finished.extend(self._merge_step(handle.index, result))
         self._drain_recovery()
         self._clock += 1.0
+        if self.placement.disaggregated:
+            loads, migratable = self._migration_state()
+            self._apply_plans(
+                self.placement.plan_handoffs(loads, migratable)
+            )
+        every = self.cluster.rebalance_every
+        if every > 0:
+            self._steps_since_rebalance += 1
+            if self._steps_since_rebalance >= every:
+                self._steps_since_rebalance = 0
+                self.rebalance()
         return sorted(finished, key=lambda o: o.request_id)
 
     def run(self) -> list[GenerationOutput]:
@@ -651,6 +638,118 @@ class ExecutorBase:
         while self.has_unfinished:
             outputs.extend(self.step())
         return sorted(outputs, key=lambda o: o.request_id)
+
+    # ---- live migration --------------------------------------------------------
+
+    def rebalance(self) -> list[MigrationPlan]:
+        """Drain sessions from overloaded workers onto idle ones.
+
+        Plans via the shared :meth:`~repro.serving.placement
+        .PlacementEngine.plan_rebalance` and applies each move with the
+        ``export_kv``/``import_kv`` worker ops. A worker dying mid-pass
+        is quarantined and its in-flight work recovered by the ordinary
+        failover machinery; the migrated request's remaining stream is
+        bit-identical to a never-migrated run either way (migration
+        moves state, failover replays deterministically). Returns the
+        plans actually applied. Must be called between steps.
+        """
+        self._drain_recovery()
+        loads, migratable = self._migration_state()
+        return self._apply_plans(
+            self.placement.plan_rebalance(loads, migratable)
+        )
+
+    def _migration_state(
+        self,
+    ) -> tuple[list[int | None], dict[int, list[tuple[int, int, bool]]]]:
+        """Per-worker loads and migratable sessions, in *global* ids."""
+        loads: list[int | None] = []
+        migratable: dict[int, list[tuple[int, int, bool]]] = {}
+        for handle in self._handles:
+            if not handle.alive:
+                loads.append(None)
+                continue
+            try:
+                reserved, depth, _ = handle.call("probe", _EMPTY_PROMPT)
+                rows = handle.call("migratable")
+            except WorkerDied:
+                self._pending_recovery.append(handle.index)
+                loads.append(None)
+                continue
+            loads.append(reserved + depth)
+            lids = self._locals[handle.index]
+            migratable[handle.index] = [
+                (gid, charge, done)
+                for lid, charge, done in rows
+                if (gid := lids.get(lid)) is not None
+                and gid in self._inflight
+            ]
+        self._drain_recovery()
+        return loads, migratable
+
+    def _apply_plans(
+        self, plans: list[MigrationPlan]
+    ) -> list[MigrationPlan]:
+        """Execute migration plans: export from source, import at target.
+
+        Fault tolerance mirrors submission: a source dying mid-export is
+        quarantined (its in-flight requests — including this one — are
+        resubmitted as deterministic replays); a target dying mid-import
+        falls through to the next live worker, and when none can adopt
+        the snapshot the request is resubmitted from its template.
+        """
+        applied: list[MigrationPlan] = []
+        for plan in plans:
+            gid = plan.request_id
+            assignment = self._assignment.get(gid)
+            if assignment is None or assignment[0] != plan.source:
+                continue  # finished, aborted or already moved
+            old_lid = assignment[1]
+            try:
+                export = self._handles[plan.source].call(
+                    "export_kv", old_lid
+                )
+            except WorkerDied:
+                # Chaos kill mid-migration: ordinary failover recovers
+                # every in-flight request of the source, this one
+                # included, as a deterministic replay.
+                self._pending_recovery.append(plan.source)
+                self._drain_recovery()
+                continue
+            if export is None:
+                continue  # finished between planning and export
+            self._locals[plan.source].pop(old_lid, None)
+            placed = False
+            candidates = [plan.target] + [
+                i
+                for i in range(self.n_workers)
+                if i != plan.target and self._handles[i].alive
+            ]
+            for target in candidates:
+                if not self._handles[target].alive:
+                    continue
+                try:
+                    new_lid = self._handles[target].call("import_kv", export)
+                except WorkerDied:
+                    self._pending_recovery.append(target)
+                    continue
+                self._assignment[gid] = (target, new_lid)
+                self._locals[target][new_lid] = gid
+                done = (
+                    plan
+                    if target == plan.target
+                    else replace(plan, target=target)
+                )
+                self.migrations.append(done)
+                applied.append(done)
+                placed = True
+                break
+            if not placed:
+                # Every adoption attempt failed: fall back to a fresh
+                # deterministic replay on whatever is still alive.
+                self._resubmit(gid)
+            self._drain_recovery()
+        return applied
 
     def _merge_step(
         self, index: int, result: StepResult
@@ -791,7 +890,9 @@ class ExecutorBase:
                     f"all workers dead; cannot recover request {gid}"
                 )
             views, _ = self._probe(template.prompt_ids)
-            chosen = self._route(template, views)
+            chosen = self.placement.place(
+                template, views, [h.alive for h in self._handles]
+            ).target
             try:
                 lid = self._handles[chosen].call(
                     "submit", self._clone(template)

@@ -107,6 +107,14 @@ class WorkerCore:
       :class:`StepResult`;
     - ``audit()`` -> run the pool-invariant audit in-process (raises
       :class:`~repro.kvcache.pool.PoolAuditError` on violation);
+    - ``migratable()`` -> ``(local_id, charge, prefill_done)`` per
+      unfinished session — the executor's rebalance planning surface;
+    - ``export_kv(local_id)`` -> :class:`~repro.serving.server
+      .SessionExport` (or None if finished) — the session leaves this
+      replica entirely, KV blocks freed, published chain deep-copied
+      into the export;
+    - ``import_kv(export)`` -> new local id — adopt a migrated session
+      under a fresh id in this replica's local id space;
     - ``ping()`` -> ``"pong"`` (liveness probe).
     """
 
@@ -200,6 +208,33 @@ class WorkerCore:
     # executor's watchdog reads the shared progress counter instead.
     def _op_ping(self) -> str:  # repro: allow(unused-op): test liveness probe
         return "pong"
+
+    def _op_migratable(self) -> list[tuple[int, int, bool]]:
+        """Local-id snapshot of unfinished sessions for rebalance planning."""
+        return self.server.migratable_requests()
+
+    def _op_export_kv(self, request_id: int):
+        """Drain one session into a portable snapshot (live migration).
+
+        Returns the :class:`~repro.serving.server.SessionExport` (or
+        None when the id is unknown or finished — a rebalance pass races
+        against completion). The snapshot carries the dense KV cache,
+        the live policy/RNG objects and the published prefix chain; it
+        pickles across the pipe like any other reply.
+        """
+        return self.server.export_session(request_id)
+
+    def _op_import_kv(self, export) -> int:
+        """Adopt a migrated session under a fresh local request id.
+
+        The exported id is source-local and could collide with an
+        unrelated session here, so the session is re-keyed into this
+        replica's own id space; the executor maps the returned local id
+        back to the request's global id.
+        """
+        return self.server.import_session(
+            export, new_request_id=self.server.next_request_id
+        )
 
     def _op_audit(self) -> bool:
         """Run the pool-invariant audit inside the worker process.

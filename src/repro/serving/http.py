@@ -14,7 +14,9 @@ Endpoints:
   ``data:`` JSON chunk per generated token and a final ``data: [DONE]``
   sentinel. Validation failures answer structured 4xx bodies
   (``{"error": {"message", "type", "code"}}``) using the typed errors
-  from :mod:`repro.api.errors`.
+  from :mod:`repro.api.errors`; body fields outside
+  ``COMPLETION_REQUEST_FIELDS`` are rejected with a 400
+  (``unknown_field``) rather than silently dropped.
 - ``GET /v1/models`` — the single served model.
 - ``GET /healthz`` — ``ok`` (all workers live), ``degraded`` (some
   quarantined; still 200), or 503 once no worker survives; reports
@@ -204,6 +206,27 @@ class AsyncEngine:
 
 # ---- request parsing / validation --------------------------------------------
 
+# The complete ``/v1/completions`` request vocabulary. Unknown fields are
+# rejected with a structured 400 (OpenAI's "unrecognized argument"
+# behavior) instead of being silently dropped, so client typos surface
+# immediately. The invariant linter (repro.analysis, schema pass) keeps
+# this set in lockstep with the fields ``parse_completion_body`` reads
+# and the response shapes with the committed schema table.
+COMPLETION_REQUEST_FIELDS = frozenset({
+    "budget",
+    "max_tokens",
+    "model",
+    "policy",
+    "priority",
+    "prompt",
+    "seed",
+    "stream",
+    "temperature",
+    "top_p",
+    "total_deadline_s",
+    "ttft_deadline_s",
+})
+
 
 def _error_type_for(status: int) -> str:
     if status == 429:
@@ -288,6 +311,13 @@ def parse_completion_body(
         raise _HttpError(400, f"body is not valid JSON: {err}", "invalid_json")
     if not isinstance(body, dict):
         raise _HttpError(400, "body must be a JSON object", "invalid_json")
+    unknown = sorted(set(body) - COMPLETION_REQUEST_FIELDS)
+    if unknown:
+        raise _HttpError(
+            400,
+            f"unknown field(s): {', '.join(unknown)}",
+            "unknown_field",
+        )
 
     prompt = body.get("prompt")
     if isinstance(prompt, str):

@@ -37,6 +37,8 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.serving.registry import ADMISSIONS, ROUTERS, SCHEDULERS, normalize
+
 
 class SchedulableSession(Protocol):
     """What a scheduler may inspect about a session (duck-typed).
@@ -84,51 +86,36 @@ class SchedulerPolicy:
 
 SchedulerBuilder = Callable[[], SchedulerPolicy]
 
-_REGISTRY: dict[str, SchedulerBuilder] = {}
-_ALIASES: dict[str, str] = {}
-
-
-def _normalize(name: str) -> str:
-    return name.strip().lower().replace("-", "").replace("_", "")
+# All three registries now live on the shared display-preserving
+# Registry machinery in repro.serving.registry; the module-level
+# functions below are the historical surface, kept as thin shims.
+_normalize = normalize
 
 
 def register_scheduler(
     name: str, *aliases: str
 ) -> Callable[[SchedulerBuilder], SchedulerBuilder]:
     """Decorator adding a scheduler under ``name`` (plus aliases)."""
-
-    def deco(builder: SchedulerBuilder) -> SchedulerBuilder:
-        key = _normalize(name)
-        if key in _REGISTRY:
-            raise ValueError(f"duplicate scheduler name {name!r}")
-        _REGISTRY[key] = builder
-        for alias in aliases:
-            _ALIASES[_normalize(alias)] = key
-        return builder
-
-    return deco
+    return SCHEDULERS.register(name, *aliases)
 
 
 def available_schedulers() -> tuple[str, ...]:
-    """Canonical scheduler names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    """Canonical scheduler names, sorted (shim over the shared registry)."""
+    return SCHEDULERS.available()
 
 
 def resolve_scheduler_name(name: str) -> str:
-    """Canonical name for ``name`` (alias- and case-insensitive)."""
-    key = _normalize(name)
-    key = _ALIASES.get(key, key)
-    if key not in _REGISTRY:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: "
-            f"{list(available_schedulers())}"
-        )
-    return key
+    """Canonical name for ``name`` (alias- and case-insensitive).
+
+    Raises the typed :class:`repro.serving.registry.UnknownSchedulerError`
+    (a ``KeyError``) when nothing is registered under ``name``.
+    """
+    return SCHEDULERS.resolve(name)
 
 
 def make_scheduler(name: str) -> SchedulerPolicy:
     """Build the scheduling policy registered under ``name``."""
-    return _REGISTRY[resolve_scheduler_name(name)]()
+    return SCHEDULERS.make(name)
 
 
 @register_scheduler("fcfs", "fifo")
@@ -223,43 +210,26 @@ class RouterPolicy:
 
 RouterBuilder = Callable[..., RouterPolicy]
 
-# Canonical (registered, display-friendly) name -> builder; the lookup
-# table maps normalized spellings and aliases back to the canonical name,
-# so ``prefix_affinity`` stays ``prefix_affinity`` in banners and reports
-# instead of a squashed ``prefixaffinity``.
-_ROUTER_REGISTRY: dict[str, RouterBuilder] = {}
-_ROUTER_LOOKUP: dict[str, str] = {}
-
 
 def register_router(
     name: str, *aliases: str
 ) -> Callable[[RouterBuilder], RouterBuilder]:
     """Decorator adding a router under ``name`` (plus aliases)."""
-
-    def deco(builder: RouterBuilder) -> RouterBuilder:
-        if name in _ROUTER_REGISTRY:
-            raise ValueError(f"duplicate router name {name!r}")
-        _ROUTER_REGISTRY[name] = builder
-        for alias in (name, *aliases):
-            _ROUTER_LOOKUP[_normalize(alias)] = name
-        return builder
-
-    return deco
+    return ROUTERS.register(name, *aliases)
 
 
 def available_routers() -> tuple[str, ...]:
-    """Canonical router names, sorted."""
-    return tuple(sorted(_ROUTER_REGISTRY))
+    """Canonical router names, sorted (shim over the shared registry)."""
+    return ROUTERS.available()
 
 
 def resolve_router_name(name: str) -> str:
-    """Canonical name for ``name`` (alias- and case-insensitive)."""
-    key = _ROUTER_LOOKUP.get(_normalize(name))
-    if key is None:
-        raise KeyError(
-            f"unknown router {name!r}; available: {list(available_routers())}"
-        )
-    return key
+    """Canonical name for ``name`` (alias- and case-insensitive).
+
+    Raises the typed :class:`repro.serving.registry.UnknownRouterError`
+    (a ``KeyError``) when nothing is registered under ``name``.
+    """
+    return ROUTERS.resolve(name)
 
 
 def make_router(name: str, **opts) -> RouterPolicy:
@@ -269,7 +239,7 @@ def make_router(name: str, **opts) -> RouterPolicy:
     options they do not understand (a misspelled knob must not silently
     fall back to defaults).
     """
-    return _ROUTER_REGISTRY[resolve_router_name(name)](**opts)
+    return ROUTERS.make(name, **opts)
 
 
 @register_router("round_robin", "rr", "roundrobin")
@@ -394,40 +364,26 @@ class AdmissionController:
 
 AdmissionBuilder = Callable[..., AdmissionController]
 
-_ADMISSION_REGISTRY: dict[str, AdmissionBuilder] = {}
-_ADMISSION_LOOKUP: dict[str, str] = {}
-
 
 def register_admission(
     name: str, *aliases: str
 ) -> Callable[[AdmissionBuilder], AdmissionBuilder]:
     """Decorator adding an admission controller under ``name`` (plus aliases)."""
-
-    def deco(builder: AdmissionBuilder) -> AdmissionBuilder:
-        if name in _ADMISSION_REGISTRY:
-            raise ValueError(f"duplicate admission policy name {name!r}")
-        _ADMISSION_REGISTRY[name] = builder
-        for alias in (name, *aliases):
-            _ADMISSION_LOOKUP[_normalize(alias)] = name
-        return builder
-
-    return deco
+    return ADMISSIONS.register(name, *aliases)
 
 
 def available_admissions() -> tuple[str, ...]:
-    """Canonical admission-policy names, sorted."""
-    return tuple(sorted(_ADMISSION_REGISTRY))
+    """Canonical admission-policy names, sorted (shim over the registry)."""
+    return ADMISSIONS.available()
 
 
 def resolve_admission_name(name: str) -> str:
-    """Canonical name for ``name`` (alias- and case-insensitive)."""
-    key = _ADMISSION_LOOKUP.get(_normalize(name))
-    if key is None:
-        raise KeyError(
-            f"unknown admission policy {name!r}; available: "
-            f"{list(available_admissions())}"
-        )
-    return key
+    """Canonical name for ``name`` (alias- and case-insensitive).
+
+    Raises the typed :class:`repro.serving.registry.UnknownAdmissionError`
+    (a ``KeyError``) when nothing is registered under ``name``.
+    """
+    return ADMISSIONS.resolve(name)
 
 
 def make_admission(name: str, **opts) -> AdmissionController:
@@ -437,7 +393,7 @@ def make_admission(name: str, **opts) -> AdmissionController:
     reject options they do not understand (a misspelled knob must not
     silently fall back to defaults).
     """
-    return _ADMISSION_REGISTRY[resolve_admission_name(name)](**opts)
+    return ADMISSIONS.make(name, **opts)
 
 
 @register_admission("accept_all", "none", "acceptall")

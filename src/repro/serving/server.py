@@ -69,7 +69,12 @@ from repro.core.memory_model import MemoryModel
 from repro.core.retrieval_head import SpeContextPolicy
 from repro.distill.dlm import DraftModel
 from repro.kvcache.cache import ModelKVCache
-from repro.kvcache.pool import BlockTable, PagedKVPool, PoolExhausted
+from repro.kvcache.pool import (
+    BlockChainExport,
+    BlockTable,
+    PagedKVPool,
+    PoolExhausted,
+)
 from repro.models.config import AttentionKind
 from repro.models.llm import DecodeResult, SelectionPolicy, TransformerLM
 from repro.retrieval.registry import make_policy, resolve_policy_name
@@ -152,6 +157,60 @@ class PreemptionEvent:
     mode: str  # "swap" | "recompute"
     blocks_freed: int
     kv_bytes: int
+
+
+@dataclass
+class SessionExport:
+    """Wholesale picklable snapshot of one in-flight session (live migration).
+
+    Produced by :meth:`SpeContextServer.export_session`, consumed by
+    :meth:`SpeContextServer.import_session` on another replica. The dense
+    :class:`~repro.kvcache.cache.ModelKVCache`, the live policy object and
+    the request RNG move *as objects* — the same argument that makes swap
+    preemption exact for every policy makes migration exact: nothing about
+    the session's numeric state is recomputed, so the continued stream is
+    bit-identical to a never-migrated run by construction.
+
+    ``chain`` optionally carries the session's published prefix blocks
+    (:class:`~repro.kvcache.pool.BlockChainExport`) so the destination's
+    prefix cache is warmed for later requests sharing the prefix.
+    """
+
+    request: GenerationRequest
+    policy: SelectionPolicy | None
+    budget: int
+    cache: ModelKVCache
+    rng: np.random.Generator | None
+    result: DecodeResult
+    state: str
+    arrival_s: float
+    start_s: float
+    first_token_s: float | None
+    pending: int | None
+    prefill_token: int | None
+    steps_taken: int
+    offload_events: list[OffloadEvent]
+    preemptions: int
+    swap_bytes: int
+    prefix_reused_tokens: int
+    prefill_pos: int
+    prefill_started: bool
+    prefill_done: bool
+    published_blocks: int
+    replaying: bool
+    chain: BlockChainExport | None = None
+
+    @property
+    def request_id(self) -> int:
+        assert self.request.request_id is not None
+        return self.request.request_id
+
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt tokens this session still has to prefill somewhere."""
+        if self.prefill_done:
+            return 0
+        return self.request.prompt_len - self.prefill_pos
 
 
 class _SessionState:
@@ -295,6 +354,9 @@ class SpeContextServer:
         self._next_id = 0
         self._clock = 0.0
         self._step_prefill_tokens = 0
+        # Live-migration traffic counters (observability only).
+        self.migrated_in = 0
+        self.migrated_out = 0
 
     def _pool_blocks(self) -> int:
         """Pool capacity in blocks.
@@ -513,6 +575,168 @@ class SpeContextServer:
                     return True
         return False
 
+    # ---- live migration --------------------------------------------------------
+
+    def export_session(self, request_id: int) -> SessionExport | None:
+        """Drain one in-flight session into a portable snapshot.
+
+        The session leaves this server entirely: it is removed from its
+        queue and its pool blocks are freed (the published prefix chain is
+        deep-copied into the export first, so the destination can re-publish
+        it). An *active* session is stashed exactly like a swap preemption
+        — the dense cache object becomes the snapshot, with the d2h leg
+        charged here and the h2d leg at resume on the destination; waiting
+        sessions keep their current resume state (fresh / swapped /
+        recompute) unchanged. No output, stream event or meter record is
+        produced: from the request's point of view nothing happened.
+
+        Returns None when the id is unknown or already finished — a
+        rebalance pass races against completion, so that is not an error.
+        Must be called between steps, never mid-wave.
+        """
+        for queue in (self._waiting, self._active):
+            for session in list(queue):
+                if session.request_id != request_id:
+                    continue
+                chain: BlockChainExport | None = None
+                if (
+                    self.config.enable_prefix_cache
+                    and session.published_blocks > 0
+                    and len(session.block_table) > 0
+                ):
+                    chain = self.pool.export_chain(
+                        session.request.prompt_ids,
+                        session.block_table,
+                        session.published_blocks,
+                    )
+                    if chain.n_blocks == 0:
+                        chain = None
+                queue.remove(session)
+                self.pool.free_table(session.block_table)
+                state = session.state
+                if state in (_SessionState.READY, _SessionState.PREFILLING):
+                    # Same exactness argument as swap preemption: the
+                    # ModelKVCache object *is* the stash, so the resumed
+                    # stream cannot diverge for any policy.
+                    state = _SessionState.SWAPPED
+                    session.swap_bytes += session.cache.nbytes()
+                self.migrated_out += 1
+                return SessionExport(
+                    request=session.request,
+                    policy=session.policy,
+                    budget=session.budget,
+                    cache=session.cache,
+                    rng=session.rng,
+                    result=session.result,
+                    state=state,
+                    arrival_s=session.arrival_s,
+                    start_s=session.start_s,
+                    first_token_s=session.first_token_s,
+                    pending=session.pending,
+                    prefill_token=session.prefill_token,
+                    steps_taken=session.steps_taken,
+                    offload_events=session.offload_events,
+                    preemptions=session.preemptions,
+                    swap_bytes=session.swap_bytes,
+                    prefix_reused_tokens=session.prefix_reused_tokens,
+                    prefill_pos=session.prefill_pos,
+                    prefill_started=session.prefill_started,
+                    prefill_done=session.prefill_done,
+                    published_blocks=session.published_blocks,
+                    replaying=session.replaying,
+                    chain=chain,
+                )
+        return None
+
+    def import_session(
+        self, export: SessionExport, *, new_request_id: int | None = None
+    ) -> int:
+        """Adopt a migrated session; it resumes via the ordinary queue.
+
+        The snapshot's cache/policy/rng objects are installed as-is and
+        the session joins the waiting queue in its exported resume state;
+        the existing activation paths (fresh prefill, swap re-claim,
+        recompute replay) do the rest, so migration adds no new resume
+        semantics. The exported prefix chain (if any) is re-published
+        into this pool's cache first.
+
+        By default the request keeps its exported id (the cluster
+        frontend migrates global ids verbatim) — the id counter is
+        bumped past it, bypassing the monotonicity check that guards
+        *new* submissions. ``new_request_id`` rewrites the id instead:
+        the executor path re-keys migrated sessions into the
+        destination worker's local id space, where the exported source-
+        local id could collide with an unrelated session. Returns the
+        id the session now answers to.
+        """
+        request = export.request
+        if new_request_id is not None:
+            request.request_id = int(new_request_id)
+        if request.request_id is None:
+            raise ValueError("exported session lacks a request_id")
+        rid = request.request_id
+        for session in (*self._waiting, *self._active):
+            if session.request_id == rid:
+                raise ValueError(
+                    f"request_id {rid} is already in flight on this replica"
+                )
+        peak_blocks = self.pool.blocks_for_tokens(
+            request.prompt_len + request.sampling.max_new_tokens
+        )
+        if peak_blocks > self.pool.capacity:
+            raise PromptTooLongError(
+                f"migrated request needs up to {peak_blocks} KV blocks but "
+                f"this pool holds {self.pool.capacity}"
+            )
+        if export.chain is not None:
+            self.pool.import_chain(export.chain)
+        session = _Session(
+            request=request,
+            policy=export.policy,
+            budget=export.budget,
+            cache=export.cache,
+            rng=export.rng,
+            result=export.result,
+            arrival_s=export.arrival_s,
+            start_s=export.start_s,
+            first_token_s=export.first_token_s,
+            pending=export.pending,
+            prefill_token=export.prefill_token,
+            steps_taken=export.steps_taken,
+            offload_events=export.offload_events,
+            state=export.state,
+            preemptions=export.preemptions,
+            swap_bytes=export.swap_bytes,
+            prefix_reused_tokens=export.prefix_reused_tokens,
+            prefill_pos=export.prefill_pos,
+            prefill_started=export.prefill_started,
+            prefill_done=export.prefill_done,
+            published_blocks=export.published_blocks,
+            replaying=export.replaying,
+        )
+        self._next_id = max(self._next_id, rid + 1)
+        self.migrated_in += 1
+        self._waiting.append(session)
+        return rid
+
+    def migratable_requests(self) -> list[tuple[int, int, bool]]:
+        """Snapshot of in-flight sessions for rebalance planning.
+
+        Returns ``(request_id, reserved_charge, prefill_done)`` per
+        unfinished session, in queue order (waiting first) — the charge is
+        the same ``prompt + max_new_tokens`` commitment
+        :attr:`reserved_tokens` sums, so a planner can predict exactly how
+        much load an export would move.
+        """
+        return [
+            (
+                s.request_id,
+                s.prompt_len + s.sampling.max_new_tokens,
+                s.prefill_done,
+            )
+            for s in (*self._waiting, *self._active)
+        ]
+
     # ---- stepping --------------------------------------------------------------
 
     @property
@@ -544,6 +768,15 @@ class SpeContextServer:
     def max_concurrency(self) -> int:
         """Hard cap on co-running sessions (part of the admission view)."""
         return self.config.max_concurrency
+
+    @property
+    def next_request_id(self) -> int:
+        """The id the next auto-assigned submission would receive.
+
+        The worker core re-keys migrated-in sessions here so an imported
+        session's id can never collide with this server's own id stream.
+        """
+        return self._next_id
 
     @property
     def shedding(self) -> bool:
@@ -725,11 +958,9 @@ class SpeContextServer:
             # Draft + reserve after the whole wave has its decode blocks,
             # so speculation never changes which sessions the wave rule
             # admitted or the eviction/preemption decisions made above.
-            for session in forward:
-                if self._spec_eligible(session):
-                    drafts, reserved = self._spec_propose(session)
-                    if drafts:
-                        specs[id(session)] = (drafts, reserved)
+            specs = self._spec_propose_batch(
+                [s for s in forward if self._spec_eligible(s)]
+            )
         if forward and not specs:
             for session in forward:
                 if session.policy is not None:
@@ -1371,19 +1602,65 @@ class SpeContextServer:
         ``(drafts, reserved_block_ids)``; both empty when the session
         cannot speculate this step (out-of-map token, no free blocks).
         """
-        k = min(
+        k = self._spec_budget(session)
+        if k < 1:
+            return [], []
+        drafts = self._draft.draft(self._spec_stream(session), k)
+        return self._spec_reserve(session, drafts)
+
+    def _spec_budget(self, session: _Session) -> int:
+        """Draft length cap for one session this step."""
+        return min(
             self.config.spec_decode_k,
             session.sampling.max_new_tokens - session.steps_taken - 1,
         )
-        if k < 1:
-            return [], []
-        stream = np.concatenate(
+
+    def _spec_stream(self, session: _Session) -> np.ndarray:
+        """The committed token stream the draft model conditions on."""
+        return np.concatenate(
             [
                 np.asarray(session.request.prompt_ids, dtype=np.int64),
                 np.asarray(session.result.token_ids, dtype=np.int64),
             ]
         )
-        drafts = self._draft.draft(stream, k)
+
+    def _spec_propose_batch(
+        self, sessions: list[_Session]
+    ) -> dict[int, tuple[list[int], list[int]]]:
+        """Draft for a whole wave in one batched student pass.
+
+        One :meth:`~repro.distill.dlm.DraftModel.draft_batch` call covers
+        every speculating session (drafted to the wave's longest budget,
+        trimmed per session — greedy drafting is prefix-stable, so the
+        trim equals a shorter solo draft). Block reservation then runs in
+        wave order, so the free stack is consumed exactly as the
+        session-at-a-time path would.
+        """
+        todo = [s for s in sessions if self._spec_budget(s) >= 1]
+        if not todo:
+            return {}
+        budgets = [self._spec_budget(s) for s in todo]
+        batch = getattr(self._draft, "draft_batch", None)
+        if batch is not None:
+            drafted = batch(
+                [self._spec_stream(s) for s in todo], max(budgets)
+            )
+        else:  # duck-typed draft models (tests, oracles) need only .draft
+            drafted = [
+                self._draft.draft(self._spec_stream(s), b)
+                for s, b in zip(todo, budgets)
+            ]
+        specs: dict[int, tuple[list[int], list[int]]] = {}
+        for session, budget, drafts in zip(todo, budgets, drafted):
+            drafts, reserved = self._spec_reserve(session, drafts[:budget])
+            if drafts:
+                specs[id(session)] = (drafts, reserved)
+        return specs
+
+    def _spec_reserve(
+        self, session: _Session, drafts: list[int]
+    ) -> tuple[list[int], list[int]]:
+        """Trim a draft to the blocks the free stack can supply."""
         if not drafts:
             return [], []
         base_blocks = len(session.block_table)  # covers current_len + 1

@@ -19,6 +19,8 @@ import sys
 from pathlib import Path
 
 from repro.analysis import DEFAULT_BASELINE, Baseline, run
+from repro.analysis import contract, schema
+from repro.analysis.astutil import Module
 from repro.analysis.findings import Suppressions
 
 REPRO_DIR = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -317,7 +319,7 @@ class TestContractPass:
                 '    return "invalid_request_error"\n'
             ),
         })
-        report = scan(scan_root)
+        report = scan(scan_root, rules=set(contract.RULES))
         assert sorted(rules_of(report)) == [
             "unknown-contract-status", "unmapped-error-status",
         ]
@@ -337,7 +339,7 @@ class TestContractPass:
                 '    return "invalid_request_error"\n'
             ),
         })
-        assert scan(scan_root).findings == []
+        assert scan(scan_root, rules=set(contract.RULES)).findings == []
 
     def test_missing_and_duplicate_codes_flagged(self, tmp_path):
         scan_root = write_tree(tmp_path, {
@@ -362,9 +364,124 @@ class TestContractPass:
                 '    return "api_error"\n'
             ),
         })
-        assert sorted(rules_of(scan(scan_root))) == [
+        assert sorted(
+            rules_of(scan(scan_root, rules=set(contract.RULES)))
+        ) == [
             "duplicate-error-code", "error-missing-code",
         ]
+
+
+# ---- pass 5: http schema -----------------------------------------------------
+
+
+HTTP_SCHEMA_FIXTURE = """\
+COMPLETION_REQUEST_FIELDS = frozenset({"prompt", "stream"})
+
+
+def _field(body, name, types, default):
+    return body.get(name, default)
+
+
+def parse_completion_body(raw, tokenizer):
+    body = dict(raw)
+    unknown = sorted(set(body) - COMPLETION_REQUEST_FIELDS)
+    if unknown:
+        raise ValueError(unknown)
+    prompt = body.get("prompt")
+    stream = _field(body, "stream", bool, False)
+    return prompt, stream
+
+
+def models_payload():
+    return {"object": "list", "data": []}
+"""
+
+SCHEMA_TABLE = {"list": ["data", "object"]}
+
+
+def _write_table(tmp_path, objects):
+    path = tmp_path / "http_schema.json"
+    path.write_text(json.dumps({"version": 1, "objects": objects}))
+    return path
+
+
+def _schema_findings(source, tmp_path, objects=None):
+    table = _write_table(
+        tmp_path, SCHEMA_TABLE if objects is None else objects
+    )
+    module = Module.from_source(source, "pkg/serving/http.py")
+    return schema.check_schema(module, table_path=table)
+
+
+class TestSchemaPass:
+    def test_clean_fixture_produces_nothing(self, tmp_path):
+        assert _schema_findings(HTTP_SCHEMA_FIXTURE, tmp_path) == []
+
+    def test_unlisted_read_field_flagged(self, tmp_path):
+        source = HTTP_SCHEMA_FIXTURE.replace(
+            'prompt = body.get("prompt")',
+            'prompt = body.get("prompt")\n    extra = body.get("extra")',
+        )
+        findings = _schema_findings(source, tmp_path)
+        assert [f.rule for f in findings] == ["schema-field-unlisted"]
+        assert "'extra'" in findings[0].message
+
+    def test_unread_allowlist_field_flagged(self, tmp_path):
+        source = HTTP_SCHEMA_FIXTURE.replace(
+            '{"prompt", "stream"}', '{"prompt", "stream", "ghost"}'
+        )
+        findings = _schema_findings(source, tmp_path)
+        assert [f.rule for f in findings] == ["schema-field-unread"]
+        assert "'ghost'" in findings[0].message
+
+    def test_missing_rejection_flagged(self, tmp_path):
+        source = HTTP_SCHEMA_FIXTURE.replace(
+            "    unknown = sorted(set(body) - COMPLETION_REQUEST_FIELDS)\n"
+            "    if unknown:\n"
+            "        raise ValueError(unknown)\n",
+            "",
+        )
+        findings = _schema_findings(source, tmp_path)
+        assert [f.rule for f in findings] == ["unknown-fields-accepted"]
+
+    def test_response_drift_both_directions(self, tmp_path):
+        # Extra serialized key not in the table.
+        source = HTTP_SCHEMA_FIXTURE.replace(
+            '{"object": "list", "data": []}',
+            '{"object": "list", "data": [], "surprise": 1}',
+        )
+        findings = _schema_findings(source, tmp_path)
+        assert [f.rule for f in findings] == ["schema-response-drift"]
+        assert "surprise" in findings[0].message
+        # Table pins a kind the code never serializes.
+        findings = _schema_findings(
+            HTTP_SCHEMA_FIXTURE, tmp_path,
+            objects={**SCHEMA_TABLE, "usage": ["total_tokens"]},
+        )
+        assert [f.rule for f in findings] == ["schema-response-drift"]
+        assert "'usage'" in findings[0].message
+
+    def test_missing_table_flagged(self, tmp_path):
+        module = Module.from_source(
+            HTTP_SCHEMA_FIXTURE, "pkg/serving/http.py"
+        )
+        findings = schema.check_schema(
+            module, table_path=tmp_path / "nope.json"
+        )
+        assert [f.rule for f in findings] == ["schema-response-drift"]
+
+    def test_real_tree_mutation_is_caught(self):
+        # Dropping a field from the real allowlist must fail the linter.
+        source = (REPRO_DIR / "serving" / "http.py").read_text()
+        assert '"budget",' in source, "http.py allowlist shape changed"
+        module = Module.from_source(
+            source.replace('"budget",', "", 1), "src/repro/serving/http.py"
+        )
+        findings = schema.check_schema(module)
+        assert any(
+            f.rule == "schema-field-unlisted" and "'budget'" in f.message
+            for f in findings
+        )
 
 
 # ---- suppression / baseline mechanics ----------------------------------------

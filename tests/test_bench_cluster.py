@@ -26,6 +26,7 @@ class TestBenchCluster:
             "--system-len", "32", "--suffix-len", "8",
             "--max-new-tokens", "4", "--layers", "2", "--repeats", "1",
             "--block-size", "8", "--stickiness-tokens", "8",
+            "--hot-group-size", "8",
             "--out", str(out), *extra,
         ])
         return rc, out
@@ -57,7 +58,18 @@ class TestBenchCluster:
         assert affinity["affinity_hit_rate"] == 1.0
         assert affinity["prefix_reused_tokens"] > 0
         assert report["affinity_gain_prefix_tokens"] >= 1.0
-        assert "prefix_affinity vs round_robin" in capsys.readouterr().out
+        migration = report["migration"]
+        assert set(migration["runs"]) == {"prefix_affinity", "rebalance"}
+        assert migration["streams_identical"] is True
+        assert migration["runs"]["prefix_affinity"]["migrations"] == 0
+        assert migration["runs"]["rebalance"]["migrations"] >= 1
+        assert migration["balance_gain"] > 0
+        for entry in migration["runs"].values():
+            assert entry["load_variance"] >= 0
+            assert "token_streams" not in entry
+        out_text = capsys.readouterr().out
+        assert "prefix_affinity vs round_robin" in out_text
+        assert "rebalance vs prefix_affinity" in out_text
 
     def test_gate_passes_and_fails(self, tmp_path, capsys):
         rc, _ = self.run_bench(tmp_path, extra=("--min-affinity-gain", "1.0"))
@@ -68,6 +80,20 @@ class TestBenchCluster:
         )
         assert rc == 1
         assert "below required" in capsys.readouterr().err
+
+    def test_balance_gate_passes_and_fails(self, tmp_path, capsys):
+        rc, out = self.run_bench(
+            tmp_path, extra=("--min-balance-gain", "1.0")
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["migration"]["balance_gain"] >= 1.0
+        capsys.readouterr()
+        rc, _ = self.run_bench(
+            tmp_path, extra=("--min-balance-gain", "1000")
+        )
+        assert rc == 1
+        assert "balance gain" in capsys.readouterr().err
 
     def test_smoke_flag_shrinks_workload(self, tmp_path):
         out = tmp_path / "BENCH_cluster.json"

@@ -269,6 +269,10 @@ class TestEndpoints:
 BAD_BODIES = (
     (b"{not json", "invalid_json"),
     (b'"just a string"', "invalid_json"),
+    (
+        json.dumps({"prompt": [1, 2], "max_tokenz": 4}).encode(),
+        "unknown_field",
+    ),
     (json.dumps({"prompt": 42}).encode(), "invalid_prompt"),
     (json.dumps({"prompt": [1, 2.5]}).encode(), "invalid_prompt"),
     (json.dumps({"prompt": ""}).encode(), "empty_prompt"),
